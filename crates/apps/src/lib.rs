@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Parallel workloads running on the heterogeneous DSM.
+//!
+//! The paper evaluates matrix multiplication and LU decomposition with
+//! square matrices of 99, 138, 177, 216 and 255, three threads (two of
+//! them migrated to remote nodes), on Linux/Linux, Solaris/Solaris and
+//! Solaris/Linux pairs (§5). [`matmul`] and [`lu`] reproduce those
+//! workloads; [`jacobi`] and [`sor`] extend the suite with the classic
+//! DSM stencil benchmarks.
+//!
+//! Each workload provides a `gthv_def` (the shared structure), an `init`
+//! (home-side initialisation), a `run_worker` body for
+//! [`hdsm_core::cluster::ClusterBuilder::run`], and a serial oracle used
+//! by `verify` to check the distributed result.
+
+pub mod jacobi;
+pub mod lu;
+pub mod matmul;
+pub mod sor;
+pub mod workload;
+
+pub use workload::{paper_pairs, paper_sizes, PlatformPair, SyncMode};

@@ -1,0 +1,421 @@
+//! Distributed integer matrix multiplication — the paper's primary
+//! evaluation workload (§5), whose shared structure is exactly Figure 4:
+//!
+//! ```c
+//! struct GThV_t { void *GThP; int A[n*n]; int B[n*n]; int C[n*n]; int n; }
+//! ```
+//!
+//! Workers compute disjoint row blocks of `C = A * B`. With
+//! [`SyncMode::Barrier`] the initial matrices arrive at the opening
+//! barrier and each worker's `C` rows ship at the closing barrier; with
+//! [`SyncMode::Lock`] each worker additionally publishes its block under
+//! the distributed mutex (more, smaller updates — the lock/unlock path of
+//! Figure 5).
+//!
+//! Also provides [`MatmulComputation`], a migratable version for the
+//! adaptive cluster: one `C` row per adaptation quantum.
+
+use crate::workload::{block_rows, det_i32, SyncMode};
+use hdsm_core::client::{DsdClient, DsdError};
+use hdsm_core::cluster::WorkerInfo;
+use hdsm_core::gthv::{GthvDef, GthvInstance};
+use hdsm_migthread::compute::{Computation, ProgramRegistry, StepStatus};
+use hdsm_migthread::packfmt::MigrateError;
+use hdsm_migthread::state::{ThreadState, TypedBlock};
+use hdsm_platform::ctype::{CType, StructBuilder};
+use hdsm_platform::scalar::ScalarKind;
+use hdsm_platform::spec::Platform;
+use hdsm_platform::value::Value;
+
+/// Entry ids of the Figure 4 structure.
+pub mod entries {
+    /// `void *GThP`.
+    pub const GTHP: u32 = 0;
+    /// `int A[n*n]`.
+    pub const A: u32 = 1;
+    /// `int B[n*n]`.
+    pub const B: u32 = 2;
+    /// `int C[n*n]`.
+    pub const C: u32 = 3;
+    /// `int n`.
+    pub const N: u32 = 4;
+}
+
+/// Barrier ids used by the barrier-mode worker.
+pub mod barriers {
+    /// Opening barrier (pulls the initial matrices).
+    pub const START: u32 = 0;
+    /// Closing barrier (publishes and redistributes `C`).
+    pub const END: u32 = 1;
+}
+
+/// The Figure 4 shared structure for `n × n` matrices.
+pub fn gthv_def(n: usize) -> GthvDef {
+    GthvDef::new(
+        StructBuilder::new("GThV_t")
+            .scalar("GThP", ScalarKind::Ptr)
+            .array("A", ScalarKind::Int, n * n)
+            .array("B", ScalarKind::Int, n * n)
+            .array("C", ScalarKind::Int, n * n)
+            .scalar("n", ScalarKind::Int)
+            .build()
+            .expect("figure-4 struct"),
+    )
+    .expect("valid def")
+}
+
+/// Home-side initialisation: deterministic A and B, zero C, store `n`.
+pub fn init(g: &mut GthvInstance, n: usize, seed: u64) {
+    for i in 0..(n * n) as u64 {
+        g.write_int(entries::A, i, i128::from(det_i32(seed, i)))
+            .expect("init A");
+        g.write_int(entries::B, i, i128::from(det_i32(seed ^ 0xABCD, i)))
+            .expect("init B");
+    }
+    g.write_int(entries::N, 0, n as i128).expect("init n");
+    // GThP points at A, as in the paper's example structure.
+    g.write_ptr(entries::GTHP, 0, Some((entries::A, 0)))
+        .expect("init GThP");
+}
+
+/// Serial oracle: `C = A * B` over the same deterministic inputs.
+pub fn expected_c(n: usize, seed: u64) -> Vec<i64> {
+    let nn = n * n;
+    let a: Vec<i64> = (0..nn as u64).map(|i| i64::from(det_i32(seed, i))).collect();
+    let b: Vec<i64> = (0..nn as u64)
+        .map(|i| i64::from(det_i32(seed ^ 0xABCD, i)))
+        .collect();
+    let mut c = vec![0i64; nn];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Verify a final instance against the oracle.
+pub fn verify(g: &GthvInstance, n: usize, seed: u64) -> bool {
+    let want = expected_c(n, seed);
+    for (i, w) in want.iter().enumerate() {
+        match g.read_int(entries::C, i as u64) {
+            Ok(v) if v == i128::from(*w) => {}
+            _ => return false,
+        }
+    }
+    g.read_int(entries::N, 0).map(|v| v as usize) == Ok(n)
+}
+
+/// Read a full row of a matrix entry from the local copy.
+fn read_row(c: &DsdClient, entry: u32, n: usize, row: usize) -> Result<Vec<i64>, DsdError> {
+    let mut out = Vec::with_capacity(n);
+    for j in 0..n {
+        out.push(c.read_int(entry, (row * n + j) as u64)? as i64);
+    }
+    Ok(out)
+}
+
+/// SPMD worker body.
+pub fn run_worker(
+    client: &mut DsdClient,
+    info: &WorkerInfo,
+    n: usize,
+    mode: SyncMode,
+) -> Result<(), DsdError> {
+    // Pull the initial matrices.
+    client.mth_barrier(barriers::START)?;
+    debug_assert_eq!(client.read_int(entries::N, 0)? as usize, n);
+
+    let rows = block_rows(n, info.index, info.n_workers);
+    // Load B once (column access pattern).
+    let mut b = Vec::with_capacity(n * n);
+    for i in 0..(n * n) as u64 {
+        b.push(client.read_int(entries::B, i)? as i64);
+    }
+    match mode {
+        SyncMode::Barrier => {
+            for i in rows {
+                let a_row = read_row(client, entries::A, n, i)?;
+                for j in 0..n {
+                    let mut acc = 0i64;
+                    for k in 0..n {
+                        acc += a_row[k] * b[k * n + j];
+                    }
+                    client.write_int(entries::C, (i * n + j) as u64, i128::from(acc))?;
+                }
+            }
+            client.mth_barrier(barriers::END)?;
+        }
+        SyncMode::Lock => {
+            // Compute locally, then publish the block under the mutex —
+            // one lock/unlock round per worker, like the paper's
+            // lock-protected critical sections.
+            let mut block: Vec<(u64, i64)> = Vec::new();
+            for i in rows {
+                let a_row = read_row(client, entries::A, n, i)?;
+                for j in 0..n {
+                    let mut acc = 0i64;
+                    for k in 0..n {
+                        acc += a_row[k] * b[k * n + j];
+                    }
+                    block.push(((i * n + j) as u64, acc));
+                }
+            }
+            client.mth_lock(0)?;
+            for (idx, v) in block {
+                client.write_int(entries::C, idx, i128::from(v))?;
+            }
+            client.mth_unlock(0)?;
+            client.mth_barrier(barriers::END)?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Migratable version for the adaptive cluster.
+// ---------------------------------------------------------------------
+
+/// Program name in the registry.
+pub const PROGRAM: &str = "matmul";
+
+fn mthv_type() -> CType {
+    CType::Struct(
+        StructBuilder::new("MThV")
+            .scalar("n", ScalarKind::Int)
+            .scalar("row_begin", ScalarKind::Int)
+            .scalar("row_end", ScalarKind::Int)
+            .scalar("next_row", ScalarKind::Int)
+            .scalar("phase", ScalarKind::Int)
+            .build()
+            .expect("MThV"),
+    )
+}
+
+/// Declared state shape (used for registry registration and restore).
+pub fn declared_state(platform: &Platform) -> ThreadState {
+    let mut st = ThreadState::new(PROGRAM);
+    st.push_block("MThV", TypedBlock::zeroed(mthv_type(), platform.clone()));
+    st
+}
+
+/// Starting state for a worker covering `rows`.
+pub fn start_state(platform: &Platform, n: usize, rows: std::ops::Range<usize>) -> ThreadState {
+    let mut st = declared_state(platform);
+    let b = st.block_mut("MThV").expect("MThV");
+    b.set_field(0, &Value::Int(n as i128)).unwrap();
+    b.set_field(1, &Value::Int(rows.start as i128)).unwrap();
+    b.set_field(2, &Value::Int(rows.end as i128)).unwrap();
+    b.set_field(3, &Value::Int(rows.start as i128)).unwrap();
+    b.set_field(4, &Value::Int(0)).unwrap(); // phase 0: before start barrier
+    st
+}
+
+/// Migratable matrix multiplication: phase 0 pulls the matrices at the
+/// start barrier; each subsequent quantum computes one row of `C`; the
+/// final quantum publishes through the end barrier. Every quantum boundary
+/// is an adaptation point.
+pub struct MatmulComputation {
+    state: ThreadState,
+}
+
+impl MatmulComputation {
+    /// Registry factory.
+    pub fn factory(
+        state: ThreadState,
+        _platform: Platform,
+    ) -> Result<Box<dyn Computation<DsdClient>>, MigrateError> {
+        Ok(Box::new(MatmulComputation { state }))
+    }
+
+    fn get(&self, field: usize) -> i128 {
+        self.state
+            .block("MThV")
+            .expect("MThV")
+            .get_field(field)
+            .expect("field")
+            .as_int()
+    }
+
+    fn set(&mut self, field: usize, v: i128) {
+        self.state
+            .block_mut("MThV")
+            .expect("MThV")
+            .set_field(field, &Value::Int(v))
+            .expect("field");
+    }
+}
+
+impl Computation<DsdClient> for MatmulComputation {
+    fn program(&self) -> &str {
+        PROGRAM
+    }
+
+    fn step(&mut self, client: &mut DsdClient) -> StepStatus {
+        let phase = self.get(4);
+        match phase {
+            0 => {
+                client.mth_barrier(barriers::START).expect("start barrier");
+                self.set(4, 1);
+                StepStatus::Yield
+            }
+            1 => {
+                let n = self.get(0) as usize;
+                let row = self.get(3) as usize;
+                let end = self.get(2) as usize;
+                if row >= end {
+                    client.mth_barrier(barriers::END).expect("end barrier");
+                    self.set(4, 2);
+                    return StepStatus::Done;
+                }
+                for j in 0..n {
+                    let mut acc = 0i64;
+                    for k in 0..n {
+                        let a = client.read_int(entries::A, (row * n + k) as u64).unwrap() as i64;
+                        let b = client.read_int(entries::B, (k * n + j) as u64).unwrap() as i64;
+                        acc += a * b;
+                    }
+                    client
+                        .write_int(entries::C, (row * n + j) as u64, i128::from(acc))
+                        .unwrap();
+                }
+                self.set(3, (row + 1) as i128);
+                StepStatus::Yield
+            }
+            _ => StepStatus::Done,
+        }
+    }
+
+    fn capture(&self) -> ThreadState {
+        self.state.clone()
+    }
+}
+
+/// Build a registry containing the matmul program.
+pub fn registry(platform: &Platform) -> ProgramRegistry<DsdClient> {
+    let mut r = ProgramRegistry::new();
+    r.register(PROGRAM, declared_state(platform), MatmulComputation::factory);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsm_core::cluster::ClusterBuilder;
+    use hdsm_platform::spec::PlatformSpec;
+
+    #[test]
+    fn oracle_small_case() {
+        // 2x2 hand check with a fixed seed.
+        let n = 2;
+        let seed = 7;
+        let c = expected_c(n, seed);
+        let a: Vec<i64> = (0..4).map(|i| i64::from(det_i32(seed, i))).collect();
+        let b: Vec<i64> = (0..4)
+            .map(|i| i64::from(det_i32(seed ^ 0xABCD, i)))
+            .collect();
+        assert_eq!(c[0], a[0] * b[0] + a[1] * b[2]);
+        assert_eq!(c[3], a[2] * b[1] + a[3] * b[3]);
+    }
+
+    #[test]
+    fn barrier_mode_heterogeneous_cluster_is_correct() {
+        let n = 20;
+        let seed = 42;
+        let outcome = ClusterBuilder::new()
+            .gthv(gthv_def(n))
+            .home(PlatformSpec::solaris_sparc())
+            .worker(PlatformSpec::linux_x86())
+            .worker(PlatformSpec::solaris_sparc())
+            .worker(PlatformSpec::linux_x86_64())
+            .barriers(2)
+            .init(move |g| init(g, n, seed))
+            .run(move |c, info| run_worker(c, info, n, SyncMode::Barrier))
+            .unwrap();
+        assert!(verify(&outcome.final_gthv, n, seed));
+        // Heterogeneous workers really converted.
+        assert!(outcome.home_conv.scalars_converted > 0);
+    }
+
+    #[test]
+    fn lock_mode_matches_barrier_mode() {
+        let n = 16;
+        let seed = 3;
+        let outcome = ClusterBuilder::new()
+            .gthv(gthv_def(n))
+            .home(PlatformSpec::linux_x86())
+            .worker(PlatformSpec::linux_x86())
+            .worker(PlatformSpec::solaris_sparc())
+            .locks(1)
+            .barriers(2)
+            .init(move |g| init(g, n, seed))
+            .run(move |c, info| run_worker(c, info, n, SyncMode::Lock))
+            .unwrap();
+        assert!(verify(&outcome.final_gthv, n, seed));
+    }
+
+    #[test]
+    fn single_worker_homogeneous() {
+        let n = 12;
+        let seed = 9;
+        let outcome = ClusterBuilder::new()
+            .gthv(gthv_def(n))
+            .worker(PlatformSpec::linux_x86())
+            .barriers(2)
+            .init(move |g| init(g, n, seed))
+            .run(move |c, info| run_worker(c, info, n, SyncMode::Barrier))
+            .unwrap();
+        assert!(verify(&outcome.final_gthv, n, seed));
+        // Homogeneous pair: the home applied worker updates by memcpy only.
+        assert_eq!(outcome.home_conv.scalars_swapped, 0);
+    }
+
+    #[test]
+    fn migratable_version_with_mid_run_migrations() {
+        use hdsm_core::cluster::MigrationEvent;
+        let n = 12;
+        let seed = 5;
+        let linux = PlatformSpec::linux_x86();
+        let sparc = PlatformSpec::solaris_sparc();
+        let reg = registry(&linux);
+        let starts = vec![
+            start_state(&linux, n, block_rows(n, 0, 2)),
+            start_state(&linux, n, block_rows(n, 1, 2)),
+        ];
+        let schedule = vec![
+            MigrationEvent {
+                worker: 0,
+                after_steps: 3,
+                to_platform: sparc.clone(),
+            },
+            MigrationEvent {
+                worker: 1,
+                after_steps: 5,
+                to_platform: PlatformSpec::solaris_sparc64(),
+            },
+        ];
+        let outcome = ClusterBuilder::new()
+            .gthv(gthv_def(n))
+            .home(PlatformSpec::linux_x86())
+            .worker(linux.clone())
+            .worker(linux.clone())
+            .barriers(2)
+            .init(move |g| init(g, n, seed))
+            .run_adaptive(&reg, starts, &schedule)
+            .unwrap();
+        assert!(verify(&outcome.final_gthv, n, seed));
+        assert_eq!(outcome.migration_stats.migrations, 2);
+        assert!(outcome.migration_stats.image_bytes > 0);
+        // The migrated threads finished on their destination platforms.
+        assert_eq!(
+            outcome.results[0].block("MThV").unwrap().platform.name,
+            "solaris-sparc"
+        );
+    }
+}

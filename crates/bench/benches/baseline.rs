@@ -1,0 +1,92 @@
+//! Ablation: DSD's heterogeneity machinery (index abstraction + tags +
+//! conversion) vs the traditional homogeneous twin/diff page DSM it is
+//! built on. On a homogeneous pair the two produce identical results; the
+//! difference in time is the price of heterogeneity-readiness the paper's
+//! §4 design pays ("The index mapping can be done very rapidly and adds
+//! very little overhead to the standard twin/diff method").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdsm_core::baseline::{apply_raw_diffs, extract_raw_diffs, pack_raw, unpack_raw};
+use hdsm_core::gthv::{GthvDef, GthvInstance};
+use hdsm_core::runs::abstract_diffs;
+use hdsm_core::update::{apply_batch, extract_updates};
+use hdsm_memory::diff::diff_pages;
+use hdsm_platform::ctype::StructBuilder;
+use hdsm_platform::scalar::ScalarKind;
+use hdsm_platform::spec::{Platform, PlatformSpec};
+use hdsm_tags::convert::ConversionStats;
+use hdsm_tags::wire::{pack_batch, unpack_batch};
+use std::hint::black_box;
+
+fn dirty_instance(n: usize, p: Platform) -> GthvInstance {
+    let def = GthvDef::new(
+        StructBuilder::new("G")
+            .array("C", ScalarKind::Int, n * n)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut g = GthvInstance::new(def, p);
+    g.space_mut().protect_all();
+    // A worker's stripe plus scattered single-element writes.
+    for i in 0..(n * n / 3) as u64 {
+        g.write_int(0, i, i as i128 + 1).unwrap();
+    }
+    for i in ((n * n / 2)..(n * n)).step_by(97) {
+        g.write_int(0, i as u64, -7).unwrap();
+    }
+    g
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_vs_dsd/homogeneous_end_to_end");
+    for n in [99usize, 255] {
+        group.bench_function(BenchmarkId::new("raw_page_dsm", n), |b| {
+            let src = dirty_instance(n, PlatformSpec::linux_x86());
+            let mut dst = GthvInstance::new(src.def().clone(), PlatformSpec::linux_x86());
+            b.iter(|| {
+                let diffs = extract_raw_diffs(&src);
+                let packed = pack_raw(&diffs);
+                let unpacked = unpack_raw(packed).unwrap();
+                apply_raw_diffs(&mut dst, src.platform(), &unpacked).unwrap();
+                black_box(&dst);
+            })
+        });
+        group.bench_function(BenchmarkId::new("dsd_index_tag", n), |b| {
+            let src = dirty_instance(n, PlatformSpec::linux_x86());
+            let mut dst = GthvInstance::new(src.def().clone(), PlatformSpec::linux_x86());
+            b.iter(|| {
+                let ranges = abstract_diffs(src.table(), &diff_pages(src.space()));
+                let ups = extract_updates(&src, &ranges).unwrap();
+                let packed = pack_batch(&ups);
+                let unpacked = unpack_batch(packed).unwrap();
+                let mut stats = ConversionStats::default();
+                apply_batch(&mut dst, &unpacked, &mut stats).unwrap();
+                black_box(&dst);
+            })
+        });
+        // What the baseline *cannot* do at any price: the heterogeneous
+        // receiver. Only DSD has a bar here.
+        group.bench_function(BenchmarkId::new("dsd_heterogeneous", n), |b| {
+            let src = dirty_instance(n, PlatformSpec::linux_x86());
+            let mut dst = GthvInstance::new(src.def().clone(), PlatformSpec::solaris_sparc());
+            b.iter(|| {
+                let ranges = abstract_diffs(src.table(), &diff_pages(src.space()));
+                let ups = extract_updates(&src, &ranges).unwrap();
+                let packed = pack_batch(&ups);
+                let unpacked = unpack_batch(packed).unwrap();
+                let mut stats = ConversionStats::default();
+                apply_batch(&mut dst, &unpacked, &mut stats).unwrap();
+                black_box(&dst);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = baseline;
+    config = Criterion::default().sample_size(20);
+    targets = bench_end_to_end
+);
+criterion_main!(baseline);

@@ -1,0 +1,142 @@
+//! Criterion microbenchmarks of the CGT-RMR conversion engine itself:
+//! the memcpy fast path vs same-size byte swap vs widening conversion,
+//! per element count — the ablation behind the Figure 10/11 gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdsm_platform::endian::Endianness;
+use hdsm_platform::scalar::ScalarClass;
+use hdsm_tags::convert::{convert_scalar_run, ConversionStats};
+use hdsm_tags::generate::tag_for;
+use hdsm_tags::parse::parse_tag;
+use hdsm_platform::ctype::{paper_figure4_struct, CType};
+use hdsm_platform::layout::TypeLayout;
+use hdsm_platform::spec::PlatformSpec;
+use std::hint::black_box;
+
+fn bench_scalar_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convert/int_runs");
+    for count in [1024usize, 56169, 255 * 255] {
+        let src: Vec<u8> = (0..count * 4).map(|i| (i % 251) as u8).collect();
+        group.throughput(Throughput::Bytes((count * 4) as u64));
+        group.bench_function(BenchmarkId::new("memcpy_same_format", count), |b| {
+            let mut dst = vec![0u8; count * 4];
+            b.iter(|| {
+                let mut stats = ConversionStats::default();
+                convert_scalar_run(
+                    &src,
+                    4,
+                    Endianness::Little,
+                    &mut dst,
+                    4,
+                    Endianness::Little,
+                    ScalarClass::Signed,
+                    count as u64,
+                    &mut stats,
+                )
+                .unwrap();
+                black_box(&dst);
+            })
+        });
+        group.bench_function(BenchmarkId::new("byteswap_same_size", count), |b| {
+            let mut dst = vec![0u8; count * 4];
+            b.iter(|| {
+                let mut stats = ConversionStats::default();
+                convert_scalar_run(
+                    &src,
+                    4,
+                    Endianness::Little,
+                    &mut dst,
+                    4,
+                    Endianness::Big,
+                    ScalarClass::Signed,
+                    count as u64,
+                    &mut stats,
+                )
+                .unwrap();
+                black_box(&dst);
+            })
+        });
+        group.bench_function(BenchmarkId::new("widen_4_to_8_swap", count), |b| {
+            let mut dst = vec![0u8; count * 8];
+            b.iter(|| {
+                let mut stats = ConversionStats::default();
+                convert_scalar_run(
+                    &src,
+                    4,
+                    Endianness::Little,
+                    &mut dst,
+                    8,
+                    Endianness::Big,
+                    ScalarClass::Signed,
+                    count as u64,
+                    &mut stats,
+                )
+                .unwrap();
+                black_box(&dst);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_float_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convert/double_runs");
+    let count = 255 * 255;
+    let src: Vec<u8> = (0..count * 8).map(|i| (i % 251) as u8).collect();
+    group.throughput(Throughput::Bytes((count * 8) as u64));
+    group.bench_function("byteswap_f64", |b| {
+        let mut dst = vec![0u8; count * 8];
+        b.iter(|| {
+            let mut stats = ConversionStats::default();
+            convert_scalar_run(
+                &src,
+                8,
+                Endianness::Little,
+                &mut dst,
+                8,
+                Endianness::Big,
+                ScalarClass::Float,
+                count as u64,
+                &mut stats,
+            )
+            .unwrap();
+            black_box(&dst);
+        })
+    });
+    group.finish();
+}
+
+fn bench_tag_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tags");
+    let ty = CType::Struct(paper_figure4_struct());
+    let layout = TypeLayout::compute(&ty, &PlatformSpec::linux_x86());
+    group.bench_function("generate_figure4", |b| {
+        b.iter(|| black_box(tag_for(&layout)))
+    });
+    let s = tag_for(&layout).to_string();
+    group.bench_function("emit_string", |b| {
+        let t = tag_for(&layout);
+        b.iter(|| black_box(t.to_string()))
+    });
+    group.bench_function("parse_figure4", |b| {
+        b.iter(|| black_box(parse_tag(&s).unwrap()))
+    });
+    // The paper's future-work ablation: textual vs binary tag codec
+    // ("lessening our reliance on string operations with the tags").
+    let t = tag_for(&layout);
+    let bin = hdsm_tags::binfmt::encode_tag(&t);
+    group.bench_function("emit_binary", |b| {
+        b.iter(|| black_box(hdsm_tags::binfmt::encode_tag(&t)))
+    });
+    group.bench_function("parse_binary", |b| {
+        b.iter(|| black_box(hdsm_tags::binfmt::decode_tag(bin.clone()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = convert;
+    config = Criterion::default().sample_size(30);
+    targets = bench_scalar_runs, bench_float_runs, bench_tag_ops
+);
+criterion_main!(convert);

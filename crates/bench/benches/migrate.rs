@@ -1,0 +1,91 @@
+//! MigThread migration cost: packing a thread state into the portable
+//! image and restoring it on homogeneous vs heterogeneous destinations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdsm_migthread::packfmt::{pack_state, unpack_state};
+use hdsm_migthread::state::{ThreadState, TypedBlock};
+use hdsm_platform::ctype::{CType, StructBuilder};
+use hdsm_platform::scalar::ScalarKind;
+use hdsm_platform::spec::{Platform, PlatformSpec};
+use hdsm_platform::value::Value;
+use std::hint::black_box;
+
+fn state_type(elems: usize) -> CType {
+    CType::Struct(
+        StructBuilder::new("MThV")
+            .scalar("i", ScalarKind::Int)
+            .scalar("sum", ScalarKind::Double)
+            .array("buf", ScalarKind::Int, elems)
+            .array("fbuf", ScalarKind::Double, elems / 2)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn sample_state(elems: usize, p: &Platform) -> ThreadState {
+    let mut st = ThreadState::new("bench");
+    let mut b = TypedBlock::zeroed(state_type(elems), p.clone());
+    b.set_field(0, &Value::Int(7)).unwrap();
+    b.set_field(1, &Value::Float(0.5)).unwrap();
+    b.set_field(
+        2,
+        &Value::Array((0..elems as i128).map(Value::Int).collect()),
+    )
+    .unwrap();
+    b.set_field(
+        3,
+        &Value::Array(
+            (0..elems / 2).map(|i| Value::Float(i as f64 * 0.25)).collect(),
+        ),
+    )
+    .unwrap();
+    st.push_block("MThV", b);
+    st
+}
+
+fn declared(elems: usize, p: &Platform) -> ThreadState {
+    let mut st = ThreadState::new("bench");
+    st.push_block("MThV", TypedBlock::zeroed(state_type(elems), p.clone()));
+    st
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migrate/pack_state");
+    for elems in [1024usize, 65536] {
+        let linux = PlatformSpec::linux_x86();
+        let st = sample_state(elems, &linux);
+        group.bench_with_input(BenchmarkId::from_parameter(elems), &st, |b, st| {
+            b.iter(|| black_box(pack_state(st)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migrate/restore");
+    for elems in [1024usize, 65536] {
+        let linux = PlatformSpec::linux_x86();
+        let image = pack_state(&sample_state(elems, &linux));
+        let aix = PlatformSpec::aix_power(); // BE but... not homogeneous with LE
+        let sparc = PlatformSpec::solaris_sparc();
+        // Homogeneous restore (Linux → Linux): tag-gated memcpy.
+        group.bench_function(BenchmarkId::new("homogeneous", elems), |b| {
+            let decl = declared(elems, &linux);
+            b.iter(|| black_box(unpack_state(&image, &linux, &decl).unwrap()))
+        });
+        // Heterogeneous restore (Linux → SPARC): full conversion.
+        group.bench_function(BenchmarkId::new("heterogeneous", elems), |b| {
+            let decl = declared(elems, &sparc);
+            b.iter(|| black_box(unpack_state(&image, &sparc, &decl).unwrap()))
+        });
+        let _ = aix;
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = migrate;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pack, bench_restore
+);
+criterion_main!(migrate);

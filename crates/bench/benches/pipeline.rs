@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks of the DSD release/acquire pipeline stages —
+//! the per-component view behind Figures 6–9: twin/diff scan (t_index),
+//! run→index mapping (t_index), coalescing + tag formation (t_tag),
+//! extraction + wire packing (t_pack), unpacking (t_unpack) and
+//! application (t_conv) on both homogeneous and heterogeneous receivers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdsm_core::gthv::{GthvDef, GthvInstance};
+use hdsm_core::runs::{abstract_diffs, coalesce, map_runs};
+use hdsm_core::update::{apply_batch, extract_updates};
+use hdsm_memory::diff::diff_pages;
+use hdsm_platform::ctype::StructBuilder;
+use hdsm_platform::scalar::ScalarKind;
+use hdsm_platform::spec::{Platform, PlatformSpec};
+use hdsm_tags::convert::ConversionStats;
+use hdsm_tags::wire::{pack_batch, unpack_batch};
+use std::hint::black_box;
+
+fn instance(n: usize, p: Platform) -> GthvInstance {
+    let def = GthvDef::new(
+        StructBuilder::new("G")
+            .array("A", ScalarKind::Int, n * n)
+            .array("C", ScalarKind::Int, n * n)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    GthvInstance::new(def, p)
+}
+
+/// An instance with one third of C written (a worker's row block).
+fn dirty_instance(n: usize) -> GthvInstance {
+    let mut g = instance(n, PlatformSpec::linux_x86());
+    g.space_mut().protect_all();
+    for i in 0..(n * n / 3) as u64 {
+        g.write_int(1, i, (i as i128) * 3 + 1).unwrap();
+    }
+    g
+}
+
+fn bench_diff_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t_index/diff_scan");
+    for n in [99usize, 177, 255] {
+        let g = dirty_instance(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(diff_pages(g.space())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t_index/map_runs");
+    for n in [99usize, 177, 255] {
+        let g = dirty_instance(n);
+        let runs = diff_pages(g.space());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &runs, |b, runs| {
+            b.iter(|| black_box(map_runs(g.table(), runs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t_tag/coalesce");
+    for n in [99usize, 255] {
+        let g = dirty_instance(n);
+        let mapped = map_runs(g.table(), &diff_pages(g.space()));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &mapped, |b, m| {
+            b.iter(|| black_box(coalesce(m.clone())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_extract_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t_pack/extract_and_pack");
+    for n in [99usize, 255] {
+        let g = dirty_instance(n);
+        let ranges = abstract_diffs(g.table(), &diff_pages(g.space()));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ranges, |b, r| {
+            b.iter(|| {
+                let ups = extract_updates(&g, r).unwrap();
+                black_box(pack_batch(&ups))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_unpack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t_unpack/unpack_batch");
+    for n in [99usize, 255] {
+        let g = dirty_instance(n);
+        let ranges = abstract_diffs(g.table(), &diff_pages(g.space()));
+        let packed = pack_batch(&extract_updates(&g, &ranges).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &packed, |b, p| {
+            b.iter(|| black_box(unpack_batch(p.clone()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t_conv/apply");
+    for n in [99usize, 255] {
+        let src = dirty_instance(n);
+        let ranges = abstract_diffs(src.table(), &diff_pages(src.space()));
+        let ups = extract_updates(&src, &ranges).unwrap();
+        // Homogeneous receiver: memcpy fast path.
+        group.bench_function(BenchmarkId::new("homogeneous_LL", n), |b| {
+            let mut dst = instance(n, PlatformSpec::linux_x86());
+            b.iter(|| {
+                let mut stats = ConversionStats::default();
+                black_box(apply_batch(&mut dst, &ups, &mut stats).unwrap())
+            })
+        });
+        // Heterogeneous receiver: full receiver-makes-right conversion.
+        group.bench_function(BenchmarkId::new("heterogeneous_SL", n), |b| {
+            let mut dst = instance(n, PlatformSpec::solaris_sparc());
+            b.iter(|| {
+                let mut stats = ConversionStats::default();
+                black_box(apply_batch(&mut dst, &ups, &mut stats).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = pipeline;
+    config = Criterion::default().sample_size(20);
+    targets = bench_diff_scan,
+        bench_map_runs,
+        bench_coalesce,
+        bench_extract_pack,
+        bench_unpack,
+        bench_apply
+);
+criterion_main!(pipeline);

@@ -1,0 +1,87 @@
+//! The Figure 9 "spike" case, isolated: "a series of updates can build up
+//! at the home node, resulting in a rather large batch update being
+//! transferred to a remote thread" (paper §5).
+//!
+//! One writer thread performs K lock/unlock rounds, touching a different
+//! slice of the matrix each round, while a reader thread stays out of the
+//! protocol. The reader's next acquire then receives everything at once;
+//! this binary reports how the batched grant (updates, bytes, home-side
+//! tag formation and reader-side conversion time) grows with K — the
+//! mechanism behind the paper's worst-case spike at size 216.
+
+use hdsm_apps::matmul;
+use hdsm_bench::{ms, print_header};
+use hdsm_core::cluster::ClusterBuilder;
+use hdsm_platform::spec::PlatformSpec;
+
+fn main() {
+    print_header(
+        "Batch-update spike (Figure 9 discussion)",
+        "Grant size and cost at the reader's first acquire after K writer rounds.",
+    );
+    let n: usize = 128;
+    println!("matrix {n}x{n}, writer on linux-x86, reader on solaris-sparc\n");
+    println!(
+        "{:>4} {:>14} {:>12} {:>16} {:>16}",
+        "K", "grant bytes", "grant frames", "reader conv (ms)", "home tag (ms)"
+    );
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let outcome = ClusterBuilder::new()
+            .gthv(matmul::gthv_def(n))
+            .home(PlatformSpec::linux_x86())
+            .worker(PlatformSpec::linux_x86()) // writer
+            .worker(PlatformSpec::solaris_sparc()) // reader
+            .locks(2)
+            .barriers(1)
+            .init(move |g| matmul::init(g, n, 7))
+            .run(move |c, info| {
+                // Both threads pull the initial state first so the final
+                // measurement sees only the writer's K rounds.
+                c.mth_barrier(0)?;
+                if info.index == 0 {
+                    // Writer: K rounds, each dirtying a stripe of C.
+                    for round in 0..k {
+                        c.mth_lock(0)?;
+                        let base = ((round * 97) % n) * n;
+                        for j in 0..n {
+                            c.write_int(
+                                matmul::entries::C,
+                                (base + j) as u64,
+                                (round * 1000 + j) as i128,
+                            )?;
+                        }
+                        c.mth_unlock(0)?;
+                    }
+                    c.mth_barrier(0)?;
+                    Ok((0u64, 0u64, 0.0f64))
+                } else {
+                    // Reader: stays out of the protocol while the writer
+                    // works; the second barrier's release then carries the
+                    // whole accumulated batch (a barrier is a full
+                    // release + acquire).
+                    let before = c.costs();
+                    c.mth_barrier(0)?;
+                    let after = c.costs();
+                    Ok((
+                        after.updates_applied - before.updates_applied,
+                        after.bytes_applied - before.bytes_applied,
+                        (after.t_conv - before.t_conv).as_secs_f64() * 1e3,
+                    ))
+                }
+            })
+            .expect("cluster");
+        let (frames, bytes, conv_ms) = outcome.results[1];
+        println!(
+            "{:>4} {:>14} {:>12} {:>16.3} {:>16.3}",
+            k,
+            bytes,
+            frames,
+            conv_ms,
+            ms(outcome.home_costs.t_tag),
+        );
+    }
+    println!();
+    println!("Expected: the batch grows with K until the writer's rounds");
+    println!("overlap (ranges coalesce at the home node), then saturates —");
+    println!("a single acquire can carry many rounds' worth of updates.");
+}

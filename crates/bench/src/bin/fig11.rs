@@ -1,0 +1,50 @@
+//! Figure 11 — "Data conversion" (`t_conv`) vs matrix size, LU
+//! decomposition, for the three platform pairs.
+//!
+//! Same axes as Figure 10 but on the LU workload, which "transfers more
+//! data per update than the matrix multiplication example": the whole
+//! trailing submatrix is rewritten every elimination step, so the
+//! heterogeneous conversion cost exceeds matmul's at the same size.
+
+use hdsm_apps::workload::paper_pairs;
+use hdsm_bench::{bar, ms, print_header, run_lu_min, sizes_from_args};
+
+fn main() {
+    print_header(
+        "Figure 11: data conversion time t_conv (LU decomposition)",
+        "Seconds per full run per platform pair (scaled).",
+    );
+    let sizes = sizes_from_args();
+    println!(
+        "{:>5} {:>14} {:>14} {:>14}   SL/max(LL,SS)",
+        "size", "LL (s)", "SS (s)", "SL (s)"
+    );
+    let mut all = Vec::new();
+    for &n in &sizes {
+        let mut vals = Vec::new();
+        for pair in &paper_pairs() {
+            let r = run_lu_min(n, pair, 3);
+            vals.push(ms(r.scaled.t_conv) / 1e3);
+        }
+        all.push((n, vals));
+    }
+    let max = all
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(0.0f64, f64::max);
+    for (n, vals) in &all {
+        let ratio = vals[2] / vals[0].max(vals[1]).max(1e-12);
+        println!(
+            "{:>5} {:>14.6} {:>14.6} {:>14.6}  {:>6.1}x  |{}|",
+            n,
+            vals[0],
+            vals[1],
+            vals[2],
+            ratio,
+            bar(vals[2], max, 24)
+        );
+    }
+    println!();
+    println!("Expected shape: as Figure 10 but with larger absolute SL times —");
+    println!("LU ships more update data per synchronization than matmul.");
+}

@@ -1,0 +1,45 @@
+//! Figure 6 — "Data sharing overhead breakdown".
+//!
+//! Stacked cost breakdown (index discovery, tag generation, data packing,
+//! data unpacking, data conversion) in milliseconds for matrix
+//! multiplication, per matrix size × platform pair (LL / SS / SL).
+//! The paper's observations this run should reproduce:
+//! * every component grows with matrix size;
+//! * packing/unpacking are comparatively small;
+//! * the heterogeneous pair (SL) pays far more conversion time than the
+//!   homogeneous pairs.
+
+use hdsm_apps::workload::{paper_pairs, SyncMode};
+use hdsm_bench::{ms, print_header, run_matmul_min, sizes_from_args};
+
+fn main() {
+    print_header(
+        "Figure 6: data sharing overhead breakdown (matrix multiplication)",
+        "Columns are the Eq. 1 components, scaled times, in milliseconds.",
+    );
+    let sizes = sizes_from_args();
+    println!(
+        "{:>5} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}  ok",
+        "size", "pair", "index", "tag", "pack", "unpack", "conv", "TOTAL"
+    );
+    for &n in &sizes {
+        for pair in &paper_pairs() {
+            let r = run_matmul_min(n, pair, SyncMode::Barrier, 3);
+            let c = r.scaled;
+            println!(
+                "{:>5} {:>4} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  {}",
+                n,
+                r.pair,
+                ms(c.t_index),
+                ms(c.t_tag),
+                ms(c.t_pack),
+                ms(c.t_unpack),
+                ms(c.t_conv),
+                ms(c.c_share()),
+                if r.verified { "✓" } else { "FAILED" },
+            );
+        }
+        println!();
+    }
+    println!("Each cell is the best of 3 repetitions (min total).");
+}

@@ -1,0 +1,40 @@
+//! Figure 7 — "Costs as a percentage of total time".
+//!
+//! The same experiment as Figure 6 with each component rendered as a
+//! percentage of the total data-sharing cost. The paper's headline
+//! observation: in the heterogeneous (SL) case the data-conversion share
+//! "quickly overtakes all other components as the matrix size increases",
+//! while in the homogeneous cases it stays low.
+
+use hdsm_apps::workload::{paper_pairs, SyncMode};
+use hdsm_bench::{bar, print_header, run_matmul_min, sizes_from_args};
+
+fn main() {
+    print_header(
+        "Figure 7: cost components as % of total sharing time (matmul)",
+        "index / tag / pack / unpack / conv percentages per size and pair.",
+    );
+    let sizes = sizes_from_args();
+    println!(
+        "{:>5} {:>4} {:>7} {:>7} {:>7} {:>7} {:>7}   conversion share",
+        "size", "pair", "index%", "tag%", "pack%", "unpk%", "conv%"
+    );
+    for pair in &paper_pairs() {
+        for &n in &sizes {
+            let r = run_matmul_min(n, pair, SyncMode::Barrier, 3);
+            let p = r.scaled.percentages();
+            println!(
+                "{:>5} {:>4} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}   |{}|",
+                n,
+                r.pair,
+                p[0],
+                p[1],
+                p[2],
+                p[3],
+                p[4],
+                bar(p[4], 100.0, 30),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,39 @@
+//! Table 1 — the index table generated from the Figure 4 structure.
+//!
+//! Builds the exact `GThV_t` of paper Figure 4 (`void *GThP; int
+//! A/B/C[237*237]; int n;`) at the paper's base address `0x40058000` on
+//! the 32-bit Linux platform and prints the index table in the paper's
+//! Address / Size / Number format — then shows the same structure's table
+//! on the 64-bit big-endian platform to demonstrate the paper's point
+//! that sizes and addresses differ while the *indexes* stay the same.
+
+use hdsm_core::index_table::IndexTable;
+use hdsm_platform::ctype::{paper_figure4_struct, CType};
+use hdsm_platform::spec::PlatformSpec;
+
+fn main() {
+    let ty = CType::Struct(paper_figure4_struct());
+    let base = 0x4005_8000;
+
+    println!("Paper Table 1 — index table on {}:", PlatformSpec::linux_x86());
+    let linux = IndexTable::build(&ty, base, &PlatformSpec::linux_x86());
+    print!("{}", linux.render_paper_table());
+
+    println!();
+    println!(
+        "Same structure on {} (sizes differ, indexes do not):",
+        PlatformSpec::solaris_sparc64()
+    );
+    let sparc64 = IndexTable::build(&ty, base, &PlatformSpec::solaris_sparc64());
+    print!("{}", sparc64.render_paper_table());
+
+    println!();
+    println!("entry  path   linux-x86(addr,size)  solaris-sparc64(addr,size)");
+    for (a, b) in linux.rows().iter().zip(sparc64.rows()) {
+        assert_eq!(a.entry, b.entry);
+        println!(
+            "{:>5}  {:<5}  {:#010x} {:>4}      {:#010x} {:>4}",
+            a.entry, a.path, a.addr, a.size, b.addr, b.size
+        );
+    }
+}

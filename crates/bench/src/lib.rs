@@ -1,0 +1,241 @@
+#![warn(missing_docs)]
+
+//! Experiment harness regenerating the paper's evaluation (§5).
+//!
+//! Each `fig*` binary in `src/bin/` reproduces one figure of the paper;
+//! `table1` reproduces Table 1. The harness runs the paper's exact
+//! configuration — three computing threads, two of them "migrated" to the
+//! remote platform and one staying at the home platform — for every matrix
+//! size (99, 138, 177, 216, 255) and platform pair (LL, SS, SL), and
+//! aggregates the Eq. 1 cost breakdown
+//! (`t_index + t_tag + t_pack + t_unpack + t_conv`) across all
+//! participants.
+//!
+//! **Time scaling.** The paper's machines differ in clock speed (2.4 GHz
+//! P4 vs 1.28 GHz UltraSPARC). All nodes here run on one host CPU, so each
+//! reported time is also given *scaled* by the inverse of the simulated
+//! platform's `cpu_factor` (time measured on a "Solaris" node is divided
+//! by 0.53). Raw measurements are printed alongside; scaling never feeds
+//! back into the protocol.
+
+use hdsm_apps::workload::{PlatformPair, SyncMode};
+use hdsm_apps::{lu, matmul};
+use hdsm_core::cluster::ClusterBuilder;
+use hdsm_core::costs::CostBreakdown;
+use std::time::Duration;
+
+/// Aggregated result of one experiment cell (workload × size × pair).
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Pair label ("LL", "SS", "SL").
+    pub pair: String,
+    /// Matrix size.
+    pub n: usize,
+    /// Raw summed cost breakdown (workers + home).
+    pub raw: CostBreakdown,
+    /// CPU-factor-scaled summed cost breakdown.
+    pub scaled: CostBreakdown,
+    /// Raw per-worker breakdowns with their platform names.
+    pub per_worker: Vec<(String, CostBreakdown)>,
+    /// Home-side breakdown (home platform name, costs).
+    pub home: (String, CostBreakdown),
+    /// Did the distributed result match the serial oracle?
+    pub verified: bool,
+    /// Total bytes that crossed the simulated network.
+    pub net_bytes: u64,
+    /// Total messages that crossed the simulated network.
+    pub net_messages: u64,
+}
+
+fn scale(costs: &CostBreakdown, cpu_factor: f64) -> CostBreakdown {
+    costs.scaled(1.0 / cpu_factor)
+}
+
+fn aggregate(
+    pair: &PlatformPair,
+    n: usize,
+    worker_platforms: &[hdsm_platform::spec::Platform],
+    outcome: &hdsm_core::cluster::ClusterOutcome<()>,
+    verified: bool,
+) -> ExperimentResult {
+    let mut raw = CostBreakdown::default();
+    let mut scaled = CostBreakdown::default();
+    let mut per_worker = Vec::new();
+    for (plat, costs) in worker_platforms.iter().zip(&outcome.worker_costs) {
+        raw.merge(costs);
+        scaled.merge(&scale(costs, plat.cpu_factor));
+        per_worker.push((plat.name.clone(), *costs));
+    }
+    raw.merge(&outcome.home_costs);
+    scaled.merge(&scale(&outcome.home_costs, pair.home.cpu_factor));
+    ExperimentResult {
+        pair: pair.label.to_string(),
+        n,
+        raw,
+        scaled,
+        per_worker,
+        home: (pair.home.name.clone(), outcome.home_costs),
+        verified,
+        net_bytes: outcome.net_stats.total_bytes(),
+        net_messages: outcome.net_stats.total_messages(),
+    }
+}
+
+/// The paper's thread placement: one worker stays on the home platform,
+/// two are migrated to the remote platform.
+pub fn paper_placement(pair: &PlatformPair) -> Vec<hdsm_platform::spec::Platform> {
+    vec![
+        pair.home.clone(),
+        pair.remote.clone(),
+        pair.remote.clone(),
+    ]
+}
+
+/// Run the matrix-multiplication experiment for one cell.
+pub fn run_matmul(n: usize, pair: &PlatformPair, mode: SyncMode) -> ExperimentResult {
+    let seed = 0xC0FFEE;
+    let workers = paper_placement(pair);
+    let mut builder = ClusterBuilder::new()
+        .gthv(matmul::gthv_def(n))
+        .home(pair.home.clone())
+        .locks(1)
+        .barriers(2)
+        .init(move |g| matmul::init(g, n, seed));
+    for w in &workers {
+        builder = builder.worker(w.clone());
+    }
+    let outcome = builder
+        .run(move |c, info| matmul::run_worker(c, info, n, mode))
+        .expect("matmul cluster");
+    let verified = matmul::verify(&outcome.final_gthv, n, seed);
+    aggregate(pair, n, &workers, &outcome, verified)
+}
+
+/// Run the LU-decomposition experiment for one cell.
+pub fn run_lu(n: usize, pair: &PlatformPair) -> ExperimentResult {
+    let seed = 0xBEEF;
+    let workers = paper_placement(pair);
+    let mut builder = ClusterBuilder::new()
+        .gthv(lu::gthv_def(n))
+        .home(pair.home.clone())
+        .locks(1)
+        .barriers(1)
+        .init(move |g| lu::init(g, n, seed));
+    for w in &workers {
+        builder = builder.worker(w.clone());
+    }
+    let outcome = builder
+        .run(move |c, info| lu::run_worker(c, info, n))
+        .expect("lu cluster");
+    let verified = lu::verify(&outcome.final_gthv, n, seed);
+    aggregate(pair, n, &workers, &outcome, verified)
+}
+
+/// Milliseconds with two decimals.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Render an ASCII bar of `value` out of `max` in `width` columns.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round() as usize;
+    "#".repeat(filled.min(width))
+}
+
+/// Run one cell `reps` times and keep the repetition with the smallest
+/// total sharing cost — the standard way to strip scheduler noise from a
+/// single-machine measurement (all repetitions must verify).
+pub fn run_matmul_min(n: usize, pair: &PlatformPair, mode: SyncMode, reps: usize) -> ExperimentResult {
+    assert!(reps >= 1);
+    let mut best: Option<ExperimentResult> = None;
+    for _ in 0..reps {
+        let r = run_matmul(n, pair, mode);
+        assert!(r.verified, "matmul n={n} pair={} failed to verify", pair.label);
+        if best
+            .as_ref()
+            .is_none_or(|b| r.raw.c_share() < b.raw.c_share())
+        {
+            best = Some(r);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// As [`run_matmul_min`] but for the LU workload.
+pub fn run_lu_min(n: usize, pair: &PlatformPair, reps: usize) -> ExperimentResult {
+    assert!(reps >= 1);
+    let mut best: Option<ExperimentResult> = None;
+    for _ in 0..reps {
+        let r = run_lu(n, pair);
+        assert!(r.verified, "lu n={n} pair={} failed to verify", pair.label);
+        if best
+            .as_ref()
+            .is_none_or(|b| r.raw.c_share() < b.raw.c_share())
+        {
+            best = Some(r);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+/// Matrix sizes for a figure run: the paper's sizes by default, or the
+/// integers passed on the command line (e.g. `fig6 16 32` for a quick
+/// check).
+pub fn sizes_from_args() -> Vec<usize> {
+    let given: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    if given.is_empty() {
+        hdsm_apps::workload::paper_sizes().to_vec()
+    } else {
+        given
+    }
+}
+
+/// Print the standard experiment header.
+pub fn print_header(title: &str, what: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("{what}");
+    println!("Workload placement: 3 threads (1 on the home platform, 2 migrated");
+    println!("to the remote platform), per the paper's §5 setup.");
+    println!("Times marked 'scaled' divide each node's measurement by its");
+    println!("cpu_factor to model the paper's 1.28 GHz SPARC vs 2.4 GHz P4.");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsm_apps::workload::paper_pairs;
+
+    #[test]
+    fn matmul_cell_runs_and_verifies() {
+        let pair = &paper_pairs()[2]; // SL, the heterogeneous pair
+        let r = run_matmul(16, pair, SyncMode::Barrier);
+        assert!(r.verified);
+        assert_eq!(r.per_worker.len(), 3);
+        assert!(r.raw.c_share() > Duration::ZERO);
+        assert!(r.net_bytes > 0);
+        // Scaling inflates (cpu factors <= 1).
+        assert!(r.scaled.c_share() >= r.raw.c_share());
+    }
+
+    #[test]
+    fn lu_cell_runs_and_verifies() {
+        let pair = &paper_pairs()[0];
+        let r = run_lu(12, pair);
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn bar_rendering() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+    }
+}

@@ -1,0 +1,809 @@
+//! The computing thread's side of the DSD protocol.
+//!
+//! A [`DsdClient`] belongs to one application thread. It holds the
+//! thread's node-local copy of `GThV` (in the node's native
+//! representation, write-protected between synchronization points) and
+//! implements the four primitives of paper §4:
+//!
+//! * [`DsdClient::mth_lock`] — acquire a distributed mutex; outstanding
+//!   updates arrive with the grant, are converted (or memcpy'd) into the
+//!   local copy, and the region is re-armed for write detection;
+//! * [`DsdClient::mth_unlock`] — diff the dirty pages, abstract the diffs
+//!   to application-level index ranges, coalesce, tag, pack, ship to the
+//!   home thread and release;
+//! * [`DsdClient::mth_barrier`] — a release followed by an acquire that
+//!   completes when every thread has entered;
+//! * [`DsdClient::mth_join`] — sign off and wait for program shutdown.
+//!
+//! Every phase is timed into the Eq. 1 [`CostBreakdown`].
+
+use crate::costs::CostBreakdown;
+use crate::gthv::{GthvError, GthvInstance};
+use crate::protocol::{DsdMsg, ProtocolError};
+use crate::runs::{coalesce, map_runs};
+use crate::update::{apply_batch, apply_tracked, extract_updates, UpdateError};
+use hdsm_memory::diff::diff_pages;
+use hdsm_net::endpoint::{Endpoint, NetError};
+use hdsm_net::message::MsgKind;
+use hdsm_platform::spec::Platform;
+use hdsm_tags::convert::ConversionStats;
+use hdsm_tags::wire::WireUpdate;
+use std::fmt;
+use std::time::Instant;
+
+/// Errors from the client side of the protocol.
+#[derive(Debug)]
+pub enum DsdError {
+    /// Transport failure.
+    Net(NetError),
+    /// Malformed message.
+    Protocol(ProtocolError),
+    /// Update extraction/application failure.
+    Update(UpdateError),
+    /// Typed data access failure.
+    Gthv(GthvError),
+    /// Unexpected message while waiting for a specific reply.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for DsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsdError::Net(e) => write!(f, "net: {e}"),
+            DsdError::Protocol(e) => write!(f, "protocol: {e}"),
+            DsdError::Update(e) => write!(f, "update: {e}"),
+            DsdError::Gthv(e) => write!(f, "gthv: {e}"),
+            DsdError::Unexpected(s) => write!(f, "unexpected message, wanted {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DsdError {}
+
+impl From<NetError> for DsdError {
+    fn from(e: NetError) -> Self {
+        DsdError::Net(e)
+    }
+}
+impl From<ProtocolError> for DsdError {
+    fn from(e: ProtocolError) -> Self {
+        DsdError::Protocol(e)
+    }
+}
+impl From<UpdateError> for DsdError {
+    fn from(e: UpdateError) -> Self {
+        DsdError::Update(e)
+    }
+}
+impl From<GthvError> for DsdError {
+    fn from(e: GthvError) -> Self {
+        DsdError::Gthv(e)
+    }
+}
+
+/// A computing thread's handle on the distributed shared data.
+pub struct DsdClient {
+    thread_rank: u32,
+    ep: Endpoint,
+    home_ep: u32,
+    gthv: GthvInstance,
+    costs: CostBreakdown,
+    conv_stats: ConversionStats,
+    recv_deadline: std::time::Duration,
+    promote_threshold: u8,
+}
+
+impl DsdClient {
+    /// Create a client for thread `thread_rank`, talking to the home
+    /// service at endpoint `home_ep`. The local copy starts write-
+    /// protected: any store before the first acquire is caught and shipped
+    /// at the first release, like a store between `mprotect` and the first
+    /// lock in the original system.
+    pub fn new(thread_rank: u32, ep: Endpoint, home_ep: u32, mut gthv: GthvInstance) -> DsdClient {
+        gthv.space_mut().reset_and_protect();
+        DsdClient {
+            thread_rank,
+            ep,
+            home_ep,
+            gthv,
+            costs: CostBreakdown::default(),
+            conv_stats: ConversionStats::default(),
+            recv_deadline: std::time::Duration::from_secs(30),
+            promote_threshold: 100,
+        }
+    }
+
+    /// Enable whole-entry transfer promotion (paper §4: large arrays are
+    /// shipped "as a whole" when mostly modified): when a release finds
+    /// more than `percent` of an entry's elements dirty, the whole entry
+    /// ships as one tag. `100` (the default) disables promotion.
+    ///
+    /// **Caution**: promotion writes back the releaser's values for the
+    /// entry's *unmodified* elements too. That is only safe when no other
+    /// thread can have updated those elements since this thread's last
+    /// acquire — true for barrier-phased programs with entry-granular
+    /// ownership, not in general.
+    pub fn set_promotion_threshold(&mut self, percent: u8) {
+        assert!(percent <= 100);
+        self.promote_threshold = percent;
+    }
+
+    /// How long a blocking protocol receive may wait before failing with
+    /// a timeout error (defence against a dead or wedged home service).
+    /// Default 30 s.
+    pub fn set_recv_deadline(&mut self, deadline: std::time::Duration) {
+        self.recv_deadline = deadline;
+    }
+
+    /// This thread's stable rank.
+    pub fn thread_rank(&self) -> u32 {
+        self.thread_rank
+    }
+
+    /// The local `GThV` copy (typed reads).
+    pub fn gthv(&self) -> &GthvInstance {
+        &self.gthv
+    }
+
+    /// The local `GThV` copy (typed writes — tracked by write detection).
+    pub fn gthv_mut(&mut self) -> &mut GthvInstance {
+        &mut self.gthv
+    }
+
+    /// This node's platform.
+    pub fn platform(&self) -> Platform {
+        self.gthv.platform().clone()
+    }
+
+    /// Cost breakdown accumulated so far.
+    pub fn costs(&self) -> CostBreakdown {
+        self.costs
+    }
+
+    /// Conversion statistics accumulated so far.
+    pub fn conv_stats(&self) -> ConversionStats {
+        self.conv_stats
+    }
+
+    fn send(&mut self, msg: DsdMsg) -> Result<(), DsdError> {
+        let t0 = Instant::now();
+        let payload = msg.encode();
+        self.costs.t_pack += t0.elapsed();
+        self.costs.bytes_sent += payload.len() as u64;
+        self.ep.send(self.home_ep, msg.kind(), payload)?;
+        Ok(())
+    }
+
+    fn recv_decoded(&mut self) -> Result<DsdMsg, DsdError> {
+        let msg = self.ep.recv_timeout(self.recv_deadline)?;
+        let t0 = Instant::now();
+        let decoded = DsdMsg::decode(msg.kind, msg.payload)?;
+        self.costs.t_unpack += t0.elapsed();
+        Ok(decoded)
+    }
+
+    /// Apply incoming updates (grant / barrier release) to the local copy
+    /// and re-arm write protection.
+    fn apply_incoming(&mut self, updates: &[WireUpdate]) -> Result<(), DsdError> {
+        let t0 = Instant::now();
+        apply_batch(&mut self.gthv, updates, &mut self.conv_stats)?;
+        self.costs.t_conv += t0.elapsed();
+        self.costs.updates_applied += updates.len() as u64;
+        self.costs.bytes_applied += updates.iter().map(|u| u.data.len() as u64).sum::<u64>();
+        // "Mprotect globals" (paper Fig. 5): re-arm after the acquire so
+        // this thread's own writes are trapped for the next release.
+        self.gthv.space_mut().reset_and_protect();
+        Ok(())
+    }
+
+    /// Detect local writes and turn them into wire updates (the release
+    /// pipeline: t_index → t_tag → t_pack in Eq. 1; packing finishes in
+    /// [`Self::send`]).
+    fn collect_outgoing(&mut self) -> Result<Vec<WireUpdate>, DsdError> {
+        // t_index: byte-level twin/diff plus mapping runs to index ranges.
+        let t0 = Instant::now();
+        let runs = diff_pages(self.gthv.space());
+        let mapped = map_runs(self.gthv.table(), &runs);
+        self.costs.t_index += t0.elapsed();
+        // t_tag: coalescing consecutive elements into single tags, plus
+        // optional whole-entry promotion.
+        let t1 = Instant::now();
+        let mut ranges = coalesce(mapped);
+        if self.promote_threshold < 100 {
+            ranges = crate::runs::promote_ranges(
+                self.gthv.table(),
+                ranges,
+                self.promote_threshold,
+            );
+        }
+        self.costs.t_tag += t1.elapsed();
+        // t_pack: extracting the raw native bytes (and pointer swizzling).
+        let t2 = Instant::now();
+        let ups = extract_updates(&self.gthv, &ranges)?;
+        self.costs.t_pack += t2.elapsed();
+        self.costs.updates_sent += ups.len() as u64;
+        Ok(ups)
+    }
+
+    /// `MTh_lock(index, rank)` — paper §4.1.
+    pub fn mth_lock(&mut self, lock: u32) -> Result<(), DsdError> {
+        self.send(DsdMsg::LockRequest {
+            lock,
+            rank: self.thread_rank,
+        })?;
+        match self.recv_decoded()? {
+            DsdMsg::LockGrant { lock: l, updates } if l == lock => {
+                self.apply_incoming(&updates)?;
+                Ok(())
+            }
+            _ => Err(DsdError::Unexpected("LockGrant")),
+        }
+    }
+
+    /// `MTh_unlock(index, rank)` — paper §4.2.
+    pub fn mth_unlock(&mut self, lock: u32) -> Result<(), DsdError> {
+        let updates = self.collect_outgoing()?;
+        self.send(DsdMsg::UnlockRequest {
+            lock,
+            rank: self.thread_rank,
+            updates,
+        })?;
+        // Twins/dirty marks shipped; re-arm for the next critical section.
+        self.gthv.space_mut().reset_and_protect();
+        match self.recv_decoded()? {
+            DsdMsg::UnlockAck { lock: l } if l == lock => Ok(()),
+            _ => Err(DsdError::Unexpected("UnlockAck")),
+        }
+    }
+
+    /// `MTh_cond_wait(cond, lock)` — the distributed
+    /// `pthread_cond_wait`: atomically release mutex `lock` (shipping this
+    /// thread's updates, a full release) and sleep on condition `cond`;
+    /// returns with the mutex re-acquired and outstanding updates applied
+    /// (a full acquire). As with Pthreads, re-check the predicate in a
+    /// loop — another thread may run between the signal and the wake.
+    pub fn mth_cond_wait(&mut self, cond: u32, lock: u32) -> Result<(), DsdError> {
+        let updates = self.collect_outgoing()?;
+        self.send(DsdMsg::CondWait {
+            cond,
+            lock,
+            rank: self.thread_rank,
+            updates,
+        })?;
+        self.gthv.space_mut().reset_and_protect();
+        match self.recv_decoded()? {
+            DsdMsg::LockGrant { lock: l, updates } if l == lock => {
+                self.apply_incoming(&updates)?;
+                Ok(())
+            }
+            _ => Err(DsdError::Unexpected("LockGrant (cond wake)")),
+        }
+    }
+
+    /// `MTh_cond_signal(cond)` — wake one waiter. Fire-and-forget; callers
+    /// conventionally hold the associated mutex while signalling.
+    pub fn mth_cond_signal(&mut self, cond: u32) -> Result<(), DsdError> {
+        self.send(DsdMsg::CondSignal {
+            cond,
+            rank: self.thread_rank,
+            broadcast: false,
+        })
+    }
+
+    /// `MTh_cond_broadcast(cond)` — wake every waiter.
+    pub fn mth_cond_broadcast(&mut self, cond: u32) -> Result<(), DsdError> {
+        self.send(DsdMsg::CondSignal {
+            cond,
+            rank: self.thread_rank,
+            broadcast: true,
+        })
+    }
+
+    /// `MTh_barrier(index, rank)` — a full release + acquire for every
+    /// participant (paper §4: barriers spare the programmer from building
+    /// them out of the distributed mutex).
+    pub fn mth_barrier(&mut self, barrier: u32) -> Result<(), DsdError> {
+        let updates = self.collect_outgoing()?;
+        self.send(DsdMsg::BarrierEnter {
+            barrier,
+            rank: self.thread_rank,
+            updates,
+        })?;
+        self.gthv.space_mut().reset_and_protect();
+        match self.recv_decoded()? {
+            DsdMsg::BarrierRelease {
+                barrier: b,
+                updates,
+            } if b == barrier => {
+                self.apply_incoming(&updates)?;
+                Ok(())
+            }
+            _ => Err(DsdError::Unexpected("BarrierRelease")),
+        }
+    }
+
+    /// `MTh_join()` — sign off and wait for the program to end. Consumes
+    /// the client; returns the accumulated costs and the final local copy.
+    pub fn mth_join(mut self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
+        self.send(DsdMsg::Join {
+            rank: self.thread_rank,
+        })?;
+        match self.ep.recv_timeout(self.recv_deadline)? {
+            m if m.kind == MsgKind::Shutdown => Ok((self.costs, self.conv_stats, self.gthv)),
+            _ => Err(DsdError::Unexpected("Shutdown")),
+        }
+    }
+
+    /// Re-host this thread on a different (possibly heterogeneous) node,
+    /// carrying the global data segment with it — MigThread ships the
+    /// globals as part of the thread state (paper §3.1: "thread states
+    /// typically consist of the global data segment, stack, heap, and
+    /// register contents"). The whole local copy is receiver-makes-right
+    /// converted to the new platform's representation, *including* the
+    /// write-detection state: elements dirty before the move are dirty
+    /// after it, so unreleased modifications still ship at the next
+    /// release. The thread's consistency horizon at the home node remains
+    /// valid, so no resynchronisation round is needed.
+    ///
+    /// Must be called at an adaptation point with no lock held.
+    pub fn rehost(&mut self, platform: Platform) -> Result<(), DsdError> {
+        use crate::runs::abstract_diffs;
+        use crate::update::full_ranges;
+        use hdsm_memory::diff::diff_pages;
+
+        let def = self.gthv.def().clone();
+
+        // 1. What has this thread modified since its last release?
+        let runs = diff_pages(self.gthv.space());
+        let dirty_ranges = abstract_diffs(self.gthv.table(), &runs);
+        // 2. Snapshot the *current* values of those ranges (native + tags).
+        let dirty_updates = extract_updates(&self.gthv, &dirty_ranges)?;
+
+        // 3. Reconstruct the pre-write (twin) state on the old platform:
+        //    current content with every diff run reverted to its twin
+        //    bytes.
+        let mut original = GthvInstance::new(def.clone(), self.gthv.platform().clone());
+        let raw: Vec<u8> = self.gthv.space().raw().to_vec();
+        let orig_base = original.space().base();
+        original
+            .space_mut()
+            .write_untracked(orig_base, &raw)
+            .expect("same-size copy");
+        for run in &runs {
+            let page_size = self.gthv.space().page_size();
+            let base = self.gthv.space().base();
+            // A run may span pages; revert per page from each twin.
+            let mut addr = run.addr;
+            let mut remaining = run.len;
+            while remaining > 0 {
+                let page = ((addr - base) as usize) / page_size;
+                let page_end = base + ((page + 1) * page_size) as u64;
+                let chunk = remaining.min((page_end - addr) as usize);
+                let twin = self
+                    .gthv
+                    .space()
+                    .twin(page)
+                    .expect("dirty run implies twin");
+                let off = (addr - (base + (page * page_size) as u64)) as usize;
+                original
+                    .space_mut()
+                    .write_untracked(addr, &twin[off..off + chunk])
+                    .expect("revert in range");
+                addr += chunk as u64;
+                remaining -= chunk;
+            }
+        }
+
+        // 4. Convert the pre-write state to the new platform.
+        let full = extract_updates(&original, &full_ranges(&original))?;
+        let mut fresh = GthvInstance::new(def, platform);
+        let mut stats = ConversionStats::default();
+        apply_batch(&mut fresh, &full, &mut stats)?;
+        // 5. Arm write detection, then replay the thread's unreleased
+        //    modifications through the *tracked* write path so they fault,
+        //    twin and stay dirty on the new node.
+        fresh.space_mut().reset_and_protect();
+        self.gthv = fresh;
+        let t0 = Instant::now();
+        for u in &dirty_updates {
+            apply_tracked(&mut self.gthv, u, &mut stats)?;
+        }
+        self.conv_stats.merge(&stats);
+        self.costs.t_conv += t0.elapsed();
+        Ok(())
+    }
+
+    /// Re-host with a *cold* copy instead of carrying the globals: the new
+    /// node starts zeroed and the home service is told to fully refresh
+    /// this thread at its next acquire. This models a skeleton thread that
+    /// received only the compute state (stack/registers) without the
+    /// global segment. Unreleased modifications are lost — callers must
+    /// release first.
+    pub fn rehost_cold(&mut self, platform: Platform) -> Result<(), DsdError> {
+        let def = self.gthv.def().clone();
+        self.gthv = GthvInstance::new(def, platform);
+        self.gthv.space_mut().reset_and_protect();
+        self.send(DsdMsg::Resync {
+            rank: self.thread_rank,
+        })?;
+        Ok(())
+    }
+
+    // ----- typed convenience accessors (forwarders) -----
+
+    /// Read an integer element of the shared structure.
+    pub fn read_int(&self, entry: u32, elem: u64) -> Result<i128, DsdError> {
+        Ok(self.gthv.read_int(entry, elem)?)
+    }
+
+    /// Write an integer element (write-detected).
+    pub fn write_int(&mut self, entry: u32, elem: u64, v: i128) -> Result<(), DsdError> {
+        Ok(self.gthv.write_int(entry, elem, v)?)
+    }
+
+    /// Read a float element.
+    pub fn read_float(&self, entry: u32, elem: u64) -> Result<f64, DsdError> {
+        Ok(self.gthv.read_float(entry, elem)?)
+    }
+
+    /// Write a float element (write-detected).
+    pub fn write_float(&mut self, entry: u32, elem: u64, v: f64) -> Result<(), DsdError> {
+        Ok(self.gthv.write_float(entry, elem, v)?)
+    }
+
+    /// Read a pointer element as a logical `(entry, elem)` target.
+    pub fn read_ptr(&self, entry: u32, elem: u64) -> Result<Option<(u32, u64)>, DsdError> {
+        Ok(self.gthv.read_ptr(entry, elem)?)
+    }
+
+    /// Write a pointer element (write-detected).
+    pub fn write_ptr(
+        &mut self,
+        entry: u32,
+        elem: u64,
+        target: Option<(u32, u64)>,
+    ) -> Result<(), DsdError> {
+        Ok(self.gthv.write_ptr(entry, elem, target)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gthv::GthvDef;
+    use crate::home::{HomeConfig, HomeService};
+    use hdsm_net::endpoint::Network;
+    use hdsm_net::stats::NetConfig;
+    use hdsm_platform::ctype::StructBuilder;
+    use hdsm_platform::scalar::ScalarKind;
+    use hdsm_platform::spec::{Platform, PlatformSpec};
+
+    fn tiny_def() -> GthvDef {
+        GthvDef::new(
+            StructBuilder::new("G")
+                .array("xs", ScalarKind::Int, 128)
+                .scalar("flag", ScalarKind::Int)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Spin up a home + N clients on given platforms and run `body` per
+    /// client in its own thread.
+    fn with_cluster<F>(platforms: Vec<Platform>, n_locks: u32, n_barriers: u32, body: F)
+    where
+        F: Fn(&mut DsdClient) + Send + Sync,
+    {
+        let def = tiny_def();
+        let home_plat = PlatformSpec::linux_x86();
+        let (_net, mut eps) = Network::new(platforms.len() + 1, NetConfig::instant());
+        let home_ep = eps.remove(0);
+        let participants: Vec<u32> = (1..=platforms.len() as u32).collect();
+        let mut home = HomeService::new(
+            GthvInstance::new(def.clone(), home_plat),
+            home_ep,
+            HomeConfig {
+                n_locks,
+                n_barriers,
+                n_conds: 2,
+                participants,
+            },
+        );
+        home.init_with(|g| {
+            for i in 0..128 {
+                g.write_int(0, i, 1000 + i as i128).unwrap();
+            }
+        });
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                home.run().expect("home service");
+            });
+            for (i, (plat, ep)) in platforms.iter().zip(eps.drain(..)).enumerate() {
+                let def = def.clone();
+                let plat = plat.clone();
+                let body = &body;
+                s.spawn(move || {
+                    let gthv = GthvInstance::new(def, plat);
+                    let mut c = DsdClient::new(i as u32 + 1, ep, 0, gthv);
+                    body(&mut c);
+                    c.mth_join().expect("join");
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn lock_pulls_initial_state_heterogeneous() {
+        with_cluster(
+            vec![PlatformSpec::solaris_sparc()],
+            1,
+            0,
+            |c| {
+                c.mth_lock(0).unwrap();
+                assert_eq!(c.read_int(0, 0).unwrap(), 1000);
+                assert_eq!(c.read_int(0, 127).unwrap(), 1127);
+                c.mth_unlock(0).unwrap();
+            },
+        );
+    }
+
+    #[test]
+    fn updates_flow_between_heterogeneous_threads() {
+        // Thread 1 (sparc) increments flag; thread 2 (linux) waits to see
+        // it. Use the lock to serialize.
+        with_cluster(
+            vec![PlatformSpec::solaris_sparc(), PlatformSpec::linux_x86()],
+            1,
+            1,
+            |c| {
+                if c.thread_rank() == 1 {
+                    c.mth_lock(0).unwrap();
+                    c.write_int(1, 0, 7).unwrap();
+                    for i in 0..64 {
+                        c.write_int(0, i, -(i as i128)).unwrap();
+                    }
+                    c.mth_unlock(0).unwrap();
+                    c.mth_barrier(0).unwrap();
+                } else {
+                    c.mth_barrier(0).unwrap();
+                    c.mth_lock(0).unwrap();
+                    assert_eq!(c.read_int(1, 0).unwrap(), 7);
+                    assert_eq!(c.read_int(0, 63).unwrap(), -63);
+                    // Untouched tail still has the initial contents.
+                    assert_eq!(c.read_int(0, 100).unwrap(), 1100);
+                    c.mth_unlock(0).unwrap();
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn barrier_merges_disjoint_writes() {
+        with_cluster(
+            vec![
+                PlatformSpec::solaris_sparc(),
+                PlatformSpec::linux_x86(),
+                PlatformSpec::linux_x86_64(),
+            ],
+            0,
+            1,
+            |c| {
+                let r = c.thread_rank() as u64 - 1;
+                // Pull the initial state first — release consistency only
+                // guarantees a coherent view after an acquire.
+                c.mth_barrier(0).unwrap();
+                // Each thread writes its own 32-element stripe.
+                for i in (r * 32)..(r * 32 + 32) {
+                    c.write_int(0, i, (i as i128) * 10).unwrap();
+                }
+                c.mth_barrier(0).unwrap();
+                // Everyone sees every stripe.
+                for i in 0..96 {
+                    assert_eq!(c.read_int(0, i).unwrap(), (i as i128) * 10, "elem {i}");
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn lock_contention_serializes_increments() {
+        let counter_entry = 1; // "flag" scalar used as shared counter
+        with_cluster(
+            vec![
+                PlatformSpec::solaris_sparc(),
+                PlatformSpec::linux_x86(),
+                PlatformSpec::aix_power(),
+            ],
+            1,
+            1,
+            move |c| {
+                for _ in 0..10 {
+                    c.mth_lock(0).unwrap();
+                    let v = c.read_int(counter_entry, 0).unwrap();
+                    c.write_int(counter_entry, 0, v + 1).unwrap();
+                    c.mth_unlock(0).unwrap();
+                }
+                c.mth_barrier(0).unwrap();
+                c.mth_lock(0).unwrap();
+                assert_eq!(c.read_int(counter_entry, 0).unwrap(), 30);
+                c.mth_unlock(0).unwrap();
+            },
+        );
+    }
+
+    #[test]
+    fn costs_are_recorded() {
+        with_cluster(vec![PlatformSpec::solaris_sparc()], 1, 0, |c| {
+            c.mth_lock(0).unwrap();
+            for i in 0..128 {
+                c.write_int(0, i, i as i128).unwrap();
+            }
+            c.mth_unlock(0).unwrap();
+            let costs = c.costs();
+            assert!(costs.updates_sent >= 1);
+            assert!(costs.updates_applied >= 1); // initial state batch
+            assert!(costs.c_share() > std::time::Duration::ZERO);
+        });
+    }
+
+    #[test]
+    fn condvar_producer_consumer_across_endiannesses() {
+        // Classic bounded-buffer handshake through MTh_cond_wait /
+        // MTh_cond_signal: thread 1 (big-endian) produces 10 items into
+        // xs[0..10]; thread 2 (little-endian) consumes them. flag (entry
+        // 1) holds the number of items available.
+        with_cluster(
+            vec![PlatformSpec::solaris_sparc(), PlatformSpec::linux_x86()],
+            1,
+            1,
+            |c| {
+                const ITEMS: i128 = 10;
+                if c.thread_rank() == 1 {
+                    // Producer.
+                    for i in 0..ITEMS {
+                        c.mth_lock(0).unwrap();
+                        c.write_int(0, i as u64, 500 + i).unwrap();
+                        c.write_int(1, 0, i + 1).unwrap();
+                        c.mth_cond_signal(0).unwrap();
+                        c.mth_unlock(0).unwrap();
+                    }
+                    c.mth_barrier(0).unwrap();
+                } else {
+                    // Consumer.
+                    let mut consumed = 0i128;
+                    c.mth_lock(0).unwrap();
+                    while consumed < ITEMS {
+                        let available = c.read_int(1, 0).unwrap();
+                        if available <= consumed {
+                            // Predicate loop around cond_wait, as with
+                            // pthread_cond_wait.
+                            c.mth_cond_wait(0, 0).unwrap();
+                            continue;
+                        }
+                        for i in consumed..available {
+                            assert_eq!(
+                                c.read_int(0, i as u64).unwrap(),
+                                500 + i,
+                                "item {i}"
+                            );
+                        }
+                        consumed = available;
+                    }
+                    c.mth_unlock(0).unwrap();
+                    c.mth_barrier(0).unwrap();
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn cond_broadcast_wakes_all_waiters() {
+        with_cluster(
+            vec![
+                PlatformSpec::linux_x86(),
+                PlatformSpec::solaris_sparc(),
+                PlatformSpec::linux_x86_64(),
+            ],
+            1,
+            1,
+            |c| {
+                if c.thread_rank() == 1 {
+                    // The broadcaster waits for both waiters to park (they
+                    // bump entry 1 under the lock before waiting), then
+                    // sets the flag and wakes everyone.
+                    loop {
+                        c.mth_lock(0).unwrap();
+                        let parked = c.read_int(1, 0).unwrap();
+                        if parked == 2 {
+                            c.write_int(0, 0, 777).unwrap();
+                            c.mth_cond_broadcast(1).unwrap();
+                            c.mth_unlock(0).unwrap();
+                            break;
+                        }
+                        c.mth_unlock(0).unwrap();
+                        std::thread::yield_now();
+                    }
+                } else {
+                    c.mth_lock(0).unwrap();
+                    let parked = c.read_int(1, 0).unwrap();
+                    c.write_int(1, 0, parked + 1).unwrap();
+                    while c.read_int(0, 0).unwrap() != 777 {
+                        c.mth_cond_wait(1, 0).unwrap();
+                    }
+                    c.mth_unlock(0).unwrap();
+                }
+                c.mth_barrier(0).unwrap();
+            },
+        );
+    }
+
+    #[test]
+    fn promotion_ships_whole_entry_when_mostly_dirty() {
+        with_cluster(vec![PlatformSpec::linux_x86()], 1, 0, |c| {
+            c.set_promotion_threshold(50);
+            c.mth_lock(0).unwrap();
+            // Write > 50% of entry 0 in two disjoint chunks; with
+            // promotion the release ships one full-entry update.
+            for i in 0..50 {
+                c.write_int(0, i, i as i128 + 2000).unwrap();
+            }
+            for i in 90..120 {
+                c.write_int(0, i, i as i128 + 2000).unwrap();
+            }
+            c.mth_unlock(0).unwrap();
+            // One update frame for the promoted entry (128 elements,
+            // 512 bytes) rather than two fragments.
+            let costs = c.costs();
+            assert_eq!(costs.updates_sent, 1);
+            assert!(costs.bytes_sent > 512);
+            // And the values are correct at the next acquire (including
+            // the untouched gap, which keeps its pre-critical values).
+            c.mth_lock(0).unwrap();
+            assert_eq!(c.read_int(0, 49).unwrap(), 2049);
+            assert_eq!(c.read_int(0, 70).unwrap(), 1070); // initial value
+            assert_eq!(c.read_int(0, 91).unwrap(), 2091);
+            c.mth_unlock(0).unwrap();
+        });
+    }
+
+    #[test]
+    fn cold_rehost_pulls_full_state_on_new_platform() {
+        with_cluster(vec![PlatformSpec::linux_x86()], 1, 0, |c| {
+            c.mth_lock(0).unwrap();
+            c.write_int(1, 0, 99).unwrap();
+            c.mth_unlock(0).unwrap();
+            // Migrate this thread to a big-endian LP64 node, cold.
+            c.rehost_cold(PlatformSpec::solaris_sparc64()).unwrap();
+            assert_eq!(c.platform().name, "solaris-sparc64");
+            // Cold copy: zero until the next acquire.
+            assert_eq!(c.read_int(1, 0).unwrap(), 0);
+            c.mth_lock(0).unwrap();
+            assert_eq!(c.read_int(1, 0).unwrap(), 99);
+            assert_eq!(c.read_int(0, 5).unwrap(), 1005);
+            c.mth_unlock(0).unwrap();
+        });
+    }
+
+    #[test]
+    fn warm_rehost_carries_globals_and_dirty_state() {
+        with_cluster(vec![PlatformSpec::linux_x86()], 1, 0, |c| {
+            // Acquire initial state, then write *without releasing*.
+            c.mth_lock(0).unwrap();
+            c.write_int(0, 10, -42).unwrap();
+            // Migrate mid-critical-section data to a BE LP64 node.
+            c.rehost(PlatformSpec::solaris_sparc64()).unwrap();
+            assert_eq!(c.platform().name, "solaris-sparc64");
+            // The global segment travelled with the thread: both the
+            // pulled initial state and the unreleased write are visible.
+            assert_eq!(c.read_int(0, 10).unwrap(), -42);
+            assert_eq!(c.read_int(0, 5).unwrap(), 1005);
+            // Releasing after the move still ships the pre-move write.
+            c.mth_unlock(0).unwrap();
+            c.rehost_cold(PlatformSpec::linux_x86()).unwrap();
+            c.mth_lock(0).unwrap();
+            assert_eq!(c.read_int(0, 10).unwrap(), -42, "write survived");
+            c.mth_unlock(0).unwrap();
+        });
+    }
+}

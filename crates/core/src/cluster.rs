@@ -1,0 +1,453 @@
+//! Simulated heterogeneous cluster orchestration.
+//!
+//! A cluster is a home node (running the stub service that owns the
+//! authoritative `GThV`) plus worker nodes, each with its own platform
+//! specification and its own native-representation copy of the shared
+//! structure. Workers run as OS threads connected by the simulated
+//! network — nothing crosses a node boundary except serialized bytes.
+//!
+//! Two execution modes:
+//! * [`ClusterBuilder::run`] — static placement, SPMD-style: every worker
+//!   executes the same closure against its [`DsdClient`];
+//! * [`ClusterBuilder::run_adaptive`] — workers execute
+//!   [`Computation`]s from a [`ProgramRegistry`] and a migration schedule
+//!   moves threads between (possibly heterogeneous) platforms at their
+//!   adaptation points, exercising the full MigThread pack → ship →
+//!   receiver-makes-right → resync pipeline mid-computation.
+//!
+//! A note on what "node" means here: a node is a platform specification
+//! plus an address space holding data in that platform's representation.
+//! When a thread migrates, the hosting OS thread survives but everything
+//! platform-visible — byte order, type sizes, page size, the protected
+//! address space — is torn down and rebuilt for the destination platform,
+//! which is exactly the state a real migration would transfer.
+
+use crate::client::{DsdClient, DsdError};
+use crate::costs::CostBreakdown;
+use crate::gthv::{GthvDef, GthvInstance};
+use crate::home::{HomeConfig, HomeError, HomeService};
+use hdsm_migthread::compute::{Computation, ProgramRegistry, StepStatus};
+use hdsm_migthread::packfmt::{pack_state, MigrateError};
+use hdsm_migthread::state::ThreadState;
+use hdsm_net::endpoint::Network;
+use hdsm_net::stats::{NetConfig, NetStats};
+use hdsm_platform::spec::{Platform, PlatformSpec};
+use hdsm_tags::convert::ConversionStats;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors from cluster orchestration.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The builder was incomplete.
+    Config(String),
+    /// The home service failed.
+    Home(HomeError),
+    /// A worker failed.
+    Worker {
+        /// Worker index.
+        index: usize,
+        /// The failure.
+        error: DsdError,
+    },
+    /// A migration failed.
+    Migration(MigrateError),
+    /// A worker thread panicked.
+    Panic(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Config(s) => write!(f, "bad cluster config: {s}"),
+            ClusterError::Home(e) => write!(f, "home: {e}"),
+            ClusterError::Worker { index, error } => write!(f, "worker {index}: {error}"),
+            ClusterError::Migration(e) => write!(f, "migration: {e}"),
+            ClusterError::Panic(s) => write!(f, "worker panicked: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Per-worker identity handed to the SPMD body.
+#[derive(Debug, Clone)]
+pub struct WorkerInfo {
+    /// Worker index, `0..n_workers`.
+    pub index: usize,
+    /// Total workers.
+    pub n_workers: usize,
+    /// The worker's (initial) platform.
+    pub platform: Platform,
+}
+
+/// Statistics about migrations performed during an adaptive run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MigrationStats {
+    /// Number of migrations executed.
+    pub migrations: u64,
+    /// Time spent packing states.
+    pub pack_time: Duration,
+    /// Time spent restoring (receiver-makes-right) states.
+    pub restore_time: Duration,
+    /// Total image bytes shipped.
+    pub image_bytes: u64,
+}
+
+/// Everything a finished cluster run reports.
+#[derive(Debug)]
+pub struct ClusterOutcome<R> {
+    /// Per-worker results, in worker order.
+    pub results: Vec<R>,
+    /// Per-worker Eq. 1 cost breakdowns.
+    pub worker_costs: Vec<CostBreakdown>,
+    /// Per-worker conversion statistics.
+    pub worker_conv: Vec<ConversionStats>,
+    /// Home-side cost breakdown.
+    pub home_costs: CostBreakdown,
+    /// Home-side conversion statistics.
+    pub home_conv: ConversionStats,
+    /// The final authoritative shared structure.
+    pub final_gthv: GthvInstance,
+    /// Network traffic statistics.
+    pub net_stats: NetStats,
+    /// Migration statistics (zero for static runs).
+    pub migration_stats: MigrationStats,
+}
+
+/// One scheduled migration for [`ClusterBuilder::run_adaptive`].
+#[derive(Debug, Clone)]
+pub struct MigrationEvent {
+    /// Worker index to move.
+    pub worker: usize,
+    /// Migrate when the worker has completed this many steps.
+    pub after_steps: u64,
+    /// Destination platform.
+    pub to_platform: Platform,
+}
+
+/// Home-side initialisation closure.
+type InitFn = Box<dyn FnOnce(&mut GthvInstance) + Send>;
+
+/// Builder for a simulated cluster.
+pub struct ClusterBuilder {
+    def: Option<GthvDef>,
+    home_platform: Platform,
+    worker_platforms: Vec<Platform>,
+    n_locks: u32,
+    n_barriers: u32,
+    n_conds: u32,
+    net_config: NetConfig,
+    init: Option<InitFn>,
+    recv_deadline: Option<Duration>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// Start building; the home node defaults to the paper's Linux/x86.
+    pub fn new() -> ClusterBuilder {
+        ClusterBuilder {
+            def: None,
+            home_platform: PlatformSpec::linux_x86(),
+            worker_platforms: Vec::new(),
+            n_locks: 1,
+            n_barriers: 1,
+            n_conds: 0,
+            net_config: NetConfig::instant(),
+            init: None,
+            recv_deadline: None,
+        }
+    }
+
+    /// Bound every worker's blocking protocol receive (defence against a
+    /// wedged home service — mainly for negative tests).
+    pub fn recv_deadline(mut self, d: Duration) -> Self {
+        self.recv_deadline = Some(d);
+        self
+    }
+
+    /// Set the shared structure definition (required).
+    pub fn gthv(mut self, def: GthvDef) -> Self {
+        self.def = Some(def);
+        self
+    }
+
+    /// Set the home node's platform (authoritative copy representation).
+    pub fn home(mut self, platform: Platform) -> Self {
+        self.home_platform = platform;
+        self
+    }
+
+    /// Add a worker node on `platform`.
+    pub fn worker(mut self, platform: Platform) -> Self {
+        self.worker_platforms.push(platform);
+        self
+    }
+
+    /// Number of distributed mutexes (default 1).
+    pub fn locks(mut self, n: u32) -> Self {
+        self.n_locks = n;
+        self
+    }
+
+    /// Number of barriers (default 1).
+    pub fn barriers(mut self, n: u32) -> Self {
+        self.n_barriers = n;
+        self
+    }
+
+    /// Number of condition variables (default 0).
+    pub fn conds(mut self, n: u32) -> Self {
+        self.n_conds = n;
+        self
+    }
+
+    /// Network cost model (default: instant, for tests).
+    pub fn net(mut self, config: NetConfig) -> Self {
+        self.net_config = config;
+        self
+    }
+
+    /// Initialise the shared structure at the home node before workers
+    /// start; the contents reach each worker with its first acquire.
+    pub fn init<F: FnOnce(&mut GthvInstance) + Send + 'static>(mut self, f: F) -> Self {
+        self.init = Some(Box::new(f));
+        self
+    }
+
+    fn take_parts(
+        &mut self,
+    ) -> Result<(GthvDef, Network, Vec<hdsm_net::endpoint::Endpoint>), ClusterError> {
+        let def = self
+            .def
+            .take()
+            .ok_or_else(|| ClusterError::Config("gthv definition missing".into()))?;
+        if self.worker_platforms.is_empty() {
+            return Err(ClusterError::Config("no workers".into()));
+        }
+        let (net, eps) = Network::new(self.worker_platforms.len() + 1, self.net_config.clone());
+        Ok((def, net, eps))
+    }
+
+    /// Run an SPMD body on every worker. The body gets the worker's DSD
+    /// client and identity; `mth_join` is called automatically when the
+    /// body returns.
+    pub fn run<R, F>(mut self, body: F) -> Result<ClusterOutcome<R>, ClusterError>
+    where
+        R: Send,
+        F: Fn(&mut DsdClient, &WorkerInfo) -> Result<R, DsdError> + Send + Sync,
+    {
+        let (def, net, mut eps) = self.take_parts()?;
+        let home_ep = eps.remove(0);
+        let n_workers = self.worker_platforms.len();
+        let participants: Vec<u32> = (1..=n_workers as u32).collect();
+        let mut home = HomeService::new(
+            GthvInstance::new(def.clone(), self.home_platform.clone()),
+            home_ep,
+            HomeConfig {
+                n_locks: self.n_locks,
+                n_barriers: self.n_barriers,
+                n_conds: self.n_conds,
+                participants,
+            },
+        );
+        if let Some(init) = self.init.take() {
+            home.init_with(init);
+        }
+
+        let mut results: Vec<Option<(R, CostBreakdown, ConversionStats)>> =
+            (0..n_workers).map(|_| None).collect();
+        let mut home_out = None;
+        let deadline = self.recv_deadline;
+        let mut first_error: Option<ClusterError> = None;
+
+        std::thread::scope(|s| {
+            let home_handle = s.spawn(move || home.run());
+            let mut handles = Vec::new();
+            for ((i, plat), ep) in self
+                .worker_platforms
+                .iter()
+                .enumerate()
+                .zip(eps.drain(..))
+            {
+                let def = def.clone();
+                let plat = plat.clone();
+                let body = &body;
+                handles.push(s.spawn(move || {
+                    let info = WorkerInfo {
+                        index: i,
+                        n_workers,
+                        platform: plat.clone(),
+                    };
+                    let gthv = GthvInstance::new(def, plat);
+                    let mut client = DsdClient::new(i as u32 + 1, ep, 0, gthv);
+                    if let Some(d) = deadline {
+                        client.set_recv_deadline(d);
+                    }
+                    let result = body(&mut client, &info);
+                    // Always join so the home service can terminate, even
+                    // if the body failed.
+                    let join = client.mth_join();
+                    match (result, join) {
+                        (Ok(r), Ok((costs, conv, _gthv))) => Ok((r, costs, conv)),
+                        (Err(e), _) => Err(e),
+                        (_, Err(e)) => Err(e),
+                    }
+                }));
+            }
+            for (i, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(Ok(triple)) => results[i] = Some(triple),
+                    Ok(Err(e)) => {
+                        first_error
+                            .get_or_insert(ClusterError::Worker { index: i, error: e });
+                    }
+                    Err(p) => {
+                        first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
+                    }
+                }
+            }
+            match home_handle.join() {
+                Ok(Ok(out)) => home_out = Some(out),
+                Ok(Err(e)) => {
+                    first_error.get_or_insert(ClusterError::Home(e));
+                }
+                Err(p) => {
+                    first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
+                }
+            }
+        });
+
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let (final_gthv, home_costs, home_conv) = home_out.expect("home finished");
+        let mut out_results = Vec::with_capacity(n_workers);
+        let mut worker_costs = Vec::with_capacity(n_workers);
+        let mut worker_conv = Vec::with_capacity(n_workers);
+        for r in results {
+            let (r, c, v) = r.expect("worker finished");
+            out_results.push(r);
+            worker_costs.push(c);
+            worker_conv.push(v);
+        }
+        Ok(ClusterOutcome {
+            results: out_results,
+            worker_costs,
+            worker_conv,
+            home_costs,
+            home_conv,
+            final_gthv,
+            net_stats: net.stats(),
+            migration_stats: MigrationStats::default(),
+        })
+    }
+
+    /// Run registered [`Computation`]s with a migration schedule. Worker
+    /// `i` starts from `starts[i]` on its configured platform; each
+    /// matching [`MigrationEvent`] is honoured at the worker's next
+    /// adaptation point (capture → pack → receiver-makes-right restore →
+    /// DSD resync). Returns the final thread states.
+    pub fn run_adaptive(
+        self,
+        registry: &ProgramRegistry<DsdClient>,
+        starts: Vec<ThreadState>,
+        schedule: &[MigrationEvent],
+    ) -> Result<ClusterOutcome<ThreadState>, ClusterError> {
+        if starts.len() != self.worker_platforms.len() {
+            return Err(ClusterError::Config(format!(
+                "{} starts for {} workers",
+                starts.len(),
+                self.worker_platforms.len()
+            )));
+        }
+        let platforms = self.worker_platforms.clone();
+        let schedule = schedule.to_vec();
+        let registry_ref = registry;
+        let mig_stats = parking_lot::Mutex::new(MigrationStats::default());
+        let mut outcome = {
+            let starts_cell = parking_lot::Mutex::new(
+                starts.into_iter().map(Some).collect::<Vec<Option<ThreadState>>>(),
+            );
+            let mig_ref = &mig_stats;
+            self.run(move |client, info| {
+                let start = starts_cell.lock()[info.index]
+                    .take()
+                    .expect("start state taken once");
+                run_one_adaptive(
+                    client,
+                    info,
+                    registry_ref,
+                    start,
+                    &platforms[info.index],
+                    &schedule,
+                    mig_ref,
+                )
+            })?
+        };
+        outcome.migration_stats = mig_stats.into_inner();
+        Ok(outcome)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one_adaptive(
+    client: &mut DsdClient,
+    info: &WorkerInfo,
+    registry: &ProgramRegistry<DsdClient>,
+    start: ThreadState,
+    start_platform: &Platform,
+    schedule: &[MigrationEvent],
+    mig_stats: &parking_lot::Mutex<MigrationStats>,
+) -> Result<ThreadState, DsdError> {
+    let mut comp: Box<dyn Computation<DsdClient>> = registry
+        .instantiate(start, start_platform.clone())
+        .map_err(|_| DsdError::Unexpected("instantiate"))?;
+    let mut my_events: Vec<&MigrationEvent> = schedule
+        .iter()
+        .filter(|e| e.worker == info.index)
+        .collect();
+    my_events.sort_by_key(|e| e.after_steps);
+    let mut next_event = 0usize;
+    let mut steps: u64 = 0;
+    loop {
+        // Honour any due migration at this adaptation point.
+        while next_event < my_events.len() && my_events[next_event].after_steps <= steps {
+            let ev = my_events[next_event];
+            next_event += 1;
+            let t0 = Instant::now();
+            let image = pack_state(&comp.capture());
+            let pack = t0.elapsed();
+            let t1 = Instant::now();
+            comp = registry
+                .restore(&image, ev.to_platform.clone())
+                .map_err(|_| DsdError::Unexpected("restore"))?;
+            let restore = t1.elapsed();
+            client.rehost(ev.to_platform.clone())?;
+            let mut m = mig_stats.lock();
+            m.migrations += 1;
+            m.pack_time += pack;
+            m.restore_time += restore;
+            m.image_bytes += image.bytes.len() as u64;
+        }
+        match comp.step(client) {
+            StepStatus::Yield => {
+                steps += 1;
+            }
+            StepStatus::Done => break,
+        }
+    }
+    Ok(comp.capture())
+}
+
+fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| p.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic".into())
+}

@@ -1,0 +1,149 @@
+//! Cost accounting for Eq. 1.
+//!
+//! `C_share = t_index + t_tag + t_pack + t_unpack + t_conv` (paper §5).
+//! Every DSD participant accumulates one of these per phase; the figure
+//! harnesses aggregate them per node / per platform pair.
+
+use std::fmt;
+use std::time::Duration;
+
+/// The five cost components of data sharing, plus bookkeeping counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostBreakdown {
+    /// Mapping writes (twin/diff byte scan + run→index mapping).
+    pub t_index: Duration,
+    /// Forming application-level tags from indexes (incl. coalescing).
+    pub t_tag: Duration,
+    /// Packing tag + data frames.
+    pub t_pack: Duration,
+    /// Unpacking received frames.
+    pub t_unpack: Duration,
+    /// Applying data: memcpy (homogeneous) or conversion (heterogeneous).
+    pub t_conv: Duration,
+    /// Updates sent.
+    pub updates_sent: u64,
+    /// Updates applied.
+    pub updates_applied: u64,
+    /// Payload bytes shipped.
+    pub bytes_sent: u64,
+    /// Payload bytes applied.
+    pub bytes_applied: u64,
+}
+
+impl CostBreakdown {
+    /// Total sharing cost (Eq. 1).
+    pub fn c_share(&self) -> Duration {
+        self.t_index + self.t_tag + self.t_pack + self.t_unpack + self.t_conv
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn merge(&mut self, other: &CostBreakdown) {
+        self.t_index += other.t_index;
+        self.t_tag += other.t_tag;
+        self.t_pack += other.t_pack;
+        self.t_unpack += other.t_unpack;
+        self.t_conv += other.t_conv;
+        self.updates_sent += other.updates_sent;
+        self.updates_applied += other.updates_applied;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_applied += other.bytes_applied;
+    }
+
+    /// Scale every time component by `factor` — used by the figure
+    /// harnesses to model a slower CPU (the paper's 1.28 GHz SPARC vs
+    /// 2.4 GHz P4); counters are unchanged. Never used in protocol logic.
+    pub fn scaled(&self, factor: f64) -> CostBreakdown {
+        let scale = |d: Duration| d.mul_f64(factor);
+        CostBreakdown {
+            t_index: scale(self.t_index),
+            t_tag: scale(self.t_tag),
+            t_pack: scale(self.t_pack),
+            t_unpack: scale(self.t_unpack),
+            t_conv: scale(self.t_conv),
+            ..*self
+        }
+    }
+
+    /// Percentage share of each component of `c_share` (index, tag, pack,
+    /// unpack, conv), as in paper Figure 7.
+    pub fn percentages(&self) -> [f64; 5] {
+        let total = self.c_share().as_secs_f64();
+        if total <= 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.t_index.as_secs_f64() / total * 100.0,
+            self.t_tag.as_secs_f64() / total * 100.0,
+            self.t_pack.as_secs_f64() / total * 100.0,
+            self.t_unpack.as_secs_f64() / total * 100.0,
+            self.t_conv.as_secs_f64() / total * 100.0,
+        ]
+    }
+}
+
+impl fmt::Display for CostBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "index {:?} | tag {:?} | pack {:?} | unpack {:?} | conv {:?} | total {:?}",
+            self.t_index,
+            self.t_tag,
+            self.t_pack,
+            self.t_unpack,
+            self.t_conv,
+            self.c_share()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CostBreakdown {
+        CostBreakdown {
+            t_index: Duration::from_millis(10),
+            t_tag: Duration::from_millis(20),
+            t_pack: Duration::from_millis(5),
+            t_unpack: Duration::from_millis(5),
+            t_conv: Duration::from_millis(60),
+            updates_sent: 3,
+            updates_applied: 2,
+            bytes_sent: 100,
+            bytes_applied: 50,
+        }
+    }
+
+    #[test]
+    fn c_share_is_sum() {
+        assert_eq!(sample().c_share(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.c_share(), Duration::from_millis(200));
+        assert_eq!(a.updates_sent, 6);
+        assert_eq!(a.bytes_applied, 100);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let p = sample().percentages();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((p[4] - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_percentages_are_zero() {
+        assert_eq!(CostBreakdown::default().percentages(), [0.0; 5]);
+    }
+
+    #[test]
+    fn scaling_only_touches_times() {
+        let s = sample().scaled(2.0);
+        assert_eq!(s.c_share(), Duration::from_millis(200));
+        assert_eq!(s.updates_sent, 3);
+    }
+}

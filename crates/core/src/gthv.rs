@@ -1,0 +1,472 @@
+//! The shared global structure `GThV`.
+//!
+//! MigThread's preprocessor "collects all global data into a single
+//! structure, GThV" (paper §4); the programmer-facing replacement here is
+//! [`GthvDef`], an explicit declaration of that structure. Each node
+//! instantiates the definition as a [`GthvInstance`]: the structure laid
+//! out in the node's *native representation* inside a write-protected
+//! [`AddressSpace`], plus the node's [`IndexTable`].
+//!
+//! All application access goes through the typed accessors, which emulate
+//! plain C loads/stores: writes run through the page-protection check
+//! (twin/diff write detection), reads never fault.
+
+use crate::index_table::IndexTable;
+use hdsm_memory::space::{AddressSpace, MemError};
+use hdsm_platform::ctype::{CType, StructDef, TypeError};
+use hdsm_platform::endian::{read_float, read_int, read_uint, write_float, write_int, write_uint};
+use hdsm_platform::layout::TypeLayout;
+use hdsm_platform::scalar::{ScalarClass, ScalarKind};
+use hdsm_platform::spec::Platform;
+use std::fmt;
+use std::sync::Arc;
+
+/// The paper's Table 1 base address; used as the default simulated base.
+pub const DEFAULT_BASE: u64 = 0x4005_8000;
+
+/// The shared declaration of the global structure (identical on every
+/// node — it is part of the program).
+#[derive(Debug, Clone)]
+pub struct GthvDef {
+    /// The struct definition.
+    pub def: Arc<StructDef>,
+    /// The struct as a C type.
+    pub ty: CType,
+    /// Simulated base address for instances.
+    pub base: u64,
+}
+
+impl GthvDef {
+    /// Wrap a struct definition, validating it.
+    pub fn new(def: Arc<StructDef>) -> Result<GthvDef, TypeError> {
+        let ty = CType::Struct(def.clone());
+        ty.validate()?;
+        Ok(GthvDef {
+            def,
+            ty,
+            base: DEFAULT_BASE,
+        })
+    }
+
+    /// Same, with an explicit base address.
+    pub fn with_base(def: Arc<StructDef>, base: u64) -> Result<GthvDef, TypeError> {
+        let mut d = GthvDef::new(def)?;
+        d.base = base;
+        Ok(d)
+    }
+
+    /// Entry id of a top-level field by name (panics if absent — a typo in
+    /// the program, not a runtime condition). Only valid when the field
+    /// flattens to a single row (scalar or array-of-scalar).
+    pub fn entry_of(&self, field: &str) -> u32 {
+        // Entry order equals flattening order; for flat structs (the
+        // common case) that is field order.
+        let mut entry = 0u32;
+        for f in &self.def.fields {
+            let leaf_rows = rows_for(&f.ty);
+            if f.name == field {
+                assert_eq!(
+                    leaf_rows, 1,
+                    "field {field} flattens to {leaf_rows} rows; address it by path"
+                );
+                return entry;
+            }
+            entry += leaf_rows;
+        }
+        panic!("no field named {field} in {}", self.def.name);
+    }
+}
+
+fn rows_for(ty: &CType) -> u32 {
+    match ty {
+        CType::Scalar(_) => 1,
+        CType::Array(elem, len) => match &**elem {
+            CType::Scalar(_) => 1,
+            other => rows_for(other) * (*len as u32),
+        },
+        CType::Struct(def) => def.fields.iter().map(|f| rows_for(&f.ty)).sum(),
+    }
+}
+
+/// Errors from typed global-data access.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GthvError {
+    /// Entry id out of range.
+    NoSuchEntry(u32),
+    /// Element index out of range for the entry.
+    ElemOutOfRange {
+        /// Entry accessed.
+        entry: u32,
+        /// Element requested.
+        elem: u64,
+        /// Elements available.
+        count: u64,
+    },
+    /// Scalar class mismatch (e.g. float accessor on an int entry).
+    KindMismatch {
+        /// Entry accessed.
+        entry: u32,
+        /// Actual kind.
+        actual: ScalarKind,
+    },
+    /// Underlying memory error.
+    Mem(MemError),
+    /// Value not representable on this platform.
+    Overflow,
+}
+
+impl fmt::Display for GthvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GthvError::NoSuchEntry(e) => write!(f, "no entry {e}"),
+            GthvError::ElemOutOfRange { entry, elem, count } => {
+                write!(f, "element {elem} out of range for entry {entry} ({count} elements)")
+            }
+            GthvError::KindMismatch { entry, actual } => {
+                write!(f, "entry {entry} is {actual:?}")
+            }
+            GthvError::Mem(e) => write!(f, "memory: {e}"),
+            GthvError::Overflow => write!(f, "value not representable"),
+        }
+    }
+}
+
+impl std::error::Error for GthvError {}
+
+impl From<MemError> for GthvError {
+    fn from(e: MemError) -> Self {
+        GthvError::Mem(e)
+    }
+}
+
+/// A node's instantiation of the global structure.
+#[derive(Debug)]
+pub struct GthvInstance {
+    def: GthvDef,
+    platform: Platform,
+    layout: TypeLayout,
+    table: IndexTable,
+    space: AddressSpace,
+}
+
+impl GthvInstance {
+    /// Lay out the definition on `platform` and build the index table.
+    /// The backing space starts unprotected (initialisation phase).
+    pub fn new(def: GthvDef, platform: Platform) -> GthvInstance {
+        let layout = TypeLayout::compute(&def.ty, &platform);
+        let table = IndexTable::build(&def.ty, def.base, &platform);
+        let space = AddressSpace::new(def.base, layout.size as usize, platform.page_size);
+        GthvInstance {
+            def,
+            platform,
+            layout,
+            table,
+            space,
+        }
+    }
+
+    /// The shared declaration.
+    pub fn def(&self) -> &GthvDef {
+        &self.def
+    }
+
+    /// This node's platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// This node's layout of the structure.
+    pub fn layout(&self) -> &TypeLayout {
+        &self.layout
+    }
+
+    /// This node's index table.
+    pub fn table(&self) -> &IndexTable {
+        &self.table
+    }
+
+    /// The protected address space (mutable, for the DSD protocol).
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// The protected address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    fn row_checked(&self, entry: u32, elem: u64) -> Result<&crate::index_table::IndexRow, GthvError> {
+        let row = self
+            .table
+            .row(entry)
+            .ok_or(GthvError::NoSuchEntry(entry))?;
+        if elem >= row.count {
+            return Err(GthvError::ElemOutOfRange {
+                entry,
+                elem,
+                count: row.count,
+            });
+        }
+        Ok(row)
+    }
+
+    /// Read an integer element.
+    pub fn read_int(&self, entry: u32, elem: u64) -> Result<i128, GthvError> {
+        let row = self.row_checked(entry, elem)?;
+        let bytes = self.space.read(row.elem_addr(elem), row.size as usize)?;
+        Ok(match row.kind.class() {
+            ScalarClass::Signed => read_int(bytes, self.platform.endian),
+            ScalarClass::Unsigned => read_uint(bytes, self.platform.endian) as i128,
+            _ => {
+                return Err(GthvError::KindMismatch {
+                    entry,
+                    actual: row.kind,
+                })
+            }
+        })
+    }
+
+    /// Write an integer element (tracked: may fault / create a twin).
+    pub fn write_int(&mut self, entry: u32, elem: u64, value: i128) -> Result<(), GthvError> {
+        let row = self.row_checked(entry, elem)?.clone();
+        let mut buf = [0u8; 16];
+        let out = &mut buf[..row.size as usize];
+        match row.kind.class() {
+            ScalarClass::Signed => {
+                if !hdsm_platform::endian::fits_int(value, out.len()) {
+                    return Err(GthvError::Overflow);
+                }
+                write_int(value, out, self.platform.endian);
+            }
+            ScalarClass::Unsigned => {
+                if value < 0 || !hdsm_platform::endian::fits_uint(value as u128, out.len()) {
+                    return Err(GthvError::Overflow);
+                }
+                write_uint(value as u128, out, self.platform.endian);
+            }
+            _ => {
+                return Err(GthvError::KindMismatch {
+                    entry,
+                    actual: row.kind,
+                })
+            }
+        }
+        let addr = row.elem_addr(elem);
+        self.space.write(addr, &buf[..row.size as usize])?;
+        Ok(())
+    }
+
+    /// Read a float element.
+    pub fn read_float(&self, entry: u32, elem: u64) -> Result<f64, GthvError> {
+        let row = self.row_checked(entry, elem)?;
+        if row.kind.class() != ScalarClass::Float {
+            return Err(GthvError::KindMismatch {
+                entry,
+                actual: row.kind,
+            });
+        }
+        let bytes = self.space.read(row.elem_addr(elem), row.size as usize)?;
+        Ok(read_float(bytes, self.platform.endian))
+    }
+
+    /// Write a float element (tracked).
+    pub fn write_float(&mut self, entry: u32, elem: u64, value: f64) -> Result<(), GthvError> {
+        let row = self.row_checked(entry, elem)?.clone();
+        if row.kind.class() != ScalarClass::Float {
+            return Err(GthvError::KindMismatch {
+                entry,
+                actual: row.kind,
+            });
+        }
+        let mut buf = [0u8; 8];
+        let out = &mut buf[..row.size as usize];
+        write_float(value, out, self.platform.endian);
+        let addr = row.elem_addr(elem);
+        self.space.write(addr, &buf[..row.size as usize])?;
+        Ok(())
+    }
+
+    /// Read a pointer element as a logical target `(entry, elem)`.
+    pub fn read_ptr(&self, entry: u32, elem: u64) -> Result<Option<(u32, u64)>, GthvError> {
+        let row = self.row_checked(entry, elem)?;
+        if row.kind != ScalarKind::Ptr {
+            return Err(GthvError::KindMismatch {
+                entry,
+                actual: row.kind,
+            });
+        }
+        let bytes = self.space.read(row.elem_addr(elem), row.size as usize)?;
+        let raw = read_uint(bytes, self.platform.endian) as u64;
+        if raw == 0 {
+            return Ok(None);
+        }
+        Ok(self.table.locate(raw))
+    }
+
+    /// Write a pointer element pointing at `(entry, elem)` of the shared
+    /// region (or NULL). The stored value is a *native simulated address*,
+    /// exactly like a C pointer; cross-node translation happens in the
+    /// update layer via the index table.
+    pub fn write_ptr(
+        &mut self,
+        entry: u32,
+        elem: u64,
+        target: Option<(u32, u64)>,
+    ) -> Result<(), GthvError> {
+        let row = self.row_checked(entry, elem)?.clone();
+        if row.kind != ScalarKind::Ptr {
+            return Err(GthvError::KindMismatch {
+                entry,
+                actual: row.kind,
+            });
+        }
+        let raw: u64 = match target {
+            None => 0,
+            Some((te, tel)) => {
+                let trow = self
+                    .table
+                    .row(te)
+                    .ok_or(GthvError::NoSuchEntry(te))?;
+                if tel >= trow.count {
+                    return Err(GthvError::ElemOutOfRange {
+                        entry: te,
+                        elem: tel,
+                        count: trow.count,
+                    });
+                }
+                trow.elem_addr(tel)
+            }
+        };
+        if !hdsm_platform::endian::fits_uint(u128::from(raw), row.size as usize) {
+            return Err(GthvError::Overflow);
+        }
+        let mut buf = [0u8; 8];
+        let out = &mut buf[..row.size as usize];
+        write_uint(u128::from(raw), out, self.platform.endian);
+        let addr = row.elem_addr(elem);
+        self.space.write(addr, &buf[..row.size as usize])?;
+        Ok(())
+    }
+
+    /// Bulk-read a run of integer elements (convenience for apps/tests).
+    pub fn read_int_run(&self, entry: u32, first: u64, count: u64) -> Result<Vec<i128>, GthvError> {
+        (first..first + count)
+            .map(|e| self.read_int(entry, e))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsm_platform::ctype::{paper_figure4_struct, StructBuilder};
+    use hdsm_platform::spec::PlatformSpec;
+
+    fn figure4_instance(p: Platform) -> GthvInstance {
+        GthvInstance::new(GthvDef::new(paper_figure4_struct()).unwrap(), p)
+    }
+
+    #[test]
+    fn entry_ids_match_fields() {
+        let d = GthvDef::new(paper_figure4_struct()).unwrap();
+        assert_eq!(d.entry_of("GThP"), 0);
+        assert_eq!(d.entry_of("A"), 1);
+        assert_eq!(d.entry_of("B"), 2);
+        assert_eq!(d.entry_of("C"), 3);
+        assert_eq!(d.entry_of("n"), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no field named")]
+    fn entry_of_unknown_field_panics() {
+        GthvDef::new(paper_figure4_struct()).unwrap().entry_of("Z");
+    }
+
+    #[test]
+    fn int_accessors_roundtrip_on_be_platform() {
+        let mut g = figure4_instance(PlatformSpec::solaris_sparc());
+        g.write_int(1, 100, -12345).unwrap();
+        assert_eq!(g.read_int(1, 100).unwrap(), -12345);
+        // Bytes really are big-endian in the space.
+        let row = g.table().row(1).unwrap().clone();
+        let raw = g.space().read(row.elem_addr(100), 4).unwrap();
+        assert_eq!(raw, (-12345i32).to_be_bytes());
+    }
+
+    #[test]
+    fn writes_fault_and_dirty_when_protected() {
+        let mut g = figure4_instance(PlatformSpec::linux_x86());
+        g.space_mut().protect_all();
+        g.write_int(1, 0, 7).unwrap();
+        assert_eq!(g.space().stats().faults, 1);
+        assert_eq!(g.space().dirty_count(), 1);
+    }
+
+    #[test]
+    fn bounds_and_kind_checks() {
+        let mut g = figure4_instance(PlatformSpec::linux_x86());
+        assert!(matches!(
+            g.read_int(9, 0),
+            Err(GthvError::NoSuchEntry(9))
+        ));
+        assert!(matches!(
+            g.read_int(1, 56169),
+            Err(GthvError::ElemOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.read_float(1, 0),
+            Err(GthvError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            g.write_int(1, 0, 1i128 << 40),
+            Err(GthvError::Overflow)
+        ));
+    }
+
+    #[test]
+    fn float_entries() {
+        let def = StructBuilder::new("F")
+            .array("xs", ScalarKind::Double, 10)
+            .array("ys", ScalarKind::Float, 10)
+            .build()
+            .unwrap();
+        let mut g = GthvInstance::new(
+            GthvDef::new(def).unwrap(),
+            PlatformSpec::solaris_sparc(),
+        );
+        g.write_float(0, 3, 2.5).unwrap();
+        g.write_float(1, 3, 0.25).unwrap();
+        assert_eq!(g.read_float(0, 3).unwrap(), 2.5);
+        assert_eq!(g.read_float(1, 3).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn pointer_accessors_store_native_addresses() {
+        let mut g = figure4_instance(PlatformSpec::linux_x86());
+        // GThP = &A[10]
+        g.write_ptr(0, 0, Some((1, 10))).unwrap();
+        assert_eq!(g.read_ptr(0, 0).unwrap(), Some((1, 10)));
+        // Raw stored value is the simulated address of A[10].
+        let raw = g.space().read(g.table().row(0).unwrap().addr, 4).unwrap();
+        let addr = u32::from_le_bytes(raw.try_into().unwrap()) as u64;
+        assert_eq!(addr, g.table().row(1).unwrap().elem_addr(10));
+        // NULL
+        g.write_ptr(0, 0, None).unwrap();
+        assert_eq!(g.read_ptr(0, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn pointer_to_invalid_target_rejected() {
+        let mut g = figure4_instance(PlatformSpec::linux_x86());
+        assert!(g.write_ptr(0, 0, Some((9, 0))).is_err());
+        assert!(g.write_ptr(0, 0, Some((1, u64::MAX))).is_err());
+    }
+
+    #[test]
+    fn same_def_different_layout_sizes() {
+        let g32 = figure4_instance(PlatformSpec::linux_x86());
+        let g64 = figure4_instance(PlatformSpec::solaris_sparc64());
+        assert!(g64.layout().size > g32.layout().size);
+        assert_eq!(g32.table().rows().len(), g64.table().rows().len());
+    }
+}

@@ -1,0 +1,576 @@
+//! The home node's stub service.
+//!
+//! Paper §3.1/§4: after local threads migrate away, stub threads remain at
+//! the home node "for future resource access" — they own the authoritative
+//! copy of `GThV`, the lock table and the barrier table, and serve
+//! lock/unlock/barrier/join requests from every computing thread.
+//!
+//! Consistency bookkeeping is a sequence-numbered update log: every
+//! absorbed [`UpdateRange`] is logged under a global sequence number, and
+//! each thread records the highest sequence it has seen. A grant or
+//! barrier release ships the *current authoritative bytes* of every range
+//! logged after the thread's horizon — so updates naturally batch up for
+//! threads that have not synchronized in a while (the paper's Figure 9
+//! "batch update" spike is this mechanism at work).
+
+use crate::costs::CostBreakdown;
+use crate::gthv::GthvInstance;
+use crate::protocol::{DsdMsg, ProtocolError};
+use crate::runs::{coalesce, UpdateRange};
+use crate::update::{apply_batch, extract_updates, full_ranges, UpdateError};
+use hdsm_net::endpoint::{Endpoint, NetError};
+use hdsm_tags::convert::ConversionStats;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::time::Instant;
+
+/// Configuration of the home service.
+#[derive(Debug, Clone)]
+pub struct HomeConfig {
+    /// Number of distributed mutexes.
+    pub n_locks: u32,
+    /// Number of barriers.
+    pub n_barriers: u32,
+    /// Number of condition variables.
+    pub n_conds: u32,
+    /// Thread ranks that will participate (barriers wait for all of them;
+    /// the program ends when all of them join).
+    pub participants: Vec<u32>,
+}
+
+/// Errors surfaced by the home service loop.
+#[derive(Debug)]
+pub enum HomeError {
+    /// Transport failure.
+    Net(NetError),
+    /// Malformed message.
+    Protocol(ProtocolError),
+    /// Update application failed.
+    Update(UpdateError),
+    /// Protocol violation (e.g. unlocking a mutex the thread doesn't hold).
+    Violation(String),
+}
+
+impl fmt::Display for HomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HomeError::Net(e) => write!(f, "net: {e}"),
+            HomeError::Protocol(e) => write!(f, "protocol: {e}"),
+            HomeError::Update(e) => write!(f, "update: {e}"),
+            HomeError::Violation(s) => write!(f, "protocol violation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for HomeError {}
+
+impl From<NetError> for HomeError {
+    fn from(e: NetError) -> Self {
+        HomeError::Net(e)
+    }
+}
+impl From<ProtocolError> for HomeError {
+    fn from(e: ProtocolError) -> Self {
+        HomeError::Protocol(e)
+    }
+}
+impl From<UpdateError> for HomeError {
+    fn from(e: UpdateError) -> Self {
+        HomeError::Update(e)
+    }
+}
+
+/// Writer id used for home-side initialisation log entries.
+const HOME_WRITER: u32 = u32::MAX;
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<u32>,
+    waiters: VecDeque<u32>,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    entered: Vec<u32>,
+}
+
+#[derive(Debug, Default)]
+struct CondState {
+    /// Parked threads with the mutex each must re-acquire on wake.
+    waiters: VecDeque<(u32, u32)>,
+}
+
+/// The home service: owns the authoritative `GThV` copy and runs the
+/// message loop until every participant has joined.
+pub struct HomeService {
+    gthv: GthvInstance,
+    ep: Endpoint,
+    locks: Vec<LockState>,
+    barriers: Vec<BarrierState>,
+    conds: Vec<CondState>,
+    /// Global sequence counter for absorbed updates.
+    seq: u64,
+    /// Update log: `(seq, writer, range)` in absorption order. The
+    /// writer rank lets grants exclude a thread's own updates without
+    /// corrupting its horizon (a thread has by definition "seen" what it
+    /// wrote itself, but nothing else absorbed in between).
+    log: Vec<(u64, u32, UpdateRange)>,
+    /// Oldest sequence still in the log; horizons below this need a full
+    /// refresh (log compaction / cold migrated copies).
+    log_floor: u64,
+    /// Highest sequence each thread has seen.
+    seen: HashMap<u32, u64>,
+    /// Transport endpoint of each thread's latest message.
+    routes: HashMap<u32, u32>,
+    participants: HashSet<u32>,
+    joined: HashSet<u32>,
+    costs: CostBreakdown,
+    conv_stats: ConversionStats,
+}
+
+impl HomeService {
+    /// Create the service around the authoritative instance.
+    pub fn new(gthv: GthvInstance, ep: Endpoint, config: HomeConfig) -> HomeService {
+        let locks = (0..config.n_locks).map(|_| LockState::default()).collect();
+        let barriers = (0..config.n_barriers)
+            .map(|_| BarrierState::default())
+            .collect();
+        let conds = (0..config.n_conds).map(|_| CondState::default()).collect();
+        HomeService {
+            gthv,
+            ep,
+            locks,
+            barriers,
+            conds,
+            seq: 0,
+            log: Vec::new(),
+            log_floor: 0,
+            seen: config.participants.iter().map(|&r| (r, 0)).collect(),
+            routes: HashMap::new(),
+            participants: config.participants.into_iter().collect(),
+            joined: HashSet::new(),
+            costs: CostBreakdown::default(),
+            conv_stats: ConversionStats::default(),
+        }
+    }
+
+    /// Initialise the authoritative copy and log the whole structure as
+    /// one big update, so every thread pulls the initial contents at its
+    /// first acquire.
+    pub fn init_with<F: FnOnce(&mut GthvInstance)>(&mut self, f: F) {
+        f(&mut self.gthv);
+        self.seq += 1;
+        let s = self.seq;
+        self.log
+            .extend(full_ranges(&self.gthv).into_iter().map(|r| (s, HOME_WRITER, r)));
+    }
+
+    /// Authoritative instance (read access for inspection).
+    pub fn gthv(&self) -> &GthvInstance {
+        &self.gthv
+    }
+
+    /// Absorb a batch of incoming updates: unpack time was already spent
+    /// decoding; here we apply (t_conv) and log the ranges.
+    fn absorb(
+        &mut self,
+        writer: u32,
+        updates: &[hdsm_tags::wire::WireUpdate],
+    ) -> Result<(), HomeError> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        apply_batch(&mut self.gthv, updates, &mut self.conv_stats)?;
+        self.costs.t_conv += t0.elapsed();
+        self.costs.updates_applied += updates.len() as u64;
+        self.costs.bytes_applied += updates.iter().map(|u| u.data.len() as u64).sum::<u64>();
+        self.seq += 1;
+        let s = self.seq;
+        for u in updates {
+            self.log.push((
+                s,
+                writer,
+                UpdateRange {
+                    entry: u.entry,
+                    first: u.elem_offset,
+                    count: u.tag.element_count(),
+                },
+            ));
+        }
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Drop log entries every participant has already seen.
+    fn maybe_compact(&mut self) {
+        if self.log.len() < 4096 {
+            return;
+        }
+        let min_seen = self
+            .participants
+            .iter()
+            .filter(|r| !self.joined.contains(r))
+            .map(|r| self.seen.get(r).copied().unwrap_or(0))
+            .min()
+            .unwrap_or(self.seq);
+        self.log.retain(|(s, _, _)| *s > min_seen);
+        self.log_floor = self.log_floor.max(min_seen);
+    }
+
+    /// Updates thread `rank` has not seen, as freshly extracted wire
+    /// frames (t_tag for range coalescing + t_pack accounted by caller's
+    /// encode; extraction itself is charged to t_pack).
+    fn stale_updates_for(
+        &mut self,
+        rank: u32,
+    ) -> Result<Vec<hdsm_tags::wire::WireUpdate>, HomeError> {
+        let horizon = self.seen.get(&rank).copied().unwrap_or(0);
+        let t_tag0 = Instant::now();
+        let ranges: Vec<UpdateRange> = if horizon < self.log_floor {
+            // The thread's horizon predates the log: full refresh.
+            full_ranges(&self.gthv)
+        } else {
+            coalesce(
+                self.log
+                    .iter()
+                    .filter(|(s, w, _)| *s > horizon && *w != rank)
+                    .map(|(_, _, r)| *r)
+                    .collect(),
+            )
+        };
+        self.costs.t_tag += t_tag0.elapsed();
+        let t_pack0 = Instant::now();
+        let ups = extract_updates(&self.gthv, &ranges)?;
+        self.costs.t_pack += t_pack0.elapsed();
+        self.costs.updates_sent += ups.len() as u64;
+        self.costs.bytes_sent += ups.iter().map(|u| u.data.len() as u64).sum::<u64>();
+        self.seen.insert(rank, self.seq);
+        Ok(ups)
+    }
+
+    fn send(&mut self, rank: u32, msg: DsdMsg) -> Result<(), HomeError> {
+        let ep_rank = *self.routes.get(&rank).ok_or_else(|| {
+            HomeError::Violation(format!("no route for thread {rank}"))
+        })?;
+        let t0 = Instant::now();
+        let payload = msg.encode();
+        self.costs.t_pack += t0.elapsed();
+        self.ep.send(ep_rank, msg.kind(), payload)?;
+        Ok(())
+    }
+
+    fn grant(&mut self, lock: u32, rank: u32) -> Result<(), HomeError> {
+        let updates = self.stale_updates_for(rank)?;
+        self.send(rank, DsdMsg::LockGrant { lock, updates })
+    }
+
+    /// Run the service loop until all participants joined. Returns the
+    /// authoritative instance and the home-side cost breakdown.
+    pub fn run(mut self) -> Result<(GthvInstance, CostBreakdown, ConversionStats), HomeError> {
+        while self.joined.len() < self.participants.len() {
+            let msg = self.ep.recv()?;
+            let t0 = Instant::now();
+            let decoded = DsdMsg::decode(msg.kind, msg.payload)?;
+            self.costs.t_unpack += t0.elapsed();
+            self.handle(msg.src, decoded)?;
+        }
+        // Everyone joined: broadcast shutdown.
+        let ranks: Vec<u32> = self.joined.iter().copied().collect();
+        for r in ranks {
+            self.send(r, DsdMsg::Shutdown)?;
+        }
+        Ok((self.gthv, self.costs, self.conv_stats))
+    }
+
+    fn handle(&mut self, src_ep: u32, msg: DsdMsg) -> Result<(), HomeError> {
+        match msg {
+            DsdMsg::LockRequest { lock, rank } => {
+                self.routes.insert(rank, src_ep);
+                let idx = lock as usize;
+                if idx >= self.locks.len() {
+                    return Err(HomeError::Violation(format!("no lock {lock}")));
+                }
+                if self.locks[idx].holder.is_none() {
+                    self.locks[idx].holder = Some(rank);
+                    self.grant(lock, rank)?;
+                } else {
+                    self.locks[idx].waiters.push_back(rank);
+                }
+                Ok(())
+            }
+            DsdMsg::UnlockRequest {
+                lock,
+                rank,
+                updates,
+            } => {
+                self.routes.insert(rank, src_ep);
+                let idx = lock as usize;
+                if idx >= self.locks.len() {
+                    return Err(HomeError::Violation(format!("no lock {lock}")));
+                }
+                if self.locks[idx].holder != Some(rank) {
+                    return Err(HomeError::Violation(format!(
+                        "thread {rank} unlocking mutex {lock} held by {:?}",
+                        self.locks[idx].holder
+                    )));
+                }
+                self.absorb(rank, &updates)?;
+                self.locks[idx].holder = None;
+                self.send(rank, DsdMsg::UnlockAck { lock })?;
+                if let Some(next) = self.locks[idx].waiters.pop_front() {
+                    self.locks[idx].holder = Some(next);
+                    self.grant(lock, next)?;
+                }
+                Ok(())
+            }
+            DsdMsg::BarrierEnter {
+                barrier,
+                rank,
+                updates,
+            } => {
+                self.routes.insert(rank, src_ep);
+                let idx = barrier as usize;
+                if idx >= self.barriers.len() {
+                    return Err(HomeError::Violation(format!("no barrier {barrier}")));
+                }
+                self.absorb(rank, &updates)?;
+                self.barriers[idx].entered.push(rank);
+                let waiting_for = self.participants.len() - self.joined.len();
+                if self.barriers[idx].entered.len() >= waiting_for {
+                    let entered = std::mem::take(&mut self.barriers[idx].entered);
+                    for r in entered {
+                        let updates = self.stale_updates_for(r)?;
+                        self.send(r, DsdMsg::BarrierRelease { barrier, updates })?;
+                    }
+                }
+                Ok(())
+            }
+            DsdMsg::Join { rank } => {
+                self.routes.insert(rank, src_ep);
+                if !self.participants.contains(&rank) {
+                    return Err(HomeError::Violation(format!(
+                        "unknown participant {rank} joining"
+                    )));
+                }
+                self.joined.insert(rank);
+                Ok(())
+            }
+            DsdMsg::CondWait {
+                cond,
+                lock,
+                rank,
+                updates,
+            } => {
+                self.routes.insert(rank, src_ep);
+                let cidx = cond as usize;
+                let lidx = lock as usize;
+                if cidx >= self.conds.len() {
+                    return Err(HomeError::Violation(format!("no cond {cond}")));
+                }
+                if lidx >= self.locks.len() {
+                    return Err(HomeError::Violation(format!("no lock {lock}")));
+                }
+                if self.locks[lidx].holder != Some(rank) {
+                    return Err(HomeError::Violation(format!(
+                        "thread {rank} cond-waiting without holding mutex {lock}"
+                    )));
+                }
+                // Atomic release + sleep: absorb the waiter's updates,
+                // free the mutex (waking the next contender), park.
+                self.absorb(rank, &updates)?;
+                self.locks[lidx].holder = None;
+                if let Some(next) = self.locks[lidx].waiters.pop_front() {
+                    self.locks[lidx].holder = Some(next);
+                    self.grant(lock, next)?;
+                }
+                self.conds[cidx].waiters.push_back((rank, lock));
+                Ok(())
+            }
+            DsdMsg::CondSignal {
+                cond,
+                rank,
+                broadcast,
+            } => {
+                self.routes.insert(rank, src_ep);
+                let cidx = cond as usize;
+                if cidx >= self.conds.len() {
+                    return Err(HomeError::Violation(format!("no cond {cond}")));
+                }
+                let wake = if broadcast {
+                    std::mem::take(&mut self.conds[cidx].waiters)
+                } else {
+                    self.conds[cidx].waiters.pop_front().into_iter().collect()
+                };
+                for (waiter, lock) in wake {
+                    // A woken thread must re-acquire its mutex before its
+                    // cond_wait returns — queue it like a lock requester.
+                    let lidx = lock as usize;
+                    if self.locks[lidx].holder.is_none() {
+                        self.locks[lidx].holder = Some(waiter);
+                        self.grant(lock, waiter)?;
+                    } else {
+                        self.locks[lidx].waiters.push_back(waiter);
+                    }
+                }
+                Ok(())
+            }
+            DsdMsg::Resync { rank } => {
+                self.routes.insert(rank, src_ep);
+                // Cold copy: force a full refresh at the next acquire by
+                // dropping the horizon below the log floor (or to zero).
+                self.seen.insert(rank, 0);
+                if self.log_floor == 0 && self.seq > 0 {
+                    // Ensure "below floor" semantics even without
+                    // compaction: raise the floor to the current sequence
+                    // and prune nothing (full_ranges covers everything).
+                    self.log_floor = self.log_floor.max(1);
+                }
+                Ok(())
+            }
+            other => Err(HomeError::Violation(format!(
+                "home received unexpected {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The home service is exercised end-to-end in client.rs and the
+    // integration suite; unit tests here cover bookkeeping edge cases
+    // that are hard to reach through the full stack.
+    use super::*;
+    use crate::gthv::GthvDef;
+    use hdsm_net::endpoint::Network;
+    use hdsm_net::stats::NetConfig;
+    use hdsm_platform::ctype::StructBuilder;
+    use hdsm_platform::scalar::ScalarKind;
+    use hdsm_platform::spec::PlatformSpec;
+
+    fn tiny_def() -> GthvDef {
+        GthvDef::new(
+            StructBuilder::new("G")
+                .array("xs", ScalarKind::Int, 64)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn init_logs_full_structure() {
+        let (_net, mut eps) = Network::new(1, NetConfig::instant());
+        let gthv = GthvInstance::new(tiny_def(), PlatformSpec::linux_x86());
+        let mut h = HomeService::new(
+            gthv,
+            eps.pop().unwrap(),
+            HomeConfig {
+                n_locks: 1,
+                n_barriers: 1,
+                n_conds: 0,
+                participants: vec![1],
+            },
+        );
+        h.init_with(|g| {
+            for i in 0..64 {
+                g.write_int(0, i, i as i128).unwrap();
+            }
+        });
+        assert_eq!(h.seq, 1);
+        assert_eq!(h.log.len(), 1);
+        assert_eq!(h.log[0].2.count, 64);
+        assert_eq!(h.gthv().read_int(0, 63).unwrap(), 63);
+    }
+
+    #[test]
+    fn stale_updates_respect_horizon() {
+        let (_net, mut eps) = Network::new(1, NetConfig::instant());
+        let gthv = GthvInstance::new(tiny_def(), PlatformSpec::linux_x86());
+        let mut h = HomeService::new(
+            gthv,
+            eps.pop().unwrap(),
+            HomeConfig {
+                n_locks: 1,
+                n_barriers: 0,
+                n_conds: 0,
+                participants: vec![1, 2],
+            },
+        );
+        h.init_with(|g| g.write_int(0, 0, 42).unwrap());
+        // Thread 1 pulls: gets the init batch.
+        let ups = h.stale_updates_for(1).unwrap();
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].tag.element_count(), 64);
+        // Pulling again with nothing new: empty.
+        assert!(h.stale_updates_for(1).unwrap().is_empty());
+        // Thread 2 still sees everything.
+        assert_eq!(h.stale_updates_for(2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn resync_forces_full_refresh() {
+        let (_net, mut eps) = Network::new(1, NetConfig::instant());
+        let gthv = GthvInstance::new(tiny_def(), PlatformSpec::linux_x86());
+        let mut h = HomeService::new(
+            gthv,
+            eps.pop().unwrap(),
+            HomeConfig {
+                n_locks: 1,
+                n_barriers: 0,
+                n_conds: 0,
+                participants: vec![1],
+            },
+        );
+        h.init_with(|g| g.write_int(0, 7, 7).unwrap());
+        let _ = h.stale_updates_for(1).unwrap();
+        assert!(h.stale_updates_for(1).unwrap().is_empty());
+        // Simulate migration: cold copy.
+        h.handle(0, DsdMsg::Resync { rank: 1 }).unwrap();
+        let ups = h.stale_updates_for(1).unwrap();
+        assert_eq!(ups.len(), 1, "full refresh after resync");
+        assert_eq!(ups[0].tag.element_count(), 64);
+    }
+
+    #[test]
+    fn compaction_preserves_refresh_capability() {
+        let (_net, mut eps) = Network::new(1, NetConfig::instant());
+        let gthv = GthvInstance::new(tiny_def(), PlatformSpec::linux_x86());
+        let mut h = HomeService::new(
+            gthv,
+            eps.pop().unwrap(),
+            HomeConfig {
+                n_locks: 1,
+                n_barriers: 0,
+                n_conds: 0,
+                participants: vec![1, 2],
+            },
+        );
+        // Thread 1 keeps up; generate enough absorbed batches to trigger
+        // compaction.
+        for i in 0..5000u64 {
+            let mut src = GthvInstance::new(tiny_def(), PlatformSpec::linux_x86());
+            src.write_int(0, i % 64, i as i128).unwrap();
+            let ups = extract_updates(
+                &src,
+                &[UpdateRange {
+                    entry: 0,
+                    first: (i % 64),
+                    count: 1,
+                }],
+            )
+            .unwrap();
+            h.absorb(9, &ups).unwrap();
+            if i % 2 == 0 {
+                let _ = h.stale_updates_for(1).unwrap();
+                let _ = h.stale_updates_for(2).unwrap();
+            }
+        }
+        assert!(h.log.len() < 5000, "log was never compacted");
+        // A thread below the floor still gets a full refresh.
+        h.seen.insert(2, 0);
+        assert!(h.log_floor > 0);
+        let ups = h.stale_updates_for(2).unwrap();
+        assert_eq!(ups[0].tag.element_count(), 64);
+    }
+}

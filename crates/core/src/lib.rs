@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! DSD — the paper's Distributed Shared Data mechanism.
+//!
+//! This crate is the primary contribution of "An Adaptive Heterogeneous
+//! Software DSM" (ICPP Workshops 2006): a release-consistent, fully
+//! heterogeneous shared-data layer whose synchronization API mirrors
+//! Pthreads (`MTh_lock` / `MTh_unlock` / `MTh_barrier` / `MTh_join`,
+//! paper §4) and whose update pipeline is
+//!
+//! ```text
+//! twin/diff (page level)                       t_index
+//!   → abstract diffs to application-level indexes   t_index
+//!   → coalesce runs, form CGT-RMR tags              t_tag
+//!   → pack tag + raw native data                    t_pack
+//!   → ship to peer
+//!   → unpack                                        t_unpack
+//!   → memcpy (homogeneous) / convert (heterogeneous) t_conv
+//! ```
+//!
+//! matching the cost decomposition of Eq. 1:
+//! `C_share = t_index + t_tag + t_pack + t_unpack + t_conv`.
+//!
+//! Key modules:
+//! * [`gthv`] — the shared global structure (`GThV`) instantiated in a
+//!   node's native representation inside a protected address space;
+//! * [`index_table`] — the architecture-independent index table built from
+//!   `GThV` at start-up (paper Table 1);
+//! * [`runs`] — diff→index abstraction with consecutive-element coalescing;
+//! * [`update`] — update extraction and receiver-makes-right application,
+//!   including pointer swizzling through the index table;
+//! * [`protocol`], [`home`], [`client`] — the distributed lock / barrier /
+//!   join protocol between remote threads and the home node's stub service;
+//! * [`cluster`] — orchestration of a simulated heterogeneous cluster
+//!   (node threads + home service), including runtime node join and thread
+//!   migration driven by [`hdsm_migthread::scheduler`] policies;
+//! * [`baseline`] — a traditional homogeneous twin/diff page DSM used as
+//!   the comparison baseline;
+//! * [`costs`] — Eq. 1 cost accounting.
+
+pub mod baseline;
+pub mod client;
+pub mod cluster;
+pub mod costs;
+pub mod gthv;
+pub mod home;
+pub mod index_table;
+pub mod protocol;
+pub mod runs;
+pub mod update;
+
+pub use client::{DsdClient, DsdError};
+pub use cluster::{ClusterBuilder, ClusterError, ClusterOutcome, MigrationEvent, WorkerInfo};
+pub use costs::CostBreakdown;
+pub use gthv::{GthvDef, GthvInstance};
+pub use index_table::{IndexRow, IndexTable};
+pub use runs::UpdateRange;

@@ -1,0 +1,361 @@
+//! DSD protocol messages.
+//!
+//! The four primitives of paper §4 — `MTh_lock(index, rank)`,
+//! `MTh_unlock(index, rank)`, `MTh_barrier(index, rank)`, `MTh_join()` —
+//! plus the grant/ack/release replies of Figure 5, a `Resync` notice sent
+//! by a freshly migrated thread (its new node's copy is cold), and the
+//! final `Shutdown`. Updates ride inside messages as CGT-RMR wire batches.
+//!
+//! Threads are identified by a stable *thread rank* independent of the
+//! transport endpoint, so a thread keeps its identity when it migrates.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hdsm_net::message::MsgKind;
+use hdsm_tags::wire::{pack_batch, unpack_batch, WireError, WireUpdate};
+use std::fmt;
+
+/// A decoded DSD protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DsdMsg {
+    /// Thread `rank` requests mutex `lock`.
+    LockRequest {
+        /// Mutex index.
+        lock: u32,
+        /// Requesting thread rank.
+        rank: u32,
+    },
+    /// Home grants mutex `lock`; `updates` are the outstanding updates the
+    /// acquirer has not yet seen (paper §4.1).
+    LockGrant {
+        /// Mutex index.
+        lock: u32,
+        /// Outstanding updates.
+        updates: Vec<WireUpdate>,
+    },
+    /// Thread `rank` releases mutex `lock`, propagating its updates back
+    /// to the home thread (paper §4.2).
+    UnlockRequest {
+        /// Mutex index.
+        lock: u32,
+        /// Releasing thread rank.
+        rank: u32,
+        /// The thread's modifications since acquire.
+        updates: Vec<WireUpdate>,
+    },
+    /// Home acknowledges the release.
+    UnlockAck {
+        /// Mutex index.
+        lock: u32,
+    },
+    /// Thread `rank` enters barrier `barrier`, releasing its updates.
+    BarrierEnter {
+        /// Barrier index.
+        barrier: u32,
+        /// Entering thread rank.
+        rank: u32,
+        /// The thread's modifications since its last release.
+        updates: Vec<WireUpdate>,
+    },
+    /// Home releases a thread from the barrier with merged updates.
+    BarrierRelease {
+        /// Barrier index.
+        barrier: u32,
+        /// Merged outstanding updates for this thread.
+        updates: Vec<WireUpdate>,
+    },
+    /// Thread `rank` signs off (called immediately before termination).
+    Join {
+        /// Joining thread rank.
+        rank: u32,
+    },
+    /// `MTh_cond_wait(cond, lock, rank)`: atomically release mutex `lock`
+    /// (propagating `updates`) and sleep on condition `cond`; the reply is
+    /// a [`DsdMsg::LockGrant`] once signalled and the mutex re-acquired —
+    /// the distributed analogue of `pthread_cond_wait`.
+    CondWait {
+        /// Condition variable index.
+        cond: u32,
+        /// Mutex to release and later re-acquire.
+        lock: u32,
+        /// Waiting thread rank.
+        rank: u32,
+        /// The thread's modifications since acquire (its release).
+        updates: Vec<WireUpdate>,
+    },
+    /// `MTh_cond_signal` / `MTh_cond_broadcast`: wake one (or all) waiters
+    /// of condition `cond`. Fire-and-forget, like its Pthreads
+    /// counterpart.
+    CondSignal {
+        /// Condition variable index.
+        cond: u32,
+        /// Signalling thread rank.
+        rank: u32,
+        /// Wake all waiters instead of one.
+        broadcast: bool,
+    },
+    /// A migrated thread announces that its local copy is cold and must be
+    /// fully refreshed at its next acquire.
+    Resync {
+        /// Thread rank that migrated.
+        rank: u32,
+    },
+    /// Home tells everyone the program is over (maps to `pthread_join`
+    /// completing at the home node).
+    Shutdown,
+}
+
+/// Protocol-level decode errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// Frame too short.
+    Truncated,
+    /// Message kind unknown / payload shape mismatch.
+    BadMessage(&'static str),
+    /// Embedded update batch failed to decode.
+    Wire(WireError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "truncated protocol frame"),
+            ProtocolError::BadMessage(s) => write!(f, "bad message: {s}"),
+            ProtocolError::Wire(e) => write!(f, "wire: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Wire(e)
+    }
+}
+
+impl DsdMsg {
+    /// The transport kind this message travels under.
+    pub fn kind(&self) -> MsgKind {
+        match self {
+            DsdMsg::LockRequest { .. } => MsgKind::LockRequest,
+            DsdMsg::LockGrant { .. } => MsgKind::LockGrant,
+            DsdMsg::UnlockRequest { .. } => MsgKind::UnlockRequest,
+            DsdMsg::UnlockAck { .. } => MsgKind::UnlockAck,
+            DsdMsg::BarrierEnter { .. } => MsgKind::BarrierEnter,
+            DsdMsg::BarrierRelease { .. } => MsgKind::BarrierRelease,
+            DsdMsg::Join { .. } => MsgKind::Join,
+            DsdMsg::CondWait { .. } => MsgKind::CondWait,
+            DsdMsg::CondSignal { .. } => MsgKind::CondSignal,
+            DsdMsg::Resync { .. } => MsgKind::Other,
+            DsdMsg::Shutdown => MsgKind::Shutdown,
+        }
+    }
+
+    /// Encode to a payload. The update batch (if any) is packed with the
+    /// CGT-RMR wire format — this is the `t_pack` work.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(16);
+        match self {
+            DsdMsg::LockRequest { lock, rank } => {
+                out.put_u32(*lock);
+                out.put_u32(*rank);
+            }
+            DsdMsg::LockGrant { lock, updates } => {
+                out.put_u32(*lock);
+                out.put_slice(&pack_batch(updates));
+            }
+            DsdMsg::UnlockRequest {
+                lock,
+                rank,
+                updates,
+            } => {
+                out.put_u32(*lock);
+                out.put_u32(*rank);
+                out.put_slice(&pack_batch(updates));
+            }
+            DsdMsg::UnlockAck { lock } => out.put_u32(*lock),
+            DsdMsg::BarrierEnter {
+                barrier,
+                rank,
+                updates,
+            } => {
+                out.put_u32(*barrier);
+                out.put_u32(*rank);
+                out.put_slice(&pack_batch(updates));
+            }
+            DsdMsg::BarrierRelease { barrier, updates } => {
+                out.put_u32(*barrier);
+                out.put_slice(&pack_batch(updates));
+            }
+            DsdMsg::Join { rank } | DsdMsg::Resync { rank } => out.put_u32(*rank),
+            DsdMsg::CondWait {
+                cond,
+                lock,
+                rank,
+                updates,
+            } => {
+                out.put_u32(*cond);
+                out.put_u32(*lock);
+                out.put_u32(*rank);
+                out.put_slice(&pack_batch(updates));
+            }
+            DsdMsg::CondSignal {
+                cond,
+                rank,
+                broadcast,
+            } => {
+                out.put_u32(*cond);
+                out.put_u32(*rank);
+                out.put_u8(u8::from(*broadcast));
+            }
+            DsdMsg::Shutdown => {}
+        }
+        out.freeze()
+    }
+
+    /// Decode a payload received under `kind` — the `t_unpack` work.
+    pub fn decode(kind: MsgKind, mut payload: Bytes) -> Result<DsdMsg, ProtocolError> {
+        fn u32_of(b: &mut Bytes) -> Result<u32, ProtocolError> {
+            if b.remaining() < 4 {
+                return Err(ProtocolError::Truncated);
+            }
+            Ok(b.get_u32())
+        }
+        match kind {
+            MsgKind::LockRequest => Ok(DsdMsg::LockRequest {
+                lock: u32_of(&mut payload)?,
+                rank: u32_of(&mut payload)?,
+            }),
+            MsgKind::LockGrant => Ok(DsdMsg::LockGrant {
+                lock: u32_of(&mut payload)?,
+                updates: unpack_batch(payload)?,
+            }),
+            MsgKind::UnlockRequest => Ok(DsdMsg::UnlockRequest {
+                lock: u32_of(&mut payload)?,
+                rank: u32_of(&mut payload)?,
+                updates: unpack_batch(payload)?,
+            }),
+            MsgKind::UnlockAck => Ok(DsdMsg::UnlockAck {
+                lock: u32_of(&mut payload)?,
+            }),
+            MsgKind::BarrierEnter => Ok(DsdMsg::BarrierEnter {
+                barrier: u32_of(&mut payload)?,
+                rank: u32_of(&mut payload)?,
+                updates: unpack_batch(payload)?,
+            }),
+            MsgKind::BarrierRelease => Ok(DsdMsg::BarrierRelease {
+                barrier: u32_of(&mut payload)?,
+                updates: unpack_batch(payload)?,
+            }),
+            MsgKind::Join => Ok(DsdMsg::Join {
+                rank: u32_of(&mut payload)?,
+            }),
+            MsgKind::CondWait => Ok(DsdMsg::CondWait {
+                cond: u32_of(&mut payload)?,
+                lock: u32_of(&mut payload)?,
+                rank: u32_of(&mut payload)?,
+                updates: unpack_batch(payload)?,
+            }),
+            MsgKind::CondSignal => {
+                let cond = u32_of(&mut payload)?;
+                let rank = u32_of(&mut payload)?;
+                if payload.remaining() < 1 {
+                    return Err(ProtocolError::Truncated);
+                }
+                let broadcast = payload.get_u8() != 0;
+                Ok(DsdMsg::CondSignal {
+                    cond,
+                    rank,
+                    broadcast,
+                })
+            }
+            MsgKind::Other => Ok(DsdMsg::Resync {
+                rank: u32_of(&mut payload)?,
+            }),
+            MsgKind::Shutdown => Ok(DsdMsg::Shutdown),
+            _ => Err(ProtocolError::BadMessage("unexpected transport kind")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdsm_platform::endian::Endianness;
+    use hdsm_platform::scalar::ScalarKind;
+    use hdsm_tags::generate::tag_for_scalar_run;
+
+    fn sample_updates() -> Vec<WireUpdate> {
+        vec![WireUpdate {
+            entry: 3,
+            elem_offset: 100,
+            endian: Endianness::Big,
+            sender: "solaris-sparc".into(),
+            tag: tag_for_scalar_run(ScalarKind::Int, 4, 8),
+            data: Bytes::from(vec![1u8; 32]),
+        }]
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let msgs = vec![
+            DsdMsg::LockRequest { lock: 2, rank: 5 },
+            DsdMsg::LockGrant {
+                lock: 2,
+                updates: sample_updates(),
+            },
+            DsdMsg::UnlockRequest {
+                lock: 2,
+                rank: 5,
+                updates: sample_updates(),
+            },
+            DsdMsg::UnlockAck { lock: 2 },
+            DsdMsg::BarrierEnter {
+                barrier: 0,
+                rank: 5,
+                updates: vec![],
+            },
+            DsdMsg::BarrierRelease {
+                barrier: 0,
+                updates: sample_updates(),
+            },
+            DsdMsg::Join { rank: 5 },
+            DsdMsg::CondWait {
+                cond: 1,
+                lock: 0,
+                rank: 5,
+                updates: sample_updates(),
+            },
+            DsdMsg::CondSignal {
+                cond: 1,
+                rank: 5,
+                broadcast: true,
+            },
+            DsdMsg::Resync { rank: 5 },
+            DsdMsg::Shutdown,
+        ];
+        for m in msgs {
+            let kind = m.kind();
+            let bytes = m.encode();
+            let back = DsdMsg::decode(kind, bytes).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        assert_eq!(
+            DsdMsg::decode(MsgKind::LockRequest, Bytes::from_static(&[0, 0])),
+            Err(ProtocolError::Truncated)
+        );
+        assert!(DsdMsg::decode(MsgKind::LockGrant, Bytes::from_static(&[0, 0, 0, 1])).is_err());
+    }
+
+    #[test]
+    fn migration_kind_rejected_here() {
+        assert!(matches!(
+            DsdMsg::decode(MsgKind::Migration, Bytes::new()),
+            Err(ProtocolError::BadMessage(_))
+        ));
+    }
+}

@@ -1,0 +1,208 @@
+//! Property tests for the DSD core: the update pipeline
+//! (diff → index ranges → wire → receiver-makes-right apply) must carry
+//! arbitrary write patterns faithfully between arbitrary platform pairs.
+
+use hdsm_core::gthv::{GthvDef, GthvInstance};
+use hdsm_core::runs::{abstract_diffs, promote_ranges, UpdateRange};
+use hdsm_core::update::{apply_batch, extract_updates};
+use hdsm_memory::diff::diff_pages;
+use hdsm_platform::ctype::StructBuilder;
+use hdsm_platform::scalar::ScalarKind;
+use hdsm_platform::spec::{Platform, PlatformSpec};
+use hdsm_tags::convert::ConversionStats;
+use hdsm_tags::wire::{pack_batch, unpack_batch};
+use proptest::prelude::*;
+
+const INTS: u64 = 200;
+const DOUBLES: u64 = 40;
+const PTRS: u64 = 4;
+
+fn def() -> GthvDef {
+    GthvDef::new(
+        StructBuilder::new("G")
+            .array("xs", ScalarKind::Int, INTS as usize)
+            .array("fs", ScalarKind::Double, DOUBLES as usize)
+            .array("ps", ScalarKind::Ptr, PTRS as usize)
+            .scalar("tail", ScalarKind::Short)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum W {
+    Int(u64, i32),
+    Float(u64, f32),
+    Ptr(u64, Option<u64>),
+    Tail(i16),
+}
+
+fn any_write() -> impl Strategy<Value = W> {
+    prop_oneof![
+        (0..INTS, any::<i32>()).prop_map(|(e, v)| W::Int(e, v)),
+        (0..DOUBLES, any::<f32>().prop_filter("finite", |f| f.is_finite()))
+            .prop_map(|(e, v)| W::Float(e, v)),
+        (0..PTRS, prop::option::of(0..INTS)).prop_map(|(e, v)| W::Ptr(e, v)),
+        any::<i16>().prop_map(W::Tail),
+    ]
+}
+
+fn any_platform() -> impl Strategy<Value = Platform> {
+    prop::sample::select(PlatformSpec::presets())
+}
+
+fn apply_writes(g: &mut GthvInstance, writes: &[W]) {
+    for w in writes {
+        match w {
+            W::Int(e, v) => g.write_int(0, *e, *v as i128).unwrap(),
+            W::Float(e, v) => g.write_float(1, *e, *v as f64).unwrap(),
+            W::Ptr(e, None) => g.write_ptr(2, *e, None).unwrap(),
+            W::Ptr(e, Some(t)) => g.write_ptr(2, *e, Some((0, *t))).unwrap(),
+            W::Tail(v) => g.write_int(3, 0, *v as i128).unwrap(),
+        }
+    }
+}
+
+fn logical_equal(a: &GthvInstance, b: &GthvInstance) -> bool {
+    for e in 0..INTS {
+        if a.read_int(0, e).unwrap() != b.read_int(0, e).unwrap() {
+            return false;
+        }
+    }
+    for e in 0..DOUBLES {
+        if a.read_float(1, e).unwrap() != b.read_float(1, e).unwrap() {
+            return false;
+        }
+    }
+    for e in 0..PTRS {
+        if a.read_ptr(2, e).unwrap() != b.read_ptr(2, e).unwrap() {
+            return false;
+        }
+    }
+    a.read_int(3, 0).unwrap() == b.read_int(3, 0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// diff → ranges → extract → pack → unpack → apply moves exactly the
+    /// written state from a src platform to a dst platform.
+    #[test]
+    fn pipeline_transfers_arbitrary_writes(
+        writes in prop::collection::vec(any_write(), 1..40),
+        src_p in any_platform(),
+        dst_p in any_platform(),
+    ) {
+        let mut src = GthvInstance::new(def(), src_p);
+        src.space_mut().protect_all();
+        apply_writes(&mut src, &writes);
+
+        let ranges = abstract_diffs(src.table(), &diff_pages(src.space()));
+        let ups = extract_updates(&src, &ranges).unwrap();
+        let packed = pack_batch(&ups);
+        let unpacked = unpack_batch(packed).unwrap();
+
+        let mut dst = GthvInstance::new(def(), dst_p);
+        let mut stats = ConversionStats::default();
+        apply_batch(&mut dst, &unpacked, &mut stats).unwrap();
+        prop_assert!(logical_equal(&src, &dst));
+    }
+
+    /// Promotion at any threshold never changes the transferred state
+    /// (only how much of it ships) when the receiver starts from the same
+    /// base image.
+    #[test]
+    fn promotion_is_semantics_preserving(
+        writes in prop::collection::vec(any_write(), 1..30),
+        threshold in 0u8..=100,
+    ) {
+        let p = PlatformSpec::linux_x86();
+        let mut src = GthvInstance::new(def(), p.clone());
+        src.space_mut().protect_all();
+        apply_writes(&mut src, &writes);
+        let ranges = abstract_diffs(src.table(), &diff_pages(src.space()));
+        let promoted = promote_ranges(src.table(), ranges.clone(), threshold);
+
+        // Promoted ranges cover at least the original ones.
+        for r in &ranges {
+            let covered = promoted.iter().any(|pr| {
+                pr.entry == r.entry && pr.first <= r.first && pr.end() >= r.end()
+            });
+            prop_assert!(covered, "range {:?} lost by promotion", r);
+        }
+
+        // Applying promoted updates to a *fresh copy of the source's base
+        // image* yields the same logical state.
+        let ups = extract_updates(&src, &promoted).unwrap();
+        let mut dst = GthvInstance::new(def(), PlatformSpec::solaris_sparc());
+        let mut stats = ConversionStats::default();
+        apply_batch(&mut dst, &ups, &mut stats).unwrap();
+        // Elements inside the original ranges must match exactly.
+        for r in &ranges {
+            for e in r.first..r.end() {
+                match r.entry {
+                    0 => prop_assert_eq!(
+                        src.read_int(0, e).unwrap(),
+                        dst.read_int(0, e).unwrap()
+                    ),
+                    1 => prop_assert_eq!(
+                        src.read_float(1, e).unwrap(),
+                        dst.read_float(1, e).unwrap()
+                    ),
+                    2 => prop_assert_eq!(
+                        src.read_ptr(2, e).unwrap(),
+                        dst.read_ptr(2, e).unwrap()
+                    ),
+                    _ => prop_assert_eq!(
+                        src.read_int(3, 0).unwrap(),
+                        dst.read_int(3, 0).unwrap()
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Ranges produced by abstraction are sorted, disjoint and in bounds.
+    #[test]
+    fn abstracted_ranges_are_well_formed(
+        writes in prop::collection::vec(any_write(), 0..40),
+    ) {
+        let p = PlatformSpec::solaris_sparc();
+        let mut g = GthvInstance::new(def(), p);
+        g.space_mut().protect_all();
+        apply_writes(&mut g, &writes);
+        let ranges = abstract_diffs(g.table(), &diff_pages(g.space()));
+        let mut prev: Option<UpdateRange> = None;
+        for r in &ranges {
+            let row = g.table().row(r.entry).unwrap();
+            prop_assert!(r.count >= 1);
+            prop_assert!(r.first + r.count <= row.count);
+            if let Some(p) = prev {
+                prop_assert!(
+                    p.entry < r.entry || (p.entry == r.entry && p.end() < r.first),
+                    "ranges not sorted/disjoint: {:?} then {:?}", p, r
+                );
+            }
+            prev = Some(*r);
+        }
+    }
+
+    /// Re-extracting and re-applying the same updates is idempotent.
+    #[test]
+    fn apply_is_idempotent(
+        writes in prop::collection::vec(any_write(), 1..20),
+    ) {
+        let mut src = GthvInstance::new(def(), PlatformSpec::linux_x86());
+        src.space_mut().protect_all();
+        apply_writes(&mut src, &writes);
+        let ranges = abstract_diffs(src.table(), &diff_pages(src.space()));
+        let ups = extract_updates(&src, &ranges).unwrap();
+        let mut dst = GthvInstance::new(def(), PlatformSpec::linux_arm());
+        let mut stats = ConversionStats::default();
+        apply_batch(&mut dst, &ups, &mut stats).unwrap();
+        let snapshot = dst.space().raw().to_vec();
+        apply_batch(&mut dst, &ups, &mut stats).unwrap();
+        prop_assert_eq!(dst.space().raw(), &snapshot[..]);
+    }
+}

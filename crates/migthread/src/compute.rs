@@ -1,0 +1,297 @@
+//! Resumable computations.
+//!
+//! The original MigThread preprocessor rewrites C functions so their live
+//! variables live in `MThV`/`MThP` structures and execution can be cut at
+//! *adaptation points* (the only places a migration request is honoured).
+//! The Rust equivalent is a trait: a computation exposes its state as a
+//! [`ThreadState`] and advances in steps between adaptation points.
+//!
+//! The trait is generic over a context type `Ctx` so the DSM layer can hand
+//! computations a handle for `MTh_lock`/`MTh_unlock`/`MTh_barrier` calls
+//! without this crate depending on the DSM crate.
+
+use crate::packfmt::MigrateError;
+use crate::state::ThreadState;
+use hdsm_platform::spec::Platform;
+use std::collections::HashMap;
+
+/// Result of advancing a computation by one quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// Reached an adaptation point; more work remains. The thread may be
+    /// migrated here and resumed elsewhere.
+    Yield,
+    /// The computation finished (the thread should `MTh_join`).
+    Done,
+}
+
+/// A migratable computation.
+pub trait Computation<Ctx>: Send {
+    /// Program name — must match a registry entry on every node.
+    fn program(&self) -> &str;
+
+    /// Advance until the next adaptation point or completion.
+    fn step(&mut self, ctx: &mut Ctx) -> StepStatus;
+
+    /// Capture the full logical state (valid only at adaptation points —
+    /// callers must not invoke mid-step; the type system enforces this by
+    /// requiring `&self` access between `step` calls only).
+    fn capture(&self) -> ThreadState;
+}
+
+/// Factory rebuilding a computation from a restored state on `platform`.
+pub type Factory<Ctx> =
+    fn(ThreadState, Platform) -> Result<Box<dyn Computation<Ctx>>, MigrateError>;
+
+/// Registry of programs available on a node.
+///
+/// Every node runs the same application binary (paper §3.1: "the same
+/// applications need to be started remotely"), so every node's registry
+/// contains the same entries; a migration image names its program and the
+/// receiving node instantiates it from the restored state.
+pub struct ProgramRegistry<Ctx> {
+    programs: HashMap<String, ProgramEntry<Ctx>>,
+}
+
+struct ProgramEntry<Ctx> {
+    /// Declared state shape (zeroed blocks) used by receiver-makes-right
+    /// restoration to know each block's C type.
+    declared: ThreadState,
+    factory: Factory<Ctx>,
+}
+
+impl<Ctx> Default for ProgramRegistry<Ctx> {
+    fn default() -> Self {
+        ProgramRegistry {
+            programs: HashMap::new(),
+        }
+    }
+}
+
+impl<Ctx> ProgramRegistry<Ctx> {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a program. `declared` supplies the state shape (block
+    /// names and C types); its platform/bytes content is ignored.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        declared: ThreadState,
+        factory: Factory<Ctx>,
+    ) {
+        self.programs
+            .insert(name.into(), ProgramEntry { declared, factory });
+    }
+
+    /// Declared state shape for `name`.
+    pub fn declared(&self, name: &str) -> Option<&ThreadState> {
+        self.programs.get(name).map(|e| &e.declared)
+    }
+
+    /// Instantiate a computation from a restored state.
+    pub fn instantiate(
+        &self,
+        state: ThreadState,
+        platform: Platform,
+    ) -> Result<Box<dyn Computation<Ctx>>, MigrateError> {
+        let entry = self
+            .programs
+            .get(&state.program)
+            .ok_or_else(|| MigrateError::UnknownProgram(state.program.clone()))?;
+        (entry.factory)(state, platform)
+    }
+
+    /// Restore a migration image into a computation on `platform`:
+    /// parse + receiver-makes-right convert + instantiate.
+    pub fn restore(
+        &self,
+        image: &crate::packfmt::StateImage,
+        platform: Platform,
+    ) -> Result<Box<dyn Computation<Ctx>>, MigrateError> {
+        let parsed = crate::packfmt::parse_image(image)?;
+        let entry = self
+            .programs
+            .get(&parsed.program)
+            .ok_or(MigrateError::UnknownProgram(parsed.program))?;
+        let state = crate::packfmt::unpack_state(image, &platform, &entry.declared)?;
+        (entry.factory)(state, platform)
+    }
+
+    /// Registered program names.
+    pub fn names(&self) -> Vec<&str> {
+        self.programs.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packfmt::pack_state;
+    use crate::state::TypedBlock;
+    use hdsm_platform::ctype::{CType, StructBuilder};
+    use hdsm_platform::scalar::ScalarKind;
+    use hdsm_platform::spec::PlatformSpec;
+    use hdsm_platform::value::Value;
+
+    /// A toy migratable computation: sums i*i for i in 0..limit, one i per
+    /// adaptation quantum.
+    struct SumSquares {
+        state: ThreadState,
+        platform: Platform,
+    }
+
+    fn state_type() -> CType {
+        CType::Struct(
+            StructBuilder::new("MThV")
+                .scalar("i", ScalarKind::Int)
+                .scalar("limit", ScalarKind::Int)
+                .scalar("acc", ScalarKind::LongLong)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn declared(p: &Platform) -> ThreadState {
+        let mut st = ThreadState::new("sum-squares");
+        st.push_block("MThV", TypedBlock::zeroed(state_type(), p.clone()));
+        st
+    }
+
+    impl SumSquares {
+        fn new(limit: i128, p: Platform) -> Self {
+            let mut st = declared(&p);
+            st.block_mut("MThV")
+                .unwrap()
+                .set_field(1, &Value::Int(limit))
+                .unwrap();
+            SumSquares { state: st, platform: p }
+        }
+    }
+
+    impl Computation<()> for SumSquares {
+        fn program(&self) -> &str {
+            "sum-squares"
+        }
+
+        fn step(&mut self, _ctx: &mut ()) -> StepStatus {
+            let b = self.state.block_mut("MThV").unwrap();
+            let i = b.get_field(0).unwrap().as_int();
+            let limit = b.get_field(1).unwrap().as_int();
+            if i >= limit {
+                return StepStatus::Done;
+            }
+            let acc = b.get_field(2).unwrap().as_int();
+            b.set_field(2, &Value::Int(acc + i * i)).unwrap();
+            b.set_field(0, &Value::Int(i + 1)).unwrap();
+            let _ = &self.platform;
+            StepStatus::Yield
+        }
+
+        fn capture(&self) -> ThreadState {
+            self.state.clone()
+        }
+    }
+
+    fn factory(
+        state: ThreadState,
+        platform: Platform,
+    ) -> Result<Box<dyn Computation<()>>, MigrateError> {
+        Ok(Box::new(SumSquares { state, platform }))
+    }
+
+    fn registry(p: &Platform) -> ProgramRegistry<()> {
+        let mut r = ProgramRegistry::new();
+        r.register("sum-squares", declared(p), factory);
+        r
+    }
+
+    #[test]
+    fn computation_survives_heterogeneous_migration_mid_run() {
+        let linux = PlatformSpec::linux_x86();
+        let sparc = PlatformSpec::solaris_sparc();
+
+        // Run 5 steps on Linux.
+        let mut comp = SumSquares::new(10, linux.clone());
+        let mut ctx = ();
+        for _ in 0..5 {
+            assert_eq!(comp.step(&mut ctx), StepStatus::Yield);
+        }
+
+        // Migrate to SPARC at the adaptation point.
+        let image = pack_state(&comp.capture());
+        let reg = registry(&sparc);
+        let mut remote = reg.restore(&image, sparc.clone()).unwrap();
+
+        // Finish there.
+        let mut steps = 0;
+        while remote.step(&mut ctx) == StepStatus::Yield {
+            steps += 1;
+            assert!(steps < 100, "runaway");
+        }
+        let final_state = remote.capture();
+        let acc = final_state
+            .block("MThV")
+            .unwrap()
+            .get_field(2)
+            .unwrap()
+            .as_int();
+        // sum of squares 0..10
+        assert_eq!(acc, (0..10).map(|i| i * i).sum::<i128>());
+        // And the state is genuinely in SPARC representation now.
+        assert_eq!(final_state.block("MThV").unwrap().platform.name, "solaris-sparc");
+    }
+
+    #[test]
+    fn migration_result_equals_unmigrated_run() {
+        let linux = PlatformSpec::linux_x86();
+        let mut ctx = ();
+        let mut direct = SumSquares::new(25, linux.clone());
+        while direct.step(&mut ctx) == StepStatus::Yield {}
+        let want = direct
+            .capture()
+            .block("MThV")
+            .unwrap()
+            .get_field(2)
+            .unwrap()
+            .as_int();
+
+        // Bounce Linux → SPARC64 → Linux at arbitrary points.
+        let sparc64 = PlatformSpec::solaris_sparc64();
+        let mut comp: Box<dyn Computation<()>> =
+            Box::new(SumSquares::new(25, linux.clone()));
+        for _ in 0..7 {
+            comp.step(&mut ctx);
+        }
+        let img1 = pack_state(&comp.capture());
+        let mut comp = registry(&sparc64).restore(&img1, sparc64.clone()).unwrap();
+        for _ in 0..7 {
+            comp.step(&mut ctx);
+        }
+        let img2 = pack_state(&comp.capture());
+        let mut comp = registry(&linux).restore(&img2, linux.clone()).unwrap();
+        while comp.step(&mut ctx) == StepStatus::Yield {}
+        let got = comp
+            .capture()
+            .block("MThV")
+            .unwrap()
+            .get_field(2)
+            .unwrap()
+            .as_int();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unknown_program_fails_restore() {
+        let linux = PlatformSpec::linux_x86();
+        let comp = SumSquares::new(3, linux.clone());
+        let image = pack_state(&comp.capture());
+        let empty: ProgramRegistry<()> = ProgramRegistry::new();
+        assert!(matches!(
+            empty.restore(&image, linux),
+            Err(MigrateError::UnknownProgram(_))
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! MigThread: application-level heterogeneous thread migration.
+//!
+//! Paper §3: thread states (global data segment, stack, heap, registers)
+//! are "extracted from their original locations … and abstracted up to the
+//! application level", turning the physical state into a logical,
+//! platform-independent form. The original system uses a source-to-source
+//! preprocessor that collects a thread's variables into `MThV`/`MThP`
+//! structures; here a computation declares its state explicitly:
+//!
+//! * [`state::TypedBlock`] — one structure of live data, held in the *native
+//!   byte representation* of the platform the thread currently runs on;
+//! * [`state::ThreadState`] — the full logical thread state: named blocks
+//!   (`MThV`, `MThP`, stack frames, heap objects) plus a resume point (the
+//!   logical program counter, valid at adaptation points only);
+//! * [`packfmt`] — the portable migration image: CGT-RMR tags + raw bytes
+//!   per block, convertible on the receiving platform ("receiver makes
+//!   right");
+//! * [`compute::Computation`] — the resumable-computation contract that
+//!   replaces preprocessor-instrumented C functions;
+//! * [`roles`] — the paper's thread role machine (master / local /
+//!   skeleton / stub / remote);
+//! * [`scheduler`] — adaptive load policies deciding who migrates where.
+
+pub mod compute;
+pub mod iostate;
+pub mod packfmt;
+pub mod roles;
+pub mod scheduler;
+pub mod state;
+
+pub use compute::{Computation, ProgramRegistry, StepStatus};
+pub use packfmt::{pack_state, unpack_state, MigrateError, StateImage};
+pub use roles::{RoleError, ThreadRole};
+pub use scheduler::{MigrationPlan, MigrationPolicy, NodeLoad, ThresholdPolicy};
+pub use state::{NamedBlock, ThreadState, TypedBlock};

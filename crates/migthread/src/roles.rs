@@ -1,0 +1,142 @@
+//! The paper's thread role machine (§3.1, Figure 1).
+//!
+//! * The application starts on the **home node**; its default thread is the
+//!   **master** and the spawned workers are **local** threads.
+//! * Restarting the same application on a newly joined machine creates
+//!   **skeleton** threads — blocked placeholders "holding computing slots
+//!   for migrating states".
+//! * When a local thread's state is shipped out it becomes a **stub** —
+//!   it stays behind to serve resource access (the home side of the DSD
+//!   protocol runs on stubs).
+//! * A skeleton that loads an incoming state is renamed a **remote**
+//!   thread and continues the computation.
+
+use std::fmt;
+
+/// Role of an application thread slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadRole {
+    /// The default thread at the home node.
+    Master,
+    /// A worker at the home node, state still resident.
+    Local,
+    /// A blocked placeholder at a remote node awaiting a state.
+    Skeleton,
+    /// A home-node thread whose state migrated away; serves resources.
+    Stub,
+    /// A remote thread executing a migrated state.
+    Remote,
+}
+
+/// Invalid role transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleError {
+    /// Role the transition was attempted from.
+    pub from: ThreadRole,
+    /// What was attempted.
+    pub event: &'static str,
+}
+
+impl fmt::Display for RoleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} from role {:?}", self.event, self.from)
+    }
+}
+
+impl std::error::Error for RoleError {}
+
+impl ThreadRole {
+    /// Transition when this thread's state is migrated out.
+    /// Local/Master → Stub (a master migration also moves the home node —
+    /// that cluster-level effect is handled by the caller); Remote → Stub is
+    /// forbidden (remote threads migrate *onward*: their slot reverts to
+    /// Skeleton).
+    pub fn on_migrate_out(self) -> Result<ThreadRole, RoleError> {
+        match self {
+            ThreadRole::Local | ThreadRole::Master => Ok(ThreadRole::Stub),
+            ThreadRole::Remote => Ok(ThreadRole::Skeleton),
+            from => Err(RoleError {
+                from,
+                event: "migrate-out",
+            }),
+        }
+    }
+
+    /// Transition when a migrated state arrives in this slot.
+    pub fn on_receive_state(self) -> Result<ThreadRole, RoleError> {
+        match self {
+            ThreadRole::Skeleton => Ok(ThreadRole::Remote),
+            // A stub can re-absorb a state that migrates back home.
+            ThreadRole::Stub => Ok(ThreadRole::Local),
+            from => Err(RoleError {
+                from,
+                event: "receive-state",
+            }),
+        }
+    }
+
+    /// Does this role currently execute application code?
+    pub fn is_computing(self) -> bool {
+        matches!(self, ThreadRole::Master | ThreadRole::Local | ThreadRole::Remote)
+    }
+
+    /// Does this role serve home-side resource requests?
+    pub fn serves_requests(self) -> bool {
+        matches!(self, ThreadRole::Stub | ThreadRole::Master)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lifecycle() {
+        // Home node: local thread migrates away → stub.
+        let local = ThreadRole::Local;
+        let stub = local.on_migrate_out().unwrap();
+        assert_eq!(stub, ThreadRole::Stub);
+        assert!(stub.serves_requests());
+        assert!(!stub.is_computing());
+
+        // Remote node: skeleton receives the state → remote.
+        let skel = ThreadRole::Skeleton;
+        let remote = skel.on_receive_state().unwrap();
+        assert_eq!(remote, ThreadRole::Remote);
+        assert!(remote.is_computing());
+    }
+
+    #[test]
+    fn remote_can_migrate_onward() {
+        // "Threads can migrate again if the hosting node is overloaded."
+        assert_eq!(
+            ThreadRole::Remote.on_migrate_out().unwrap(),
+            ThreadRole::Skeleton
+        );
+    }
+
+    #[test]
+    fn state_can_return_home() {
+        assert_eq!(
+            ThreadRole::Stub.on_receive_state().unwrap(),
+            ThreadRole::Local
+        );
+    }
+
+    #[test]
+    fn invalid_transitions_rejected() {
+        assert!(ThreadRole::Skeleton.on_migrate_out().is_err());
+        assert!(ThreadRole::Stub.on_migrate_out().is_err());
+        assert!(ThreadRole::Local.on_receive_state().is_err());
+        assert!(ThreadRole::Remote.on_receive_state().is_err());
+        assert!(ThreadRole::Master.on_receive_state().is_err());
+    }
+
+    #[test]
+    fn master_migration_becomes_stub() {
+        assert_eq!(
+            ThreadRole::Master.on_migrate_out().unwrap(),
+            ThreadRole::Stub
+        );
+    }
+}

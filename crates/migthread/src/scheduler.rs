@@ -1,0 +1,223 @@
+//! Adaptive migration policies.
+//!
+//! The "adaptive" half of the paper's title: jobs are dispatched and
+//! redistributed "according to requests from schedulers for load balancing
+//! and load sharing" (§3.1). A [`MigrationPolicy`] inspects per-node load
+//! and proposes thread movements; the cluster layer executes them at the
+//! threads' next adaptation points.
+
+use std::fmt;
+
+/// Load snapshot for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLoad {
+    /// Node rank.
+    pub rank: u32,
+    /// Number of computing threads currently hosted.
+    pub threads: usize,
+    /// Relative CPU speed of the node (1.0 = reference machine).
+    pub cpu_factor: f64,
+    /// Whether the node accepts new work (a draining node does not).
+    pub accepting: bool,
+}
+
+impl NodeLoad {
+    /// Normalised load: threads per unit of compute capacity.
+    pub fn normalized(&self) -> f64 {
+        if self.cpu_factor <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.threads as f64 / self.cpu_factor
+        }
+    }
+}
+
+/// One proposed migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationPlan {
+    /// Source node rank.
+    pub from: u32,
+    /// Destination node rank.
+    pub to: u32,
+}
+
+impl fmt::Display for MigrationPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "migrate one thread {} -> {}", self.from, self.to)
+    }
+}
+
+/// A policy mapping load snapshots to migration plans.
+pub trait MigrationPolicy {
+    /// Propose zero or more migrations for the given loads.
+    fn plan(&self, loads: &[NodeLoad]) -> Vec<MigrationPlan>;
+}
+
+/// Move threads from the most- to the least-loaded node while the
+/// normalised imbalance exceeds `imbalance_ratio`.
+#[derive(Debug, Clone)]
+pub struct ThresholdPolicy {
+    /// Trigger when max_load / min_load exceeds this (>= 1.0).
+    pub imbalance_ratio: f64,
+    /// Upper bound on plans per invocation.
+    pub max_moves: usize,
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        ThresholdPolicy {
+            imbalance_ratio: 1.5,
+            max_moves: 4,
+        }
+    }
+}
+
+impl MigrationPolicy for ThresholdPolicy {
+    fn plan(&self, loads: &[NodeLoad]) -> Vec<MigrationPlan> {
+        let mut working: Vec<NodeLoad> = loads.to_vec();
+        let mut plans = Vec::new();
+        for _ in 0..self.max_moves {
+            let Some(dst) = working
+                .iter()
+                .filter(|n| n.accepting)
+                .min_by(|a, b| a.normalized().total_cmp(&b.normalized()))
+                .cloned()
+            else {
+                break;
+            };
+            let Some(src) = working
+                .iter()
+                .filter(|n| n.threads > 0 && n.rank != dst.rank)
+                .max_by(|a, b| a.normalized().total_cmp(&b.normalized()))
+                .cloned()
+            else {
+                break;
+            };
+            // Stop when balanced enough, guarding the empty-destination case.
+            let dst_next = NodeLoad {
+                threads: dst.threads + 1,
+                ..dst.clone()
+            };
+            let improves = src.normalized() > dst_next.normalized();
+            let imbalanced = dst.normalized() <= 0.0
+                || src.normalized() / dst.normalized().max(1e-9) > self.imbalance_ratio;
+            if !(imbalanced && improves) {
+                break;
+            }
+            plans.push(MigrationPlan {
+                from: src.rank,
+                to: dst.rank,
+            });
+            for n in &mut working {
+                if n.rank == src.rank {
+                    n.threads -= 1;
+                }
+                if n.rank == dst.rank {
+                    n.threads += 1;
+                }
+            }
+        }
+        plans
+    }
+}
+
+/// Policy that drains a departing node: move everything off `leaving`.
+#[derive(Debug, Clone)]
+pub struct DrainPolicy {
+    /// Rank being vacated.
+    pub leaving: u32,
+}
+
+impl MigrationPolicy for DrainPolicy {
+    fn plan(&self, loads: &[NodeLoad]) -> Vec<MigrationPlan> {
+        let Some(src) = loads.iter().find(|n| n.rank == self.leaving) else {
+            return Vec::new();
+        };
+        let mut targets: Vec<&NodeLoad> = loads
+            .iter()
+            .filter(|n| n.rank != self.leaving && n.accepting)
+            .collect();
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        targets.sort_by(|a, b| a.normalized().total_cmp(&b.normalized()));
+        (0..src.threads)
+            .map(|i| MigrationPlan {
+                from: self.leaving,
+                to: targets[i % targets.len()].rank,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(rank: u32, threads: usize, cpu: f64) -> NodeLoad {
+        NodeLoad {
+            rank,
+            threads,
+            cpu_factor: cpu,
+            accepting: true,
+        }
+    }
+
+    #[test]
+    fn balanced_cluster_stays_put() {
+        let p = ThresholdPolicy::default();
+        assert!(p.plan(&[node(0, 2, 1.0), node(1, 2, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn overload_moves_to_idle_node() {
+        let p = ThresholdPolicy::default();
+        let plans = p.plan(&[node(0, 4, 1.0), node(1, 0, 1.0)]);
+        assert!(!plans.is_empty());
+        assert!(plans.iter().all(|m| m.from == 0 && m.to == 1));
+        // Should converge to 2/2, i.e. exactly 2 moves.
+        assert_eq!(plans.len(), 2);
+    }
+
+    #[test]
+    fn faster_node_attracts_more_work() {
+        // Node 1 is twice as fast; 6 threads on node 0, none on node 1.
+        let p = ThresholdPolicy {
+            imbalance_ratio: 1.2,
+            max_moves: 10,
+        };
+        let plans = p.plan(&[node(0, 6, 1.0), node(1, 0, 2.0)]);
+        // Equilibrium near threads0/1.0 ≈ threads1/2.0 → 2 vs 4.
+        assert_eq!(plans.len(), 4);
+    }
+
+    #[test]
+    fn non_accepting_node_receives_nothing() {
+        let p = ThresholdPolicy::default();
+        let mut idle = node(1, 0, 1.0);
+        idle.accepting = false;
+        let plans = p.plan(&[node(0, 4, 1.0), idle]);
+        assert!(plans.is_empty());
+    }
+
+    #[test]
+    fn drain_moves_everything_round_robin() {
+        let d = DrainPolicy { leaving: 0 };
+        let plans = d.plan(&[node(0, 3, 1.0), node(1, 1, 1.0), node(2, 0, 1.0)]);
+        assert_eq!(plans.len(), 3);
+        assert!(plans.iter().all(|m| m.from == 0));
+        // Least-loaded target (rank 2) comes first.
+        assert_eq!(plans[0].to, 2);
+    }
+
+    #[test]
+    fn drain_without_targets_is_noop() {
+        let d = DrainPolicy { leaving: 0 };
+        assert!(d.plan(&[node(0, 3, 1.0)]).is_empty());
+    }
+
+    #[test]
+    fn zero_cpu_factor_is_infinitely_loaded() {
+        assert!(node(0, 1, 0.0).normalized().is_infinite());
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests for MigThread: migration images must round-trip thread
+//! states across arbitrary platform chains, preserving every logical
+//! value and re-targeting every cross-block link.
+
+use hdsm_migthread::packfmt::{pack_state, unpack_state};
+use hdsm_migthread::state::{ThreadState, TypedBlock};
+use hdsm_platform::ctype::{CType, StructBuilder};
+use hdsm_platform::scalar::ScalarKind;
+use hdsm_platform::spec::{Platform, PlatformSpec};
+use hdsm_platform::value::Value;
+use proptest::prelude::*;
+
+const INTS: usize = 24;
+const DOUBLES: usize = 8;
+const PTR_SLOTS: usize = 3;
+
+fn block_ty() -> CType {
+    CType::Struct(
+        StructBuilder::new("MThV")
+            .scalar("pc", ScalarKind::Int)
+            .array("xs", ScalarKind::Int, INTS)
+            .array("fs", ScalarKind::Double, DOUBLES)
+            .array("ps", ScalarKind::Ptr, PTR_SLOTS)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn heap_ty() -> CType {
+    CType::Struct(
+        StructBuilder::new("Heap")
+            .scalar("hdr", ScalarKind::Char)
+            .array("payload", ScalarKind::Double, 6)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn declared(p: &Platform) -> ThreadState {
+    let mut st = ThreadState::new("prop");
+    st.push_block("MThV", TypedBlock::zeroed(block_ty(), p.clone()));
+    st.push_block("heap:0", TypedBlock::zeroed(heap_ty(), p.clone()));
+    st
+}
+
+fn any_platform() -> impl Strategy<Value = Platform> {
+    prop::sample::select(PlatformSpec::presets())
+}
+
+#[derive(Debug, Clone)]
+struct StateSeed {
+    pc: i32,
+    xs: Vec<i32>,
+    fs: Vec<f32>,
+    heap: Vec<f32>,
+    links: Vec<(usize, u64)>, // (ptr slot, heap leaf)
+    resume: u32,
+}
+
+fn any_seed() -> impl Strategy<Value = StateSeed> {
+    (
+        any::<i32>(),
+        prop::collection::vec(any::<i32>(), INTS..=INTS),
+        prop::collection::vec(
+            any::<f32>().prop_filter("finite", |f| f.is_finite()),
+            DOUBLES..=DOUBLES,
+        ),
+        prop::collection::vec(
+            any::<f32>().prop_filter("finite", |f| f.is_finite()),
+            6..=6,
+        ),
+        prop::collection::vec((0..PTR_SLOTS, 0u64..7), 0..PTR_SLOTS),
+        any::<u32>(),
+    )
+        .prop_map(|(pc, xs, fs, heap, links, resume)| StateSeed {
+            pc,
+            xs,
+            fs,
+            heap,
+            links,
+            resume,
+        })
+}
+
+fn build_state(seed: &StateSeed, p: &Platform) -> ThreadState {
+    let mut st = declared(p);
+    st.resume_point = seed.resume;
+    {
+        let b = st.block_mut("MThV").unwrap();
+        b.set_field(0, &Value::Int(seed.pc as i128)).unwrap();
+        b.set_field(
+            1,
+            &Value::Array(seed.xs.iter().map(|&v| Value::Int(v as i128)).collect()),
+        )
+        .unwrap();
+        b.set_field(
+            2,
+            &Value::Array(seed.fs.iter().map(|&v| Value::Float(v as f64)).collect()),
+        )
+        .unwrap();
+    }
+    {
+        let h = st.block_mut("heap:0").unwrap();
+        h.set_field(
+            1,
+            &Value::Array(seed.heap.iter().map(|&v| Value::Float(v as f64)).collect()),
+        )
+        .unwrap();
+    }
+    for (slot, leaf) in dedup_links(&seed.links) {
+        // ps[slot] is leaf 1 + INTS + DOUBLES + slot of MThV.
+        st.add_link("MThV", (1 + INTS + DOUBLES + slot) as u64, "heap:0", leaf);
+    }
+    st.materialize_links().unwrap();
+    st
+}
+
+/// One link per pointer slot (the generator may propose duplicates; a
+/// real program has a single live target per pointer).
+fn dedup_links(links: &[(usize, u64)]) -> Vec<(usize, u64)> {
+    let mut by_slot = std::collections::BTreeMap::new();
+    for &(slot, leaf) in links {
+        by_slot.insert(slot, leaf);
+    }
+    by_slot.into_iter().collect()
+}
+
+fn check_state(st: &ThreadState, seed: &StateSeed, p: &Platform) {
+    assert_eq!(st.resume_point, seed.resume);
+    let b = st.block("MThV").unwrap();
+    assert_eq!(b.platform.name, p.name);
+    assert_eq!(b.get_field(0).unwrap(), Value::Int(seed.pc as i128));
+    assert_eq!(
+        b.get_field(1).unwrap(),
+        Value::Array(seed.xs.iter().map(|&v| Value::Int(v as i128)).collect())
+    );
+    assert_eq!(
+        b.get_field(2).unwrap(),
+        Value::Array(seed.fs.iter().map(|&v| Value::Float(v as f64)).collect())
+    );
+    // Links point at the platform-correct offsets.
+    let heap = st.block("heap:0").unwrap();
+    for (slot, leaf) in dedup_links(&seed.links) {
+        let (want_off, _, _) = heap.leaf_info(leaf).unwrap();
+        let got = b
+            .read_ptr_leaf((1 + INTS + DOUBLES + slot) as u64)
+            .unwrap();
+        assert_eq!(got, Some(want_off), "link slot {slot} leaf {leaf}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// pack → unpack between any two platforms preserves the whole state.
+    #[test]
+    fn migration_roundtrip_any_pair(
+        seed in any_seed(),
+        src in any_platform(),
+        dst in any_platform(),
+    ) {
+        let st = build_state(&seed, &src);
+        let image = pack_state(&st);
+        let restored = unpack_state(&image, &dst, &declared(&dst)).unwrap();
+        check_state(&restored, &seed, &dst);
+    }
+
+    /// A chain of migrations through three random platforms ends with the
+    /// same logical state as a direct migration.
+    #[test]
+    fn migration_chain_equals_direct(
+        seed in any_seed(),
+        a in any_platform(),
+        b in any_platform(),
+        c in any_platform(),
+    ) {
+        let st = build_state(&seed, &a);
+        // a → b → c
+        let via_b = unpack_state(&pack_state(&st), &b, &declared(&b)).unwrap();
+        let via_c = unpack_state(&pack_state(&via_b), &c, &declared(&c)).unwrap();
+        check_state(&via_c, &seed, &c);
+        // a → c directly
+        let direct = unpack_state(&pack_state(&st), &c, &declared(&c)).unwrap();
+        // Byte-identical final images (both in c's representation).
+        prop_assert_eq!(
+            &via_c.block("MThV").unwrap().bytes,
+            &direct.block("MThV").unwrap().bytes
+        );
+        prop_assert_eq!(
+            &via_c.block("heap:0").unwrap().bytes,
+            &direct.block("heap:0").unwrap().bytes
+        );
+    }
+
+    /// Image parsing never panics on arbitrary corruption of a valid
+    /// image (single-byte flips at every position).
+    #[test]
+    fn corrupted_images_never_panic(seed in any_seed(), pos_salt in any::<u16>()) {
+        use hdsm_migthread::packfmt::{parse_image, StateImage};
+        let st = build_state(&seed, &PlatformSpec::linux_x86());
+        let image = pack_state(&st);
+        let pos = (pos_salt as usize) % image.bytes.len();
+        let mut corrupted = image.bytes.to_vec();
+        corrupted[pos] ^= 0x5a;
+        let _ = parse_image(&StateImage { bytes: corrupted.into() });
+    }
+}

@@ -1,0 +1,271 @@
+//! The network fabric and per-node endpoints.
+
+use crate::message::{Message, MsgKind};
+use crate::stats::{NetConfig, NetStats};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::{Mutex, RwLock};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors from sending/receiving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination rank is not registered.
+    UnknownDestination(u32),
+    /// The destination endpoint has been dropped.
+    Disconnected(u32),
+    /// Blocking receive timed out.
+    Timeout,
+    /// Channel empty on `try_recv`.
+    Empty,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownDestination(r) => write!(f, "unknown destination rank {r}"),
+            NetError::Disconnected(r) => write!(f, "rank {r} disconnected"),
+            NetError::Timeout => write!(f, "receive timeout"),
+            NetError::Empty => write!(f, "no message available"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct Fabric {
+    config: NetConfig,
+    senders: RwLock<Vec<Sender<Message>>>,
+    stats: Mutex<NetStats>,
+}
+
+/// Handle to the shared network fabric. Cloning is cheap; all clones refer
+/// to the same fabric.
+#[derive(Clone)]
+pub struct Network {
+    fabric: Arc<Fabric>,
+}
+
+impl Network {
+    /// Create a fabric with `n` endpoints (ranks `0..n`).
+    pub fn new(n: usize, config: NetConfig) -> (Network, Vec<Endpoint>) {
+        let net = Network {
+            fabric: Arc::new(Fabric {
+                config,
+                senders: RwLock::new(Vec::new()),
+                stats: Mutex::new(NetStats::default()),
+            }),
+        };
+        let eps = (0..n).map(|_| net.add_endpoint()).collect();
+        (net, eps)
+    }
+
+    /// Register a new endpoint at runtime — this is how a machine "joins"
+    /// the adaptive cluster (paper §1: jobs dispatched to newly added
+    /// machines). Returns the endpoint with the next free rank.
+    pub fn add_endpoint(&self) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let mut senders = self.fabric.senders.write();
+        let rank = senders.len() as u32;
+        senders.push(tx);
+        Endpoint {
+            rank,
+            rx,
+            net: self.clone(),
+        }
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.fabric.senders.read().len()
+    }
+
+    /// Snapshot of traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        self.fabric.stats.lock().clone()
+    }
+
+    /// Reset traffic statistics (between benchmark phases).
+    pub fn reset_stats(&self) {
+        *self.fabric.stats.lock() = NetStats::default();
+    }
+
+    fn send(&self, msg: Message) -> Result<(), NetError> {
+        let wire = self.fabric.config.transfer_time(msg.payload.len());
+        let tx = {
+            let senders = self.fabric.senders.read();
+            senders
+                .get(msg.dst as usize)
+                .ok_or(NetError::UnknownDestination(msg.dst))?
+                .clone()
+        };
+        self.fabric
+            .stats
+            .lock()
+            .record(msg.kind, msg.payload.len(), wire);
+        if self.fabric.config.real_delay && wire > Duration::ZERO {
+            std::thread::sleep(wire);
+        }
+        let dst = msg.dst;
+        tx.send(msg).map_err(|_| NetError::Disconnected(dst))
+    }
+}
+
+/// A node's connection to the fabric. Receives are exclusive to the owner;
+/// sends go through the shared fabric.
+pub struct Endpoint {
+    rank: u32,
+    rx: Receiver<Message>,
+    net: Network,
+}
+
+impl Endpoint {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Handle to the fabric (for stats or adding endpoints).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Send `payload` to `dst`.
+    pub fn send(&self, dst: u32, kind: MsgKind, payload: Bytes) -> Result<(), NetError> {
+        self.net.send(Message {
+            src: self.rank,
+            dst,
+            kind,
+            payload,
+        })
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Result<Message, NetError> {
+        self.rx.recv().map_err(|_| NetError::Disconnected(self.rank))
+    }
+
+    /// Blocking receive with timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected(self.rank),
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Message, NetError> {
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => NetError::Empty,
+            TryRecvError::Disconnected => NetError::Disconnected(self.rank),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_send_receive() {
+        let (_net, eps) = Network::new(2, NetConfig::instant());
+        eps[0]
+            .send(1, MsgKind::Other, Bytes::from_static(b"hello"))
+            .unwrap();
+        let m = eps[1].recv().unwrap();
+        assert_eq!(m.src, 0);
+        assert_eq!(m.dst, 1);
+        assert_eq!(&m.payload[..], b"hello");
+    }
+
+    #[test]
+    fn unknown_destination() {
+        let (_net, eps) = Network::new(1, NetConfig::instant());
+        assert_eq!(
+            eps[0].send(9, MsgKind::Other, Bytes::new()),
+            Err(NetError::UnknownDestination(9))
+        );
+    }
+
+    #[test]
+    fn self_send_allowed() {
+        let (_net, eps) = Network::new(1, NetConfig::instant());
+        eps[0].send(0, MsgKind::Other, Bytes::new()).unwrap();
+        assert!(eps[0].try_recv().is_ok());
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let (_net, eps) = Network::new(1, NetConfig::instant());
+        assert_eq!(eps[0].try_recv().unwrap_err(), NetError::Empty);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (_net, eps) = Network::new(1, NetConfig::instant());
+        assert_eq!(
+            eps[0].recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            NetError::Timeout
+        );
+    }
+
+    #[test]
+    fn dynamic_join_gets_next_rank() {
+        let (net, eps) = Network::new(2, NetConfig::instant());
+        let newcomer = net.add_endpoint();
+        assert_eq!(newcomer.rank(), 2);
+        assert_eq!(net.endpoint_count(), 3);
+        eps[0]
+            .send(2, MsgKind::Other, Bytes::from_static(b"welcome"))
+            .unwrap();
+        assert_eq!(&newcomer.recv().unwrap().payload[..], b"welcome");
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let (net, eps) = Network::new(2, NetConfig::default());
+        eps[0]
+            .send(1, MsgKind::LockRequest, Bytes::from_static(&[0; 100]))
+            .unwrap();
+        eps[1]
+            .send(0, MsgKind::LockGrant, Bytes::from_static(&[0; 5000]))
+            .unwrap();
+        let s = net.stats();
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.total_bytes(), 5100);
+        assert!(s.simulated_wire_time > Duration::ZERO);
+        net.reset_stats();
+        assert_eq!(net.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn cross_thread_messaging() {
+        let (_net, mut eps) = Network::new(2, NetConfig::instant());
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            let m = ep1.recv().unwrap();
+            ep1.send(m.src, MsgKind::Other, m.payload).unwrap();
+        });
+        ep0.send(1, MsgKind::Other, Bytes::from_static(b"ping"))
+            .unwrap();
+        let echo = ep0.recv().unwrap();
+        assert_eq!(&echo.payload[..], b"ping");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn messages_preserve_fifo_per_pair() {
+        let (_net, eps) = Network::new(2, NetConfig::instant());
+        for i in 0..100u8 {
+            eps[0]
+                .send(1, MsgKind::Other, Bytes::copy_from_slice(&[i]))
+                .unwrap();
+        }
+        for i in 0..100u8 {
+            assert_eq!(eps[1].recv().unwrap().payload[0], i);
+        }
+    }
+}

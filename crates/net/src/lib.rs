@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Simulated cluster transport.
+//!
+//! The paper's nodes are separate machines joined by TCP sockets; ours are
+//! threads joined by channels. The crucial property preserved is the
+//! *byte boundary*: a [`Message`] payload is an opaque `Bytes` buffer — the
+//! only things that cross between nodes are serialized bytes (in the
+//! sender's native format) plus CGT-RMR tags, never shared Rust objects.
+//!
+//! The [`Network`] also keeps per-kind traffic statistics and a simple
+//! latency/bandwidth cost model ([`NetConfig`]) used by the benchmark
+//! harnesses to report simulated communication time alongside measured
+//! computation time. By default no real sleeping happens — the model is
+//! pure accounting — so unit tests stay fast.
+
+pub mod endpoint;
+pub mod message;
+pub mod stats;
+
+pub use endpoint::{Endpoint, NetError, Network};
+pub use message::{Message, MsgKind};
+pub use stats::{NetConfig, NetStats};

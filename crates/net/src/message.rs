@@ -1,0 +1,101 @@
+//! Message envelope.
+
+use bytes::Bytes;
+
+/// Protocol message kinds, used for routing within a node and for traffic
+/// statistics bucketing. The DSD protocol (hdsm-core) maps its message
+/// types onto these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum MsgKind {
+    /// `MTh_lock` request (remote → home).
+    LockRequest = 1,
+    /// Lock grant carrying outstanding updates (home → remote).
+    LockGrant = 2,
+    /// `MTh_unlock` release carrying updates (remote → home).
+    UnlockRequest = 3,
+    /// Release acknowledgement (home → remote).
+    UnlockAck = 4,
+    /// Barrier entry carrying updates (remote → home).
+    BarrierEnter = 5,
+    /// Barrier release carrying merged updates (home → remote).
+    BarrierRelease = 6,
+    /// `MTh_join` sign-off (remote → home).
+    Join = 7,
+    /// Program shutdown (home → remote).
+    Shutdown = 8,
+    /// Thread state migration image (MigThread).
+    Migration = 9,
+    /// Migration acknowledgement / resume notification.
+    MigrationAck = 10,
+    /// `MTh_cond_wait` request (remote → home).
+    CondWait = 11,
+    /// `MTh_cond_signal` / broadcast (remote → home).
+    CondSignal = 12,
+    /// Anything else (tests, applications).
+    Other = 255,
+}
+
+impl MsgKind {
+    /// All kinds (for stats iteration).
+    pub const ALL: [MsgKind; 13] = [
+        MsgKind::LockRequest,
+        MsgKind::LockGrant,
+        MsgKind::UnlockRequest,
+        MsgKind::UnlockAck,
+        MsgKind::BarrierEnter,
+        MsgKind::BarrierRelease,
+        MsgKind::Join,
+        MsgKind::Shutdown,
+        MsgKind::Migration,
+        MsgKind::MigrationAck,
+        MsgKind::CondWait,
+        MsgKind::CondSignal,
+        MsgKind::Other,
+    ];
+
+    /// Short label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            MsgKind::LockRequest => "lock-req",
+            MsgKind::LockGrant => "lock-grant",
+            MsgKind::UnlockRequest => "unlock-req",
+            MsgKind::UnlockAck => "unlock-ack",
+            MsgKind::BarrierEnter => "barrier-enter",
+            MsgKind::BarrierRelease => "barrier-release",
+            MsgKind::Join => "join",
+            MsgKind::Shutdown => "shutdown",
+            MsgKind::Migration => "migration",
+            MsgKind::MigrationAck => "migration-ack",
+            MsgKind::CondWait => "cond-wait",
+            MsgKind::CondSignal => "cond-signal",
+            MsgKind::Other => "other",
+        }
+    }
+}
+
+/// A message in flight between two nodes.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender rank.
+    pub src: u32,
+    /// Destination rank.
+    pub dst: u32,
+    /// Protocol kind.
+    pub kind: MsgKind,
+    /// Opaque serialized payload (sender-native format + tags).
+    pub payload: Bytes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in MsgKind::ALL {
+            assert!(seen.insert(k.label()));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Traffic statistics and the communication cost model.
+
+use crate::message::MsgKind;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Communication cost model. All costs are *accounted*, not slept, unless
+/// `real_delay` is set (useful in demos to make migration visible).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Fixed per-message latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes/second; `None` = infinite.
+    pub bandwidth: Option<u64>,
+    /// Whether to actually sleep for the modelled time when sending.
+    pub real_delay: bool,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        // Paper-era cluster interconnect: ~100 µs latency, 100 Mbit/s.
+        NetConfig {
+            latency: Duration::from_micros(100),
+            bandwidth: Some(12_500_000),
+            real_delay: false,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Cost model with zero latency and infinite bandwidth (unit tests).
+    pub fn instant() -> NetConfig {
+        NetConfig {
+            latency: Duration::ZERO,
+            bandwidth: None,
+            real_delay: false,
+        }
+    }
+
+    /// Modelled wire time for a message of `bytes` bytes.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        let bw = match self.bandwidth {
+            Some(b) if b > 0 => {
+                Duration::from_secs_f64(bytes as f64 / b as f64)
+            }
+            _ => Duration::ZERO,
+        };
+        self.latency + bw
+    }
+}
+
+/// Per-kind traffic counters plus accumulated modelled wire time.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Messages sent, by kind.
+    pub messages: HashMap<MsgKind, u64>,
+    /// Payload bytes sent, by kind.
+    pub bytes: HashMap<MsgKind, u64>,
+    /// Total modelled time on the wire.
+    pub simulated_wire_time: Duration,
+}
+
+impl NetStats {
+    /// Record one sent message.
+    pub fn record(&mut self, kind: MsgKind, bytes: usize, wire: Duration) {
+        *self.messages.entry(kind).or_default() += 1;
+        *self.bytes.entry(kind).or_default() += bytes as u64;
+        self.simulated_wire_time += wire;
+    }
+
+    /// Total messages across kinds.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.values().sum()
+    }
+
+    /// Total payload bytes across kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.values().sum()
+    }
+
+    /// Render a compact report table (one line per kind with traffic).
+    pub fn report(&self) -> String {
+        let mut out = String::from("kind              msgs       bytes\n");
+        for k in MsgKind::ALL {
+            let m = self.messages.get(&k).copied().unwrap_or(0);
+            if m == 0 {
+                continue;
+            }
+            let b = self.bytes.get(&k).copied().unwrap_or(0);
+            out.push_str(&format!("{:<16} {:>6} {:>11}\n", k.label(), m, b));
+        }
+        out.push_str(&format!(
+            "total            {:>6} {:>11}  (modelled wire time {:?})\n",
+            self.total_messages(),
+            self.total_bytes(),
+            self.simulated_wire_time
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let cfg = NetConfig {
+            latency: Duration::from_micros(100),
+            bandwidth: Some(1_000_000), // 1 MB/s
+            real_delay: false,
+        };
+        let t = cfg.transfer_time(500_000);
+        assert_eq!(t, Duration::from_micros(100) + Duration::from_millis(500));
+    }
+
+    #[test]
+    fn instant_config_is_free() {
+        assert_eq!(NetConfig::instant().transfer_time(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate_per_kind() {
+        let mut s = NetStats::default();
+        s.record(MsgKind::LockRequest, 10, Duration::from_micros(1));
+        s.record(MsgKind::LockRequest, 20, Duration::from_micros(1));
+        s.record(MsgKind::LockGrant, 1000, Duration::from_micros(5));
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 1030);
+        assert_eq!(s.messages[&MsgKind::LockRequest], 2);
+        assert_eq!(s.simulated_wire_time, Duration::from_micros(7));
+        let rep = s.report();
+        assert!(rep.contains("lock-req"));
+        assert!(rep.contains("lock-grant"));
+        assert!(!rep.contains("barrier-enter"));
+    }
+}

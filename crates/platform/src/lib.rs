@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Simulated platform model for the heterogeneous software DSM.
+//!
+//! The paper ("An Adaptive Heterogeneous Software DSM", ICPP Workshops 2006)
+//! evaluates its system across a big-endian Solaris/SPARC machine and a
+//! little-endian Linux/x86 machine. This crate captures everything about a
+//! platform that the DSM's data-conversion machinery (CGT-RMR) cares about:
+//!
+//! * byte order ([`Endianness`]),
+//! * the sizes and alignments of the C scalar types ([`PlatformSpec`]),
+//! * the VM page size (write detection happens at page granularity),
+//! * a relative CPU speed factor used only when *reporting* per-platform
+//!   timings in the figure-regeneration harnesses.
+//!
+//! On top of the platform specification sits a small C type model
+//! ([`ctype::CType`]) and a layout engine ([`layout`]) that reproduces the
+//! System-V-style struct layout algorithm (natural alignment with
+//! per-platform quirks such as 4-byte `double` alignment on i386). The
+//! [`value`] module provides a typed value tree that can be encoded to /
+//! decoded from a platform's *native byte representation* — this is how the
+//! simulator materialises "a big-endian node's memory" on a little-endian
+//! host.
+
+pub mod ctype;
+pub mod endian;
+pub mod layout;
+pub mod scalar;
+pub mod spec;
+pub mod value;
+
+pub use ctype::{CType, Field, StructDef};
+pub use endian::Endianness;
+pub use layout::{FieldLayout, LayoutKind, TypeLayout};
+pub use scalar::{ScalarClass, ScalarKind};
+pub use spec::PlatformSpec;
+pub use value::Value;

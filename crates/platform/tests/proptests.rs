@@ -1,0 +1,178 @@
+//! Property tests for the platform substrate: layout invariants and
+//! value encode/decode round-trips across every simulated platform.
+
+use hdsm_platform::ctype::{CType, StructBuilder};
+use hdsm_platform::endian::{read_int, read_uint, write_int, write_uint, Endianness};
+use hdsm_platform::layout::{LayoutKind, TypeLayout};
+use hdsm_platform::scalar::{ScalarClass, ScalarKind};
+use hdsm_platform::spec::PlatformSpec;
+use hdsm_platform::value::Value;
+use proptest::prelude::*;
+
+/// Strategy for an arbitrary scalar kind.
+fn any_kind() -> impl Strategy<Value = ScalarKind> {
+    prop::sample::select(ScalarKind::ALL.to_vec())
+}
+
+/// Strategy for a small random C type (bounded depth and width so cases
+/// stay fast while still exercising nested aggregates).
+fn any_ctype(depth: u32) -> BoxedStrategy<CType> {
+    let leaf = any_kind().prop_map(CType::Scalar);
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), 1usize..5).prop_map(|(t, n)| CType::array(t, n)),
+            prop::collection::vec(inner, 1..4).prop_map(|tys| {
+                let mut b = StructBuilder::new("P");
+                for (i, t) in tys.into_iter().enumerate() {
+                    b = b.field(format!("f{i}"), t);
+                }
+                CType::Struct(b.build().expect("generated struct is valid"))
+            }),
+        ]
+    })
+    .boxed()
+}
+
+/// A value that fits the layout on *every* platform: integers restricted to
+/// i32 range (the narrowest `long`), pointers to u32-1 offsets.
+fn value_for(layout: &TypeLayout) -> BoxedStrategy<Value> {
+    match layout.kind.clone() {
+        LayoutKind::Scalar(kind) => match kind.class() {
+            ScalarClass::Signed => {
+                let max = if layout.size >= 4 { i32::MAX as i128 } else { 0 };
+                let (lo, hi) = match layout.size {
+                    1 => (i8::MIN as i128, i8::MAX as i128),
+                    2 => (i16::MIN as i128, i16::MAX as i128),
+                    _ => (i32::MIN as i128, max),
+                };
+                (lo..=hi).prop_map(Value::Int).boxed()
+            }
+            ScalarClass::Unsigned => {
+                let hi = match layout.size {
+                    1 => u8::MAX as i128,
+                    2 => u16::MAX as i128,
+                    _ => u32::MAX as i128,
+                };
+                (0..=hi).prop_map(Value::Int).boxed()
+            }
+            ScalarClass::Float => prop_oneof![
+                any::<f32>().prop_filter("finite", |f| f.is_finite())
+                    .prop_map(|f| Value::Float(f as f64)),
+            ]
+            .boxed(),
+            ScalarClass::Pointer => prop_oneof![
+                Just(Value::Ptr(None)),
+                (0u64..0xffff_fffe).prop_map(|o| Value::Ptr(Some(o))),
+            ]
+            .boxed(),
+        },
+        LayoutKind::Array { elem, len } => {
+            prop::collection::vec(value_for(&elem), len as usize..=len as usize)
+                .prop_map(Value::Array)
+                .boxed()
+        }
+        LayoutKind::Struct { fields, .. } => fields
+            .iter()
+            .map(|f| value_for(&f.layout))
+            .collect::<Vec<_>>()
+            .prop_map(Value::Struct)
+            .boxed(),
+    }
+}
+
+proptest! {
+    /// write/read round-trip for unsigned ints of every size and order.
+    #[test]
+    fn uint_roundtrip(v in any::<u64>(), size in 1usize..=8, big in any::<bool>()) {
+        let endian = if big { Endianness::Big } else { Endianness::Little };
+        let masked = if size == 8 { v as u128 } else { (v as u128) & ((1u128 << (size*8)) - 1) };
+        let mut buf = vec![0u8; size];
+        write_uint(masked, &mut buf, endian);
+        prop_assert_eq!(read_uint(&buf, endian), masked);
+    }
+
+    /// Signed round-trip with sign extension.
+    #[test]
+    fn int_roundtrip(v in any::<i32>(), big in any::<bool>()) {
+        let endian = if big { Endianness::Big } else { Endianness::Little };
+        let mut buf = [0u8; 4];
+        write_int(v as i128, &mut buf, endian);
+        prop_assert_eq!(read_int(&buf, endian), v as i128);
+    }
+
+    /// Layout invariants on every platform: size is a multiple of align,
+    /// fields are in order, non-overlapping, and padding accounts exactly
+    /// for the gap between consecutive fields.
+    #[test]
+    fn layout_invariants(ty in any_ctype(3)) {
+        for p in PlatformSpec::presets() {
+            let l = TypeLayout::compute(&ty, &p);
+            prop_assert!(l.align >= 1);
+            prop_assert_eq!(l.size % l.align, 0, "size not multiple of align on {}", p.name);
+            if let LayoutKind::Struct { fields, .. } = &l.kind {
+                let mut cursor = 0u64;
+                for f in fields {
+                    prop_assert!(f.offset >= cursor, "field overlap on {}", p.name);
+                    prop_assert_eq!(f.offset % f.layout.align, 0);
+                    cursor = f.offset + f.layout.size + f.padding_after;
+                }
+                prop_assert_eq!(cursor, l.size, "padding does not tile struct on {}", p.name);
+            }
+        }
+    }
+
+    /// Scalar walk covers each byte of data at most once and in order.
+    #[test]
+    fn scalar_walk_is_ordered_and_disjoint(ty in any_ctype(3)) {
+        let p = PlatformSpec::solaris_sparc();
+        let l = TypeLayout::compute(&ty, &p);
+        let mut end = 0u64;
+        let mut count = 0u64;
+        l.for_each_scalar(0, &mut |off, _k, size| {
+            assert!(off >= end, "overlapping scalars");
+            end = off + size;
+            count += 1;
+        });
+        prop_assert!(end <= l.size);
+        prop_assert_eq!(count, ty.scalar_count());
+    }
+
+    /// encode → decode is the identity on every platform.
+    #[test]
+    fn value_roundtrip_all_platforms(
+        (ty, seed) in any_ctype(2).prop_flat_map(|ty| {
+            let l = TypeLayout::compute(&ty, &PlatformSpec::linux_x86());
+            value_for(&l).prop_map(move |v| (ty.clone(), v))
+        })
+    ) {
+        for p in PlatformSpec::presets() {
+            let l = TypeLayout::compute(&ty, &p);
+            let bytes = seed.encode_vec(&l, &p).expect("encode");
+            let back = Value::decode(&l, &p, &bytes).expect("decode");
+            prop_assert_eq!(&back, &seed, "roundtrip mismatch on {}", p.name);
+        }
+    }
+
+    /// Cross-platform: the same logical value encoded on two homogeneous
+    /// platforms yields identical bytes.
+    #[test]
+    fn homogeneous_platforms_agree_bytewise(
+        (ty, seed) in any_ctype(2).prop_flat_map(|ty| {
+            let l = TypeLayout::compute(&ty, &PlatformSpec::linux_x86());
+            value_for(&l).prop_map(move |v| (ty.clone(), v))
+        })
+    ) {
+        let s = PlatformSpec::solaris_sparc();
+        let a = PlatformSpec::aix_power();
+        prop_assume!(s.homogeneous_with(&a));
+        let ls = TypeLayout::compute(&ty, &s);
+        let la = TypeLayout::compute(&ty, &a);
+        prop_assert_eq!(
+            seed.encode_vec(&ls, &s).unwrap(),
+            seed.encode_vec(&la, &a).unwrap()
+        );
+    }
+}

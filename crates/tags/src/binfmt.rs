@@ -1,0 +1,257 @@
+//! Binary tag encoding — the paper's stated future work.
+//!
+//! §5: "We are optimistic that the overhead due to heterogeneity can be
+//! improved, particularly by lessening our reliance on string operations
+//! with the tags." This module provides a compact binary encoding of the
+//! tag AST that is bit-exact round-trippable with the textual form, so a
+//! deployment can negotiate either representation per link. The
+//! `bench_convert` criterion group compares parse/emit costs of the two.
+//!
+//! Layout (all integers little-endian, varint-free for simplicity):
+//!
+//! ```text
+//! tag      := u16 item_count, item*
+//! item     := u8 kind, payload
+//! kind 0   := scalar   — u32 size, u32 count
+//! kind 1   := pointer  — u32 size, u32 count
+//! kind 2   := padding  — u32 bytes
+//! kind 3   := aggregate— u32 count, u16 item_count, item*
+//! ```
+
+use crate::tag::{Tag, TagItem};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors from binary tag decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinTagError {
+    /// Frame too short.
+    Truncated,
+    /// Unknown item kind byte.
+    BadKind(u8),
+    /// Nesting deeper than the grammar allows.
+    TooDeep,
+    /// Zero-size scalar / zero-count aggregate.
+    Invalid,
+    /// Trailing bytes after a complete tag.
+    TrailingBytes,
+}
+
+impl fmt::Display for BinTagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinTagError::Truncated => write!(f, "truncated binary tag"),
+            BinTagError::BadKind(k) => write!(f, "unknown tag item kind {k}"),
+            BinTagError::TooDeep => write!(f, "tag nesting too deep"),
+            BinTagError::Invalid => write!(f, "invalid tag item"),
+            BinTagError::TrailingBytes => write!(f, "trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for BinTagError {}
+
+const MAX_DEPTH: usize = 64;
+
+fn encode_items(items: &[TagItem], out: &mut BytesMut) {
+    out.put_u16_le(items.len() as u16);
+    for item in items {
+        match item {
+            TagItem::Scalar { size, count } => {
+                out.put_u8(0);
+                out.put_u32_le(*size);
+                out.put_u32_le(*count);
+            }
+            TagItem::Pointer { size, count } => {
+                out.put_u8(1);
+                out.put_u32_le(*size);
+                out.put_u32_le(*count);
+            }
+            TagItem::Padding { bytes } => {
+                out.put_u8(2);
+                out.put_u32_le(*bytes);
+            }
+            TagItem::Aggregate { items, count } => {
+                out.put_u8(3);
+                out.put_u32_le(*count);
+                encode_items(items, out);
+            }
+        }
+    }
+}
+
+/// Encode a tag to the binary form.
+pub fn encode_tag(tag: &Tag) -> Bytes {
+    let mut out = BytesMut::with_capacity(2 + tag.0.len() * 9);
+    encode_items(&tag.0, &mut out);
+    out.freeze()
+}
+
+fn decode_items(buf: &mut Bytes, depth: usize) -> Result<Vec<TagItem>, BinTagError> {
+    if depth > MAX_DEPTH {
+        return Err(BinTagError::TooDeep);
+    }
+    if buf.remaining() < 2 {
+        return Err(BinTagError::Truncated);
+    }
+    let n = buf.get_u16_le() as usize;
+    let mut items = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        if buf.remaining() < 1 {
+            return Err(BinTagError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 8 {
+                    return Err(BinTagError::Truncated);
+                }
+                let size = buf.get_u32_le();
+                let count = buf.get_u32_le();
+                if size == 0 || count == 0 {
+                    return Err(BinTagError::Invalid);
+                }
+                items.push(TagItem::Scalar { size, count });
+            }
+            1 => {
+                if buf.remaining() < 8 {
+                    return Err(BinTagError::Truncated);
+                }
+                let size = buf.get_u32_le();
+                let count = buf.get_u32_le();
+                if size == 0 || count == 0 {
+                    return Err(BinTagError::Invalid);
+                }
+                items.push(TagItem::Pointer { size, count });
+            }
+            2 => {
+                if buf.remaining() < 4 {
+                    return Err(BinTagError::Truncated);
+                }
+                items.push(TagItem::Padding {
+                    bytes: buf.get_u32_le(),
+                });
+            }
+            3 => {
+                if buf.remaining() < 4 {
+                    return Err(BinTagError::Truncated);
+                }
+                let count = buf.get_u32_le();
+                if count == 0 {
+                    return Err(BinTagError::Invalid);
+                }
+                let inner = decode_items(buf, depth + 1)?;
+                items.push(TagItem::Aggregate {
+                    items: inner,
+                    count,
+                });
+            }
+            k => return Err(BinTagError::BadKind(k)),
+        }
+    }
+    Ok(items)
+}
+
+/// Decode a binary tag. The whole buffer must be consumed.
+pub fn decode_tag(mut buf: Bytes) -> Result<Tag, BinTagError> {
+    let items = decode_items(&mut buf, 0)?;
+    if buf.has_remaining() {
+        return Err(BinTagError::TrailingBytes);
+    }
+    Ok(Tag(items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::tag_for;
+    use crate::parse::parse_tag;
+    use hdsm_platform::ctype::{paper_figure4_struct, CType, StructBuilder};
+    use hdsm_platform::layout::TypeLayout;
+    use hdsm_platform::scalar::ScalarKind;
+    use hdsm_platform::spec::PlatformSpec;
+
+    #[test]
+    fn roundtrip_figure4_tag() {
+        let t = tag_for(&TypeLayout::compute(
+            &CType::Struct(paper_figure4_struct()),
+            &PlatformSpec::linux_x86(),
+        ));
+        let bin = encode_tag(&t);
+        assert_eq!(decode_tag(bin.clone()).unwrap(), t);
+        // The win of the binary form is decode speed (no digit parsing),
+        // not necessarily size; it stays within 2x of the textual form.
+        assert!(bin.len() <= 2 * t.to_string().len());
+    }
+
+    #[test]
+    fn roundtrip_nested_aggregates() {
+        let inner = StructBuilder::new("I")
+            .scalar("d", ScalarKind::Double)
+            .scalar("c", ScalarKind::Char)
+            .build()
+            .unwrap();
+        let outer = StructBuilder::new("O")
+            .field("xs", CType::array(CType::Struct(inner), 3))
+            .scalar("p", ScalarKind::Ptr)
+            .build()
+            .unwrap();
+        let t = tag_for(&TypeLayout::compute(
+            &CType::Struct(outer),
+            &PlatformSpec::solaris_sparc(),
+        ));
+        assert_eq!(decode_tag(encode_tag(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_and_text_agree() {
+        // Encoding the parse of a textual tag equals encoding the AST.
+        let s = "(4,-1)(0,0)(4,56169)(0,0)((8,1)(0,0),2)(0,0)";
+        let t = parse_tag(s).unwrap();
+        let b = encode_tag(&t);
+        let t2 = decode_tag(b).unwrap();
+        assert_eq!(t2.to_string(), s);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let t = parse_tag("(4,1)(0,0)").unwrap();
+        let b = encode_tag(&t);
+        for cut in 0..b.len() {
+            assert!(decode_tag(b.slice(..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_kind_and_trailing_rejected() {
+        let t = parse_tag("(4,1)").unwrap();
+        let mut raw = encode_tag(&t).to_vec();
+        raw[2] = 9; // kind byte
+        assert_eq!(
+            decode_tag(Bytes::from(raw.clone())),
+            Err(BinTagError::BadKind(9))
+        );
+        let mut ok = encode_tag(&t).to_vec();
+        ok.push(0);
+        assert_eq!(
+            decode_tag(Bytes::from(ok)),
+            Err(BinTagError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn invalid_items_rejected() {
+        // Hand-craft a zero-size scalar.
+        let mut out = bytes::BytesMut::new();
+        out.put_u16_le(1);
+        out.put_u8(0);
+        out.put_u32_le(0);
+        out.put_u32_le(5);
+        assert_eq!(decode_tag(out.freeze()), Err(BinTagError::Invalid));
+    }
+
+    #[test]
+    fn empty_tag_roundtrips() {
+        let t = Tag::new();
+        assert_eq!(decode_tag(encode_tag(&t)).unwrap(), t);
+    }
+}

@@ -1,0 +1,300 @@
+//! Parser for the textual tag form.
+//!
+//! Grammar (paper §3.2):
+//!
+//! ```text
+//! tag       := item+
+//! item      := tuple | aggregate
+//! tuple     := '(' uint ',' int ')'        // scalar, pointer or padding
+//! aggregate := '(' item+ ',' uint ')'      // nested tag as the "m"
+//! ```
+//!
+//! A tuple `(m,n)` is classified by `n`: positive → scalar run, negative →
+//! pointer run, zero → padding slot. The original system parsed these
+//! strings with C string routines on every update; the paper's "lessening
+//! our reliance on string operations" future-work remark is why the parser
+//! here is a tight hand-rolled scanner rather than anything regex-like.
+
+use crate::tag::{Tag, TagItem};
+use std::fmt;
+
+/// Errors from tag parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TagParseError {
+    /// Unexpected character at byte position.
+    Unexpected {
+        /// Byte offset in the input.
+        pos: usize,
+        /// What was found (or None at end of input).
+        found: Option<char>,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A number failed to parse or overflowed.
+    BadNumber {
+        /// Byte offset in the input.
+        pos: usize,
+    },
+    /// Trailing garbage after a complete tag.
+    TrailingInput {
+        /// Byte offset where the garbage starts.
+        pos: usize,
+    },
+    /// `(m,n)` with n>0 but m == 0 — a zero-size scalar is meaningless.
+    ZeroSizeScalar {
+        /// Byte offset of the tuple.
+        pos: usize,
+    },
+    /// Aggregate with a zero repeat count.
+    ZeroCountAggregate {
+        /// Byte offset of the aggregate.
+        pos: usize,
+    },
+}
+
+impl fmt::Display for TagParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagParseError::Unexpected { pos, found, expected } => match found {
+                Some(c) => write!(f, "unexpected '{c}' at {pos}, expected {expected}"),
+                None => write!(f, "unexpected end of input at {pos}, expected {expected}"),
+            },
+            TagParseError::BadNumber { pos } => write!(f, "bad number at {pos}"),
+            TagParseError::TrailingInput { pos } => write!(f, "trailing input at {pos}"),
+            TagParseError::ZeroSizeScalar { pos } => write!(f, "zero-size scalar at {pos}"),
+            TagParseError::ZeroCountAggregate { pos } => {
+                write!(f, "zero-count aggregate at {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TagParseError {}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn expect(&mut self, ch: u8, what: &'static str) -> Result<(), TagParseError> {
+        match self.bump() {
+            Some(b) if b == ch => Ok(()),
+            other => Err(TagParseError::Unexpected {
+                pos: self.pos.saturating_sub(1),
+                found: other.map(char::from),
+                expected: what,
+            }),
+        }
+    }
+
+    fn number(&mut self) -> Result<i64, TagParseError> {
+        let start = self.pos;
+        let neg = if self.peek() == Some(b'-') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(TagParseError::BadNumber { pos: start });
+        }
+        let s = std::str::from_utf8(&self.bytes[digits_start..self.pos]).expect("digits");
+        let v: i64 = s.parse().map_err(|_| TagParseError::BadNumber { pos: start })?;
+        Ok(if neg { -v } else { v })
+    }
+
+    /// Parse one item; `self.pos` is at '('.
+    fn item(&mut self, depth: usize) -> Result<TagItem, TagParseError> {
+        const MAX_DEPTH: usize = 64;
+        if depth > MAX_DEPTH {
+            return Err(TagParseError::Unexpected {
+                pos: self.pos,
+                found: self.peek().map(char::from),
+                expected: "nesting depth <= 64",
+            });
+        }
+        let open = self.pos;
+        self.expect(b'(', "'('")?;
+        if self.peek() == Some(b'(') {
+            // Aggregate: one or more nested items, then ",count)".
+            let mut items = Vec::new();
+            while self.peek() == Some(b'(') {
+                items.push(self.item(depth + 1)?);
+            }
+            self.expect(b',', "','")?;
+            let count = self.number()?;
+            self.expect(b')', "')'")?;
+            if count <= 0 {
+                return Err(TagParseError::ZeroCountAggregate { pos: open });
+            }
+            Ok(TagItem::Aggregate {
+                items,
+                count: count as u32,
+            })
+        } else {
+            let m = self.number()?;
+            self.expect(b',', "','")?;
+            let n = self.number()?;
+            self.expect(b')', "')'")?;
+            if m < 0 || m > i64::from(u32::MAX) || n.unsigned_abs() > u64::from(u32::MAX) {
+                return Err(TagParseError::BadNumber { pos: open });
+            }
+            let m = m as u32;
+            match n.cmp(&0) {
+                std::cmp::Ordering::Greater => {
+                    if m == 0 {
+                        return Err(TagParseError::ZeroSizeScalar { pos: open });
+                    }
+                    Ok(TagItem::Scalar {
+                        size: m,
+                        count: n as u32,
+                    })
+                }
+                std::cmp::Ordering::Less => {
+                    if m == 0 {
+                        return Err(TagParseError::ZeroSizeScalar { pos: open });
+                    }
+                    Ok(TagItem::Pointer {
+                        size: m,
+                        count: (-n) as u32,
+                    })
+                }
+                std::cmp::Ordering::Equal => Ok(TagItem::Padding { bytes: m }),
+            }
+        }
+    }
+}
+
+/// Parse a full tag string, e.g. `"(4,-1)(0,0)(4,56169)(0,0)"`.
+pub fn parse_tag(input: &str) -> Result<Tag, TagParseError> {
+    let mut sc = Scanner {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let mut items = Vec::new();
+    while sc.peek() == Some(b'(') {
+        items.push(sc.item(0)?);
+    }
+    if sc.pos != sc.bytes.len() {
+        return Err(TagParseError::TrailingInput { pos: sc.pos });
+    }
+    if items.is_empty() && !input.is_empty() {
+        return Err(TagParseError::Unexpected {
+            pos: 0,
+            found: input.chars().next(),
+            expected: "'('",
+        });
+    }
+    Ok(Tag(items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_figure3_mthv() {
+        let t = parse_tag("(4,-1)(0,0)(4,1)(0,0)(4,1)(0,0)(8,0)(0,0)").unwrap();
+        assert_eq!(
+            t.0,
+            vec![
+                TagItem::Pointer { size: 4, count: 1 },
+                TagItem::Padding { bytes: 0 },
+                TagItem::Scalar { size: 4, count: 1 },
+                TagItem::Padding { bytes: 0 },
+                TagItem::Scalar { size: 4, count: 1 },
+                TagItem::Padding { bytes: 0 },
+                TagItem::Padding { bytes: 8 },
+                TagItem::Padding { bytes: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_paper_figure3_mthp() {
+        let t = parse_tag("(4,-1)(0,0)(4,-1)(0,0)").unwrap();
+        assert_eq!(t.element_count(), 2);
+        assert_eq!(t.byte_size(), 8);
+    }
+
+    #[test]
+    fn parses_nested_aggregate() {
+        let t = parse_tag("((8,1)(0,0)(1,1)(7,0),3)(0,0)").unwrap();
+        assert_eq!(t.byte_size(), 48);
+        match &t.0[0] {
+            TagItem::Aggregate { items, count } => {
+                assert_eq!(*count, 3);
+                assert_eq!(items.len(), 4);
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_doubly_nested() {
+        let t = parse_tag("(((4,2)(0,0),2)(0,0),5)").unwrap();
+        assert_eq!(t.byte_size(), 4 * 2 * 2 * 5);
+        assert_eq!(t.element_count(), 2 * 2 * 5);
+    }
+
+    #[test]
+    fn roundtrips_display() {
+        for s in [
+            "(4,-1)(0,0)(4,1)(0,0)",
+            "((8,1)(0,0),2)",
+            "(0,0)",
+            "(16,0)",
+            "(4,56169)",
+        ] {
+            let t = parse_tag(s).unwrap();
+            assert_eq!(t.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_tag("(4,1").is_err());
+        assert!(parse_tag("(4,1)x").is_err());
+        assert!(parse_tag("4,1)").is_err());
+        assert!(parse_tag("(a,1)").is_err());
+        assert!(parse_tag("(4,1)(").is_err());
+        assert!(parse_tag("((4,1),0)").is_err());
+        assert!(parse_tag("(0,5)").is_err());
+        assert!(parse_tag("(0,-5)").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_tag() {
+        assert_eq!(parse_tag("").unwrap(), Tag::new());
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut s = String::new();
+        for _ in 0..100 {
+            s.push('(');
+        }
+        s.push_str("(4,1)");
+        for _ in 0..100 {
+            s.push_str(",1)");
+        }
+        assert!(parse_tag(&s).is_err());
+    }
+}

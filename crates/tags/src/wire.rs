@@ -1,0 +1,274 @@
+//! Wire framing for updates.
+//!
+//! An update travels as *metadata + tag + raw data*. The metadata (entry
+//! index, element offset, sender identity) is framed in fixed network byte
+//! order; the **payload stays in the sender's native format** — that is the
+//! "receiver makes right" contract. Packing cost is the paper's `t_pack`,
+//! unpacking `t_unpack` (Eq. 1); both are deliberately cheap (length-
+//! prefixed copies), matching the paper's observation that
+//! `t_pack`/`t_unpack` are comparatively small.
+
+use crate::parse::{parse_tag, TagParseError};
+use crate::tag::Tag;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hdsm_platform::endian::Endianness;
+use std::fmt;
+
+/// Magic bytes guarding every update frame.
+const MAGIC: u16 = 0xD5D; // "DSD"
+/// Frame format version.
+const VERSION: u8 = 1;
+
+/// One update: "this range of elements of entry `entry` now has these
+/// bytes" — the unit the home node and remote threads exchange on
+/// lock/unlock (paper §4.1/§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireUpdate {
+    /// Index-table entry the update targets.
+    pub entry: u32,
+    /// First element within the entry (array element index; 0 for scalars).
+    pub elem_offset: u64,
+    /// Byte order of `data`.
+    pub endian: Endianness,
+    /// Name of the sending platform (diagnostics; not used for decisions —
+    /// the tag + endian byte are authoritative).
+    pub sender: String,
+    /// CGT-RMR tag describing `data`.
+    pub tag: Tag,
+    /// Raw bytes in the sender's native format.
+    pub data: Bytes,
+}
+
+/// Errors from unpacking a frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// Frame too short for the declared lengths.
+    Truncated,
+    /// Magic or version mismatch.
+    BadHeader,
+    /// Tag string failed to parse.
+    BadTag(TagParseError),
+    /// Tag string was not ASCII.
+    NonAsciiTag,
+    /// Declared data length disagrees with the tag's byte size.
+    LengthMismatch {
+        /// Bytes the tag describes.
+        tag_bytes: u64,
+        /// Bytes in the frame.
+        data_bytes: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadHeader => write!(f, "bad magic/version"),
+            WireError::BadTag(e) => write!(f, "bad tag: {e}"),
+            WireError::NonAsciiTag => write!(f, "tag is not ASCII"),
+            WireError::LengthMismatch {
+                tag_bytes,
+                data_bytes,
+            } => write!(f, "tag says {tag_bytes}B but frame carries {data_bytes}B"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Pack one update into `out`.
+pub fn pack_update(u: &WireUpdate, out: &mut BytesMut) {
+    let tag_str = u.tag.to_string();
+    debug_assert!(tag_str.is_ascii());
+    out.put_u16(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(match u.endian {
+        Endianness::Little => 0,
+        Endianness::Big => 1,
+    });
+    out.put_u32(u.entry);
+    out.put_u64(u.elem_offset);
+    out.put_u8(u.sender.len().min(255) as u8);
+    out.put_slice(&u.sender.as_bytes()[..u.sender.len().min(255)]);
+    out.put_u32(tag_str.len() as u32);
+    out.put_slice(tag_str.as_bytes());
+    out.put_u64(u.data.len() as u64);
+    out.put_slice(&u.data);
+}
+
+/// Unpack one update from the front of `buf`, advancing it.
+pub fn unpack_update(buf: &mut Bytes) -> Result<WireUpdate, WireError> {
+    if buf.remaining() < 2 + 1 + 1 + 4 + 8 + 1 {
+        return Err(WireError::Truncated);
+    }
+    if buf.get_u16() != MAGIC {
+        return Err(WireError::BadHeader);
+    }
+    if buf.get_u8() != VERSION {
+        return Err(WireError::BadHeader);
+    }
+    let endian = match buf.get_u8() {
+        0 => Endianness::Little,
+        1 => Endianness::Big,
+        _ => return Err(WireError::BadHeader),
+    };
+    let entry = buf.get_u32();
+    let elem_offset = buf.get_u64();
+    let name_len = buf.get_u8() as usize;
+    if buf.remaining() < name_len + 4 {
+        return Err(WireError::Truncated);
+    }
+    let sender = String::from_utf8_lossy(&buf.copy_to_bytes(name_len)).into_owned();
+    let tag_len = buf.get_u32() as usize;
+    if buf.remaining() < tag_len + 8 {
+        return Err(WireError::Truncated);
+    }
+    let tag_bytes = buf.copy_to_bytes(tag_len);
+    if !tag_bytes.is_ascii() {
+        return Err(WireError::NonAsciiTag);
+    }
+    let tag_str = std::str::from_utf8(&tag_bytes).map_err(|_| WireError::NonAsciiTag)?;
+    let tag = parse_tag(tag_str).map_err(WireError::BadTag)?;
+    let data_len = buf.get_u64() as usize;
+    if buf.remaining() < data_len {
+        return Err(WireError::Truncated);
+    }
+    let data = buf.copy_to_bytes(data_len);
+    if tag.byte_size() != data.len() as u64 {
+        return Err(WireError::LengthMismatch {
+            tag_bytes: tag.byte_size(),
+            data_bytes: data.len() as u64,
+        });
+    }
+    Ok(WireUpdate {
+        entry,
+        elem_offset,
+        endian,
+        sender,
+        tag,
+        data,
+    })
+}
+
+/// Pack a batch of updates (count-prefixed). This is the body of a
+/// lock-grant or unlock message.
+pub fn pack_batch(updates: &[WireUpdate]) -> Bytes {
+    let mut out = BytesMut::with_capacity(
+        16 + updates
+            .iter()
+            .map(|u| 64 + u.data.len())
+            .sum::<usize>(),
+    );
+    out.put_u32(updates.len() as u32);
+    for u in updates {
+        pack_update(u, &mut out);
+    }
+    out.freeze()
+}
+
+/// Unpack a batch previously produced by [`pack_batch`].
+pub fn unpack_batch(mut buf: Bytes) -> Result<Vec<WireUpdate>, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let n = buf.get_u32() as usize;
+    // `n` is untrusted wire data: bound the preallocation.
+    let mut out = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        out.push(unpack_update(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(WireError::BadHeader);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::tag_for_scalar_run;
+    use hdsm_platform::scalar::ScalarKind;
+
+    fn sample(entry: u32, n: u64) -> WireUpdate {
+        let data: Vec<u8> = (0..n * 4).map(|i| (i % 251) as u8).collect();
+        WireUpdate {
+            entry,
+            elem_offset: 7,
+            endian: Endianness::Big,
+            sender: "solaris-sparc".into(),
+            tag: tag_for_scalar_run(ScalarKind::Int, 4, n),
+            data: Bytes::from(data),
+        }
+    }
+
+    #[test]
+    fn single_roundtrip() {
+        let u = sample(3, 10);
+        let mut out = BytesMut::new();
+        pack_update(&u, &mut out);
+        let mut buf = out.freeze();
+        let back = unpack_update(&mut buf).unwrap();
+        assert_eq!(back, u);
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let us = vec![sample(0, 1), sample(1, 100), sample(9, 3)];
+        let packed = pack_batch(&us);
+        let back = unpack_batch(packed).unwrap();
+        assert_eq!(back, us);
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert_eq!(unpack_batch(pack_batch(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn detects_truncation_everywhere() {
+        let u = sample(1, 4);
+        let mut out = BytesMut::new();
+        pack_update(&u, &mut out);
+        let full = out.freeze();
+        for cut in 0..full.len() {
+            let mut part = full.slice(..cut);
+            assert!(
+                unpack_update(&mut part).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let u = sample(1, 1);
+        let mut out = BytesMut::new();
+        pack_update(&u, &mut out);
+        let mut bytes = out.to_vec();
+        bytes[0] ^= 0xff;
+        let mut buf = Bytes::from(bytes);
+        assert_eq!(unpack_update(&mut buf), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn detects_tag_data_length_mismatch() {
+        let mut u = sample(1, 4);
+        u.data = u.data.slice(..8); // tag says 16 bytes
+        let mut out = BytesMut::new();
+        pack_update(&u, &mut out);
+        let mut buf = out.freeze();
+        assert!(matches!(
+            unpack_update(&mut buf),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_rejects_trailing_garbage() {
+        let packed = pack_batch(&[sample(0, 1)]);
+        let mut with_garbage = BytesMut::from(&packed[..]);
+        with_garbage.put_u8(0);
+        assert!(unpack_batch(with_garbage.freeze()).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! The paper's §6 future work, working: a thread that is midway through
+//! reading a shared file — with a live "socket" to its coordinator and a
+//! stack pointer into a heap buffer — migrates from little-endian Linux to
+//! big-endian SPARC64 and picks up *exactly* where it left off: same file
+//! offset, same unread socket bytes, pointer re-targeted to the new heap
+//! layout.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example io_migration
+//! ```
+
+use hdsm::migthread::iostate::{FileMode, IoState, SimFs, SocketState};
+use hdsm::migthread::packfmt::{pack_state, unpack_state};
+use hdsm::migthread::state::{ThreadState, TypedBlock};
+use hdsm::platform::ctype::{CType, StructBuilder};
+use hdsm::platform::scalar::ScalarKind;
+use hdsm::platform::spec::PlatformSpec;
+use hdsm::platform::value::Value;
+
+fn main() {
+    let linux = PlatformSpec::linux_x86();
+    let sparc64 = PlatformSpec::solaris_sparc64();
+
+    // The cluster-shared filesystem (every node mounts it).
+    let fs = SimFs::new();
+    fs.put("/share/records.dat", (b'A'..=b'Z').collect::<Vec<u8>>());
+
+    // ---- on the Linux node -------------------------------------------
+    let mut cursor = fs.open("/share/records.dat", FileMode::Read).unwrap();
+    let first_half = cursor.read(&fs, 13).unwrap();
+    println!("linux-x86 read     : {:?}", String::from_utf8_lossy(&first_half));
+
+    // Thread data: a heap buffer holding what was read, a stack frame with
+    // a pointer to the next unprocessed element.
+    let heap_ty = CType::Struct(
+        StructBuilder::new("Buf")
+            .scalar("len", ScalarKind::Long)
+            .array("data", ScalarKind::Char, 26)
+            .build()
+            .unwrap(),
+    );
+    let frame_ty = CType::Struct(
+        StructBuilder::new("Frame")
+            .scalar("next", ScalarKind::Ptr)
+            .scalar("processed", ScalarKind::Int)
+            .build()
+            .unwrap(),
+    );
+    let mut st = ThreadState::new("reader");
+    let mut buf = TypedBlock::zeroed(heap_ty.clone(), linux.clone());
+    buf.set_field(0, &Value::Int(first_half.len() as i128)).unwrap();
+    buf.set_field(
+        1,
+        &Value::Array(
+            (0..26)
+                .map(|i| Value::Int(*first_half.get(i).unwrap_or(&0) as i128))
+                .collect(),
+        ),
+    )
+    .unwrap();
+    st.push_block("heap:buf", buf);
+    let mut frame = TypedBlock::zeroed(frame_ty.clone(), linux.clone());
+    frame.set_field(1, &Value::Int(5)).unwrap(); // 5 records processed
+    st.push_block("stack:0", frame);
+    // next = &buf.data[5]  (leaf 0 is len; data[k] is leaf 1+k).
+    st.add_link("stack:0", 0, "heap:buf", 1 + 5);
+    st.materialize_links().unwrap();
+
+    // I/O state rides along: the open cursor + a connection with buffered
+    // unread bytes.
+    let io = IoState {
+        files: vec![cursor],
+        sockets: vec![SocketState {
+            peer: "home:9000".into(),
+            bytes_received: 13,
+            bytes_sent: 2,
+            unread: b"ACK#5".to_vec(),
+        }],
+    };
+    let io_image = io.pack();
+    let state_image = pack_state(&st);
+    println!(
+        "migrating          : {} state bytes + {} io bytes",
+        state_image.bytes.len(),
+        io_image.len()
+    );
+
+    // ---- on the SPARC64 node -----------------------------------------
+    let mut decl = ThreadState::new("reader");
+    decl.push_block("heap:buf", TypedBlock::zeroed(heap_ty, sparc64.clone()));
+    decl.push_block("stack:0", TypedBlock::zeroed(frame_ty, sparc64.clone()));
+    let restored = unpack_state(&state_image, &sparc64, &decl).unwrap();
+    let io_restored = IoState::unpack(io_image).unwrap();
+    io_restored.rebind(&fs).unwrap();
+
+    // The pointer now encodes the SPARC64 offset of data[5].
+    let ptr = restored.block("stack:0").unwrap().read_ptr_leaf(0).unwrap();
+    println!(
+        "pointer re-target  : data[5] at byte offset {:?} (ILP32 offset was {})",
+        ptr,
+        4 + 5
+    );
+    assert_eq!(ptr, Some(8 + 5)); // `long len` is 8 bytes on LP64
+
+    // Resume the read exactly where Linux stopped.
+    let mut cur = io_restored.files[0].clone();
+    let rest = cur.read(&fs, 100).unwrap();
+    println!(
+        "solaris-sparc64 read: {:?} (offset resumed at {})",
+        String::from_utf8_lossy(&rest),
+        13
+    );
+    assert_eq!(rest, (b'N'..=b'Z').collect::<Vec<u8>>());
+    assert_eq!(io_restored.sockets[0].unread, b"ACK#5");
+    assert_eq!(
+        restored.block("heap:buf").unwrap().get_field(0).unwrap(),
+        Value::Int(13)
+    );
+    println!("\nfile offset, socket buffer, heap data and stack pointer all");
+    println!("survived a little-endian→big-endian, ILP32→LP64 migration.");
+}

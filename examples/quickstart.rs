@@ -1,0 +1,86 @@
+//! Quickstart: share a counter and an array between three threads running
+//! on *different simulated architectures* — a little-endian ILP32 node, a
+//! big-endian ILP32 node and a big-endian LP64 node — using the DSD
+//! primitives (`MTh_lock` / `MTh_unlock` / `MTh_barrier`).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hdsm::dsd::cluster::ClusterBuilder;
+use hdsm::dsd::gthv::GthvDef;
+use hdsm::platform::ctype::StructBuilder;
+use hdsm::platform::scalar::ScalarKind;
+use hdsm::platform::spec::PlatformSpec;
+
+fn main() {
+    // 1. Declare the shared global structure — the role of MigThread's
+    //    preprocessor-generated GThV.
+    let def = GthvDef::new(
+        StructBuilder::new("GThV_t")
+            .scalar("counter", ScalarKind::Int)
+            .array("history", ScalarKind::Int, 30)
+            .build()
+            .expect("valid struct"),
+    )
+    .expect("valid definition");
+    const COUNTER: u32 = 0;
+    const HISTORY: u32 = 1;
+
+    // 2. Build a heterogeneous cluster: the home node is big-endian
+    //    Solaris/SPARC; workers land on three different architectures.
+    let outcome = ClusterBuilder::new()
+        .gthv(def)
+        .home(PlatformSpec::solaris_sparc())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc())
+        .worker(PlatformSpec::solaris_sparc64())
+        .locks(1)
+        .barriers(1)
+        .init(|g| {
+            g.write_int(COUNTER, 0, 0).unwrap();
+        })
+        // 3. The SPMD body: every worker increments the shared counter ten
+        //    times under the distributed mutex and records what it saw.
+        .run(|client, info| {
+            for round in 0..10 {
+                client.mth_lock(0)?;
+                let v = client.read_int(COUNTER, 0)?;
+                client.write_int(COUNTER, 0, v + 1)?;
+                client.write_int(HISTORY, (info.index * 10 + round) as u64, v + 1)?;
+                client.mth_unlock(0)?;
+            }
+            client.mth_barrier(0)?;
+            // After the barrier everyone observes the final value.
+            let final_v = client.read_int(COUNTER, 0)?;
+            println!(
+                "worker {} on {:<16} sees counter = {}",
+                info.index, info.platform.name, final_v
+            );
+            Ok(final_v)
+        })
+        .expect("cluster run");
+
+    // 4. Inspect the authoritative copy at the home node.
+    let final_counter = outcome.final_gthv.read_int(COUNTER, 0).unwrap();
+    println!("\nhome node ({}) counter = {}", outcome.final_gthv.platform().name, final_counter);
+    assert_eq!(final_counter, 30);
+    assert!(outcome.results.iter().all(|&v| v == 30));
+
+    // Every recorded intermediate value is distinct — increments were
+    // serialized by the distributed lock despite three byte orders.
+    let mut seen: Vec<i128> = (0..30)
+        .map(|i| outcome.final_gthv.read_int(HISTORY, i).unwrap())
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (1..=30).collect::<Vec<i128>>());
+    println!("all 30 increments observed exactly once — state is consistent");
+
+    println!("\nEq. 1 sharing costs per worker:");
+    for (i, c) in outcome.worker_costs.iter().enumerate() {
+        println!("  worker {i}: {c}");
+    }
+    println!("  home    : {}", outcome.home_costs);
+    println!("\nnetwork traffic:\n{}", outcome.net_stats.report());
+}

@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+
+//! Facade crate re-exporting the heterogeneous DSM workspace.
+pub use hdsm_apps as apps;
+pub use hdsm_core as dsd;
+pub use hdsm_memory as memory;
+pub use hdsm_migthread as migthread;
+pub use hdsm_net as net;
+pub use hdsm_platform as platform;
+pub use hdsm_tags as tags;

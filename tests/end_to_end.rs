@@ -1,0 +1,297 @@
+//! End-to-end integration tests: full clusters, every workload, mixed
+//! platforms, migration mid-run, and the paper's qualitative claims.
+
+use hdsm::apps::workload::{paper_pairs, SyncMode};
+use hdsm::apps::{jacobi, lu, matmul, sor};
+use hdsm::dsd::cluster::{ClusterBuilder, MigrationEvent};
+use hdsm::platform::spec::PlatformSpec;
+
+#[test]
+fn matmul_all_paper_pairs() {
+    let n = 24;
+    let seed = 1;
+    for pair in paper_pairs() {
+        let outcome = ClusterBuilder::new()
+            .gthv(matmul::gthv_def(n))
+            .home(pair.home.clone())
+            .worker(pair.home.clone())
+            .worker(pair.remote.clone())
+            .worker(pair.remote.clone())
+            .barriers(2)
+            .locks(1)
+            .init(move |g| matmul::init(g, n, seed))
+            .run(move |c, i| matmul::run_worker(c, i, n, SyncMode::Barrier))
+            .unwrap();
+        assert!(
+            matmul::verify(&outcome.final_gthv, n, seed),
+            "pair {}",
+            pair.label
+        );
+        if pair.heterogeneous() {
+            assert!(outcome.home_conv.scalars_swapped > 0, "SL must byte-swap");
+        } else {
+            assert_eq!(
+                outcome.home_conv.scalars_swapped, 0,
+                "{} must not byte-swap",
+                pair.label
+            );
+            assert!(outcome.home_conv.memcpy_bytes > 0);
+        }
+    }
+}
+
+#[test]
+fn lu_all_paper_pairs() {
+    let n = 12;
+    let seed = 2;
+    for pair in paper_pairs() {
+        let outcome = ClusterBuilder::new()
+            .gthv(lu::gthv_def(n))
+            .home(pair.home.clone())
+            .worker(pair.home.clone())
+            .worker(pair.remote.clone())
+            .worker(pair.remote.clone())
+            .barriers(1)
+            .init(move |g| lu::init(g, n, seed))
+            .run(move |c, i| lu::run_worker(c, i, n))
+            .unwrap();
+        assert!(lu::verify(&outcome.final_gthv, n, seed), "pair {}", pair.label);
+    }
+}
+
+#[test]
+fn five_platform_cluster_matmul() {
+    // Beyond the paper: every modelled platform in one cluster.
+    let n = 20;
+    let seed = 3;
+    let outcome = ClusterBuilder::new()
+        .gthv(matmul::gthv_def(n))
+        .home(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc())
+        .worker(PlatformSpec::linux_x86_64())
+        .worker(PlatformSpec::solaris_sparc64())
+        .worker(PlatformSpec::aix_power())
+        .barriers(2)
+        .init(move |g| matmul::init(g, n, seed))
+        .run(move |c, i| matmul::run_worker(c, i, n, SyncMode::Barrier))
+        .unwrap();
+    assert!(matmul::verify(&outcome.final_gthv, n, seed));
+}
+
+#[test]
+fn jacobi_and_sor_on_heterogeneous_pair() {
+    let n = 10;
+    let seed = 4;
+    let outcome = ClusterBuilder::new()
+        .gthv(jacobi::gthv_def(n))
+        .home(PlatformSpec::solaris_sparc())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86_64())
+        .barriers(1)
+        .init(move |g| jacobi::init(g, n, seed))
+        .run(move |c, i| jacobi::run_worker(c, i, n, 4))
+        .unwrap();
+    assert!(jacobi::verify(&outcome.final_gthv, n, seed, 4));
+
+    let outcome = ClusterBuilder::new()
+        .gthv(sor::gthv_def(n))
+        .home(PlatformSpec::solaris_sparc())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc64())
+        .barriers(1)
+        .init(move |g| sor::init(g, n, seed))
+        .run(move |c, i| sor::run_worker(c, i, n, 3))
+        .unwrap();
+    assert!(sor::verify(&outcome.final_gthv, n, seed, 3));
+}
+
+#[test]
+fn migration_chain_through_every_platform() {
+    // One worker migrates Linux → SPARC → SPARC64 → back to Linux while
+    // computing; the other stays put.
+    let n = 16;
+    let seed = 5;
+    let linux = PlatformSpec::linux_x86();
+    let reg = matmul::registry(&linux);
+    let starts = vec![
+        matmul::start_state(&linux, n, 0..n / 2),
+        matmul::start_state(&linux, n, n / 2..n),
+    ];
+    let schedule = vec![
+        MigrationEvent {
+            worker: 0,
+            after_steps: 2,
+            to_platform: PlatformSpec::solaris_sparc(),
+        },
+        MigrationEvent {
+            worker: 0,
+            after_steps: 4,
+            to_platform: PlatformSpec::solaris_sparc64(),
+        },
+        MigrationEvent {
+            worker: 0,
+            after_steps: 6,
+            to_platform: PlatformSpec::linux_x86(),
+        },
+    ];
+    let outcome = ClusterBuilder::new()
+        .gthv(matmul::gthv_def(n))
+        .home(linux.clone())
+        .worker(linux.clone())
+        .worker(linux.clone())
+        .barriers(2)
+        .init(move |g| matmul::init(g, n, seed))
+        .run_adaptive(&reg, starts, &schedule)
+        .unwrap();
+    assert!(matmul::verify(&outcome.final_gthv, n, seed));
+    assert_eq!(outcome.migration_stats.migrations, 3);
+    assert_eq!(
+        outcome.results[0].block("MThV").unwrap().platform.name,
+        "linux-x86"
+    );
+}
+
+#[test]
+fn lock_mode_equals_barrier_mode_results() {
+    let n = 18;
+    let seed = 6;
+    let run = |mode| {
+        let outcome = ClusterBuilder::new()
+            .gthv(matmul::gthv_def(n))
+            .home(PlatformSpec::solaris_sparc())
+            .worker(PlatformSpec::linux_x86())
+            .worker(PlatformSpec::solaris_sparc())
+            .locks(1)
+            .barriers(2)
+            .init(move |g| matmul::init(g, n, seed))
+            .run(move |c, i| matmul::run_worker(c, i, n, mode))
+            .unwrap();
+        let mut c_vals = Vec::new();
+        for i in 0..(n * n) as u64 {
+            c_vals.push(outcome.final_gthv.read_int(matmul::entries::C, i).unwrap());
+        }
+        c_vals
+    };
+    assert_eq!(run(SyncMode::Barrier), run(SyncMode::Lock));
+}
+
+#[test]
+fn pointer_field_survives_full_run() {
+    // GThP is initialised to &A[0]; after the whole distributed run the
+    // authoritative copy must still resolve it, and the pointer must have
+    // been translated correctly into every worker's address space.
+    let n = 12;
+    let seed = 7;
+    let outcome = ClusterBuilder::new()
+        .gthv(matmul::gthv_def(n))
+        .home(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc64())
+        .barriers(2)
+        .init(move |g| matmul::init(g, n, seed))
+        .run(move |c, i| {
+            matmul::run_worker(c, i, n, SyncMode::Barrier)?;
+            // After the final barrier the worker's LP64 big-endian copy
+            // must still see GThP → A[0].
+            assert_eq!(c.read_ptr(matmul::entries::GTHP, 0)?, Some((matmul::entries::A, 0)));
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(
+        outcome
+            .final_gthv
+            .read_ptr(matmul::entries::GTHP, 0)
+            .unwrap(),
+        Some((matmul::entries::A, 0))
+    );
+}
+
+#[test]
+fn cost_accounting_covers_every_component() {
+    // A heterogeneous run must exercise all five Eq. 1 components on the
+    // worker side and tag/pack/unpack/conv on the home side.
+    let n = 20;
+    let seed = 8;
+    let outcome = ClusterBuilder::new()
+        .gthv(matmul::gthv_def(n))
+        .home(PlatformSpec::solaris_sparc())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86())
+        .barriers(2)
+        .init(move |g| matmul::init(g, n, seed))
+        .run(move |c, i| matmul::run_worker(c, i, n, SyncMode::Barrier))
+        .unwrap();
+    for c in &outcome.worker_costs {
+        assert!(c.t_index > std::time::Duration::ZERO);
+        assert!(c.t_tag > std::time::Duration::ZERO);
+        assert!(c.t_pack > std::time::Duration::ZERO);
+        assert!(c.t_unpack > std::time::Duration::ZERO);
+        assert!(c.t_conv > std::time::Duration::ZERO);
+        assert!(c.updates_sent > 0);
+        assert!(c.updates_applied > 0);
+    }
+    assert!(outcome.home_costs.t_conv > std::time::Duration::ZERO);
+    assert!(outcome.home_costs.updates_applied > 0);
+}
+
+#[test]
+fn empty_critical_sections_are_cheap_and_correct() {
+    // Lock/unlock with no writes must ship zero updates.
+    let n = 8;
+    let outcome = ClusterBuilder::new()
+        .gthv(matmul::gthv_def(n))
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc())
+        .locks(1)
+        .barriers(1)
+        .run(move |c, _i| {
+            for _ in 0..5 {
+                c.mth_lock(0)?;
+                c.mth_unlock(0)?;
+            }
+            c.mth_barrier(0)?;
+            Ok(())
+        })
+        .unwrap();
+    // Only the (empty) init pull could ship anything; no write updates.
+    for c in &outcome.worker_costs {
+        assert_eq!(c.updates_sent, 0);
+    }
+}
+
+#[test]
+fn config_errors_are_reported() {
+    use hdsm::dsd::cluster::ClusterError;
+    let err = ClusterBuilder::new()
+        .worker(PlatformSpec::linux_x86())
+        .run(|_c, _i| Ok(()))
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Config(_)));
+
+    let err = ClusterBuilder::new()
+        .gthv(matmul::gthv_def(4))
+        .run(|_c, _i| Ok(()))
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Config(_)));
+}
+
+#[test]
+fn worker_protocol_violation_surfaces_as_error() {
+    use hdsm::dsd::cluster::ClusterError;
+    // Unlocking a mutex that was never locked is a protocol violation the
+    // home service reports; the cluster surfaces it instead of hanging.
+    let err = ClusterBuilder::new()
+        .gthv(matmul::gthv_def(4))
+        .worker(PlatformSpec::linux_x86())
+        .locks(1)
+        .recv_deadline(std::time::Duration::from_millis(500))
+        .run(|c, _i| {
+            c.mth_unlock(0)?;
+            Ok(())
+        })
+        .unwrap_err();
+    match err {
+        ClusterError::Home(_) | ClusterError::Worker { .. } | ClusterError::Panic(_) => {}
+        other => panic!("unexpected error {other}"),
+    }
+}

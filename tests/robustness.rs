@@ -1,0 +1,181 @@
+//! Failure injection: malformed frames, protocol misuse and hostile
+//! inputs must surface as errors — never panics, hangs or corruption.
+
+use bytes::Bytes;
+use hdsm::dsd::cluster::{ClusterBuilder, ClusterError};
+use hdsm::dsd::gthv::GthvDef;
+use hdsm::dsd::protocol::{DsdMsg, ProtocolError};
+use hdsm::net::message::MsgKind;
+use hdsm::platform::ctype::StructBuilder;
+use hdsm::platform::scalar::ScalarKind;
+use hdsm::platform::spec::PlatformSpec;
+use hdsm::tags::wire::unpack_batch;
+use std::time::Duration;
+
+fn tiny_def() -> GthvDef {
+    GthvDef::new(
+        StructBuilder::new("G")
+            .array("xs", ScalarKind::Int, 16)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn random_bytes_never_panic_protocol_decode() {
+    // Deterministic pseudo-random fuzz over every message kind.
+    let mut seed = 0x12345678u64;
+    let mut next = || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (seed >> 33) as u8
+    };
+    for len in 0..64usize {
+        for kind in MsgKind::ALL {
+            let buf: Vec<u8> = (0..len).map(|_| next()).collect();
+            // Must return Ok or Err — never panic.
+            let _ = DsdMsg::decode(kind, Bytes::from(buf));
+        }
+    }
+}
+
+#[test]
+fn random_bytes_never_panic_batch_decode() {
+    let mut seed = 0xdeadbeefu64;
+    let mut next = || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (seed >> 33) as u8
+    };
+    for len in 0..256usize {
+        let buf: Vec<u8> = (0..len).map(|_| next()).collect();
+        let _ = unpack_batch(Bytes::from(buf));
+    }
+}
+
+#[test]
+fn home_rejects_double_lock_release() {
+    // A thread releasing a lock twice is a protocol violation, reported
+    // not deadlocked.
+    let err = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .locks(1)
+        .recv_deadline(Duration::from_millis(500))
+        .run(|c, _| {
+            c.mth_lock(0)?;
+            c.mth_unlock(0)?;
+            c.mth_unlock(0)?; // violation
+            Ok(())
+        })
+        .unwrap_err();
+    match err {
+        ClusterError::Home(_) | ClusterError::Worker { .. } => {}
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn home_rejects_unknown_lock_index() {
+    let err = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .locks(1)
+        .recv_deadline(Duration::from_millis(500))
+        .run(|c, _| {
+            c.mth_lock(7)?; // only lock 0 exists
+            Ok(())
+        })
+        .unwrap_err();
+    match err {
+        ClusterError::Home(_) | ClusterError::Worker { .. } => {}
+        other => panic!("unexpected {other}"),
+    }
+}
+
+#[test]
+fn worker_body_error_does_not_hang_the_cluster() {
+    let err = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc())
+        .locks(1)
+        .barriers(1)
+        .recv_deadline(Duration::from_secs(2))
+        .run(|c, info| {
+            if info.index == 0 {
+                // This worker fails early with an app-level error …
+                return Err(hdsm::dsd::client::DsdError::Unexpected("app failure"));
+            }
+            // … while the other does real work; the run must still end.
+            c.mth_lock(0)?;
+            c.write_int(0, 0, 1)?;
+            c.mth_unlock(0)?;
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Worker { index: 0, .. }));
+}
+
+#[test]
+fn out_of_range_data_access_is_an_error_not_a_panic() {
+    let outcome = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .locks(1)
+        .run(|c, _| {
+            assert!(c.read_int(0, 99).is_err());
+            assert!(c.read_int(5, 0).is_err());
+            assert!(c.write_int(0, 16, 0).is_err());
+            assert!(c.write_int(0, 0, 1i128 << 60).is_err()); // overflow
+            Ok(())
+        })
+        .unwrap();
+    drop(outcome);
+}
+
+#[test]
+fn protocol_error_display_is_informative() {
+    let e = ProtocolError::BadMessage("x");
+    assert!(format!("{e}").contains("bad message"));
+}
+
+#[test]
+fn migration_image_from_wrong_program_rejected_cleanly() {
+    use hdsm::migthread::compute::ProgramRegistry;
+    use hdsm::migthread::packfmt::{pack_state, MigrateError};
+    use hdsm::migthread::state::ThreadState;
+
+    let st = ThreadState::new("imposter");
+    let image = pack_state(&st);
+    let reg: ProgramRegistry<()> = ProgramRegistry::new();
+    assert!(matches!(
+        reg.restore(&image, PlatformSpec::linux_x86()),
+        Err(MigrateError::UnknownProgram(_))
+    ));
+}
+
+#[test]
+fn corrupted_migration_images_rejected() {
+    use hdsm::migthread::packfmt::{pack_state, parse_image, StateImage};
+    use hdsm::migthread::state::{ThreadState, TypedBlock};
+    use hdsm::platform::ctype::CType;
+
+    let mut st = ThreadState::new("p");
+    st.push_block(
+        "MThV",
+        TypedBlock::zeroed(
+            CType::Scalar(ScalarKind::Int),
+            PlatformSpec::linux_x86(),
+        ),
+    );
+    let image = pack_state(&st);
+    // Flip every single byte; parsing must never panic and (except for
+    // byte flips in the data payload) generally fails.
+    for i in 0..image.bytes.len() {
+        let mut corrupted = image.bytes.to_vec();
+        corrupted[i] ^= 0xff;
+        let _ = parse_image(&StateImage {
+            bytes: Bytes::from(corrupted),
+        });
+    }
+}
