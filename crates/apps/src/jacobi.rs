@@ -83,7 +83,11 @@ pub fn expected_grid(n: usize, seed: u64, sweeps: usize) -> Vec<f64> {
 pub fn verify(g: &GthvInstance, n: usize, seed: u64, sweeps: usize) -> bool {
     let want = expected_grid(n, seed, sweeps);
     // Result grid alternates with sweep parity.
-    let entry = if sweeps.is_multiple_of(2) { entries::G0 } else { entries::G1 };
+    let entry = if sweeps.is_multiple_of(2) {
+        entries::G0
+    } else {
+        entries::G1
+    };
     for (i, w) in want.iter().enumerate() {
         match g.read_float(entry, i as u64) {
             Ok(v) if (v - w).abs() <= 1e-9 * (1.0 + w.abs()) => {}
@@ -177,7 +181,10 @@ mod tests {
                 .init(move |g| init(g, n, seed))
                 .run(move |c, info| run_worker(c, info, n, sweeps))
                 .unwrap();
-            assert!(verify(&outcome.final_gthv, n, seed, sweeps), "sweeps={sweeps}");
+            assert!(
+                verify(&outcome.final_gthv, n, seed, sweeps),
+                "sweeps={sweeps}"
+            );
         }
     }
 }

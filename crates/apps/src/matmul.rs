@@ -81,7 +81,9 @@ pub fn init(g: &mut GthvInstance, n: usize, seed: u64) {
 /// Serial oracle: `C = A * B` over the same deterministic inputs.
 pub fn expected_c(n: usize, seed: u64) -> Vec<i64> {
     let nn = n * n;
-    let a: Vec<i64> = (0..nn as u64).map(|i| i64::from(det_i32(seed, i))).collect();
+    let a: Vec<i64> = (0..nn as u64)
+        .map(|i| i64::from(det_i32(seed, i)))
+        .collect();
     let b: Vec<i64> = (0..nn as u64)
         .map(|i| i64::from(det_i32(seed ^ 0xABCD, i)))
         .collect();
@@ -300,7 +302,11 @@ impl Computation<DsdClient> for MatmulComputation {
 /// Build a registry containing the matmul program.
 pub fn registry(platform: &Platform) -> ProgramRegistry<DsdClient> {
     let mut r = ProgramRegistry::new();
-    r.register(PROGRAM, declared_state(platform), MatmulComputation::factory);
+    r.register(
+        PROGRAM,
+        declared_state(platform),
+        MatmulComputation::factory,
+    );
     r
 }
 

@@ -51,7 +51,9 @@ pub fn init(g: &mut GthvInstance, n: usize, seed: u64) {
 
 fn relax(grid: &mut [f64], n: usize, i: usize, j: usize) {
     let stencil = 0.25
-        * (grid[(i - 1) * n + j] + grid[(i + 1) * n + j] + grid[i * n + j - 1]
+        * (grid[(i - 1) * n + j]
+            + grid[(i + 1) * n + j]
+            + grid[i * n + j - 1]
             + grid[i * n + j + 1]);
     grid[i * n + j] += OMEGA * (stencil - grid[i * n + j]);
 }
@@ -145,7 +147,9 @@ mod tests {
             for i in 1..n - 1 {
                 for j in 1..n - 1 {
                     let s = 0.25
-                        * (g[(i - 1) * n + j] + g[(i + 1) * n + j] + g[i * n + j - 1]
+                        * (g[(i - 1) * n + j]
+                            + g[(i + 1) * n + j]
+                            + g[i * n + j - 1]
                             + g[i * n + j + 1]);
                     r += (s - g[i * n + j]).abs();
                 }

@@ -3,14 +3,14 @@
 //! per element count — the ablation behind the Figure 10/11 gap.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdsm_platform::ctype::{paper_figure4_struct, CType};
 use hdsm_platform::endian::Endianness;
+use hdsm_platform::layout::TypeLayout;
 use hdsm_platform::scalar::ScalarClass;
+use hdsm_platform::spec::PlatformSpec;
 use hdsm_tags::convert::{convert_scalar_run, ConversionStats};
 use hdsm_tags::generate::tag_for;
 use hdsm_tags::parse::parse_tag;
-use hdsm_platform::ctype::{paper_figure4_struct, CType};
-use hdsm_platform::layout::TypeLayout;
-use hdsm_platform::spec::PlatformSpec;
 use std::hint::black_box;
 
 fn bench_scalar_runs(c: &mut Criterion) {

@@ -35,7 +35,9 @@ fn sample_state(elems: usize, p: &Platform) -> ThreadState {
     b.set_field(
         3,
         &Value::Array(
-            (0..elems / 2).map(|i| Value::Float(i as f64 * 0.25)).collect(),
+            (0..elems / 2)
+                .map(|i| Value::Float(i as f64 * 0.25))
+                .collect(),
         ),
     )
     .unwrap();

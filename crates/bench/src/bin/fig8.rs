@@ -19,10 +19,7 @@ fn main() {
     let pairs = paper_pairs();
     let ll = &pairs[0];
     let ss = &pairs[1];
-    println!(
-        "{:>5} {:>14} {:>14}",
-        "size", "solaris (s)", "linux (s)"
-    );
+    println!("{:>5} {:>14} {:>14}", "size", "solaris (s)", "linux (s)");
     for &n in &sizes {
         let r_ss = run_matmul_min(n, ss, SyncMode::Barrier, 3);
         let r_ll = run_matmul_min(n, ll, SyncMode::Barrier, 3);

@@ -15,7 +15,10 @@ fn main() {
     let ty = CType::Struct(paper_figure4_struct());
     let base = 0x4005_8000;
 
-    println!("Paper Table 1 — index table on {}:", PlatformSpec::linux_x86());
+    println!(
+        "Paper Table 1 — index table on {}:",
+        PlatformSpec::linux_x86()
+    );
     let linux = IndexTable::build(&ty, base, &PlatformSpec::linux_x86());
     print!("{}", linux.render_paper_table());
 

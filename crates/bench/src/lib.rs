@@ -84,11 +84,7 @@ fn aggregate(
 /// The paper's thread placement: one worker stays on the home platform,
 /// two are migrated to the remote platform.
 pub fn paper_placement(pair: &PlatformPair) -> Vec<hdsm_platform::spec::Platform> {
-    vec![
-        pair.home.clone(),
-        pair.remote.clone(),
-        pair.remote.clone(),
-    ]
+    vec![pair.home.clone(), pair.remote.clone(), pair.remote.clone()]
 }
 
 /// Run the matrix-multiplication experiment for one cell.
@@ -148,12 +144,21 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
 /// Run one cell `reps` times and keep the repetition with the smallest
 /// total sharing cost — the standard way to strip scheduler noise from a
 /// single-machine measurement (all repetitions must verify).
-pub fn run_matmul_min(n: usize, pair: &PlatformPair, mode: SyncMode, reps: usize) -> ExperimentResult {
+pub fn run_matmul_min(
+    n: usize,
+    pair: &PlatformPair,
+    mode: SyncMode,
+    reps: usize,
+) -> ExperimentResult {
     assert!(reps >= 1);
     let mut best: Option<ExperimentResult> = None;
     for _ in 0..reps {
         let r = run_matmul(n, pair, mode);
-        assert!(r.verified, "matmul n={n} pair={} failed to verify", pair.label);
+        assert!(
+            r.verified,
+            "matmul n={n} pair={} failed to verify",
+            pair.label
+        );
         if best
             .as_ref()
             .is_none_or(|b| r.raw.c_share() < b.raw.c_share())

@@ -100,9 +100,8 @@ pub fn apply_raw_diffs(
 
 /// Pack raw diffs for the wire (the baseline's `t_pack` equivalent).
 pub fn pack_raw(diffs: &[RawDiff]) -> Bytes {
-    let mut out = BytesMut::with_capacity(
-        4 + diffs.iter().map(|d| 12 + d.bytes.len()).sum::<usize>(),
-    );
+    let mut out =
+        BytesMut::with_capacity(4 + diffs.iter().map(|d| 12 + d.bytes.len()).sum::<usize>());
     out.put_u32(diffs.len() as u32);
     for d in diffs {
         out.put_u64(d.addr);

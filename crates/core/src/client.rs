@@ -44,6 +44,13 @@ pub enum DsdError {
     Gthv(GthvError),
     /// Unexpected message while waiting for a specific reply.
     Unexpected(&'static str),
+    /// The home service declared a participant dead (lease expiry); the
+    /// blocked operation cannot complete. Carries the lost worker's rank.
+    WorkerLost(u32),
+    /// Sentinel returned by a test body to simulate this worker crashing:
+    /// the cluster harness stops the worker without signing it off, so
+    /// the home's failure detector must notice the silence.
+    Crashed,
 }
 
 impl fmt::Display for DsdError {
@@ -54,6 +61,8 @@ impl fmt::Display for DsdError {
             DsdError::Update(e) => write!(f, "update: {e}"),
             DsdError::Gthv(e) => write!(f, "gthv: {e}"),
             DsdError::Unexpected(s) => write!(f, "unexpected message, wanted {s}"),
+            DsdError::WorkerLost(r) => write!(f, "worker {r} lost (lease expired)"),
+            DsdError::Crashed => write!(f, "worker simulated a crash"),
         }
     }
 }
@@ -91,6 +100,12 @@ pub struct DsdClient {
     conv_stats: ConversionStats,
     recv_deadline: std::time::Duration,
     promote_threshold: u8,
+    /// Monotonic request id for the at-most-once envelope.
+    req_counter: u64,
+    /// Retransmissions attempted before waiting out the full deadline.
+    max_retries: u32,
+    /// First retransmission delay; doubles per attempt.
+    retry_base: std::time::Duration,
 }
 
 impl DsdClient {
@@ -110,6 +125,9 @@ impl DsdClient {
             conv_stats: ConversionStats::default(),
             recv_deadline: std::time::Duration::from_secs(30),
             promote_threshold: 100,
+            req_counter: 0,
+            max_retries: 10,
+            retry_base: std::time::Duration::from_millis(250),
         }
     }
 
@@ -130,9 +148,38 @@ impl DsdClient {
 
     /// How long a blocking protocol receive may wait before failing with
     /// a timeout error (defence against a dead or wedged home service).
-    /// Default 30 s.
+    /// Default 30 s. This is the *total* budget per request, spanning all
+    /// retransmission attempts.
     pub fn set_recv_deadline(&mut self, deadline: std::time::Duration) {
         self.recv_deadline = deadline;
+    }
+
+    /// How many times a request is retransmitted (with exponential
+    /// backoff) before the client just waits out the rest of its
+    /// deadline. Default 10.
+    pub fn set_max_retries(&mut self, retries: u32) {
+        self.max_retries = retries;
+    }
+
+    /// Delay before the first retransmission; doubles on each subsequent
+    /// attempt. Default 250 ms.
+    pub fn set_retry_base(&mut self, base: std::time::Duration) {
+        self.retry_base = base;
+    }
+
+    /// Handle to the fabric (stats, partitions).
+    pub fn network(&self) -> &hdsm_net::Network {
+        self.ep.network()
+    }
+
+    /// Fire-and-forget liveness beacon to the home service. Sent with
+    /// request id 0 — never deduplicated, never replied to.
+    pub fn heartbeat(&mut self) {
+        let payload = DsdMsg::Heartbeat {
+            rank: self.thread_rank,
+        }
+        .encode_enveloped(0);
+        let _ = self.ep.send(self.home_ep, MsgKind::Heartbeat, payload);
     }
 
     /// This thread's stable rank.
@@ -165,21 +212,64 @@ impl DsdClient {
         self.conv_stats
     }
 
-    fn send(&mut self, msg: DsdMsg) -> Result<(), DsdError> {
+    /// The reliability core: send `msg` under a fresh request id and wait
+    /// for the home's reply to *that* id, retransmitting with exponential
+    /// backoff (`retry_base · 2^attempt`) when no reply arrives. The home
+    /// deduplicates by request id, so retransmissions are idempotent;
+    /// replies to older ids (late duplicates) are skipped. The whole
+    /// exchange is bounded by `recv_deadline`. A [`DsdMsg::WorkerLost`]
+    /// reply aborts with [`DsdError::WorkerLost`] regardless of id.
+    fn request(&mut self, msg: DsdMsg) -> Result<DsdMsg, DsdError> {
+        self.req_counter += 1;
+        let req_id = self.req_counter;
+        let kind = msg.kind();
         let t0 = Instant::now();
-        let payload = msg.encode();
+        let payload = msg.encode_enveloped(req_id);
         self.costs.t_pack += t0.elapsed();
-        self.costs.bytes_sent += payload.len() as u64;
-        self.ep.send(self.home_ep, msg.kind(), payload)?;
-        Ok(())
-    }
-
-    fn recv_decoded(&mut self) -> Result<DsdMsg, DsdError> {
-        let msg = self.ep.recv_timeout(self.recv_deadline)?;
-        let t0 = Instant::now();
-        let decoded = DsdMsg::decode(msg.kind, msg.payload)?;
-        self.costs.t_unpack += t0.elapsed();
-        Ok(decoded)
+        let deadline = Instant::now() + self.recv_deadline;
+        let mut attempt: u32 = 0;
+        loop {
+            if attempt > 0 {
+                self.ep.network().note_retransmit();
+            }
+            self.costs.bytes_sent += payload.len() as u64;
+            self.ep.send(self.home_ep, kind, payload.clone())?;
+            // How long to wait before the next retransmission; once the
+            // retry budget is spent, wait out the remaining deadline.
+            let attempt_wait = if attempt >= self.max_retries {
+                self.recv_deadline
+            } else {
+                self.retry_base * 2u32.saturating_pow(attempt)
+            };
+            let attempt_deadline = (Instant::now() + attempt_wait).min(deadline);
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(DsdError::Net(NetError::Timeout));
+                }
+                let wait = attempt_deadline.saturating_duration_since(now);
+                if wait.is_zero() {
+                    break; // retransmit
+                }
+                match self.ep.recv_timeout(wait) {
+                    Ok(m) => {
+                        let t0 = Instant::now();
+                        let (rid, decoded) = DsdMsg::decode_enveloped(m.kind, m.payload)?;
+                        self.costs.t_unpack += t0.elapsed();
+                        if let DsdMsg::WorkerLost { rank } = decoded {
+                            return Err(DsdError::WorkerLost(rank));
+                        }
+                        if rid == req_id {
+                            return Ok(decoded);
+                        }
+                        // A late duplicate of an earlier reply: skip.
+                    }
+                    Err(NetError::Timeout) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            attempt += 1;
+        }
     }
 
     /// Apply incoming updates (grant / barrier release) to the local copy
@@ -210,11 +300,7 @@ impl DsdClient {
         let t1 = Instant::now();
         let mut ranges = coalesce(mapped);
         if self.promote_threshold < 100 {
-            ranges = crate::runs::promote_ranges(
-                self.gthv.table(),
-                ranges,
-                self.promote_threshold,
-            );
+            ranges = crate::runs::promote_ranges(self.gthv.table(), ranges, self.promote_threshold);
         }
         self.costs.t_tag += t1.elapsed();
         // t_pack: extracting the raw native bytes (and pointer swizzling).
@@ -227,11 +313,10 @@ impl DsdClient {
 
     /// `MTh_lock(index, rank)` — paper §4.1.
     pub fn mth_lock(&mut self, lock: u32) -> Result<(), DsdError> {
-        self.send(DsdMsg::LockRequest {
+        match self.request(DsdMsg::LockRequest {
             lock,
             rank: self.thread_rank,
-        })?;
-        match self.recv_decoded()? {
+        })? {
             DsdMsg::LockGrant { lock: l, updates } if l == lock => {
                 self.apply_incoming(&updates)?;
                 Ok(())
@@ -243,14 +328,13 @@ impl DsdClient {
     /// `MTh_unlock(index, rank)` — paper §4.2.
     pub fn mth_unlock(&mut self, lock: u32) -> Result<(), DsdError> {
         let updates = self.collect_outgoing()?;
-        self.send(DsdMsg::UnlockRequest {
+        // Twins/dirty marks shipped; re-arm for the next critical section.
+        self.gthv.space_mut().reset_and_protect();
+        match self.request(DsdMsg::UnlockRequest {
             lock,
             rank: self.thread_rank,
             updates,
-        })?;
-        // Twins/dirty marks shipped; re-arm for the next critical section.
-        self.gthv.space_mut().reset_and_protect();
-        match self.recv_decoded()? {
+        })? {
             DsdMsg::UnlockAck { lock: l } if l == lock => Ok(()),
             _ => Err(DsdError::Unexpected("UnlockAck")),
         }
@@ -264,14 +348,13 @@ impl DsdClient {
     /// loop — another thread may run between the signal and the wake.
     pub fn mth_cond_wait(&mut self, cond: u32, lock: u32) -> Result<(), DsdError> {
         let updates = self.collect_outgoing()?;
-        self.send(DsdMsg::CondWait {
+        self.gthv.space_mut().reset_and_protect();
+        match self.request(DsdMsg::CondWait {
             cond,
             lock,
             rank: self.thread_rank,
             updates,
-        })?;
-        self.gthv.space_mut().reset_and_protect();
-        match self.recv_decoded()? {
+        })? {
             DsdMsg::LockGrant { lock: l, updates } if l == lock => {
                 self.apply_incoming(&updates)?;
                 Ok(())
@@ -280,23 +363,30 @@ impl DsdClient {
         }
     }
 
-    /// `MTh_cond_signal(cond)` — wake one waiter. Fire-and-forget; callers
-    /// conventionally hold the associated mutex while signalling.
+    /// `MTh_cond_signal(cond)` — wake one waiter. Acknowledged by the
+    /// home so the signal survives a lossy fabric; callers conventionally
+    /// hold the associated mutex while signalling.
     pub fn mth_cond_signal(&mut self, cond: u32) -> Result<(), DsdError> {
-        self.send(DsdMsg::CondSignal {
+        match self.request(DsdMsg::CondSignal {
             cond,
             rank: self.thread_rank,
             broadcast: false,
-        })
+        })? {
+            DsdMsg::Ack => Ok(()),
+            _ => Err(DsdError::Unexpected("Ack")),
+        }
     }
 
     /// `MTh_cond_broadcast(cond)` — wake every waiter.
     pub fn mth_cond_broadcast(&mut self, cond: u32) -> Result<(), DsdError> {
-        self.send(DsdMsg::CondSignal {
+        match self.request(DsdMsg::CondSignal {
             cond,
             rank: self.thread_rank,
             broadcast: true,
-        })
+        })? {
+            DsdMsg::Ack => Ok(()),
+            _ => Err(DsdError::Unexpected("Ack")),
+        }
     }
 
     /// `MTh_barrier(index, rank)` — a full release + acquire for every
@@ -304,13 +394,12 @@ impl DsdClient {
     /// them out of the distributed mutex).
     pub fn mth_barrier(&mut self, barrier: u32) -> Result<(), DsdError> {
         let updates = self.collect_outgoing()?;
-        self.send(DsdMsg::BarrierEnter {
+        self.gthv.space_mut().reset_and_protect();
+        match self.request(DsdMsg::BarrierEnter {
             barrier,
             rank: self.thread_rank,
             updates,
-        })?;
-        self.gthv.space_mut().reset_and_protect();
-        match self.recv_decoded()? {
+        })? {
             DsdMsg::BarrierRelease {
                 barrier: b,
                 updates,
@@ -324,12 +413,13 @@ impl DsdClient {
 
     /// `MTh_join()` — sign off and wait for the program to end. Consumes
     /// the client; returns the accumulated costs and the final local copy.
+    /// The home's shutdown broadcast is the (deferred, retransmittable)
+    /// reply to this request.
     pub fn mth_join(mut self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
-        self.send(DsdMsg::Join {
+        match self.request(DsdMsg::Join {
             rank: self.thread_rank,
-        })?;
-        match self.ep.recv_timeout(self.recv_deadline)? {
-            m if m.kind == MsgKind::Shutdown => Ok((self.costs, self.conv_stats, self.gthv)),
+        })? {
+            DsdMsg::Shutdown => Ok((self.costs, self.conv_stats, self.gthv)),
             _ => Err(DsdError::Unexpected("Shutdown")),
         }
     }
@@ -423,10 +513,12 @@ impl DsdClient {
         let def = self.gthv.def().clone();
         self.gthv = GthvInstance::new(def, platform);
         self.gthv.space_mut().reset_and_protect();
-        self.send(DsdMsg::Resync {
+        match self.request(DsdMsg::Resync {
             rank: self.thread_rank,
-        })?;
-        Ok(())
+        })? {
+            DsdMsg::Ack => Ok(()),
+            _ => Err(DsdError::Unexpected("Ack")),
+        }
     }
 
     // ----- typed convenience accessors (forwarders) -----
@@ -508,6 +600,7 @@ mod tests {
                 n_barriers,
                 n_conds: 2,
                 participants,
+                ..Default::default()
             },
         );
         home.init_with(|g| {
@@ -535,17 +628,12 @@ mod tests {
 
     #[test]
     fn lock_pulls_initial_state_heterogeneous() {
-        with_cluster(
-            vec![PlatformSpec::solaris_sparc()],
-            1,
-            0,
-            |c| {
-                c.mth_lock(0).unwrap();
-                assert_eq!(c.read_int(0, 0).unwrap(), 1000);
-                assert_eq!(c.read_int(0, 127).unwrap(), 1127);
-                c.mth_unlock(0).unwrap();
-            },
-        );
+        with_cluster(vec![PlatformSpec::solaris_sparc()], 1, 0, |c| {
+            c.mth_lock(0).unwrap();
+            assert_eq!(c.read_int(0, 0).unwrap(), 1000);
+            assert_eq!(c.read_int(0, 127).unwrap(), 1127);
+            c.mth_unlock(0).unwrap();
+        });
     }
 
     #[test]
@@ -682,11 +770,7 @@ mod tests {
                             continue;
                         }
                         for i in consumed..available {
-                            assert_eq!(
-                                c.read_int(0, i as u64).unwrap(),
-                                500 + i,
-                                "item {i}"
-                            );
+                            assert_eq!(c.read_int(0, i as u64).unwrap(), 500 + i, "item {i}");
                         }
                         consumed = available;
                     }

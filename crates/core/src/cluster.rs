@@ -26,14 +26,18 @@ use crate::client::{DsdClient, DsdError};
 use crate::costs::CostBreakdown;
 use crate::gthv::{GthvDef, GthvInstance};
 use crate::home::{HomeConfig, HomeError, HomeService};
+use crate::protocol::DsdMsg;
 use hdsm_migthread::compute::{Computation, ProgramRegistry, StepStatus};
 use hdsm_migthread::packfmt::{pack_state, MigrateError};
 use hdsm_migthread::state::ThreadState;
 use hdsm_net::endpoint::Network;
+use hdsm_net::message::MsgKind;
 use hdsm_net::stats::{NetConfig, NetStats};
+use hdsm_net::FaultPlan;
 use hdsm_platform::spec::{Platform, PlatformSpec};
 use hdsm_tags::convert::ConversionStats;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Errors from cluster orchestration.
@@ -54,6 +58,12 @@ pub enum ClusterError {
     Migration(MigrateError),
     /// A worker thread panicked.
     Panic(String),
+    /// A worker crashed or was partitioned away and the home's failure
+    /// detector declared it dead; the run could not complete normally.
+    WorkerLost {
+        /// Thread rank of the lost worker.
+        rank: u32,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -64,6 +74,7 @@ impl fmt::Display for ClusterError {
             ClusterError::Worker { index, error } => write!(f, "worker {index}: {error}"),
             ClusterError::Migration(e) => write!(f, "migration: {e}"),
             ClusterError::Panic(s) => write!(f, "worker panicked: {s}"),
+            ClusterError::WorkerLost { rank } => write!(f, "worker rank {rank} lost"),
         }
     }
 }
@@ -140,6 +151,9 @@ pub struct ClusterBuilder {
     net_config: NetConfig,
     init: Option<InitFn>,
     recv_deadline: Option<Duration>,
+    lease: Option<Duration>,
+    max_retries: Option<u32>,
+    retry_base: Option<Duration>,
 }
 
 impl Default for ClusterBuilder {
@@ -161,6 +175,9 @@ impl ClusterBuilder {
             net_config: NetConfig::instant(),
             init: None,
             recv_deadline: None,
+            lease: Some(Duration::from_secs(30)),
+            max_retries: None,
+            retry_base: None,
         }
     }
 
@@ -168,6 +185,43 @@ impl ClusterBuilder {
     /// wedged home service — mainly for negative tests).
     pub fn recv_deadline(mut self, d: Duration) -> Self {
         self.recv_deadline = Some(d);
+        self
+    }
+
+    /// Liveness lease (default 30 s): a worker silent for this long is
+    /// declared dead by the home — its locks are reclaimed and in-flight
+    /// barriers fail with [`ClusterError::WorkerLost`] instead of
+    /// hanging. Each worker gets a heartbeat pump beating at `lease / 4`.
+    pub fn lease(mut self, d: Duration) -> Self {
+        self.lease = Some(d);
+        self
+    }
+
+    /// Disable failure detection (and the heartbeat pumps) entirely.
+    pub fn no_lease(mut self) -> Self {
+        self.lease = None;
+        self
+    }
+
+    /// Retransmissions each client attempts per request before waiting
+    /// out its deadline (default 10).
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = Some(n);
+        self
+    }
+
+    /// First client retransmission delay, doubling per attempt
+    /// (default 250 ms).
+    pub fn retry_base(mut self, d: Duration) -> Self {
+        self.retry_base = Some(d);
+        self
+    }
+
+    /// Inject faults into the simulated fabric (drops, duplicates,
+    /// reorders, jitter — see [`FaultPlan`]). The home automatically
+    /// lingers after shutdown to answer retransmissions.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.net_config.fault_plan = Some(plan);
         self
     }
 
@@ -246,6 +300,14 @@ impl ClusterBuilder {
         let home_ep = eps.remove(0);
         let n_workers = self.worker_platforms.len();
         let participants: Vec<u32> = (1..=n_workers as u32).collect();
+        let retry_base = self.retry_base.unwrap_or(Duration::from_millis(250));
+        // With a faulty fabric the final Shutdown can be dropped; the home
+        // sticks around long enough to answer Join retransmissions.
+        let linger = if self.net_config.fault_plan.is_some() {
+            (retry_base * 16).min(Duration::from_secs(2))
+        } else {
+            Duration::ZERO
+        };
         let mut home = HomeService::new(
             GthvInstance::new(def.clone(), self.home_platform.clone()),
             home_ep,
@@ -254,6 +316,8 @@ impl ClusterBuilder {
                 n_barriers: self.n_barriers,
                 n_conds: self.n_conds,
                 participants,
+                lease: self.lease,
+                linger,
             },
         );
         if let Some(init) = self.init.take() {
@@ -264,20 +328,49 @@ impl ClusterBuilder {
             (0..n_workers).map(|_| None).collect();
         let mut home_out = None;
         let deadline = self.recv_deadline;
+        let max_retries = self.max_retries;
+        let retry_base_opt = self.retry_base;
         let mut first_error: Option<ClusterError> = None;
+        let mut home_error: Option<ClusterError> = None;
+        let mut worker_errors: Vec<(usize, DsdError)> = Vec::new();
+        // Per-worker liveness flags for the heartbeat pump: a crashed
+        // worker stops beating so the home's lease detector notices.
+        let alive: Vec<AtomicBool> = (0..n_workers).map(|_| AtomicBool::new(true)).collect();
+        let pump_done = AtomicBool::new(false);
 
         std::thread::scope(|s| {
             let home_handle = s.spawn(move || home.run());
+            // Heartbeat pump: beats on behalf of every live worker at a
+            // quarter of the lease, so blocked-but-alive workers (e.g.
+            // waiting in a barrier) are never declared dead.
+            let pump_handle = self.lease.map(|lease| {
+                let net = net.clone();
+                let alive = &alive;
+                let pump_done = &pump_done;
+                let interval = (lease / 4).max(Duration::from_millis(5));
+                s.spawn(move || {
+                    let mut last_beat = Instant::now();
+                    while !pump_done.load(Ordering::Relaxed) {
+                        if last_beat.elapsed() >= interval {
+                            last_beat = Instant::now();
+                            for (i, a) in alive.iter().enumerate() {
+                                if a.load(Ordering::Relaxed) {
+                                    let rank = i as u32 + 1;
+                                    let payload = DsdMsg::Heartbeat { rank }.encode_enveloped(0);
+                                    let _ = net.send_as(rank, 0, MsgKind::Heartbeat, payload);
+                                }
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                })
+            });
             let mut handles = Vec::new();
-            for ((i, plat), ep) in self
-                .worker_platforms
-                .iter()
-                .enumerate()
-                .zip(eps.drain(..))
-            {
+            for ((i, plat), ep) in self.worker_platforms.iter().enumerate().zip(eps.drain(..)) {
                 let def = def.clone();
                 let plat = plat.clone();
                 let body = &body;
+                let alive = &alive;
                 handles.push(s.spawn(move || {
                     let info = WorkerInfo {
                         index: i,
@@ -289,10 +382,23 @@ impl ClusterBuilder {
                     if let Some(d) = deadline {
                         client.set_recv_deadline(d);
                     }
+                    if let Some(n) = max_retries {
+                        client.set_max_retries(n);
+                    }
+                    if let Some(b) = retry_base_opt {
+                        client.set_retry_base(b);
+                    }
                     let result = body(&mut client, &info);
+                    if matches!(result, Err(DsdError::Crashed)) {
+                        // Simulated crash: fall silent without signing
+                        // off — the home must detect the dead worker.
+                        alive[i].store(false, Ordering::Relaxed);
+                        return Err(DsdError::Crashed);
+                    }
                     // Always join so the home service can terminate, even
                     // if the body failed.
                     let join = client.mth_join();
+                    alive[i].store(false, Ordering::Relaxed);
                     match (result, join) {
                         (Ok(r), Ok((costs, conv, _gthv))) => Ok((r, costs, conv)),
                         (Err(e), _) => Err(e),
@@ -303,19 +409,20 @@ impl ClusterBuilder {
             for (i, h) in handles.into_iter().enumerate() {
                 match h.join() {
                     Ok(Ok(triple)) => results[i] = Some(triple),
-                    Ok(Err(e)) => {
-                        first_error
-                            .get_or_insert(ClusterError::Worker { index: i, error: e });
-                    }
+                    Ok(Err(e)) => worker_errors.push((i, e)),
                     Err(p) => {
                         first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
                     }
                 }
             }
+            pump_done.store(true, Ordering::Relaxed);
+            if let Some(h) = pump_handle {
+                let _ = h.join();
+            }
             match home_handle.join() {
                 Ok(Ok(out)) => home_out = Some(out),
                 Ok(Err(e)) => {
-                    first_error.get_or_insert(ClusterError::Home(e));
+                    home_error = Some(ClusterError::Home(e));
                 }
                 Err(p) => {
                     first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
@@ -323,6 +430,30 @@ impl ClusterBuilder {
             }
         });
 
+        // Error priority: panics, then a lost worker (the root cause,
+        // reported over the secondary errors it induces in survivors),
+        // then other worker errors, then home errors.
+        if first_error.is_none() {
+            let lost_rank = worker_errors
+                .iter()
+                .find_map(|(_, e)| match e {
+                    DsdError::WorkerLost(r) => Some(*r),
+                    _ => None,
+                })
+                .or_else(|| {
+                    worker_errors.iter().find_map(|(i, e)| match e {
+                        DsdError::Crashed => Some(*i as u32 + 1),
+                        _ => None,
+                    })
+                });
+            if let Some(rank) = lost_rank {
+                first_error = Some(ClusterError::WorkerLost { rank });
+            } else if let Some((index, error)) = worker_errors.into_iter().next() {
+                first_error = Some(ClusterError::Worker { index, error });
+            } else {
+                first_error = home_error;
+            }
+        }
         if let Some(e) = first_error {
             return Err(e);
         }
@@ -372,7 +503,10 @@ impl ClusterBuilder {
         let mig_stats = parking_lot::Mutex::new(MigrationStats::default());
         let mut outcome = {
             let starts_cell = parking_lot::Mutex::new(
-                starts.into_iter().map(Some).collect::<Vec<Option<ThreadState>>>(),
+                starts
+                    .into_iter()
+                    .map(Some)
+                    .collect::<Vec<Option<ThreadState>>>(),
             );
             let mig_ref = &mig_stats;
             self.run(move |client, info| {
@@ -408,10 +542,8 @@ fn run_one_adaptive(
     let mut comp: Box<dyn Computation<DsdClient>> = registry
         .instantiate(start, start_platform.clone())
         .map_err(|_| DsdError::Unexpected("instantiate"))?;
-    let mut my_events: Vec<&MigrationEvent> = schedule
-        .iter()
-        .filter(|e| e.worker == info.index)
-        .collect();
+    let mut my_events: Vec<&MigrationEvent> =
+        schedule.iter().filter(|e| e.worker == info.index).collect();
     my_events.sort_by_key(|e| e.after_steps);
     let mut next_event = 0usize;
     let mut steps: u64 = 0;

@@ -120,7 +120,10 @@ impl fmt::Display for GthvError {
         match self {
             GthvError::NoSuchEntry(e) => write!(f, "no entry {e}"),
             GthvError::ElemOutOfRange { entry, elem, count } => {
-                write!(f, "element {elem} out of range for entry {entry} ({count} elements)")
+                write!(
+                    f,
+                    "element {elem} out of range for entry {entry} ({count} elements)"
+                )
             }
             GthvError::KindMismatch { entry, actual } => {
                 write!(f, "entry {entry} is {actual:?}")
@@ -195,11 +198,12 @@ impl GthvInstance {
         &self.space
     }
 
-    fn row_checked(&self, entry: u32, elem: u64) -> Result<&crate::index_table::IndexRow, GthvError> {
-        let row = self
-            .table
-            .row(entry)
-            .ok_or(GthvError::NoSuchEntry(entry))?;
+    fn row_checked(
+        &self,
+        entry: u32,
+        elem: u64,
+    ) -> Result<&crate::index_table::IndexRow, GthvError> {
+        let row = self.table.row(entry).ok_or(GthvError::NoSuchEntry(entry))?;
         if elem >= row.count {
             return Err(GthvError::ElemOutOfRange {
                 entry,
@@ -323,10 +327,7 @@ impl GthvInstance {
         let raw: u64 = match target {
             None => 0,
             Some((te, tel)) => {
-                let trow = self
-                    .table
-                    .row(te)
-                    .ok_or(GthvError::NoSuchEntry(te))?;
+                let trow = self.table.row(te).ok_or(GthvError::NoSuchEntry(te))?;
                 if tel >= trow.count {
                     return Err(GthvError::ElemOutOfRange {
                         entry: te,
@@ -405,10 +406,7 @@ mod tests {
     #[test]
     fn bounds_and_kind_checks() {
         let mut g = figure4_instance(PlatformSpec::linux_x86());
-        assert!(matches!(
-            g.read_int(9, 0),
-            Err(GthvError::NoSuchEntry(9))
-        ));
+        assert!(matches!(g.read_int(9, 0), Err(GthvError::NoSuchEntry(9))));
         assert!(matches!(
             g.read_int(1, 56169),
             Err(GthvError::ElemOutOfRange { .. })
@@ -430,10 +428,7 @@ mod tests {
             .array("ys", ScalarKind::Float, 10)
             .build()
             .unwrap();
-        let mut g = GthvInstance::new(
-            GthvDef::new(def).unwrap(),
-            PlatformSpec::solaris_sparc(),
-        );
+        let mut g = GthvInstance::new(GthvDef::new(def).unwrap(), PlatformSpec::solaris_sparc());
         g.write_float(0, 3, 2.5).unwrap();
         g.write_float(1, 3, 0.25).unwrap();
         assert_eq!(g.read_float(0, 3).unwrap(), 2.5);

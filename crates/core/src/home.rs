@@ -18,11 +18,13 @@ use crate::gthv::GthvInstance;
 use crate::protocol::{DsdMsg, ProtocolError};
 use crate::runs::{coalesce, UpdateRange};
 use crate::update::{apply_batch, extract_updates, full_ranges, UpdateError};
+use bytes::Bytes;
 use hdsm_net::endpoint::{Endpoint, NetError};
+use hdsm_net::message::MsgKind;
 use hdsm_tags::convert::ConversionStats;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of the home service.
 #[derive(Debug, Clone)]
@@ -36,6 +38,29 @@ pub struct HomeConfig {
     /// Thread ranks that will participate (barriers wait for all of them;
     /// the program ends when all of them join).
     pub participants: Vec<u32>,
+    /// Liveness lease: a participant that has neither joined nor been
+    /// heard from (any message, including heartbeats) for this long is
+    /// declared dead — its locks are reclaimed and blocked barrier
+    /// entrants receive [`DsdMsg::WorkerLost`]. `None` disables failure
+    /// detection (the service blocks forever, pre-reliability behaviour).
+    pub lease: Option<Duration>,
+    /// How long the service keeps answering retransmissions after the
+    /// final shutdown broadcast, so clients whose last reply was dropped
+    /// by a faulty fabric can still complete.
+    pub linger: Duration,
+}
+
+impl Default for HomeConfig {
+    fn default() -> Self {
+        HomeConfig {
+            n_locks: 1,
+            n_barriers: 1,
+            n_conds: 0,
+            participants: Vec::new(),
+            lease: None,
+            linger: Duration::ZERO,
+        }
+    }
 }
 
 /// Errors surfaced by the home service loop.
@@ -124,6 +149,17 @@ pub struct HomeService {
     routes: HashMap<u32, u32>,
     participants: HashSet<u32>,
     joined: HashSet<u32>,
+    /// Participants declared dead by the lease detector.
+    dead: HashSet<u32>,
+    /// Last time each participant was heard from (any message).
+    last_heard: HashMap<u32, Instant>,
+    /// Highest request id handled per thread (at-most-once dedup).
+    last_req: HashMap<u32, u64>,
+    /// Last reply sent to each thread, resent verbatim when the same
+    /// request id arrives again (the reply, not the request, was lost).
+    reply_cache: HashMap<u32, (u64, MsgKind, Bytes)>,
+    lease: Option<Duration>,
+    linger: Duration,
     costs: CostBreakdown,
     conv_stats: ConversionStats,
 }
@@ -149,6 +185,12 @@ impl HomeService {
             routes: HashMap::new(),
             participants: config.participants.into_iter().collect(),
             joined: HashSet::new(),
+            dead: HashSet::new(),
+            last_heard: HashMap::new(),
+            last_req: HashMap::new(),
+            reply_cache: HashMap::new(),
+            lease: config.lease,
+            linger: config.linger,
             costs: CostBreakdown::default(),
             conv_stats: ConversionStats::default(),
         }
@@ -161,8 +203,11 @@ impl HomeService {
         f(&mut self.gthv);
         self.seq += 1;
         let s = self.seq;
-        self.log
-            .extend(full_ranges(&self.gthv).into_iter().map(|r| (s, HOME_WRITER, r)));
+        self.log.extend(
+            full_ranges(&self.gthv)
+                .into_iter()
+                .map(|r| (s, HOME_WRITER, r)),
+        );
     }
 
     /// Authoritative instance (read access for inspection).
@@ -249,13 +294,19 @@ impl HomeService {
         Ok(ups)
     }
 
+    /// Send a reply to thread `rank`, enveloped with the request id of
+    /// its outstanding request, and cache it for retransmission.
     fn send(&mut self, rank: u32, msg: DsdMsg) -> Result<(), HomeError> {
-        let ep_rank = *self.routes.get(&rank).ok_or_else(|| {
-            HomeError::Violation(format!("no route for thread {rank}"))
-        })?;
+        let ep_rank = *self
+            .routes
+            .get(&rank)
+            .ok_or_else(|| HomeError::Violation(format!("no route for thread {rank}")))?;
+        let req_id = self.last_req.get(&rank).copied().unwrap_or(0);
         let t0 = Instant::now();
-        let payload = msg.encode();
+        let payload = msg.encode_enveloped(req_id);
         self.costs.t_pack += t0.elapsed();
+        self.reply_cache
+            .insert(rank, (req_id, msg.kind(), payload.clone()));
         self.ep.send(ep_rank, msg.kind(), payload)?;
         Ok(())
     }
@@ -265,22 +316,209 @@ impl HomeService {
         self.send(rank, DsdMsg::LockGrant { lock, updates })
     }
 
-    /// Run the service loop until all participants joined. Returns the
-    /// authoritative instance and the home-side cost breakdown.
+    /// Run the service loop until all live participants joined. Returns
+    /// the authoritative instance and the home-side cost breakdown.
     pub fn run(mut self) -> Result<(GthvInstance, CostBreakdown, ConversionStats), HomeError> {
-        while self.joined.len() < self.participants.len() {
-            let msg = self.ep.recv()?;
-            let t0 = Instant::now();
-            let decoded = DsdMsg::decode(msg.kind, msg.payload)?;
-            self.costs.t_unpack += t0.elapsed();
-            self.handle(msg.src, decoded)?;
+        let now = Instant::now();
+        for &r in &self.participants {
+            self.last_heard.insert(r, now);
         }
-        // Everyone joined: broadcast shutdown.
+        while self.joined.len() + self.dead.len() < self.participants.len() {
+            let msg = if let Some(lease) = self.lease {
+                let tick = (lease / 4).max(Duration::from_millis(10));
+                match self.ep.recv_timeout(tick) {
+                    Ok(m) => Some(m),
+                    Err(NetError::Timeout) => None,
+                    Err(e) => return Err(e.into()),
+                }
+            } else {
+                Some(self.ep.recv()?)
+            };
+            if let Some(msg) = msg {
+                let t0 = Instant::now();
+                let (req_id, decoded) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+                self.costs.t_unpack += t0.elapsed();
+                self.dispatch(msg.src, req_id, decoded)?;
+            }
+            self.check_leases()?;
+        }
+        // Every live participant joined: broadcast shutdown. The shutdown
+        // is the (deferred) reply to each thread's Join request, so it is
+        // cached and resent if the fabric drops it.
         let ranks: Vec<u32> = self.joined.iter().copied().collect();
         for r in ranks {
             self.send(r, DsdMsg::Shutdown)?;
         }
+        if !self.dead.is_empty() {
+            // A declared-dead worker may only be partitioned and will
+            // resurface retransmitting; stay around long enough to tell
+            // it it was declared lost instead of letting it time out.
+            if let Some(lease) = self.lease {
+                self.linger = self.linger.max(lease * 2);
+            }
+        }
+        self.linger_drain()?;
         Ok((self.gthv, self.costs, self.conv_stats))
+    }
+
+    /// Keep answering retransmissions for `linger` after shutdown, so
+    /// clients whose final reply was dropped can still complete.
+    fn linger_drain(&mut self) -> Result<(), HomeError> {
+        let deadline = Instant::now() + self.linger;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(());
+            }
+            let msg = match self.ep.recv_timeout(left) {
+                Ok(m) => m,
+                Err(NetError::Timeout) | Err(NetError::ChannelClosed) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            };
+            let (req_id, decoded) = match DsdMsg::decode_enveloped(msg.kind, msg.payload) {
+                Ok(x) => x,
+                Err(_) => continue,
+            };
+            let Some(rank) = decoded.sender_rank() else {
+                continue;
+            };
+            self.routes.insert(rank, msg.src);
+            if matches!(decoded, DsdMsg::Heartbeat { .. }) {
+                continue;
+            }
+            if self.dead.contains(&rank) {
+                self.last_req.insert(rank, req_id);
+                let _ = self.send(rank, DsdMsg::WorkerLost { rank });
+                continue;
+            }
+            match self.reply_cache.get(&rank) {
+                Some((rid, kind, payload)) if *rid == req_id => {
+                    let (kind, payload) = (*kind, payload.clone());
+                    let ep_rank = *self.routes.get(&rank).unwrap();
+                    let _ = self.ep.send(ep_rank, kind, payload);
+                }
+                _ if req_id > self.last_req.get(&rank).copied().unwrap_or(0) => {
+                    // A new request after shutdown can only be a stray
+                    // late join (or a client that missed the broadcast):
+                    // answer Shutdown so it terminates.
+                    self.last_req.insert(rank, req_id);
+                    let _ = self.send(rank, DsdMsg::Shutdown);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Reliability front-end: refresh liveness, deduplicate retransmitted
+    /// requests (resending the cached reply), then hand fresh requests to
+    /// [`Self::handle`].
+    fn dispatch(&mut self, src_ep: u32, req_id: u64, msg: DsdMsg) -> Result<(), HomeError> {
+        if let DsdMsg::Heartbeat { rank } = msg {
+            self.routes.insert(rank, src_ep);
+            self.touch(rank);
+            return Ok(());
+        }
+        let Some(rank) = msg.sender_rank() else {
+            // Rankless messages (e.g. stray Acks) carry no liveness or
+            // dedup state; let handle() report the violation.
+            return self.handle(src_ep, msg);
+        };
+        self.routes.insert(rank, src_ep);
+        self.touch(rank);
+        if self.dead.contains(&rank) {
+            // A declared-dead worker resurfaced (e.g. a healed partition
+            // after its lease expired). Its synchronisation state is
+            // gone; tell it so instead of corrupting the tables.
+            self.last_req.insert(rank, req_id);
+            return self.send(rank, DsdMsg::WorkerLost { rank });
+        }
+        if req_id != 0 {
+            let last = self.last_req.get(&rank).copied().unwrap_or(0);
+            if req_id < last {
+                return Ok(()); // stale retransmission of an older request
+            }
+            if req_id == last {
+                // Duplicate of the current request: the reply (if already
+                // produced) was lost — resend it verbatim. If the reply
+                // is still pending (deferred grant/release), ignore.
+                if let Some((rid, kind, payload)) = self.reply_cache.get(&rank) {
+                    if *rid == req_id {
+                        let (kind, payload) = (*kind, payload.clone());
+                        let ep_rank = *self.routes.get(&rank).unwrap();
+                        self.ep.send(ep_rank, kind, payload)?;
+                    }
+                }
+                return Ok(());
+            }
+            self.last_req.insert(rank, req_id);
+            self.reply_cache.remove(&rank);
+        }
+        self.handle(src_ep, msg)
+    }
+
+    /// Refresh a participant's liveness timestamp.
+    fn touch(&mut self, rank: u32) {
+        if self.participants.contains(&rank) && !self.dead.contains(&rank) {
+            self.last_heard.insert(rank, Instant::now());
+        }
+    }
+
+    /// Declare participants dead whose lease has expired.
+    fn check_leases(&mut self) -> Result<(), HomeError> {
+        let Some(lease) = self.lease else {
+            return Ok(());
+        };
+        let expired: Vec<u32> = self
+            .participants
+            .iter()
+            .filter(|r| !self.joined.contains(r) && !self.dead.contains(r))
+            .filter(|r| {
+                self.last_heard
+                    .get(r)
+                    .map(|t| t.elapsed() > lease)
+                    .unwrap_or(true)
+            })
+            .copied()
+            .collect();
+        for r in expired {
+            self.declare_dead(r)?;
+        }
+        Ok(())
+    }
+
+    /// Reclaim a dead worker's synchronisation state: release its locks
+    /// (granting the next waiter), drop it from wait queues, and fail any
+    /// barrier it was blocking with [`DsdMsg::WorkerLost`].
+    fn declare_dead(&mut self, rank: u32) -> Result<(), HomeError> {
+        self.dead.insert(rank);
+        for idx in 0..self.locks.len() {
+            self.locks[idx].waiters.retain(|&w| w != rank);
+            if self.locks[idx].holder == Some(rank) {
+                self.locks[idx].holder = None;
+                while let Some(next) = self.locks[idx].waiters.pop_front() {
+                    if self.dead.contains(&next) {
+                        continue;
+                    }
+                    self.locks[idx].holder = Some(next);
+                    self.grant(idx as u32, next)?;
+                    break;
+                }
+            }
+        }
+        for c in &mut self.conds {
+            c.waiters.retain(|&(w, _)| w != rank);
+        }
+        // Any barrier with entrants is now permanently stuck (the dead
+        // worker can never enter): fail the survivors.
+        for idx in 0..self.barriers.len() {
+            let entered = std::mem::take(&mut self.barriers[idx].entered);
+            for r in entered {
+                if !self.dead.contains(&r) {
+                    self.send(r, DsdMsg::WorkerLost { rank })?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn handle(&mut self, src_ep: u32, msg: DsdMsg) -> Result<(), HomeError> {
@@ -335,8 +573,14 @@ impl HomeService {
                     return Err(HomeError::Violation(format!("no barrier {barrier}")));
                 }
                 self.absorb(rank, &updates)?;
+                if !self.dead.is_empty() {
+                    // The barrier can never complete with a dead
+                    // participant outstanding: fail fast.
+                    let lost = *self.dead.iter().min().unwrap();
+                    return self.send(rank, DsdMsg::WorkerLost { rank: lost });
+                }
                 self.barriers[idx].entered.push(rank);
-                let waiting_for = self.participants.len() - self.joined.len();
+                let waiting_for = self.participants.len() - self.joined.len() - self.dead.len();
                 if self.barriers[idx].entered.len() >= waiting_for {
                     let entered = std::mem::take(&mut self.barriers[idx].entered);
                     for r in entered {
@@ -413,7 +657,7 @@ impl HomeService {
                         self.locks[lidx].waiters.push_back(waiter);
                     }
                 }
-                Ok(())
+                self.send(rank, DsdMsg::Ack)
             }
             DsdMsg::Resync { rank } => {
                 self.routes.insert(rank, src_ep);
@@ -426,7 +670,7 @@ impl HomeService {
                     // and prune nothing (full_ranges covers everything).
                     self.log_floor = self.log_floor.max(1);
                 }
-                Ok(())
+                self.send(rank, DsdMsg::Ack)
             }
             other => Err(HomeError::Violation(format!(
                 "home received unexpected {other:?}"
@@ -470,6 +714,7 @@ mod tests {
                 n_barriers: 1,
                 n_conds: 0,
                 participants: vec![1],
+                ..Default::default()
             },
         );
         h.init_with(|g| {
@@ -495,6 +740,7 @@ mod tests {
                 n_barriers: 0,
                 n_conds: 0,
                 participants: vec![1, 2],
+                ..Default::default()
             },
         );
         h.init_with(|g| g.write_int(0, 0, 42).unwrap());
@@ -520,6 +766,7 @@ mod tests {
                 n_barriers: 0,
                 n_conds: 0,
                 participants: vec![1],
+                ..Default::default()
             },
         );
         h.init_with(|g| g.write_int(0, 7, 7).unwrap());
@@ -544,6 +791,7 @@ mod tests {
                 n_barriers: 0,
                 n_conds: 0,
                 participants: vec![1, 2],
+                ..Default::default()
             },
         );
         // Thread 1 keeps up; generate enough absorbed batches to trigger

@@ -310,11 +310,7 @@ mod tests {
             .scalar("d", hdsm_platform::scalar::ScalarKind::Double)
             .build()
             .unwrap();
-        let t = IndexTable::build(
-            &CType::Struct(def),
-            0x1000,
-            &PlatformSpec::solaris_sparc(),
-        );
+        let t = IndexTable::build(&CType::Struct(def), 0x1000, &PlatformSpec::solaris_sparc());
         assert_eq!(t.locate(0x1000), Some((0, 0)));
         assert_eq!(t.locate(0x1001), None);
         assert_eq!(t.locate(0x1007), None);
@@ -369,7 +365,10 @@ mod tests {
             &PlatformSpec::solaris_sparc(),
         );
         let paths: Vec<&str> = t.rows().iter().map(|r| r.path.as_str()).collect();
-        assert_eq!(paths, vec!["pair.0.x", "pair.0.y", "pair.1.x", "pair.1.y", "tail"]);
+        assert_eq!(
+            paths,
+            vec!["pair.0.x", "pair.0.y", "pair.1.x", "pair.1.y", "tail"]
+        );
         assert_eq!(t.rows()[4].count, 3);
     }
 }

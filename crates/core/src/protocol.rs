@@ -99,6 +99,23 @@ pub enum DsdMsg {
         /// Thread rank that migrated.
         rank: u32,
     },
+    /// Generic acknowledgement. The reliability layer uses it as the reply
+    /// to requests that have no richer answer (`CondSignal`, `Resync`,
+    /// `Join`), so every request/reply pair can be retried idempotently.
+    Ack,
+    /// Liveness heartbeat from thread `rank`; refreshes its lease at the
+    /// home service. No reply.
+    Heartbeat {
+        /// Thread rank asserting liveness.
+        rank: u32,
+    },
+    /// The home service declared thread `rank` dead (lease expired). Sent
+    /// instead of a grant/release that can never come, so survivors fail
+    /// fast instead of hanging.
+    WorkerLost {
+        /// The dead thread's rank.
+        rank: u32,
+    },
     /// Home tells everyone the program is over (maps to `pthread_join`
     /// completing at the home node).
     Shutdown,
@@ -146,7 +163,10 @@ impl DsdMsg {
             DsdMsg::Join { .. } => MsgKind::Join,
             DsdMsg::CondWait { .. } => MsgKind::CondWait,
             DsdMsg::CondSignal { .. } => MsgKind::CondSignal,
-            DsdMsg::Resync { .. } => MsgKind::Other,
+            DsdMsg::Resync { .. } => MsgKind::Resync,
+            DsdMsg::Ack => MsgKind::Ack,
+            DsdMsg::Heartbeat { .. } => MsgKind::Heartbeat,
+            DsdMsg::WorkerLost { .. } => MsgKind::WorkerLost,
             DsdMsg::Shutdown => MsgKind::Shutdown,
         }
     }
@@ -187,7 +207,10 @@ impl DsdMsg {
                 out.put_u32(*barrier);
                 out.put_slice(&pack_batch(updates));
             }
-            DsdMsg::Join { rank } | DsdMsg::Resync { rank } => out.put_u32(*rank),
+            DsdMsg::Join { rank }
+            | DsdMsg::Resync { rank }
+            | DsdMsg::Heartbeat { rank }
+            | DsdMsg::WorkerLost { rank } => out.put_u32(*rank),
             DsdMsg::CondWait {
                 cond,
                 lock,
@@ -208,7 +231,7 @@ impl DsdMsg {
                 out.put_u32(*rank);
                 out.put_u8(u8::from(*broadcast));
             }
-            DsdMsg::Shutdown => {}
+            DsdMsg::Ack | DsdMsg::Shutdown => {}
         }
         out.freeze()
     }
@@ -269,12 +292,63 @@ impl DsdMsg {
                     broadcast,
                 })
             }
-            MsgKind::Other => Ok(DsdMsg::Resync {
+            // `Other` kept for pre-reliability senders that shipped Resync
+            // under the catch-all kind.
+            MsgKind::Resync | MsgKind::Other => Ok(DsdMsg::Resync {
+                rank: u32_of(&mut payload)?,
+            }),
+            MsgKind::Ack => Ok(DsdMsg::Ack),
+            MsgKind::Heartbeat => Ok(DsdMsg::Heartbeat {
+                rank: u32_of(&mut payload)?,
+            }),
+            MsgKind::WorkerLost => Ok(DsdMsg::WorkerLost {
                 rank: u32_of(&mut payload)?,
             }),
             MsgKind::Shutdown => Ok(DsdMsg::Shutdown),
             _ => Err(ProtocolError::BadMessage("unexpected transport kind")),
         }
+    }
+
+    /// The thread rank a client-originated message identifies itself with;
+    /// `None` for home-originated messages. The home service keys its
+    /// liveness and duplicate-suppression state on this.
+    pub fn sender_rank(&self) -> Option<u32> {
+        match self {
+            DsdMsg::LockRequest { rank, .. }
+            | DsdMsg::UnlockRequest { rank, .. }
+            | DsdMsg::BarrierEnter { rank, .. }
+            | DsdMsg::Join { rank }
+            | DsdMsg::CondWait { rank, .. }
+            | DsdMsg::CondSignal { rank, .. }
+            | DsdMsg::Resync { rank }
+            | DsdMsg::Heartbeat { rank } => Some(*rank),
+            _ => None,
+        }
+    }
+
+    /// Encode with the reliability envelope: a `u64` request id precedes
+    /// the message body. Replies echo the request's id so the client can
+    /// match them up and discard stale duplicates; `0` is reserved for
+    /// unsolicited messages (heartbeats, shutdown broadcasts).
+    pub fn encode_enveloped(&self, req_id: u64) -> Bytes {
+        let body = self.encode();
+        let mut out = BytesMut::with_capacity(8 + body.len());
+        out.put_u64(req_id);
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    /// Decode a payload carrying the reliability envelope; returns the
+    /// request id alongside the message.
+    pub fn decode_enveloped(
+        kind: MsgKind,
+        mut payload: Bytes,
+    ) -> Result<(u64, DsdMsg), ProtocolError> {
+        if payload.remaining() < 8 {
+            return Err(ProtocolError::Truncated);
+        }
+        let req_id = payload.get_u64();
+        Ok((req_id, DsdMsg::decode(kind, payload)?))
     }
 }
 
@@ -332,6 +406,9 @@ mod tests {
                 broadcast: true,
             },
             DsdMsg::Resync { rank: 5 },
+            DsdMsg::Ack,
+            DsdMsg::Heartbeat { rank: 5 },
+            DsdMsg::WorkerLost { rank: 5 },
             DsdMsg::Shutdown,
         ];
         for m in msgs {
@@ -339,7 +416,25 @@ mod tests {
             let bytes = m.encode();
             let back = DsdMsg::decode(kind, bytes).unwrap();
             assert_eq!(back, m);
+            // And through the reliability envelope.
+            let (req_id, back) = DsdMsg::decode_enveloped(kind, m.encode_enveloped(77)).unwrap();
+            assert_eq!(req_id, 77);
+            assert_eq!(back, m);
         }
+    }
+
+    #[test]
+    fn legacy_resync_under_other_kind_still_decodes() {
+        let m = DsdMsg::Resync { rank: 9 };
+        assert_eq!(DsdMsg::decode(MsgKind::Other, m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn envelope_truncation_detected() {
+        assert_eq!(
+            DsdMsg::decode_enveloped(MsgKind::Ack, Bytes::from_static(&[0; 7])),
+            Err(ProtocolError::Truncated)
+        );
     }
 
     #[test]

@@ -177,8 +177,7 @@ pub fn extract_updates(
             let mut swizzled = vec![0u8; len];
             let s = row.size as usize;
             for i in 0..r.count as usize {
-                let addr =
-                    read_uint(&raw[i * s..(i + 1) * s], gthv.platform().endian) as u64;
+                let addr = read_uint(&raw[i * s..(i + 1) * s], gthv.platform().endian) as u64;
                 let portable = swizzle_ptr(gthv, addr)?;
                 write_uint(
                     u128::from(portable),
@@ -283,7 +282,11 @@ fn apply_inner(
                     "address {addr:#x} does not fit a {d}-byte pointer"
                 )));
             }
-            write_uint(u128::from(addr), &mut native[i * d..(i + 1) * d], local_endian);
+            write_uint(
+                u128::from(addr),
+                &mut native[i * d..(i + 1) * d],
+                local_endian,
+            );
             stats.scalars_converted += 1;
         }
         store(gthv, dst_addr, &native, tracked)?;

@@ -41,7 +41,10 @@ enum W {
 fn any_write() -> impl Strategy<Value = W> {
     prop_oneof![
         (0..INTS, any::<i32>()).prop_map(|(e, v)| W::Int(e, v)),
-        (0..DOUBLES, any::<f32>().prop_filter("finite", |f| f.is_finite()))
+        (
+            0..DOUBLES,
+            any::<f32>().prop_filter("finite", |f| f.is_finite())
+        )
             .prop_map(|(e, v)| W::Float(e, v)),
         (0..PTRS, prop::option::of(0..INTS)).prop_map(|(e, v)| W::Ptr(e, v)),
         any::<i16>().prop_map(W::Tail),

@@ -15,10 +15,8 @@ struct WriteOp {
 
 fn writes(space_len: usize) -> impl Strategy<Value = Vec<WriteOp>> {
     prop::collection::vec(
-        (0..space_len, prop::collection::vec(any::<u8>(), 1..64)).prop_map(|(off, data)| WriteOp {
-            off,
-            data,
-        }),
+        (0..space_len, prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(|(off, data)| WriteOp { off, data }),
         0..32,
     )
 }

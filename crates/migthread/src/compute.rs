@@ -167,7 +167,10 @@ mod tests {
                 .unwrap()
                 .set_field(1, &Value::Int(limit))
                 .unwrap();
-            SumSquares { state: st, platform: p }
+            SumSquares {
+                state: st,
+                platform: p,
+            }
         }
     }
 
@@ -241,7 +244,10 @@ mod tests {
         // sum of squares 0..10
         assert_eq!(acc, (0..10).map(|i| i * i).sum::<i128>());
         // And the state is genuinely in SPARC representation now.
-        assert_eq!(final_state.block("MThV").unwrap().platform.name, "solaris-sparc");
+        assert_eq!(
+            final_state.block("MThV").unwrap().platform.name,
+            "solaris-sparc"
+        );
     }
 
     #[test]
@@ -260,8 +266,7 @@ mod tests {
 
         // Bounce Linux → SPARC64 → Linux at arbitrary points.
         let sparc64 = PlatformSpec::solaris_sparc64();
-        let mut comp: Box<dyn Computation<()>> =
-            Box::new(SumSquares::new(25, linux.clone()));
+        let mut comp: Box<dyn Computation<()>> = Box::new(SumSquares::new(25, linux.clone()));
         for _ in 0..7 {
             comp.step(&mut ctx);
         }

@@ -393,10 +393,7 @@ mod tests {
             sockets: vec![],
         };
         let other = SimFs::new(); // destination without the share
-        assert!(matches!(
-            state.rebind(&other),
-            Err(IoError::NotFound(_))
-        ));
+        assert!(matches!(state.rebind(&other), Err(IoError::NotFound(_))));
     }
 
     #[test]

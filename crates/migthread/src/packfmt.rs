@@ -369,8 +369,7 @@ mod tests {
         let src = PlatformSpec::linux_x86();
         let dst = PlatformSpec::solaris_sparc64();
         let st = sample_state(src);
-        let restored =
-            unpack_state(&pack_state(&st), &dst, &declared(&dst)).unwrap();
+        let restored = unpack_state(&pack_state(&st), &dst, &declared(&dst)).unwrap();
         let p = restored.block("MThP").unwrap();
         assert_eq!(p.size(), 8);
         assert_eq!(p.value().unwrap(), Value::Ptr(Some(128)));
@@ -417,10 +416,7 @@ mod tests {
     #[test]
     fn image_endianness_reads_header() {
         let st = sample_state(PlatformSpec::solaris_sparc());
-        assert_eq!(
-            image_endianness(&pack_state(&st)).unwrap(),
-            Endianness::Big
-        );
+        assert_eq!(image_endianness(&pack_state(&st)).unwrap(), Endianness::Big);
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl ThreadRole {
 
     /// Does this role currently execute application code?
     pub fn is_computing(self) -> bool {
-        matches!(self, ThreadRole::Master | ThreadRole::Local | ThreadRole::Remote)
+        matches!(
+            self,
+            ThreadRole::Master | ThreadRole::Local | ThreadRole::Remote
+        )
     }
 
     /// Does this role serve home-side resource requests?

@@ -79,10 +79,7 @@ impl TypedBlock {
 
     /// Locate the `leaf`-th scalar of this block: `(offset, size, kind)`.
     /// Leaf indexes are layout-independent; offsets are not.
-    pub fn leaf_info(
-        &self,
-        leaf: u64,
-    ) -> Option<(u64, u64, hdsm_platform::scalar::ScalarKind)> {
+    pub fn leaf_info(&self, leaf: u64) -> Option<(u64, u64, hdsm_platform::scalar::ScalarKind)> {
         let mut n = 0u64;
         let mut found = None;
         self.layout.for_each_scalar(0, &mut |off, kind, size| {
@@ -144,7 +141,11 @@ impl TypedBlock {
             &self.bytes[off as usize..(off + size) as usize],
             self.platform.endian,
         );
-        Ok(if raw == 0 { None } else { Some((raw - 1) as u64) })
+        Ok(if raw == 0 {
+            None
+        } else {
+            Some((raw - 1) as u64)
+        })
     }
 }
 
@@ -272,9 +273,9 @@ impl ThreadState {
                 })?;
                 off
             };
-            let src = self.block_mut(&link.src_block).ok_or_else(|| {
-                ValueError::ShapeMismatch(format!("no block {}", link.src_block))
-            })?;
+            let src = self
+                .block_mut(&link.src_block)
+                .ok_or_else(|| ValueError::ShapeMismatch(format!("no block {}", link.src_block)))?;
             src.write_ptr_leaf(link.src_leaf, Some(target_off))?;
         }
         Ok(())
@@ -320,10 +321,7 @@ mod tests {
 
     #[test]
     fn blocks_are_native_representation() {
-        let mut le = TypedBlock::zeroed(
-            CType::Scalar(ScalarKind::Int),
-            PlatformSpec::linux_x86(),
-        );
+        let mut le = TypedBlock::zeroed(CType::Scalar(ScalarKind::Int), PlatformSpec::linux_x86());
         let mut be = TypedBlock::zeroed(
             CType::Scalar(ScalarKind::Int),
             PlatformSpec::solaris_sparc(),

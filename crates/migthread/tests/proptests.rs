@@ -65,10 +65,7 @@ fn any_seed() -> impl Strategy<Value = StateSeed> {
             any::<f32>().prop_filter("finite", |f| f.is_finite()),
             DOUBLES..=DOUBLES,
         ),
-        prop::collection::vec(
-            any::<f32>().prop_filter("finite", |f| f.is_finite()),
-            6..=6,
-        ),
+        prop::collection::vec(any::<f32>().prop_filter("finite", |f| f.is_finite()), 6..=6),
         prop::collection::vec((0..PTR_SLOTS, 0u64..7), 0..PTR_SLOTS),
         any::<u32>(),
     )
@@ -142,9 +139,7 @@ fn check_state(st: &ThreadState, seed: &StateSeed, p: &Platform) {
     let heap = st.block("heap:0").unwrap();
     for (slot, leaf) in dedup_links(&seed.links) {
         let (want_off, _, _) = heap.leaf_info(leaf).unwrap();
-        let got = b
-            .read_ptr_leaf((1 + INTS + DOUBLES + slot) as u64)
-            .unwrap();
+        let got = b.read_ptr_leaf((1 + INTS + DOUBLES + slot) as u64).unwrap();
         assert_eq!(got, Some(want_off), "link slot {slot} leaf {leaf}");
     }
 }

@@ -1,5 +1,6 @@
 //! The network fabric and per-node endpoints.
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::message::{Message, MsgKind};
 use crate::stats::{NetConfig, NetStats};
 use bytes::Bytes;
@@ -14,8 +15,11 @@ use std::time::Duration;
 pub enum NetError {
     /// Destination rank is not registered.
     UnknownDestination(u32),
-    /// The destination endpoint has been dropped.
+    /// The destination endpoint (rank given) has been dropped.
     Disconnected(u32),
+    /// This endpoint's own receive channel is closed: every sender handle
+    /// to it is gone, so no message can ever arrive.
+    ChannelClosed,
     /// Blocking receive timed out.
     Timeout,
     /// Channel empty on `try_recv`.
@@ -26,7 +30,8 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::UnknownDestination(r) => write!(f, "unknown destination rank {r}"),
-            NetError::Disconnected(r) => write!(f, "rank {r} disconnected"),
+            NetError::Disconnected(r) => write!(f, "destination rank {r} disconnected"),
+            NetError::ChannelClosed => write!(f, "receive channel closed (fabric gone)"),
             NetError::Timeout => write!(f, "receive timeout"),
             NetError::Empty => write!(f, "no message available"),
         }
@@ -39,6 +44,9 @@ struct Fabric {
     config: NetConfig,
     senders: RwLock<Vec<Sender<Message>>>,
     stats: Mutex<NetStats>,
+    /// Present iff the config carries a fault plan or a partition was ever
+    /// requested; absent means the fast path skips fault bookkeeping.
+    faults: Mutex<Option<FaultState>>,
 }
 
 /// Handle to the shared network fabric. Cloning is cheap; all clones refer
@@ -51,11 +59,13 @@ pub struct Network {
 impl Network {
     /// Create a fabric with `n` endpoints (ranks `0..n`).
     pub fn new(n: usize, config: NetConfig) -> (Network, Vec<Endpoint>) {
+        let faults = config.fault_plan.clone().map(FaultState::new);
         let net = Network {
             fabric: Arc::new(Fabric {
                 config,
                 senders: RwLock::new(Vec::new()),
                 stats: Mutex::new(NetStats::default()),
+                faults: Mutex::new(faults),
             }),
         };
         let eps = (0..n).map(|_| net.add_endpoint()).collect();
@@ -92,6 +102,48 @@ impl Network {
         *self.fabric.stats.lock() = NetStats::default();
     }
 
+    /// Sever the link between ranks `a` and `b` in both directions: every
+    /// message between them is silently dropped (and counted) until
+    /// [`Network::heal`]. Takes effect even without a configured
+    /// [`FaultPlan`].
+    pub fn partition(&self, a: u32, b: u32) {
+        let mut faults = self.fabric.faults.lock();
+        faults
+            .get_or_insert_with(|| FaultState::new(FaultPlan::default()))
+            .partition(a, b);
+    }
+
+    /// Restore every severed link.
+    pub fn heal(&self) {
+        if let Some(f) = self.fabric.faults.lock().as_mut() {
+            f.heal();
+        }
+    }
+
+    /// Record a retransmission performed by a reliability layer above the
+    /// fabric (the message itself is sent normally and counted as traffic).
+    pub fn note_retransmit(&self) {
+        self.fabric.stats.lock().retransmitted += 1;
+    }
+
+    /// Send a message on behalf of rank `src` — for auxiliary threads
+    /// (e.g. a heartbeat pump) that speak for a node without owning its
+    /// [`Endpoint`]. Subject to the same fault injection as normal sends.
+    pub fn send_as(
+        &self,
+        src: u32,
+        dst: u32,
+        kind: MsgKind,
+        payload: Bytes,
+    ) -> Result<(), NetError> {
+        self.send(Message {
+            src,
+            dst,
+            kind,
+            payload,
+        })
+    }
+
     fn send(&self, msg: Message) -> Result<(), NetError> {
         let wire = self.fabric.config.transfer_time(msg.payload.len());
         let tx = {
@@ -101,15 +153,43 @@ impl Network {
                 .ok_or(NetError::UnknownDestination(msg.dst))?
                 .clone()
         };
+        // The send attempt is always charged to the cost model — a dropped
+        // packet still crossed the sender's NIC.
         self.fabric
             .stats
             .lock()
             .record(msg.kind, msg.payload.len(), wire);
-        if self.fabric.config.real_delay && wire > Duration::ZERO {
-            std::thread::sleep(wire);
-        }
         let dst = msg.dst;
-        tx.send(msg).map_err(|_| NetError::Disconnected(dst))
+        let mut sleep_for = if self.fabric.config.real_delay {
+            wire
+        } else {
+            Duration::ZERO
+        };
+        let to_deliver = {
+            let mut faults = self.fabric.faults.lock();
+            match faults.as_mut() {
+                None => vec![msg],
+                Some(f) => {
+                    let applied = f.apply(msg);
+                    let mut stats = self.fabric.stats.lock();
+                    stats.dropped += applied.dropped;
+                    stats.duplicated += applied.duplicated;
+                    stats.reordered += applied.reordered;
+                    stats.simulated_wire_time += applied.extra_delay;
+                    if self.fabric.config.real_delay {
+                        sleep_for += applied.extra_delay;
+                    }
+                    applied.deliver
+                }
+            }
+        };
+        if sleep_for > Duration::ZERO {
+            std::thread::sleep(sleep_for);
+        }
+        for out in to_deliver {
+            tx.send(out).map_err(|_| NetError::Disconnected(dst))?;
+        }
+        Ok(())
     }
 }
 
@@ -144,14 +224,14 @@ impl Endpoint {
 
     /// Blocking receive.
     pub fn recv(&self) -> Result<Message, NetError> {
-        self.rx.recv().map_err(|_| NetError::Disconnected(self.rank))
+        self.rx.recv().map_err(|_| NetError::ChannelClosed)
     }
 
     /// Blocking receive with timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, NetError> {
         self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => NetError::Timeout,
-            RecvTimeoutError::Disconnected => NetError::Disconnected(self.rank),
+            RecvTimeoutError::Disconnected => NetError::ChannelClosed,
         })
     }
 
@@ -159,7 +239,7 @@ impl Endpoint {
     pub fn try_recv(&self) -> Result<Message, NetError> {
         self.rx.try_recv().map_err(|e| match e {
             TryRecvError::Empty => NetError::Empty,
-            TryRecvError::Disconnected => NetError::Disconnected(self.rank),
+            TryRecvError::Disconnected => NetError::ChannelClosed,
         })
     }
 }
@@ -167,6 +247,7 @@ impl Endpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn basic_send_receive() {
@@ -267,5 +348,72 @@ mod tests {
         for i in 0..100u8 {
             assert_eq!(eps[1].recv().unwrap().payload[0], i);
         }
+    }
+
+    #[test]
+    fn partition_drops_and_heal_restores() {
+        let (net, eps) = Network::new(3, NetConfig::instant());
+        net.partition(0, 1);
+        eps[0].send(1, MsgKind::Other, Bytes::new()).unwrap();
+        eps[1].send(0, MsgKind::Other, Bytes::new()).unwrap();
+        // Unrelated link unaffected.
+        eps[0]
+            .send(2, MsgKind::Other, Bytes::from_static(b"ok"))
+            .unwrap();
+        assert_eq!(&eps[2].recv().unwrap().payload[..], b"ok");
+        assert_eq!(eps[1].try_recv().unwrap_err(), NetError::Empty);
+        assert_eq!(eps[0].try_recv().unwrap_err(), NetError::Empty);
+        assert_eq!(net.stats().dropped, 2);
+        net.heal();
+        eps[0].send(1, MsgKind::Other, Bytes::new()).unwrap();
+        assert!(eps[1].recv().is_ok());
+    }
+
+    #[test]
+    fn fault_plan_drop_is_counted() {
+        let plan = FaultPlan::seeded(11).drop(1.0);
+        let (net, eps) = Network::new(2, NetConfig::instant().with_faults(plan));
+        for _ in 0..10 {
+            eps[0].send(1, MsgKind::Other, Bytes::new()).unwrap();
+        }
+        assert_eq!(eps[1].try_recv().unwrap_err(), NetError::Empty);
+        let s = net.stats();
+        assert_eq!(s.dropped, 10);
+        assert_eq!(s.total_messages(), 10); // attempts still accounted
+    }
+
+    #[test]
+    fn fault_plan_duplicates_are_delivered_and_counted() {
+        let plan = FaultPlan::seeded(11).duplicate(1.0);
+        let (net, eps) = Network::new(2, NetConfig::instant().with_faults(plan));
+        eps[0]
+            .send(1, MsgKind::Other, Bytes::from_static(b"x"))
+            .unwrap();
+        assert!(eps[1].recv().is_ok());
+        assert!(eps[1].recv().is_ok());
+        assert_eq!(eps[1].try_recv().unwrap_err(), NetError::Empty);
+        assert_eq!(net.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn fault_plan_reorders_adjacent_pairs() {
+        let plan = FaultPlan::seeded(11).reorder(1.0);
+        let (net, eps) = Network::new(2, NetConfig::instant().with_faults(plan));
+        for i in 0..4u8 {
+            eps[0]
+                .send(1, MsgKind::Other, Bytes::copy_from_slice(&[i]))
+                .unwrap();
+        }
+        let got: Vec<u8> = (0..4).map(|_| eps[1].recv().unwrap().payload[0]).collect();
+        assert_eq!(got, vec![1, 0, 3, 2]);
+        assert_eq!(net.stats().reordered, 2);
+    }
+
+    #[test]
+    fn retransmit_counter_is_exposed() {
+        let (net, _eps) = Network::new(1, NetConfig::instant());
+        net.note_retransmit();
+        net.note_retransmit();
+        assert_eq!(net.stats().retransmitted, 2);
     }
 }

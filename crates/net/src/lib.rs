@@ -14,10 +14,17 @@
 //! computation time. By default no real sleeping happens — the model is
 //! pure accounting — so unit tests stay fast.
 
+//! Fault injection ([`fault::FaultPlan`]) makes the simulated fabric
+//! deliberately imperfect — seeded, deterministic drops, duplicates,
+//! reorders, delay jitter and runtime partitions — so the reliability
+//! layer above it can be tested against real failure modes.
+
 pub mod endpoint;
+pub mod fault;
 pub mod message;
 pub mod stats;
 
 pub use endpoint::{Endpoint, NetError, Network};
+pub use fault::{FaultPlan, LinkFaults};
 pub use message::{Message, MsgKind};
 pub use stats::{NetConfig, NetStats};

@@ -32,13 +32,23 @@ pub enum MsgKind {
     CondWait = 11,
     /// `MTh_cond_signal` / broadcast (remote → home).
     CondSignal = 12,
+    /// Cold-copy resynchronisation notice after migration (remote → home).
+    Resync = 13,
+    /// Generic acknowledgement for otherwise fire-and-forget requests
+    /// (home → remote; part of the reliability layer).
+    Ack = 14,
+    /// Liveness heartbeat (remote → home).
+    Heartbeat = 15,
+    /// A participant was declared dead; the receiver's blocked operation
+    /// cannot complete (home → remote).
+    WorkerLost = 16,
     /// Anything else (tests, applications).
     Other = 255,
 }
 
 impl MsgKind {
     /// All kinds (for stats iteration).
-    pub const ALL: [MsgKind; 13] = [
+    pub const ALL: [MsgKind; 17] = [
         MsgKind::LockRequest,
         MsgKind::LockGrant,
         MsgKind::UnlockRequest,
@@ -51,6 +61,10 @@ impl MsgKind {
         MsgKind::MigrationAck,
         MsgKind::CondWait,
         MsgKind::CondSignal,
+        MsgKind::Resync,
+        MsgKind::Ack,
+        MsgKind::Heartbeat,
+        MsgKind::WorkerLost,
         MsgKind::Other,
     ];
 
@@ -69,6 +83,10 @@ impl MsgKind {
             MsgKind::MigrationAck => "migration-ack",
             MsgKind::CondWait => "cond-wait",
             MsgKind::CondSignal => "cond-signal",
+            MsgKind::Resync => "resync",
+            MsgKind::Ack => "ack",
+            MsgKind::Heartbeat => "heartbeat",
+            MsgKind::WorkerLost => "worker-lost",
             MsgKind::Other => "other",
         }
     }

@@ -1,5 +1,6 @@
 //! Traffic statistics and the communication cost model.
 
+use crate::fault::FaultPlan;
 use crate::message::MsgKind;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -12,44 +13,62 @@ pub struct NetConfig {
     pub latency: Duration,
     /// Link bandwidth in bytes/second; `None` = infinite.
     pub bandwidth: Option<u64>,
+    /// Fixed per-message framing overhead (headers, tags) in bytes, charged
+    /// against bandwidth on every send in addition to the payload.
+    pub header_overhead: usize,
     /// Whether to actually sleep for the modelled time when sending.
     pub real_delay: bool,
+    /// Deterministic fault injection; `None` = a perfect fabric.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
-        // Paper-era cluster interconnect: ~100 µs latency, 100 Mbit/s.
+        // Paper-era cluster interconnect: ~100 µs latency, 100 Mbit/s,
+        // ~Ethernet+IP+TCP worth of framing per message.
         NetConfig {
             latency: Duration::from_micros(100),
             bandwidth: Some(12_500_000),
+            header_overhead: 64,
             real_delay: false,
+            fault_plan: None,
         }
     }
 }
 
 impl NetConfig {
-    /// Cost model with zero latency and infinite bandwidth (unit tests).
+    /// Cost model with zero latency, zero overhead and infinite bandwidth
+    /// (unit tests).
     pub fn instant() -> NetConfig {
         NetConfig {
             latency: Duration::ZERO,
             bandwidth: None,
+            header_overhead: 0,
             real_delay: false,
+            fault_plan: None,
         }
     }
 
-    /// Modelled wire time for a message of `bytes` bytes.
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> NetConfig {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Modelled wire time for a message of `bytes` payload bytes (framing
+    /// overhead included).
     pub fn transfer_time(&self, bytes: usize) -> Duration {
+        let on_wire = bytes + self.header_overhead;
         let bw = match self.bandwidth {
-            Some(b) if b > 0 => {
-                Duration::from_secs_f64(bytes as f64 / b as f64)
-            }
+            Some(b) if b > 0 => Duration::from_secs_f64(on_wire as f64 / b as f64),
             _ => Duration::ZERO,
         };
         self.latency + bw
     }
 }
 
-/// Per-kind traffic counters plus accumulated modelled wire time.
+/// Per-kind traffic counters plus accumulated modelled wire time and
+/// fault-injection/reliability counters.
 #[derive(Debug, Clone, Default)]
 pub struct NetStats {
     /// Messages sent, by kind.
@@ -58,6 +77,14 @@ pub struct NetStats {
     pub bytes: HashMap<MsgKind, u64>,
     /// Total modelled time on the wire.
     pub simulated_wire_time: Duration,
+    /// Messages silently dropped by fault injection (incl. partitions).
+    pub dropped: u64,
+    /// Extra copies delivered by fault injection.
+    pub duplicated: u64,
+    /// Messages held back and delivered out of order.
+    pub reordered: u64,
+    /// Retransmissions performed by the reliability layer.
+    pub retransmitted: u64,
 }
 
 impl NetStats {
@@ -78,6 +105,11 @@ impl NetStats {
         self.bytes.values().sum()
     }
 
+    /// Total faults injected (drops + duplicates + reorders).
+    pub fn total_faults(&self) -> u64 {
+        self.dropped + self.duplicated + self.reordered
+    }
+
     /// Render a compact report table (one line per kind with traffic).
     pub fn report(&self) -> String {
         let mut out = String::from("kind              msgs       bytes\n");
@@ -95,6 +127,12 @@ impl NetStats {
             self.total_bytes(),
             self.simulated_wire_time
         ));
+        if self.total_faults() + self.retransmitted > 0 {
+            out.push_str(&format!(
+                "faults: dropped {} duplicated {} reordered {} retransmitted {}\n",
+                self.dropped, self.duplicated, self.reordered, self.retransmitted
+            ));
+        }
         out
     }
 }
@@ -104,19 +142,42 @@ mod tests {
     use super::*;
 
     #[test]
-    fn transfer_time_includes_latency_and_bandwidth() {
+    fn transfer_time_includes_latency_bandwidth_and_overhead() {
         let cfg = NetConfig {
             latency: Duration::from_micros(100),
             bandwidth: Some(1_000_000), // 1 MB/s
+            header_overhead: 0,
             real_delay: false,
+            fault_plan: None,
         };
         let t = cfg.transfer_time(500_000);
         assert_eq!(t, Duration::from_micros(100) + Duration::from_millis(500));
+
+        // 40-byte headers at 1 MB/s add exactly 40 µs per message.
+        let with_overhead = NetConfig {
+            header_overhead: 40,
+            ..cfg
+        };
+        assert_eq!(
+            with_overhead.transfer_time(500_000),
+            t + Duration::from_micros(40)
+        );
+        // The overhead is charged even on empty payloads.
+        assert_eq!(
+            with_overhead.transfer_time(0),
+            Duration::from_micros(100) + Duration::from_micros(40)
+        );
     }
 
     #[test]
     fn instant_config_is_free() {
         assert_eq!(NetConfig::instant().transfer_time(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn default_config_charges_header_overhead() {
+        let cfg = NetConfig::default();
+        assert!(cfg.transfer_time(0) > cfg.latency);
     }
 
     #[test]
@@ -133,5 +194,11 @@ mod tests {
         assert!(rep.contains("lock-req"));
         assert!(rep.contains("lock-grant"));
         assert!(!rep.contains("barrier-enter"));
+        // No fault line on a clean run.
+        assert!(!rep.contains("faults:"));
+        s.dropped = 2;
+        s.retransmitted = 1;
+        assert_eq!(s.total_faults(), 2);
+        assert!(s.report().contains("dropped 2"));
     }
 }

@@ -56,8 +56,12 @@ fn dynamic_joins_while_traffic_flows() {
             // Nodes join one by one and announce themselves to the hub.
             for _ in 0..16 {
                 let ep = net2.add_endpoint();
-                ep.send(0, MsgKind::Other, Bytes::copy_from_slice(&ep.rank().to_be_bytes()))
-                    .unwrap();
+                ep.send(
+                    0,
+                    MsgKind::Other,
+                    Bytes::copy_from_slice(&ep.rank().to_be_bytes()),
+                )
+                .unwrap();
             }
         });
         let mut joined = Vec::new();
@@ -92,8 +96,7 @@ fn stats_are_consistent_under_concurrency() {
     });
     let stats = net.stats();
     assert_eq!(stats.total_messages(), (SENDERS * PER_SENDER) as u64);
-    let expect_bytes: u64 = (0..PER_SENDER).map(|i| (i % 32) as u64).sum::<u64>()
-        * SENDERS as u64;
+    let expect_bytes: u64 = (0..PER_SENDER).map(|i| (i % 32) as u64).sum::<u64>() * SENDERS as u64;
     assert_eq!(stats.total_bytes(), expect_bytes);
     assert!(stats.simulated_wire_time > std::time::Duration::ZERO);
 }

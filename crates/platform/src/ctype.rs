@@ -67,14 +67,7 @@ impl CType {
         match self {
             CType::Scalar(_) => 0,
             CType::Array(elem, _) => 1 + elem.depth(),
-            CType::Struct(def) => {
-                1 + def
-                    .fields
-                    .iter()
-                    .map(|f| f.ty.depth())
-                    .max()
-                    .unwrap_or(0)
-            }
+            CType::Struct(def) => 1 + def.fields.iter().map(|f| f.ty.depth()).max().unwrap_or(0),
         }
     }
 

@@ -154,9 +154,7 @@ impl TypeLayout {
         match &self.kind {
             LayoutKind::Scalar(k) => *k == ScalarKind::Ptr,
             LayoutKind::Array { elem, .. } => elem.contains_pointer(),
-            LayoutKind::Struct { fields, .. } => {
-                fields.iter().any(|f| f.layout.contains_pointer())
-            }
+            LayoutKind::Struct { fields, .. } => fields.iter().any(|f| f.layout.contains_pointer()),
         }
     }
 }

@@ -268,8 +268,14 @@ mod tests {
         let x86 = PlatformSpec::linux_x86();
         let arm = PlatformSpec::linux_arm();
         assert_eq!(x86.endian, arm.endian);
-        assert_eq!(x86.size_of(ScalarKind::Double), arm.size_of(ScalarKind::Double));
-        assert_ne!(x86.align_of(ScalarKind::Double), arm.align_of(ScalarKind::Double));
+        assert_eq!(
+            x86.size_of(ScalarKind::Double),
+            arm.size_of(ScalarKind::Double)
+        );
+        assert_ne!(
+            x86.align_of(ScalarKind::Double),
+            arm.align_of(ScalarKind::Double)
+        );
         assert!(!x86.homogeneous_with(&arm));
     }
 

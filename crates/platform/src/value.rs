@@ -48,12 +48,9 @@ impl Value {
             LayoutKind::Array { elem, len } => {
                 Value::Array((0..*len).map(|_| Value::zero_of(elem)).collect())
             }
-            LayoutKind::Struct { fields, .. } => Value::Struct(
-                fields
-                    .iter()
-                    .map(|f| Value::zero_of(&f.layout))
-                    .collect(),
-            ),
+            LayoutKind::Struct { fields, .. } => {
+                Value::Struct(fields.iter().map(|f| Value::zero_of(&f.layout)).collect())
+            }
         }
     }
 
@@ -241,7 +238,11 @@ fn decode_scalar(
         ScalarClass::Float => Value::Float(read_float(bytes, endian)),
         ScalarClass::Pointer => {
             let raw = read_uint(bytes, endian);
-            Value::Ptr(if raw == 0 { None } else { Some((raw - 1) as u64) })
+            Value::Ptr(if raw == 0 {
+                None
+            } else {
+                Some((raw - 1) as u64)
+            })
         }
     })
 }
@@ -321,7 +322,11 @@ impl fmt::Display for ValueError {
             }
             ValueError::ShapeMismatch(s) => write!(f, "shape mismatch: {s}"),
             ValueError::Overflow { kind, value } => {
-                write!(f, "{value} does not fit a {} on this platform", kind.c_name())
+                write!(
+                    f,
+                    "{value} does not fit a {} on this platform",
+                    kind.c_name()
+                )
             }
         }
     }
@@ -413,10 +418,7 @@ mod tests {
             let null = Value::Ptr(None).encode_vec(&l, &p).unwrap();
             assert!(null.iter().all(|&b| b == 0));
             let off = Value::Ptr(Some(42)).encode_vec(&l, &p).unwrap();
-            assert_eq!(
-                Value::decode(&l, &p, &off).unwrap(),
-                Value::Ptr(Some(42))
-            );
+            assert_eq!(Value::decode(&l, &p, &off).unwrap(), Value::Ptr(Some(42)));
         }
     }
 

@@ -42,7 +42,11 @@ fn value_for(layout: &TypeLayout) -> BoxedStrategy<Value> {
     match layout.kind.clone() {
         LayoutKind::Scalar(kind) => match kind.class() {
             ScalarClass::Signed => {
-                let max = if layout.size >= 4 { i32::MAX as i128 } else { 0 };
+                let max = if layout.size >= 4 {
+                    i32::MAX as i128
+                } else {
+                    0
+                };
                 let (lo, hi) = match layout.size {
                     1 => (i8::MIN as i128, i8::MAX as i128),
                     2 => (i16::MIN as i128, i16::MAX as i128),
@@ -58,10 +62,9 @@ fn value_for(layout: &TypeLayout) -> BoxedStrategy<Value> {
                 };
                 (0..=hi).prop_map(Value::Int).boxed()
             }
-            ScalarClass::Float => prop_oneof![
-                any::<f32>().prop_filter("finite", |f| f.is_finite())
-                    .prop_map(|f| Value::Float(f as f64)),
-            ]
+            ScalarClass::Float => prop_oneof![any::<f32>()
+                .prop_filter("finite", |f| f.is_finite())
+                .prop_map(|f| Value::Float(f as f64)),]
             .boxed(),
             ScalarClass::Pointer => prop_oneof![
                 Just(Value::Ptr(None)),

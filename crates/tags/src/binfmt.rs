@@ -232,10 +232,7 @@ mod tests {
         );
         let mut ok = encode_tag(&t).to_vec();
         ok.push(0);
-        assert_eq!(
-            decode_tag(Bytes::from(ok)),
-            Err(BinTagError::TrailingBytes)
-        );
+        assert_eq!(decode_tag(Bytes::from(ok)), Err(BinTagError::TrailingBytes));
     }
 
     #[test]

@@ -314,7 +314,14 @@ fn convert_walk(
                     "scalar {sk:?} vs {dk:?}"
                 )));
             }
-            convert_one(src, src_plat.endian, dst, dst_plat.endian, sk.class(), stats)
+            convert_one(
+                src,
+                src_plat.endian,
+                dst,
+                dst_plat.endian,
+                sk.class(),
+                stats,
+            )
         }
         (
             LayoutKind::Array {
@@ -448,8 +455,18 @@ mod tests {
     fn int_array_linux_to_solaris() {
         let ty = CType::array(CType::Scalar(ScalarKind::Int), 100);
         let v = Value::Array((0..100).map(|i| Value::Int(i * 7 - 350)).collect());
-        roundtrip_value(&v, &ty, &PlatformSpec::linux_x86(), &PlatformSpec::solaris_sparc());
-        roundtrip_value(&v, &ty, &PlatformSpec::solaris_sparc(), &PlatformSpec::linux_x86());
+        roundtrip_value(
+            &v,
+            &ty,
+            &PlatformSpec::linux_x86(),
+            &PlatformSpec::solaris_sparc(),
+        );
+        roundtrip_value(
+            &v,
+            &ty,
+            &PlatformSpec::solaris_sparc(),
+            &PlatformSpec::linux_x86(),
+        );
     }
 
     #[test]
@@ -460,15 +477,30 @@ mod tests {
                 .map(|i| Value::Float((i as f64) * 0.125 - 0.5))
                 .collect(),
         );
-        roundtrip_value(&v, &ty, &PlatformSpec::linux_x86(), &PlatformSpec::solaris_sparc());
+        roundtrip_value(
+            &v,
+            &ty,
+            &PlatformSpec::linux_x86(),
+            &PlatformSpec::solaris_sparc(),
+        );
     }
 
     #[test]
     fn long_widens_32_to_64() {
         let ty = CType::Scalar(ScalarKind::Long);
         let v = Value::Int(-123_456);
-        roundtrip_value(&v, &ty, &PlatformSpec::linux_x86(), &PlatformSpec::linux_x86_64());
-        roundtrip_value(&v, &ty, &PlatformSpec::linux_x86(), &PlatformSpec::solaris_sparc64());
+        roundtrip_value(
+            &v,
+            &ty,
+            &PlatformSpec::linux_x86(),
+            &PlatformSpec::linux_x86_64(),
+        );
+        roundtrip_value(
+            &v,
+            &ty,
+            &PlatformSpec::linux_x86(),
+            &PlatformSpec::solaris_sparc64(),
+        );
     }
 
     #[test]
@@ -495,13 +527,19 @@ mod tests {
             .build()
             .unwrap();
         let ty = CType::Struct(def);
-        let v = Value::Struct(vec![
-            Value::Int(-5),
-            Value::Float(6.25),
-            Value::Int(99),
-        ]);
-        roundtrip_value(&v, &ty, &PlatformSpec::linux_x86(), &PlatformSpec::solaris_sparc());
-        roundtrip_value(&v, &ty, &PlatformSpec::solaris_sparc(), &PlatformSpec::linux_x86());
+        let v = Value::Struct(vec![Value::Int(-5), Value::Float(6.25), Value::Int(99)]);
+        roundtrip_value(
+            &v,
+            &ty,
+            &PlatformSpec::linux_x86(),
+            &PlatformSpec::solaris_sparc(),
+        );
+        roundtrip_value(
+            &v,
+            &ty,
+            &PlatformSpec::solaris_sparc(),
+            &PlatformSpec::linux_x86(),
+        );
     }
 
     #[test]
@@ -658,7 +696,17 @@ mod tests {
         // offset 0x1234 after conversion to LP64 BE.
         let ty = CType::Scalar(ScalarKind::Ptr);
         let v = Value::Ptr(Some(0x1234));
-        roundtrip_value(&v, &ty, &PlatformSpec::linux_x86(), &PlatformSpec::solaris_sparc64());
-        roundtrip_value(&Value::Ptr(None), &ty, &PlatformSpec::linux_x86(), &PlatformSpec::solaris_sparc64());
+        roundtrip_value(
+            &v,
+            &ty,
+            &PlatformSpec::linux_x86(),
+            &PlatformSpec::solaris_sparc64(),
+        );
+        roundtrip_value(
+            &Value::Ptr(None),
+            &ty,
+            &PlatformSpec::linux_x86(),
+            &PlatformSpec::solaris_sparc64(),
+        );
     }
 }

@@ -143,10 +143,7 @@ mod tests {
         // Append the register-save pad slot MigThread emits.
         t.0.push(TagItem::Padding { bytes: 8 });
         t.0.push(TagItem::Padding { bytes: 0 });
-        assert_eq!(
-            t.to_string(),
-            "(4,-1)(0,0)(4,1)(0,0)(4,1)(0,0)(8,0)(0,0)"
-        );
+        assert_eq!(t.to_string(), "(4,-1)(0,0)(4,1)(0,0)(4,1)(0,0)(8,0)(0,0)");
     }
 
     /// Paper Figure 3, MThP tag: two pointers → `(4,-1)(0,0)(4,-1)(0,0)`.

@@ -55,7 +55,11 @@ pub enum TagParseError {
 impl fmt::Display for TagParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TagParseError::Unexpected { pos, found, expected } => match found {
+            TagParseError::Unexpected {
+                pos,
+                found,
+                expected,
+            } => match found {
                 Some(c) => write!(f, "unexpected '{c}' at {pos}, expected {expected}"),
                 None => write!(f, "unexpected end of input at {pos}, expected {expected}"),
             },
@@ -116,7 +120,9 @@ impl<'a> Scanner<'a> {
             return Err(TagParseError::BadNumber { pos: start });
         }
         let s = std::str::from_utf8(&self.bytes[digits_start..self.pos]).expect("digits");
-        let v: i64 = s.parse().map_err(|_| TagParseError::BadNumber { pos: start })?;
+        let v: i64 = s
+            .parse()
+            .map_err(|_| TagParseError::BadNumber { pos: start })?;
         Ok(if neg { -v } else { v })
     }
 

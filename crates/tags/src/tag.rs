@@ -184,7 +184,12 @@ mod tests {
     #[test]
     fn aggregate_size_multiplies() {
         let agg = TagItem::Aggregate {
-            items: vec![scalar(8, 1), TagItem::Padding { bytes: 0 }, scalar(1, 1), TagItem::Padding { bytes: 7 }],
+            items: vec![
+                scalar(8, 1),
+                TagItem::Padding { bytes: 0 },
+                scalar(1, 1),
+                TagItem::Padding { bytes: 7 },
+            ],
             count: 3,
         };
         assert_eq!(agg.byte_size(), 16 * 3);

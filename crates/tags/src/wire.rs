@@ -153,12 +153,8 @@ pub fn unpack_update(buf: &mut Bytes) -> Result<WireUpdate, WireError> {
 /// Pack a batch of updates (count-prefixed). This is the body of a
 /// lock-grant or unlock message.
 pub fn pack_batch(updates: &[WireUpdate]) -> Bytes {
-    let mut out = BytesMut::with_capacity(
-        16 + updates
-            .iter()
-            .map(|u| 64 + u.data.len())
-            .sum::<usize>(),
-    );
+    let mut out =
+        BytesMut::with_capacity(16 + updates.iter().map(|u| 64 + u.data.len()).sum::<usize>());
     out.put_u32(updates.len() as u32);
     for u in updates {
         pack_update(u, &mut out);

@@ -40,9 +40,15 @@ fn portable_value(layout: &TypeLayout) -> BoxedStrategy<Value> {
     match layout.kind.clone() {
         LayoutKind::Scalar(kind) => match kind.class() {
             ScalarClass::Signed => match layout.size {
-                1 => (i8::MIN as i128..=i8::MAX as i128).prop_map(Value::Int).boxed(),
-                2 => (i16::MIN as i128..=i16::MAX as i128).prop_map(Value::Int).boxed(),
-                _ => (i32::MIN as i128..=i32::MAX as i128).prop_map(Value::Int).boxed(),
+                1 => (i8::MIN as i128..=i8::MAX as i128)
+                    .prop_map(Value::Int)
+                    .boxed(),
+                2 => (i16::MIN as i128..=i16::MAX as i128)
+                    .prop_map(Value::Int)
+                    .boxed(),
+                _ => (i32::MIN as i128..=i32::MAX as i128)
+                    .prop_map(Value::Int)
+                    .boxed(),
             },
             ScalarClass::Unsigned => match layout.size {
                 1 => (0i128..=u8::MAX as i128).prop_map(Value::Int).boxed(),

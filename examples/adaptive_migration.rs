@@ -33,9 +33,24 @@ fn main() {
     // joined the cluster.
     let policy = ThresholdPolicy::default();
     let loads = vec![
-        NodeLoad { rank: 0, threads: 2, cpu_factor: 1.0, accepting: true },
-        NodeLoad { rank: 1, threads: 0, cpu_factor: 0.53, accepting: true },
-        NodeLoad { rank: 2, threads: 0, cpu_factor: 0.6, accepting: true },
+        NodeLoad {
+            rank: 0,
+            threads: 2,
+            cpu_factor: 1.0,
+            accepting: true,
+        },
+        NodeLoad {
+            rank: 1,
+            threads: 0,
+            cpu_factor: 0.53,
+            accepting: true,
+        },
+        NodeLoad {
+            rank: 2,
+            threads: 0,
+            cpu_factor: 0.6,
+            accepting: true,
+        },
     ];
     let plans = policy.plan(&loads);
     println!("scheduler proposes {} migrations:", plans.len());
@@ -46,8 +61,16 @@ fn main() {
     // Translate the policy's decision into a migration schedule: move the
     // two threads after they have completed a few rows.
     let schedule = vec![
-        MigrationEvent { worker: 0, after_steps: 6, to_platform: sparc.clone() },
-        MigrationEvent { worker: 1, after_steps: 10, to_platform: sparc64.clone() },
+        MigrationEvent {
+            worker: 0,
+            after_steps: 6,
+            to_platform: sparc.clone(),
+        },
+        MigrationEvent {
+            worker: 1,
+            after_steps: 10,
+            to_platform: sparc64.clone(),
+        },
     ];
 
     let registry = matmul::registry(&linux);
@@ -66,10 +89,22 @@ fn main() {
         .run_adaptive(&registry, starts, &schedule)
         .expect("adaptive run");
 
-    println!("\nmigrations performed : {}", outcome.migration_stats.migrations);
-    println!("state image bytes    : {}", outcome.migration_stats.image_bytes);
-    println!("pack time            : {:?}", outcome.migration_stats.pack_time);
-    println!("restore (convert)    : {:?}", outcome.migration_stats.restore_time);
+    println!(
+        "\nmigrations performed : {}",
+        outcome.migration_stats.migrations
+    );
+    println!(
+        "state image bytes    : {}",
+        outcome.migration_stats.image_bytes
+    );
+    println!(
+        "pack time            : {:?}",
+        outcome.migration_stats.pack_time
+    );
+    println!(
+        "restore (convert)    : {:?}",
+        outcome.migration_stats.restore_time
+    );
 
     for (i, st) in outcome.results.iter().enumerate() {
         let plat = &st.block("MThV").expect("MThV").platform;

@@ -44,17 +44,33 @@ fn main() {
             pair.label,
             pair.home.name,
             pair.remote.name,
-            if ok { "VERIFIED against serial oracle" } else { "MISMATCH" }
+            if ok {
+                "VERIFIED against serial oracle"
+            } else {
+                "MISMATCH"
+            }
         );
         println!("  {total}");
         println!(
             "  conversions: {} scalars converted, {} byte-swapped, {} bytes memcpy'd",
             outcome.home_conv.scalars_converted
-                + outcome.worker_conv.iter().map(|s| s.scalars_converted).sum::<u64>(),
+                + outcome
+                    .worker_conv
+                    .iter()
+                    .map(|s| s.scalars_converted)
+                    .sum::<u64>(),
             outcome.home_conv.scalars_swapped
-                + outcome.worker_conv.iter().map(|s| s.scalars_swapped).sum::<u64>(),
+                + outcome
+                    .worker_conv
+                    .iter()
+                    .map(|s| s.scalars_swapped)
+                    .sum::<u64>(),
             outcome.home_conv.memcpy_bytes
-                + outcome.worker_conv.iter().map(|s| s.memcpy_bytes).sum::<u64>(),
+                + outcome
+                    .worker_conv
+                    .iter()
+                    .map(|s| s.memcpy_bytes)
+                    .sum::<u64>(),
         );
         println!(
             "  network: {} messages, {} bytes\n",

@@ -29,7 +29,10 @@ fn main() {
     // ---- on the Linux node -------------------------------------------
     let mut cursor = fs.open("/share/records.dat", FileMode::Read).unwrap();
     let first_half = cursor.read(&fs, 13).unwrap();
-    println!("linux-x86 read     : {:?}", String::from_utf8_lossy(&first_half));
+    println!(
+        "linux-x86 read     : {:?}",
+        String::from_utf8_lossy(&first_half)
+    );
 
     // Thread data: a heap buffer holding what was read, a stack frame with
     // a pointer to the next unprocessed element.
@@ -49,7 +52,8 @@ fn main() {
     );
     let mut st = ThreadState::new("reader");
     let mut buf = TypedBlock::zeroed(heap_ty.clone(), linux.clone());
-    buf.set_field(0, &Value::Int(first_half.len() as i128)).unwrap();
+    buf.set_field(0, &Value::Int(first_half.len() as i128))
+        .unwrap();
     buf.set_field(
         1,
         &Value::Array(

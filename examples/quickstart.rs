@@ -64,7 +64,11 @@ fn main() {
 
     // 4. Inspect the authoritative copy at the home node.
     let final_counter = outcome.final_gthv.read_int(COUNTER, 0).unwrap();
-    println!("\nhome node ({}) counter = {}", outcome.final_gthv.platform().name, final_counter);
+    println!(
+        "\nhome node ({}) counter = {}",
+        outcome.final_gthv.platform().name,
+        final_counter
+    );
     assert_eq!(final_counter, 30);
     assert!(outcome.results.iter().all(|&v| v == 30));
 

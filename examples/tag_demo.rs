@@ -62,7 +62,11 @@ fn main() {
     // Round-trip a tag string through the parser.
     let s = "(4,-1)(0,0)(4,56169)(0,0)(4,56169)(0,0)(4,56169)(0,0)(4,1)(0,0)";
     let parsed = parse_tag(s).unwrap();
-    println!("\nParsed the paper's GThV tag: {} elements, {} bytes", parsed.element_count(), parsed.byte_size());
+    println!(
+        "\nParsed the paper's GThV tag: {} elements, {} bytes",
+        parsed.element_count(),
+        parsed.byte_size()
+    );
     assert_eq!(parsed.to_string(), s);
 
     // Receiver makes right: encode on LE/ILP32, convert to BE/LP64.
@@ -83,8 +87,18 @@ fn main() {
     let mut dst = vec![0u8; ls.size as usize];
     let mut stats = ConversionStats::default();
     convert_block(&ll, &linux, &src, &ls, &sparc64, &mut dst, &mut stats).unwrap();
-    println!("  sender   ({}, {} bytes): {:02x?}", linux.name, src.len(), src);
-    println!("  receiver ({}, {} bytes): {:02x?}", sparc64.name, dst.len(), dst);
+    println!(
+        "  sender   ({}, {} bytes): {:02x?}",
+        linux.name,
+        src.len(),
+        src
+    );
+    println!(
+        "  receiver ({}, {} bytes): {:02x?}",
+        sparc64.name,
+        dst.len(),
+        dst
+    );
     println!(
         "  {} scalars converted ({} resized, {} swapped); logical value preserved: {}",
         stats.scalars_converted,

@@ -1,0 +1,14 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! hdsm uses serde exclusively in `#[derive(Serialize, Deserialize)]`
+//! position — no serializer is ever instantiated — so this stand-in
+//! re-exports no-op derive macros and defines empty marker traits of the
+//! same names (macro and trait namespaces don't collide).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; never used as a bound in this workspace.
+pub trait Serialize {}
+
+/// Marker trait; never used as a bound in this workspace.
+pub trait Deserialize<'de> {}

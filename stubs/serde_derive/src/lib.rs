@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The hdsm crates only ever use serde in derive position (no serializer
+//! is wired up anywhere), so the offline stand-in emits nothing: the
+//! derives become annotations with zero generated code.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -55,7 +55,11 @@ fn lu_all_paper_pairs() {
             .init(move |g| lu::init(g, n, seed))
             .run(move |c, i| lu::run_worker(c, i, n))
             .unwrap();
-        assert!(lu::verify(&outcome.final_gthv, n, seed), "pair {}", pair.label);
+        assert!(
+            lu::verify(&outcome.final_gthv, n, seed),
+            "pair {}",
+            pair.label
+        );
     }
 }
 
@@ -193,7 +197,10 @@ fn pointer_field_survives_full_run() {
             matmul::run_worker(c, i, n, SyncMode::Barrier)?;
             // After the final barrier the worker's LP64 big-endian copy
             // must still see GThP → A[0].
-            assert_eq!(c.read_ptr(matmul::entries::GTHP, 0)?, Some((matmul::entries::A, 0)));
+            assert_eq!(
+                c.read_ptr(matmul::entries::GTHP, 0)?,
+                Some((matmul::entries::A, 0))
+            );
             Ok(())
         })
         .unwrap();

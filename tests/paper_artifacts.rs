@@ -36,12 +36,7 @@ fn figure4_structure_and_table1() {
     let flat: Vec<(u64, u32, i64)> = table
         .rows()
         .iter()
-        .flat_map(|r| {
-            vec![
-                (r.addr, r.size, r.number()),
-                (r.end(), r.padding_after, 0),
-            ]
-        })
+        .flat_map(|r| vec![(r.addr, r.size, r.number()), (r.end(), r.padding_after, 0)])
         .collect();
     assert_eq!(
         flat,

@@ -37,7 +37,10 @@ fn any_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..ELEMS, any::<i32>()).prop_map(|(elem, value)| Op::WriteInt { elem, value }),
         (0..ELEMS, -100i32..100).prop_map(|(elem, delta)| Op::AddInt { elem, delta }),
-        (0u64..16, any::<f32>().prop_filter("finite", |f| f.is_finite()))
+        (
+            0u64..16,
+            any::<f32>().prop_filter("finite", |f| f.is_finite())
+        )
             .prop_map(|(elem, value)| Op::WriteFloat { elem, value }),
         (0..ELEMS).prop_map(|elem| Op::WritePtr { elem }),
     ]

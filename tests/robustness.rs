@@ -1,16 +1,21 @@
-//! Failure injection: malformed frames, protocol misuse and hostile
-//! inputs must surface as errors — never panics, hangs or corruption.
+//! Failure injection: malformed frames, protocol misuse, hostile inputs
+//! and a deliberately faulty fabric (drops, duplicates, reorders,
+//! partitions, crashed workers) must surface as errors or converge to
+//! the correct state — never panics, hangs or corruption.
 
 use bytes::Bytes;
+use hdsm::dsd::client::DsdError;
 use hdsm::dsd::cluster::{ClusterBuilder, ClusterError};
 use hdsm::dsd::gthv::GthvDef;
 use hdsm::dsd::protocol::{DsdMsg, ProtocolError};
 use hdsm::net::message::MsgKind;
+use hdsm::net::{FaultPlan, NetStats};
 use hdsm::platform::ctype::StructBuilder;
 use hdsm::platform::scalar::ScalarKind;
 use hdsm::platform::spec::PlatformSpec;
 use hdsm::tags::wire::unpack_batch;
-use std::time::Duration;
+use proptest::prelude::*;
+use std::time::{Duration, Instant};
 
 fn tiny_def() -> GthvDef {
     GthvDef::new(
@@ -27,7 +32,9 @@ fn random_bytes_never_panic_protocol_decode() {
     // Deterministic pseudo-random fuzz over every message kind.
     let mut seed = 0x12345678u64;
     let mut next = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as u8
     };
     for len in 0..64usize {
@@ -43,7 +50,9 @@ fn random_bytes_never_panic_protocol_decode() {
 fn random_bytes_never_panic_batch_decode() {
     let mut seed = 0xdeadbeefu64;
     let mut next = || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as u8
     };
     for len in 0..256usize {
@@ -154,6 +163,227 @@ fn migration_image_from_wrong_program_rejected_cleanly() {
     ));
 }
 
+/// Run a fixed two-worker workload (lock-serialized counter increments,
+/// then disjoint stripe writes shipped by a barrier) and return the
+/// final authoritative bytes plus traffic stats.
+fn run_convergence_workload(plan: Option<FaultPlan>) -> (Vec<u8>, i128, NetStats) {
+    let mut b = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc())
+        .locks(1)
+        .barriers(1)
+        .lease(Duration::from_secs(5))
+        .retry_base(Duration::from_millis(10))
+        .recv_deadline(Duration::from_secs(30));
+    if let Some(p) = plan {
+        b = b.fault_plan(p);
+    }
+    let outcome = b
+        .run(|c, info| {
+            for _ in 0..20 {
+                c.mth_lock(0)?;
+                let v = c.read_int(0, 0)?;
+                c.write_int(0, 0, v + 1)?;
+                c.mth_unlock(0)?;
+            }
+            c.mth_barrier(0)?;
+            // Disjoint stripes: worker 0 → xs[1..8], worker 1 → xs[8..15].
+            let base = 1 + info.index as u64 * 7;
+            for i in base..base + 7 {
+                c.write_int(0, i, i as i128 * 3 + 1)?;
+            }
+            c.mth_barrier(0)?; // ships the stripes
+            Ok(())
+        })
+        .expect("workload completes despite faults");
+    let counter = outcome.final_gthv.read_int(0, 0).unwrap();
+    (
+        outcome.final_gthv.space().raw().to_vec(),
+        counter,
+        outcome.net_stats,
+    )
+}
+
+#[test]
+fn chaos_five_percent_faults_converge_to_fault_free_state() {
+    let (clean_bytes, clean_counter, clean_stats) = run_convergence_workload(None);
+    assert_eq!(clean_counter, 40);
+    assert_eq!(clean_stats.total_faults(), 0);
+
+    let plan = FaultPlan::seeded(0xC4A05)
+        .drop(0.05)
+        .duplicate(0.05)
+        .reorder(0.05);
+    let (faulty_bytes, faulty_counter, s) = run_convergence_workload(Some(plan));
+    assert_eq!(faulty_counter, 40, "increments survived the faulty fabric");
+    assert_eq!(
+        faulty_bytes, clean_bytes,
+        "authoritative GThV must be byte-identical to the fault-free run"
+    );
+    // The fabric really was hostile, and the reliability layer really
+    // worked: fault and retransmission counters are visible in NetStats.
+    assert!(s.dropped > 0, "expected drops, got {s:?}");
+    assert!(s.duplicated > 0, "expected duplicates, got {s:?}");
+    assert!(s.reordered > 0, "expected reorders, got {s:?}");
+    assert!(s.retransmitted > 0, "expected retransmissions, got {s:?}");
+    assert!(s.report().contains("faults:"));
+}
+
+#[test]
+fn chaos_worker_crash_mid_barrier_returns_worker_lost_not_hang() {
+    let t0 = Instant::now();
+    let err = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86_64())
+        .barriers(1)
+        .lease(Duration::from_millis(400))
+        .retry_base(Duration::from_millis(25))
+        .recv_deadline(Duration::from_secs(10))
+        .run(|c, info| {
+            if info.index == 1 {
+                // Crash without signing off: heartbeats stop, the home's
+                // lease detector must notice the silence.
+                std::thread::sleep(Duration::from_millis(100));
+                return Err(DsdError::Crashed);
+            }
+            c.mth_barrier(0)?; // blocks on the crashed worker
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, ClusterError::WorkerLost { rank: 2 }),
+        "expected WorkerLost {{ rank: 2 }}, got {err}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(8),
+        "failure detection took {:?} — the barrier hung",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn chaos_crashed_worker_lock_is_reclaimed() {
+    // The crashed worker dies *holding the lock*; the home must reclaim
+    // it and grant the waiting survivor instead of deadlocking.
+    let err = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86())
+        .locks(1)
+        .lease(Duration::from_millis(400))
+        .retry_base(Duration::from_millis(25))
+        .recv_deadline(Duration::from_secs(10))
+        .run(|c, info| {
+            if info.index == 1 {
+                c.mth_lock(0)?;
+                return Err(DsdError::Crashed); // die holding the lock
+            }
+            std::thread::sleep(Duration::from_millis(150));
+            c.mth_lock(0)?; // queued behind the crashed holder
+            c.write_int(0, 1, 11)?;
+            c.mth_unlock(0)?;
+            Ok(())
+        })
+        .unwrap_err();
+    // The survivor finishes its critical section; the run still reports
+    // the dead worker as the outcome.
+    assert!(
+        matches!(err, ClusterError::WorkerLost { rank: 2 }),
+        "expected WorkerLost {{ rank: 2 }}, got {err}"
+    );
+}
+
+#[test]
+fn chaos_partitioned_worker_declared_dead_after_heal() {
+    let t0 = Instant::now();
+    let err = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86())
+        .locks(1)
+        .lease(Duration::from_millis(300))
+        .retry_base(Duration::from_millis(50))
+        .recv_deadline(Duration::from_secs(10))
+        .run(|c, info| {
+            if info.index == 0 {
+                // Cut this worker (endpoint rank 1) off from the home
+                // (rank 0): requests, replies and heartbeats all drop.
+                c.network().partition(1, 0);
+                std::thread::sleep(Duration::from_millis(100));
+                // Retransmits into the void until the partition heals;
+                // by then the home has declared us dead.
+                return match c.mth_lock(0) {
+                    Err(e) => Err(e),
+                    Ok(()) => panic!("lock granted through a partition"),
+                };
+            }
+            // The other worker heals the fabric after the lease expired.
+            std::thread::sleep(Duration::from_millis(700));
+            c.network().heal();
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, ClusterError::WorkerLost { rank: 1 }),
+        "expected WorkerLost {{ rank: 1 }}, got {err}"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(15));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Seeded random fault plans: the run either converges to exactly
+    /// the right state or fails with a clean, reportable error — and
+    /// never hangs past its deadline budget.
+    #[test]
+    fn chaos_random_fault_plans_never_hang_or_corrupt(
+        seed in any::<u64>(),
+        drop_pm in 0u32..60,
+        dup_pm in 0u32..60,
+        reorder_pm in 0u32..60,
+    ) {
+        let plan = FaultPlan::seeded(seed)
+            .drop(f64::from(drop_pm) / 1000.0)
+            .duplicate(f64::from(dup_pm) / 1000.0)
+            .reorder(f64::from(reorder_pm) / 1000.0);
+        let t0 = Instant::now();
+        let result = ClusterBuilder::new()
+            .gthv(tiny_def())
+            .worker(PlatformSpec::linux_x86())
+            .worker(PlatformSpec::linux_x86_64())
+            .locks(1)
+            .barriers(1)
+            .fault_plan(plan)
+            .lease(Duration::from_secs(5))
+            .retry_base(Duration::from_millis(10))
+            .recv_deadline(Duration::from_secs(20))
+            .run(|c, _| {
+                for _ in 0..5 {
+                    c.mth_lock(0)?;
+                    let v = c.read_int(0, 0)?;
+                    c.write_int(0, 0, v + 1)?;
+                    c.mth_unlock(0)?;
+                }
+                c.mth_barrier(0)?;
+                Ok(())
+            });
+        prop_assert!(t0.elapsed() < Duration::from_secs(60), "run hung");
+        match result {
+            Ok(outcome) => {
+                let counter = outcome.final_gthv.read_int(0, 0).unwrap();
+                prop_assert_eq!(counter, 10);
+            }
+            Err(e) => {
+                // A clean error is acceptable under arbitrary faults —
+                // but it must be reportable, not a panic or a hang.
+                let _ = format!("{e}");
+            }
+        }
+    }
+}
+
 #[test]
 fn corrupted_migration_images_rejected() {
     use hdsm::migthread::packfmt::{pack_state, parse_image, StateImage};
@@ -163,10 +393,7 @@ fn corrupted_migration_images_rejected() {
     let mut st = ThreadState::new("p");
     st.push_block(
         "MThV",
-        TypedBlock::zeroed(
-            CType::Scalar(ScalarKind::Int),
-            PlatformSpec::linux_x86(),
-        ),
+        TypedBlock::zeroed(CType::Scalar(ScalarKind::Int), PlatformSpec::linux_x86()),
     );
     let image = pack_state(&st);
     // Flip every single byte; parsing must never panic and (except for
