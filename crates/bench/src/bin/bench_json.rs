@@ -1,0 +1,160 @@
+//! Machine-readable benchmark summary: run each workload once on the
+//! heterogeneous SL pair and write wall time plus the Eq. 1 cost totals to
+//! `BENCH_dsd.json` at the repository root.
+//!
+//! Sizes default to quick smoke values so the emitter finishes in seconds;
+//! pass `--paper` for the paper's matrix sizes (slower).
+
+use hdsm_apps::workload::{paper_pairs, SyncMode};
+use hdsm_apps::{jacobi, lu, matmul, sor};
+use hdsm_bench::paper_placement;
+use hdsm_core::cluster::ClusterBuilder;
+use hdsm_core::costs::CostBreakdown;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Row {
+    name: &'static str,
+    n: usize,
+    wall: Duration,
+    costs: CostBreakdown,
+    net_bytes: u64,
+    net_messages: u64,
+    verified: bool,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn run_workload(name: &'static str, n: usize) -> Row {
+    let pair = &paper_pairs()[2]; // SL: heterogeneous, exercises t_conv.
+    let seed = 0xD5D;
+    let sweeps = 6;
+    let workers = paper_placement(pair);
+    let mut builder = ClusterBuilder::new()
+        .home(pair.home.clone())
+        .locks(1)
+        .barriers(2);
+    builder = match name {
+        "jacobi" => builder
+            .gthv(jacobi::gthv_def(n))
+            .init(move |g| jacobi::init(g, n, seed)),
+        "sor" => builder
+            .gthv(sor::gthv_def(n))
+            .init(move |g| sor::init(g, n, seed)),
+        "matmul" => builder
+            .gthv(matmul::gthv_def(n))
+            .init(move |g| matmul::init(g, n, seed)),
+        "lu" => builder
+            .gthv(lu::gthv_def(n))
+            .init(move |g| lu::init(g, n, seed)),
+        _ => unreachable!(),
+    };
+    for w in &workers {
+        builder = builder.worker(w.clone());
+    }
+    let t0 = Instant::now();
+    let (outcome, verified) = match name {
+        "jacobi" => {
+            let o = builder
+                .run(move |c, i| jacobi::run_worker(c, i, n, sweeps))
+                .expect("jacobi");
+            let v = jacobi::verify(&o.final_gthv, n, seed, sweeps);
+            (o, v)
+        }
+        "sor" => {
+            let o = builder
+                .run(move |c, i| sor::run_worker(c, i, n, sweeps))
+                .expect("sor");
+            let v = sor::verify(&o.final_gthv, n, seed, sweeps);
+            (o, v)
+        }
+        "matmul" => {
+            let o = builder
+                .run(move |c, i| matmul::run_worker(c, i, n, SyncMode::Barrier))
+                .expect("matmul");
+            let v = matmul::verify(&o.final_gthv, n, seed);
+            (o, v)
+        }
+        "lu" => {
+            let o = builder
+                .run(move |c, i| lu::run_worker(c, i, n))
+                .expect("lu");
+            let v = lu::verify(&o.final_gthv, n, seed);
+            (o, v)
+        }
+        _ => unreachable!(),
+    };
+    let wall = t0.elapsed();
+    let mut costs: CostBreakdown = outcome.worker_costs.iter().sum();
+    costs += &outcome.home_costs;
+    Row {
+        name,
+        n,
+        wall,
+        costs,
+        net_bytes: outcome.net_stats.total_bytes(),
+        net_messages: outcome.net_stats.total_messages(),
+        verified,
+    }
+}
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let (grid_n, mat_n) = if paper { (99, 99) } else { (32, 32) };
+    let rows = vec![
+        run_workload("jacobi", grid_n),
+        run_workload("sor", grid_n),
+        run_workload("matmul", mat_n),
+        run_workload("lu", mat_n),
+    ];
+
+    let mut json = String::from("{\n  \"pair\": \"SL\",\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let c = &r.costs;
+        writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}, \
+             \"t_index_ms\": {:.3}, \"t_tag_ms\": {:.3}, \"t_pack_ms\": {:.3}, \
+             \"t_unpack_ms\": {:.3}, \"t_conv_ms\": {:.3}, \"c_share_ms\": {:.3}, \
+             \"updates_sent\": {}, \"bytes_sent\": {}, \"net_messages\": {}, \
+             \"net_bytes\": {}, \"verified\": {}}}{}",
+            r.name,
+            r.n,
+            ms(r.wall),
+            ms(c.t_index),
+            ms(c.t_tag),
+            ms(c.t_pack),
+            ms(c.t_unpack),
+            ms(c.t_conv),
+            ms(c.c_share()),
+            c.updates_sent,
+            c.bytes_sent,
+            r.net_messages,
+            r.net_bytes,
+            r.verified,
+            if i + 1 < rows.len() { "," } else { "" },
+        )
+        .expect("write to string");
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsd.json");
+    std::fs::write(path, &json).expect("write BENCH_dsd.json");
+    for r in &rows {
+        println!(
+            "{:>7} n={:<4} wall {:>9.2} ms  c_share {:>9.2} ms  verified {}",
+            r.name,
+            r.n,
+            ms(r.wall),
+            ms(r.costs.c_share()),
+            r.verified
+        );
+    }
+    println!("wrote BENCH_dsd.json");
+    assert!(
+        rows.iter().all(|r| r.verified),
+        "a workload failed to verify"
+    );
+}

@@ -1,0 +1,70 @@
+//! End-to-end observability demo: run a Jacobi cluster with an enabled
+//! recorder and export everything `hdsm-obs` produces.
+//!
+//! Writes:
+//! * `results/obs_trace.json` — Chrome tracing JSON (load via
+//!   `chrome://tracing` or <https://ui.perfetto.dev>); one track per rank.
+//! * `results/obs_snapshot.json` — the machine-readable [`ObsSnapshot`].
+//!
+//! Also prints the plain-text cluster report and cross-checks the
+//! snapshot's per-kind network totals against the fabric's own
+//! [`NetStats`] — they are fed at the same call site and must agree.
+
+use hdsm_apps::jacobi;
+use hdsm_apps::workload::paper_pairs;
+use hdsm_core::cluster::ClusterBuilder;
+use hdsm_obs::{chrome_trace, Recorder};
+
+fn main() {
+    let n = 48;
+    let sweeps = 6;
+    let seed = 0x0B5;
+    let pair = &paper_pairs()[2]; // SL: the heterogeneous pair.
+    let recorder = Recorder::enabled();
+
+    let mut builder = ClusterBuilder::new()
+        .gthv(jacobi::gthv_def(n))
+        .home(pair.home.clone())
+        .barriers(1)
+        .obs(recorder.clone())
+        .init(move |g| jacobi::init(g, n, seed));
+    builder = builder
+        .worker(pair.home.clone())
+        .worker(pair.remote.clone())
+        .worker(pair.remote.clone());
+    let outcome = builder
+        .run(move |c, info| jacobi::run_worker(c, info, n, sweeps))
+        .expect("jacobi cluster");
+    assert!(
+        jacobi::verify(&outcome.final_gthv, n, seed, sweeps),
+        "jacobi failed to verify"
+    );
+
+    let snapshot = outcome.obs.as_ref().expect("recorder was enabled");
+
+    // The snapshot's traffic table and NetStats are fed from the same
+    // send-path call site; any disagreement is a bug.
+    assert_eq!(snapshot.net_total_msgs, outcome.net_stats.total_messages());
+    assert_eq!(snapshot.net_total_bytes, outcome.net_stats.total_bytes());
+    assert_eq!(snapshot.net_update_bytes, outcome.net_stats.update_bytes());
+    assert_eq!(
+        snapshot.net_control_bytes,
+        outcome.net_stats.control_bytes()
+    );
+
+    let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+    std::fs::create_dir_all(results).expect("create results dir");
+    let trace_path = format!("{results}/obs_trace.json");
+    let snap_path = format!("{results}/obs_snapshot.json");
+    std::fs::write(&trace_path, chrome_trace(&recorder.events())).expect("write trace");
+    std::fs::write(&snap_path, snapshot.to_json()).expect("write snapshot");
+
+    println!("{}", snapshot.report());
+    println!("jacobi n={n} sweeps={sweeps} pair={} verified", pair.label);
+    println!("chrome trace  -> results/obs_trace.json");
+    println!("obs snapshot  -> results/obs_snapshot.json");
+    println!(
+        "net cross-check: {} msgs / {} bytes (obs == NetStats)",
+        snapshot.net_total_msgs, snapshot.net_total_bytes
+    );
+}

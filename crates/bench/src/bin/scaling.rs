@@ -47,10 +47,8 @@ fn main() {
                 .run(move |c, i| matmul::run_worker(c, i, n, SyncMode::Barrier))
                 .expect("run");
             let wall = t0.elapsed();
-            let mut share = outcome.home_costs;
-            for c in &outcome.worker_costs {
-                share.merge(c);
-            }
+            let mut share: hdsm_core::costs::CostBreakdown = outcome.worker_costs.iter().sum();
+            share += outcome.home_costs;
             println!(
                 "{:>8} {:>6} {:>12.2} {:>14.3} {:>12} {:>10}",
                 if hetero { "mixed" } else { "LL" },

@@ -58,16 +58,19 @@ fn aggregate(
     outcome: &hdsm_core::cluster::ClusterOutcome<()>,
     verified: bool,
 ) -> ExperimentResult {
-    let mut raw = CostBreakdown::default();
-    let mut scaled = CostBreakdown::default();
-    let mut per_worker = Vec::new();
-    for (plat, costs) in worker_platforms.iter().zip(&outcome.worker_costs) {
-        raw.merge(costs);
-        scaled.merge(&scale(costs, plat.cpu_factor));
-        per_worker.push((plat.name.clone(), *costs));
-    }
-    raw.merge(&outcome.home_costs);
-    scaled.merge(&scale(&outcome.home_costs, pair.home.cpu_factor));
+    let per_worker: Vec<(String, CostBreakdown)> = worker_platforms
+        .iter()
+        .zip(&outcome.worker_costs)
+        .map(|(plat, costs)| (plat.name.clone(), *costs))
+        .collect();
+    let mut raw: CostBreakdown = outcome.worker_costs.iter().sum();
+    raw += &outcome.home_costs;
+    let mut scaled: CostBreakdown = worker_platforms
+        .iter()
+        .zip(&outcome.worker_costs)
+        .map(|(plat, costs)| scale(costs, plat.cpu_factor))
+        .sum();
+    scaled += scale(&outcome.home_costs, pair.home.cpu_factor);
     ExperimentResult {
         pair: pair.label.to_string(),
         n,

@@ -25,6 +25,7 @@ use crate::update::{apply_batch, apply_tracked, extract_updates, UpdateError};
 use hdsm_memory::diff::diff_pages;
 use hdsm_net::endpoint::{Endpoint, NetError};
 use hdsm_net::message::MsgKind;
+use hdsm_obs::{EventKind, Recorder};
 use hdsm_platform::spec::Platform;
 use hdsm_tags::convert::ConversionStats;
 use hdsm_tags::wire::WireUpdate;
@@ -106,6 +107,10 @@ pub struct DsdClient {
     max_retries: u32,
     /// First retransmission delay; doubles per attempt.
     retry_base: std::time::Duration,
+    /// Observability hook (disabled by default: every use is a null check).
+    recorder: Recorder,
+    /// Open lock-hold spans: lock id → (epoch µs, wall start) at grant.
+    held_since: std::collections::HashMap<u32, (u64, Instant)>,
 }
 
 impl DsdClient {
@@ -128,7 +133,21 @@ impl DsdClient {
             req_counter: 0,
             max_retries: 10,
             retry_base: std::time::Duration::from_millis(250),
+            recorder: Recorder::disabled(),
+            held_since: std::collections::HashMap::new(),
         }
+    }
+
+    /// Attach an observability recorder. Spans for every protocol phase,
+    /// heatmap feeds and retransmit instants are recorded through it; the
+    /// default disabled recorder makes all of that free.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The client's observability recorder (disabled unless wired up).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Enable whole-entry transfer promotion (paper §4: large arrays are
@@ -231,6 +250,13 @@ impl DsdClient {
         loop {
             if attempt > 0 {
                 self.ep.network().note_retransmit();
+                self.recorder.instant(
+                    self.thread_rank,
+                    EventKind::Retransmit,
+                    attempt as u64,
+                    0,
+                    kind.label(),
+                );
             }
             self.costs.bytes_sent += payload.len() as u64;
             self.ep.send(self.home_ep, kind, payload.clone())?;
@@ -254,7 +280,11 @@ impl DsdClient {
                 match self.ep.recv_timeout(wait) {
                     Ok(m) => {
                         let t0 = Instant::now();
-                        let (rid, decoded) = DsdMsg::decode_enveloped(m.kind, m.payload)?;
+                        let (rid, decoded) = {
+                            let mut span = self.recorder.span(self.thread_rank, EventKind::Unpack);
+                            span.args(m.payload.len() as u64, m.src as u64);
+                            DsdMsg::decode_enveloped(m.kind, m.payload)?
+                        };
                         self.costs.t_unpack += t0.elapsed();
                         if let DsdMsg::WorkerLost { rank } = decoded {
                             return Err(DsdError::WorkerLost(rank));
@@ -275,11 +305,33 @@ impl DsdClient {
     /// Apply incoming updates (grant / barrier release) to the local copy
     /// and re-arm write protection.
     fn apply_incoming(&mut self, updates: &[WireUpdate]) -> Result<(), DsdError> {
+        let bytes: u64 = updates.iter().map(|u| u.data.len() as u64).sum();
         let t0 = Instant::now();
-        apply_batch(&mut self.gthv, updates, &mut self.conv_stats)?;
+        {
+            let mut span = self.recorder.span(self.thread_rank, EventKind::Convert);
+            span.args(updates.len() as u64, bytes);
+            apply_batch(&mut self.gthv, updates, &mut self.conv_stats)?;
+        }
         self.costs.t_conv += t0.elapsed();
         self.costs.updates_applied += updates.len() as u64;
-        self.costs.bytes_applied += updates.iter().map(|u| u.data.len() as u64).sum::<u64>();
+        self.costs.bytes_applied += bytes;
+        if self.recorder.is_enabled() {
+            let ps = self.gthv.space().page_size() as u64;
+            let base = self.gthv.space().base();
+            for u in updates {
+                self.recorder.update_applied(u.entry, u.data.len() as u64);
+                // Local footprint of the overwritten range, page by page.
+                if let Some(row) = self.gthv.table().row(u.entry) {
+                    let start = row.addr + u.elem_offset * u64::from(row.size);
+                    let end = start + u.tag.element_count() * u64::from(row.size);
+                    if end > start {
+                        for page in (start - base) / ps..=(end - 1 - base) / ps {
+                            self.recorder.page_invalidated(page);
+                        }
+                    }
+                }
+            }
+        }
         // "Mprotect globals" (paper Fig. 5): re-arm after the acquire so
         // this thread's own writes are trapped for the next release.
         self.gthv.space_mut().reset_and_protect();
@@ -292,32 +344,78 @@ impl DsdClient {
     fn collect_outgoing(&mut self) -> Result<Vec<WireUpdate>, DsdError> {
         // t_index: byte-level twin/diff plus mapping runs to index ranges.
         let t0 = Instant::now();
-        let runs = diff_pages(self.gthv.space());
-        let mapped = map_runs(self.gthv.table(), &runs);
+        let runs;
+        let mapped;
+        {
+            let mut span = self.recorder.span(self.thread_rank, EventKind::DiffScan);
+            runs = diff_pages(self.gthv.space());
+            mapped = map_runs(self.gthv.table(), &runs);
+            span.args(hdsm_memory::diff::total_bytes(&runs), runs.len() as u64);
+        }
         self.costs.t_index += t0.elapsed();
+        if self.recorder.is_enabled() {
+            let ps = self.gthv.space().page_size() as u64;
+            let base = self.gthv.space().base();
+            for (page, bytes) in hdsm_memory::diff::split_by_page(&runs, base, ps) {
+                self.recorder.page_diff(page, bytes);
+            }
+        }
         // t_tag: coalescing consecutive elements into single tags, plus
         // optional whole-entry promotion.
         let t1 = Instant::now();
-        let mut ranges = coalesce(mapped);
-        if self.promote_threshold < 100 {
-            ranges = crate::runs::promote_ranges(self.gthv.table(), ranges, self.promote_threshold);
+        let mut ranges;
+        {
+            let mut span = self.recorder.span(self.thread_rank, EventKind::TagBuild);
+            ranges = coalesce(mapped);
+            if self.promote_threshold < 100 {
+                ranges =
+                    crate::runs::promote_ranges(self.gthv.table(), ranges, self.promote_threshold);
+            }
+            span.args(ranges.len() as u64, 0);
         }
         self.costs.t_tag += t1.elapsed();
         // t_pack: extracting the raw native bytes (and pointer swizzling).
         let t2 = Instant::now();
-        let ups = extract_updates(&self.gthv, &ranges)?;
+        let ups;
+        {
+            let mut span = self.recorder.span(self.thread_rank, EventKind::Pack);
+            ups = extract_updates(&self.gthv, &ranges)?;
+            span.args(
+                ups.iter().map(|u| u.data.len() as u64).sum(),
+                ups.len() as u64,
+            );
+        }
         self.costs.t_pack += t2.elapsed();
         self.costs.updates_sent += ups.len() as u64;
+        if self.recorder.is_enabled() {
+            for u in &ups {
+                self.recorder.update_sent(
+                    u.entry,
+                    u.elem_offset,
+                    u.tag.element_count(),
+                    u.data.len() as u64,
+                );
+            }
+        }
         Ok(ups)
     }
 
     /// `MTh_lock(index, rank)` — paper §4.1.
     pub fn mth_lock(&mut self, lock: u32) -> Result<(), DsdError> {
-        match self.request(DsdMsg::LockRequest {
-            lock,
-            rank: self.thread_rank,
-        })? {
+        let reply = {
+            let mut span = self.recorder.span(self.thread_rank, EventKind::LockWait);
+            span.args(lock as u64, 0);
+            self.request(DsdMsg::LockRequest {
+                lock,
+                rank: self.thread_rank,
+            })?
+        };
+        match reply {
             DsdMsg::LockGrant { lock: l, updates } if l == lock => {
+                if self.recorder.is_enabled() {
+                    self.held_since
+                        .insert(lock, (self.recorder.now_us(), Instant::now()));
+                }
                 self.apply_incoming(&updates)?;
                 Ok(())
             }
@@ -327,6 +425,8 @@ impl DsdClient {
 
     /// `MTh_unlock(index, rank)` — paper §4.2.
     pub fn mth_unlock(&mut self, lock: u32) -> Result<(), DsdError> {
+        let mut release = self.recorder.span(self.thread_rank, EventKind::LockRelease);
+        release.args(lock as u64, 0);
         let updates = self.collect_outgoing()?;
         // Twins/dirty marks shipped; re-arm for the next critical section.
         self.gthv.space_mut().reset_and_protect();
@@ -335,7 +435,20 @@ impl DsdClient {
             rank: self.thread_rank,
             updates,
         })? {
-            DsdMsg::UnlockAck { lock: l } if l == lock => Ok(()),
+            DsdMsg::UnlockAck { lock: l } if l == lock => {
+                if let Some((t_us, start)) = self.held_since.remove(&lock) {
+                    self.recorder.span_at(
+                        self.thread_rank,
+                        EventKind::LockHold,
+                        t_us,
+                        start.elapsed().as_micros() as u64,
+                        lock as u64,
+                        0,
+                        "",
+                    );
+                }
+                Ok(())
+            }
             _ => Err(DsdError::Unexpected("UnlockAck")),
         }
     }
@@ -393,6 +506,8 @@ impl DsdClient {
     /// participant (paper §4: barriers spare the programmer from building
     /// them out of the distributed mutex).
     pub fn mth_barrier(&mut self, barrier: u32) -> Result<(), DsdError> {
+        let mut span = self.recorder.span(self.thread_rank, EventKind::Barrier);
+        span.args(barrier as u64, 0);
         let updates = self.collect_outgoing()?;
         self.gthv.space_mut().reset_and_protect();
         match self.request(DsdMsg::BarrierEnter {
@@ -525,26 +640,31 @@ impl DsdClient {
 
     /// Read an integer element of the shared structure.
     pub fn read_int(&self, entry: u32, elem: u64) -> Result<i128, DsdError> {
+        self.recorder.entry_read(entry);
         Ok(self.gthv.read_int(entry, elem)?)
     }
 
     /// Write an integer element (write-detected).
     pub fn write_int(&mut self, entry: u32, elem: u64, v: i128) -> Result<(), DsdError> {
+        self.recorder.entry_write(entry);
         Ok(self.gthv.write_int(entry, elem, v)?)
     }
 
     /// Read a float element.
     pub fn read_float(&self, entry: u32, elem: u64) -> Result<f64, DsdError> {
+        self.recorder.entry_read(entry);
         Ok(self.gthv.read_float(entry, elem)?)
     }
 
     /// Write a float element (write-detected).
     pub fn write_float(&mut self, entry: u32, elem: u64, v: f64) -> Result<(), DsdError> {
+        self.recorder.entry_write(entry);
         Ok(self.gthv.write_float(entry, elem, v)?)
     }
 
     /// Read a pointer element as a logical `(entry, elem)` target.
     pub fn read_ptr(&self, entry: u32, elem: u64) -> Result<Option<(u32, u64)>, DsdError> {
+        self.recorder.entry_read(entry);
         Ok(self.gthv.read_ptr(entry, elem)?)
     }
 
@@ -555,6 +675,7 @@ impl DsdClient {
         elem: u64,
         target: Option<(u32, u64)>,
     ) -> Result<(), DsdError> {
+        self.recorder.entry_write(entry);
         Ok(self.gthv.write_ptr(entry, elem, target)?)
     }
 }

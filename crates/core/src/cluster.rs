@@ -28,12 +28,13 @@ use crate::gthv::{GthvDef, GthvInstance};
 use crate::home::{HomeConfig, HomeError, HomeService};
 use crate::protocol::DsdMsg;
 use hdsm_migthread::compute::{Computation, ProgramRegistry, StepStatus};
-use hdsm_migthread::packfmt::{pack_state, MigrateError};
+use hdsm_migthread::packfmt::{pack_state_observed, MigrateError};
 use hdsm_migthread::state::ThreadState;
 use hdsm_net::endpoint::Network;
 use hdsm_net::message::MsgKind;
 use hdsm_net::stats::{NetConfig, NetStats};
 use hdsm_net::FaultPlan;
+use hdsm_obs::{EventKind, ObsSnapshot, Recorder};
 use hdsm_platform::spec::{Platform, PlatformSpec};
 use hdsm_tags::convert::ConversionStats;
 use std::fmt;
@@ -124,6 +125,9 @@ pub struct ClusterOutcome<R> {
     pub net_stats: NetStats,
     /// Migration statistics (zero for static runs).
     pub migration_stats: MigrationStats,
+    /// Observability snapshot, when the cluster ran with
+    /// [`ClusterBuilder::obs`] wired to an enabled recorder.
+    pub obs: Option<ObsSnapshot>,
 }
 
 /// One scheduled migration for [`ClusterBuilder::run_adaptive`].
@@ -154,6 +158,7 @@ pub struct ClusterBuilder {
     lease: Option<Duration>,
     max_retries: Option<u32>,
     retry_base: Option<Duration>,
+    recorder: Recorder,
 }
 
 impl Default for ClusterBuilder {
@@ -178,7 +183,17 @@ impl ClusterBuilder {
             lease: Some(Duration::from_secs(30)),
             max_retries: None,
             retry_base: None,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Observe the run: the recorder is wired through the fabric, every
+    /// worker client and the home service, and the finished outcome
+    /// carries [`ClusterOutcome::obs`]. Pass [`Recorder::disabled`] (the
+    /// default) for a counter-free no-op.
+    pub fn obs(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Bound every worker's blocking protocol receive (defence against a
@@ -284,7 +299,11 @@ impl ClusterBuilder {
         if self.worker_platforms.is_empty() {
             return Err(ClusterError::Config("no workers".into()));
         }
-        let (net, eps) = Network::new(self.worker_platforms.len() + 1, self.net_config.clone());
+        let (net, eps) = Network::new_observed(
+            self.worker_platforms.len() + 1,
+            self.net_config.clone(),
+            self.recorder.clone(),
+        );
         Ok((def, net, eps))
     }
 
@@ -318,6 +337,7 @@ impl ClusterBuilder {
                 participants,
                 lease: self.lease,
                 linger,
+                recorder: self.recorder.clone(),
             },
         );
         if let Some(init) = self.init.take() {
@@ -366,6 +386,7 @@ impl ClusterBuilder {
                 })
             });
             let mut handles = Vec::new();
+            let recorder = &self.recorder;
             for ((i, plat), ep) in self.worker_platforms.iter().enumerate().zip(eps.drain(..)) {
                 let def = def.clone();
                 let plat = plat.clone();
@@ -379,6 +400,7 @@ impl ClusterBuilder {
                     };
                     let gthv = GthvInstance::new(def, plat);
                     let mut client = DsdClient::new(i as u32 + 1, ep, 0, gthv);
+                    client.set_recorder(recorder.clone());
                     if let Some(d) = deadline {
                         client.set_recv_deadline(d);
                     }
@@ -476,6 +498,7 @@ impl ClusterBuilder {
             final_gthv,
             net_stats: net.stats(),
             migration_stats: MigrationStats::default(),
+            obs: self.recorder.snapshot(),
         })
     }
 
@@ -552,14 +575,28 @@ fn run_one_adaptive(
         while next_event < my_events.len() && my_events[next_event].after_steps <= steps {
             let ev = my_events[next_event];
             next_event += 1;
+            let rec = client.recorder().clone();
+            let rank = client.thread_rank();
             let t0 = Instant::now();
-            let image = pack_state(&comp.capture());
+            let image = pack_state_observed(&comp.capture(), &rec, rank);
             let pack = t0.elapsed();
+            let restore_start_us = rec.now_us();
             let t1 = Instant::now();
             comp = registry
                 .restore(&image, ev.to_platform.clone())
                 .map_err(|_| DsdError::Unexpected("restore"))?;
             let restore = t1.elapsed();
+            rec.span_at(
+                rank,
+                EventKind::MigrationRestore,
+                restore_start_us,
+                restore.as_micros() as u64,
+                image.bytes.len() as u64,
+                steps,
+                "",
+            );
+            rec.count("mig.migrations", 1);
+            rec.count("mig.image_bytes", image.bytes.len() as u64);
             client.rehost(ev.to_platform.clone())?;
             let mut m = mig_stats.lock();
             m.migrations += 1;

@@ -5,6 +5,8 @@
 //! harnesses aggregate them per node / per platform pair.
 
 use std::fmt;
+use std::iter::Sum;
+use std::ops::AddAssign;
 use std::time::Duration;
 
 /// The five cost components of data sharing, plus bookkeeping counters.
@@ -81,6 +83,38 @@ impl CostBreakdown {
     }
 }
 
+impl AddAssign<&CostBreakdown> for CostBreakdown {
+    fn add_assign(&mut self, other: &CostBreakdown) {
+        self.merge(other);
+    }
+}
+
+impl AddAssign for CostBreakdown {
+    fn add_assign(&mut self, other: CostBreakdown) {
+        self.merge(&other);
+    }
+}
+
+impl Sum for CostBreakdown {
+    fn sum<I: Iterator<Item = CostBreakdown>>(iter: I) -> CostBreakdown {
+        let mut total = CostBreakdown::default();
+        for c in iter {
+            total.merge(&c);
+        }
+        total
+    }
+}
+
+impl<'a> Sum<&'a CostBreakdown> for CostBreakdown {
+    fn sum<I: Iterator<Item = &'a CostBreakdown>>(iter: I) -> CostBreakdown {
+        let mut total = CostBreakdown::default();
+        for c in iter {
+            total.merge(c);
+        }
+        total
+    }
+}
+
 impl fmt::Display for CostBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -126,6 +160,23 @@ mod tests {
         assert_eq!(a.c_share(), Duration::from_millis(200));
         assert_eq!(a.updates_sent, 6);
         assert_eq!(a.bytes_applied, 100);
+    }
+
+    #[test]
+    fn add_assign_and_sum_match_merge() {
+        let mut a = sample();
+        a += sample();
+        let mut b = sample();
+        b += &sample();
+        let mut merged = sample();
+        merged.merge(&sample());
+        assert_eq!(a, merged);
+        assert_eq!(b, merged);
+        let owned: CostBreakdown = vec![sample(), sample()].into_iter().sum();
+        assert_eq!(owned, merged);
+        let parts = [sample(), sample()];
+        let borrowed: CostBreakdown = parts.iter().sum();
+        assert_eq!(borrowed, merged);
     }
 
     #[test]

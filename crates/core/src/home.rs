@@ -21,6 +21,7 @@ use crate::update::{apply_batch, extract_updates, full_ranges, UpdateError};
 use bytes::Bytes;
 use hdsm_net::endpoint::{Endpoint, NetError};
 use hdsm_net::message::MsgKind;
+use hdsm_obs::{EventKind, Recorder};
 use hdsm_tags::convert::ConversionStats;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -48,6 +49,9 @@ pub struct HomeConfig {
     /// final shutdown broadcast, so clients whose last reply was dropped
     /// by a faulty fabric can still complete.
     pub linger: Duration,
+    /// Observability hook for home-side spans (absorb/extract timing,
+    /// lease expiries). Disabled by default.
+    pub recorder: Recorder,
 }
 
 impl Default for HomeConfig {
@@ -59,6 +63,7 @@ impl Default for HomeConfig {
             participants: Vec::new(),
             lease: None,
             linger: Duration::ZERO,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -162,6 +167,7 @@ pub struct HomeService {
     linger: Duration,
     costs: CostBreakdown,
     conv_stats: ConversionStats,
+    recorder: Recorder,
 }
 
 impl HomeService {
@@ -193,6 +199,7 @@ impl HomeService {
             linger: config.linger,
             costs: CostBreakdown::default(),
             conv_stats: ConversionStats::default(),
+            recorder: config.recorder,
         }
     }
 
@@ -226,7 +233,14 @@ impl HomeService {
             return Ok(());
         }
         let t0 = Instant::now();
-        apply_batch(&mut self.gthv, updates, &mut self.conv_stats)?;
+        {
+            let mut span = self.recorder.span(self.ep.rank(), EventKind::Convert);
+            span.args(
+                updates.len() as u64,
+                updates.iter().map(|u| u.data.len() as u64).sum(),
+            );
+            apply_batch(&mut self.gthv, updates, &mut self.conv_stats)?;
+        }
         self.costs.t_conv += t0.elapsed();
         self.costs.updates_applied += updates.len() as u64;
         self.costs.bytes_applied += updates.iter().map(|u| u.data.len() as u64).sum::<u64>();
@@ -272,21 +286,34 @@ impl HomeService {
     ) -> Result<Vec<hdsm_tags::wire::WireUpdate>, HomeError> {
         let horizon = self.seen.get(&rank).copied().unwrap_or(0);
         let t_tag0 = Instant::now();
-        let ranges: Vec<UpdateRange> = if horizon < self.log_floor {
-            // The thread's horizon predates the log: full refresh.
-            full_ranges(&self.gthv)
-        } else {
-            coalesce(
-                self.log
-                    .iter()
-                    .filter(|(s, w, _)| *s > horizon && *w != rank)
-                    .map(|(_, _, r)| *r)
-                    .collect(),
-            )
-        };
+        let ranges: Vec<UpdateRange>;
+        {
+            let mut span = self.recorder.span(self.ep.rank(), EventKind::TagBuild);
+            ranges = if horizon < self.log_floor {
+                // The thread's horizon predates the log: full refresh.
+                full_ranges(&self.gthv)
+            } else {
+                coalesce(
+                    self.log
+                        .iter()
+                        .filter(|(s, w, _)| *s > horizon && *w != rank)
+                        .map(|(_, _, r)| *r)
+                        .collect(),
+                )
+            };
+            span.args(ranges.len() as u64, rank as u64);
+        }
         self.costs.t_tag += t_tag0.elapsed();
         let t_pack0 = Instant::now();
-        let ups = extract_updates(&self.gthv, &ranges)?;
+        let ups;
+        {
+            let mut span = self.recorder.span(self.ep.rank(), EventKind::Pack);
+            ups = extract_updates(&self.gthv, &ranges)?;
+            span.args(
+                ups.iter().map(|u| u.data.len() as u64).sum(),
+                ups.len() as u64,
+            );
+        }
         self.costs.t_pack += t_pack0.elapsed();
         self.costs.updates_sent += ups.len() as u64;
         self.costs.bytes_sent += ups.iter().map(|u| u.data.len() as u64).sum::<u64>();
@@ -336,7 +363,11 @@ impl HomeService {
             };
             if let Some(msg) = msg {
                 let t0 = Instant::now();
-                let (req_id, decoded) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+                let (req_id, decoded) = {
+                    let mut span = self.recorder.span(self.ep.rank(), EventKind::Unpack);
+                    span.args(msg.payload.len() as u64, msg.src as u64);
+                    DsdMsg::decode_enveloped(msg.kind, msg.payload)?
+                };
                 self.costs.t_unpack += t0.elapsed();
                 self.dispatch(msg.src, req_id, decoded)?;
             }
@@ -491,6 +522,9 @@ impl HomeService {
     /// barrier it was blocking with [`DsdMsg::WorkerLost`].
     fn declare_dead(&mut self, rank: u32) -> Result<(), HomeError> {
         self.dead.insert(rank);
+        self.recorder
+            .instant(self.ep.rank(), EventKind::LeaseExpired, rank as u64, 0, "");
+        self.recorder.count("home.leases_expired", 1);
         for idx in 0..self.locks.len() {
             self.locks[idx].waiters.retain(|&w| w != rank);
             if self.locks[idx].holder == Some(rank) {

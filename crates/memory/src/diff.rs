@@ -85,6 +85,28 @@ pub fn total_bytes(runs: &[DiffRun]) -> u64 {
     runs.iter().map(|r| r.len as u64).sum()
 }
 
+/// Attribute runs to pages: split every run at page boundaries and return
+/// `(page_index, bytes)` chunks in run order, where `page_index` is
+/// relative to `base`. Used by the observability heatmap to charge diffed
+/// bytes to the page they live on; a merged cross-page run contributes one
+/// chunk per page it touches.
+pub fn split_by_page(runs: &[DiffRun], base: u64, page_size: u64) -> Vec<(u64, u64)> {
+    debug_assert!(page_size > 0);
+    let mut out = Vec::new();
+    for run in runs {
+        let mut addr = run.addr;
+        let end = run.end();
+        while addr < end {
+            let page = (addr - base) / page_size;
+            let page_end = base + (page + 1) * page_size;
+            let chunk = end.min(page_end) - addr;
+            out.push((page, chunk));
+            addr += chunk;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +213,35 @@ mod tests {
             runs,
             vec![DiffRun { addr: 0, len: 8 }, DiffRun { addr: 10, len: 3 }]
         );
+    }
+
+    #[test]
+    fn split_by_page_charges_each_page_its_share() {
+        let runs = vec![
+            DiffRun {
+                addr: BASE + 10,
+                len: 4,
+            },
+            // Spans the first/second page boundary: 2 bytes each side.
+            DiffRun {
+                addr: BASE + 4094,
+                len: 4,
+            },
+            // Covers all of page 2 and one byte of page 3.
+            DiffRun {
+                addr: BASE + 2 * 4096,
+                len: 4097,
+            },
+        ];
+        assert_eq!(
+            split_by_page(&runs, BASE, 4096),
+            vec![(0, 4), (0, 2), (1, 2), (2, 4096), (3, 1)]
+        );
+        let charged: u64 = split_by_page(&runs, BASE, 4096)
+            .iter()
+            .map(|(_, b)| b)
+            .sum();
+        assert_eq!(charged, total_bytes(&runs));
     }
 
     #[test]

@@ -277,6 +277,51 @@ pub fn unpack_state(
     Ok(out)
 }
 
+/// [`pack_state`] under an observability span: records a
+/// `migration-pack` event against `rank` (arg0 = image bytes, arg1 =
+/// block count). Identical to the plain call when `rec` is disabled.
+pub fn pack_state_observed(state: &ThreadState, rec: &hdsm_obs::Recorder, rank: u32) -> StateImage {
+    let t_us = rec.now_us();
+    let t0 = std::time::Instant::now();
+    let image = pack_state(state);
+    rec.span_at(
+        rank,
+        hdsm_obs::EventKind::MigrationPack,
+        t_us,
+        t0.elapsed().as_micros() as u64,
+        image.bytes.len() as u64,
+        state.blocks.len() as u64,
+        "",
+    );
+    image
+}
+
+/// [`unpack_state`] under an observability span: records a
+/// `migration-restore` event against `rank` (arg0 = image bytes, arg1 =
+/// restored block count). Identical to the plain call when `rec` is
+/// disabled.
+pub fn unpack_state_observed(
+    image: &StateImage,
+    target: &Platform,
+    declared: &ThreadState,
+    rec: &hdsm_obs::Recorder,
+    rank: u32,
+) -> Result<ThreadState, MigrateError> {
+    let t_us = rec.now_us();
+    let t0 = std::time::Instant::now();
+    let out = unpack_state(image, target, declared)?;
+    rec.span_at(
+        rank,
+        hdsm_obs::EventKind::MigrationRestore,
+        t_us,
+        t0.elapsed().as_micros() as u64,
+        image.bytes.len() as u64,
+        out.blocks.len() as u64,
+        "",
+    );
+    Ok(out)
+}
+
 /// Convenience: the endianness recorded in an image (via its platform).
 pub fn image_endianness(image: &StateImage) -> Result<Endianness, MigrateError> {
     let parsed = parse_image(image)?;
@@ -411,6 +456,30 @@ mod tests {
             };
             assert!(parse_image(&partial).is_err(), "cut at {cut} accepted");
         }
+    }
+
+    #[test]
+    fn observed_pack_and_unpack_record_migration_spans() {
+        let rec = hdsm_obs::Recorder::enabled();
+        let src = PlatformSpec::linux_x86();
+        let dst = PlatformSpec::solaris_sparc();
+        let st = sample_state(src);
+        let image = pack_state_observed(&st, &rec, 7);
+        assert_eq!(image, pack_state(&st));
+        let restored = unpack_state_observed(&image, &dst, &declared(&dst), &rec, 7).unwrap();
+        assert_eq!(restored.resume_point, 2);
+        let evs = rec.events();
+        assert_eq!(evs.len(), 2);
+        let pack = evs
+            .iter()
+            .find(|e| e.kind == hdsm_obs::EventKind::MigrationPack)
+            .unwrap();
+        assert_eq!(pack.rank, 7);
+        assert_eq!(pack.arg0, image.bytes.len() as u64);
+        assert_eq!(pack.arg1, 2); // MThV + MThP
+        assert!(evs
+            .iter()
+            .any(|e| e.kind == hdsm_obs::EventKind::MigrationRestore));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::message::{Message, MsgKind};
 use crate::stats::{NetConfig, NetStats};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use hdsm_obs::{EventKind, Recorder};
 use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::sync::Arc;
@@ -47,6 +48,9 @@ struct Fabric {
     /// Present iff the config carries a fault plan or a partition was ever
     /// requested; absent means the fast path skips fault bookkeeping.
     faults: Mutex<Option<FaultState>>,
+    /// Observability hook; the default disabled recorder costs one branch
+    /// per send.
+    recorder: Recorder,
 }
 
 /// Handle to the shared network fabric. Cloning is cheap; all clones refer
@@ -59,6 +63,17 @@ pub struct Network {
 impl Network {
     /// Create a fabric with `n` endpoints (ranks `0..n`).
     pub fn new(n: usize, config: NetConfig) -> (Network, Vec<Endpoint>) {
+        Network::new_observed(n, config, Recorder::disabled())
+    }
+
+    /// Create a fabric whose traffic is recorded into `recorder` (message
+    /// events, per-kind traffic, fault instants). With a disabled recorder
+    /// this is identical to [`Network::new`].
+    pub fn new_observed(
+        n: usize,
+        config: NetConfig,
+        recorder: Recorder,
+    ) -> (Network, Vec<Endpoint>) {
         let faults = config.fault_plan.clone().map(FaultState::new);
         let net = Network {
             fabric: Arc::new(Fabric {
@@ -66,10 +81,17 @@ impl Network {
                 senders: RwLock::new(Vec::new()),
                 stats: Mutex::new(NetStats::default()),
                 faults: Mutex::new(faults),
+                recorder,
             }),
         };
         let eps = (0..n).map(|_| net.add_endpoint()).collect();
         (net, eps)
+    }
+
+    /// The fabric's observability recorder (disabled unless the fabric was
+    /// built with [`Network::new_observed`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.fabric.recorder
     }
 
     /// Register a new endpoint at runtime — this is how a machine "joins"
@@ -124,6 +146,7 @@ impl Network {
     /// fabric (the message itself is sent normally and counted as traffic).
     pub fn note_retransmit(&self) {
         self.fabric.stats.lock().retransmitted += 1;
+        self.fabric.recorder.count("net.retransmits", 1);
     }
 
     /// Send a message on behalf of rank `src` — for auxiliary threads
@@ -154,11 +177,25 @@ impl Network {
                 .clone()
         };
         // The send attempt is always charged to the cost model — a dropped
-        // packet still crossed the sender's NIC.
+        // packet still crossed the sender's NIC. The recorder is fed at the
+        // same point, so its totals always agree with NetStats.
         self.fabric
             .stats
             .lock()
             .record(msg.kind, msg.payload.len(), wire);
+        let rec = &self.fabric.recorder;
+        rec.net_send(
+            msg.kind.label(),
+            msg.payload.len() as u64,
+            msg.kind.carries_updates(),
+        );
+        rec.instant(
+            msg.src,
+            EventKind::MsgSend,
+            msg.payload.len() as u64,
+            msg.dst as u64,
+            msg.kind.label(),
+        );
         let dst = msg.dst;
         let mut sleep_for = if self.fabric.config.real_delay {
             wire
@@ -170,12 +207,42 @@ impl Network {
             match faults.as_mut() {
                 None => vec![msg],
                 Some(f) => {
+                    let src = msg.src;
+                    let label = msg.kind.label();
                     let applied = f.apply(msg);
                     let mut stats = self.fabric.stats.lock();
                     stats.dropped += applied.dropped;
                     stats.duplicated += applied.duplicated;
                     stats.reordered += applied.reordered;
                     stats.simulated_wire_time += applied.extra_delay;
+                    drop(stats);
+                    if applied.dropped > 0 {
+                        rec.instant(
+                            src,
+                            EventKind::FaultDrop,
+                            applied.dropped,
+                            dst as u64,
+                            label,
+                        );
+                    }
+                    if applied.duplicated > 0 {
+                        rec.instant(
+                            src,
+                            EventKind::FaultDup,
+                            applied.duplicated,
+                            dst as u64,
+                            label,
+                        );
+                    }
+                    if applied.reordered > 0 {
+                        rec.instant(
+                            src,
+                            EventKind::FaultReorder,
+                            applied.reordered,
+                            dst as u64,
+                            label,
+                        );
+                    }
                     if self.fabric.config.real_delay {
                         sleep_for += applied.extra_delay;
                     }
@@ -222,25 +289,42 @@ impl Endpoint {
         })
     }
 
+    /// Record a delivered message in the fabric's observability stream.
+    fn note_recv(&self, m: &Message) {
+        self.net.fabric.recorder.instant(
+            self.rank,
+            EventKind::MsgRecv,
+            m.payload.len() as u64,
+            m.src as u64,
+            m.kind.label(),
+        );
+    }
+
     /// Blocking receive.
     pub fn recv(&self) -> Result<Message, NetError> {
-        self.rx.recv().map_err(|_| NetError::ChannelClosed)
+        let m = self.rx.recv().map_err(|_| NetError::ChannelClosed)?;
+        self.note_recv(&m);
+        Ok(m)
     }
 
     /// Blocking receive with timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, NetError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
+        let m = self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => NetError::Timeout,
             RecvTimeoutError::Disconnected => NetError::ChannelClosed,
-        })
+        })?;
+        self.note_recv(&m);
+        Ok(m)
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<Message, NetError> {
-        self.rx.try_recv().map_err(|e| match e {
+        let m = self.rx.try_recv().map_err(|e| match e {
             TryRecvError::Empty => NetError::Empty,
             TryRecvError::Disconnected => NetError::ChannelClosed,
-        })
+        })?;
+        self.note_recv(&m);
+        Ok(m)
     }
 }
 
@@ -415,5 +499,42 @@ mod tests {
         net.note_retransmit();
         net.note_retransmit();
         assert_eq!(net.stats().retransmitted, 2);
+    }
+
+    #[test]
+    fn observed_fabric_agrees_with_netstats() {
+        let rec = Recorder::enabled();
+        let (net, eps) = Network::new_observed(2, NetConfig::instant(), rec.clone());
+        eps[0]
+            .send(1, MsgKind::LockRequest, Bytes::from_static(&[0; 10]))
+            .unwrap();
+        eps[1]
+            .send(0, MsgKind::LockGrant, Bytes::from_static(&[0; 100]))
+            .unwrap();
+        eps[1].recv().unwrap();
+        let snap = rec.snapshot().unwrap();
+        let s = net.stats();
+        assert_eq!(snap.net_total_msgs, s.total_messages());
+        assert_eq!(snap.net_total_bytes, s.total_bytes());
+        assert_eq!(snap.net_update_bytes, s.update_bytes());
+        assert_eq!(snap.net_control_bytes, s.control_bytes());
+        // Send and receive instants carry the kind label and peer rank.
+        let evs = rec.events();
+        assert!(evs
+            .iter()
+            .any(|e| e.kind == EventKind::MsgSend && e.label == "lock-req" && e.rank == 0));
+        assert!(evs
+            .iter()
+            .any(|e| e.kind == EventKind::MsgRecv && e.label == "lock-req" && e.rank == 1));
+    }
+
+    #[test]
+    fn fault_injection_emits_events_when_observed() {
+        let rec = Recorder::enabled();
+        let plan = FaultPlan::seeded(11).drop(1.0);
+        let (_net, eps) =
+            Network::new_observed(2, NetConfig::instant().with_faults(plan), rec.clone());
+        eps[0].send(1, MsgKind::Other, Bytes::new()).unwrap();
+        assert!(rec.events().iter().any(|e| e.kind == EventKind::FaultDrop));
     }
 }

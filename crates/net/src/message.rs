@@ -90,6 +90,21 @@ impl MsgKind {
             MsgKind::Other => "other",
         }
     }
+
+    /// Does this kind's payload carry shared-data updates? Separates the
+    /// paper's update traffic (diffed data moving at releases/acquires,
+    /// Figure 8) from pure protocol control traffic.
+    pub const fn carries_updates(self) -> bool {
+        matches!(
+            self,
+            MsgKind::LockGrant
+                | MsgKind::UnlockRequest
+                | MsgKind::BarrierEnter
+                | MsgKind::BarrierRelease
+                | MsgKind::CondWait
+                | MsgKind::Migration
+        )
+    }
 }
 
 /// A message in flight between two nodes.
@@ -115,5 +130,15 @@ mod tests {
         for k in MsgKind::ALL {
             assert!(seen.insert(k.label()));
         }
+    }
+
+    #[test]
+    fn update_kinds_are_the_data_movers() {
+        assert!(MsgKind::LockGrant.carries_updates());
+        assert!(MsgKind::BarrierEnter.carries_updates());
+        assert!(MsgKind::UnlockRequest.carries_updates());
+        assert!(!MsgKind::LockRequest.carries_updates());
+        assert!(!MsgKind::Heartbeat.carries_updates());
+        assert!(!MsgKind::Ack.carries_updates());
     }
 }

@@ -105,6 +105,20 @@ impl NetStats {
         self.bytes.values().sum()
     }
 
+    /// Payload bytes in update-carrying kinds (shared data on the move).
+    pub fn update_bytes(&self) -> u64 {
+        self.bytes
+            .iter()
+            .filter(|(k, _)| k.carries_updates())
+            .map(|(_, b)| *b)
+            .sum()
+    }
+
+    /// Payload bytes in control-only kinds.
+    pub fn control_bytes(&self) -> u64 {
+        self.total_bytes() - self.update_bytes()
+    }
+
     /// Total faults injected (drops + duplicates + reorders).
     pub fn total_faults(&self) -> u64 {
         self.dropped + self.duplicated + self.reordered

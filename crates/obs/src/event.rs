@@ -1,0 +1,196 @@
+//! Structured runtime events.
+//!
+//! An [`Event`] is one timestamped happening on one rank — a span (has a
+//! duration) or an instant (duration zero). Events are deliberately flat
+//! and `Copy`-cheap: two integer arguments plus a static label cover every
+//! site in the stack without allocation on the hot path.
+
+use std::fmt;
+
+/// What happened. The taxonomy mirrors the paper's cost decomposition
+/// (Eq. 1: `t_index + t_tag + t_pack + t_unpack + t_conv`) plus the
+/// synchronization, transport, reliability and migration machinery around
+/// it — see DESIGN.md §10 for the full mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Waiting for a distributed lock grant (`arg0` = lock id).
+    LockWait,
+    /// Holding a distributed lock, acquire→release (`arg0` = lock id).
+    LockHold,
+    /// Releasing a distributed lock (`arg0` = lock id).
+    LockRelease,
+    /// Inside a barrier, enter→release (`arg0` = barrier id).
+    Barrier,
+    /// Twin/diff byte scan + run→index mapping (`t_index`; `arg0` = dirty
+    /// bytes found).
+    DiffScan,
+    /// Coalescing runs into tags (`t_tag`; `arg0` = tag count).
+    TagBuild,
+    /// Packing tag + data frames (`t_pack`; `arg0` = bytes).
+    Pack,
+    /// Unpacking received frames (`t_unpack`; `arg0` = bytes).
+    Unpack,
+    /// Applying data — memcpy or heterogeneous conversion (`t_conv`;
+    /// `arg0` = updates, `arg1` = bytes).
+    Convert,
+    /// A message left this rank (`arg0` = payload bytes, `arg1` = dst;
+    /// `label` = message kind).
+    MsgSend,
+    /// A message arrived at this rank (`arg0` = payload bytes, `arg1` =
+    /// src; `label` = message kind).
+    MsgRecv,
+    /// The reliability layer retransmitted a request.
+    Retransmit,
+    /// Fault injection dropped a message (`label` = message kind).
+    FaultDrop,
+    /// Fault injection duplicated a message (`label` = message kind).
+    FaultDup,
+    /// Fault injection held a message back for reordering.
+    FaultReorder,
+    /// The home's failure detector declared a worker dead (`arg0` = rank).
+    LeaseExpired,
+    /// Thread state packed into a portable image (`arg0` = image bytes).
+    MigrationPack,
+    /// Thread state restored receiver-makes-right (`arg0` = image bytes).
+    MigrationRestore,
+    /// Anything else (tests, applications).
+    Other,
+}
+
+impl EventKind {
+    /// Stable short name (Chrome-trace event name, report key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            EventKind::LockWait => "lock-wait",
+            EventKind::LockHold => "lock-hold",
+            EventKind::LockRelease => "lock-release",
+            EventKind::Barrier => "barrier",
+            EventKind::DiffScan => "diff-scan",
+            EventKind::TagBuild => "tag-build",
+            EventKind::Pack => "pack",
+            EventKind::Unpack => "unpack",
+            EventKind::Convert => "convert",
+            EventKind::MsgSend => "msg-send",
+            EventKind::MsgRecv => "msg-recv",
+            EventKind::Retransmit => "retransmit",
+            EventKind::FaultDrop => "fault-drop",
+            EventKind::FaultDup => "fault-dup",
+            EventKind::FaultReorder => "fault-reorder",
+            EventKind::LeaseExpired => "lease-expired",
+            EventKind::MigrationPack => "migration-pack",
+            EventKind::MigrationRestore => "migration-restore",
+            EventKind::Other => "other",
+        }
+    }
+
+    /// Chrome-trace category, used to colour-group tracks.
+    pub const fn category(self) -> &'static str {
+        match self {
+            EventKind::LockWait
+            | EventKind::LockHold
+            | EventKind::LockRelease
+            | EventKind::Barrier => "sync",
+            EventKind::DiffScan
+            | EventKind::TagBuild
+            | EventKind::Pack
+            | EventKind::Unpack
+            | EventKind::Convert => "share",
+            EventKind::MsgSend | EventKind::MsgRecv => "net",
+            EventKind::Retransmit
+            | EventKind::FaultDrop
+            | EventKind::FaultDup
+            | EventKind::FaultReorder
+            | EventKind::LeaseExpired => "fault",
+            EventKind::MigrationPack | EventKind::MigrationRestore => "migrate",
+            EventKind::Other => "misc",
+        }
+    }
+}
+
+/// One recorded event. Timestamps are microseconds since the recorder's
+/// epoch; `dur_us == 0` marks an instant event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Rank the event happened on (home = 0, workers = 1..).
+    pub rank: u32,
+    /// Event taxonomy entry.
+    pub kind: EventKind,
+    /// Start time, µs since the recorder epoch.
+    pub t_us: u64,
+    /// Duration in µs (0 for instants).
+    pub dur_us: u64,
+    /// First argument (see [`EventKind`] docs for the meaning per kind).
+    pub arg0: u64,
+    /// Second argument.
+    pub arg1: u64,
+    /// Free-form static qualifier (e.g. the message kind label).
+    pub label: &'static str,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>8}us r{}] {:<17} dur={}us arg0={} arg1={} {}",
+            self.t_us,
+            self.rank,
+            self.kind.name(),
+            self.dur_us,
+            self.arg0,
+            self.arg1,
+            self.label
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [EventKind; 19] = [
+        EventKind::LockWait,
+        EventKind::LockHold,
+        EventKind::LockRelease,
+        EventKind::Barrier,
+        EventKind::DiffScan,
+        EventKind::TagBuild,
+        EventKind::Pack,
+        EventKind::Unpack,
+        EventKind::Convert,
+        EventKind::MsgSend,
+        EventKind::MsgRecv,
+        EventKind::Retransmit,
+        EventKind::FaultDrop,
+        EventKind::FaultDup,
+        EventKind::FaultReorder,
+        EventKind::LeaseExpired,
+        EventKind::MigrationPack,
+        EventKind::MigrationRestore,
+        EventKind::Other,
+    ];
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in ALL {
+            assert!(seen.insert(k.name()), "duplicate name {}", k.name());
+            assert!(!k.category().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = Event {
+            rank: 2,
+            kind: EventKind::DiffScan,
+            t_us: 10,
+            dur_us: 5,
+            arg0: 64,
+            arg1: 0,
+            label: "",
+        };
+        let s = e.to_string();
+        assert!(s.contains("diff-scan"));
+        assert!(s.contains("r2"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-page and per-index-entry access heatmaps.
+//!
+//! The paper's Figure 9 story — "thousands of indexes distill into one
+//! tag" — is reproduced here as data: every release's diff runs feed the
+//! page map (which pages are written, how many bytes actually changed),
+//! and every update frame feeds the entry map (which index entries ship,
+//! over which element ranges). The resulting tables show at a glance where
+//! sharing traffic concentrates.
+
+use std::collections::BTreeMap;
+
+/// Accumulated statistics for one page of the protected global space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageStats {
+    /// Times the page appeared in a release diff scan with changed bytes.
+    pub writes: u64,
+    /// Total changed bytes found on the page across all diff scans.
+    pub diff_bytes: u64,
+    /// Times the page was overwritten by incoming updates (acquires).
+    pub invalidations: u64,
+}
+
+/// Accumulated statistics for one index-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryStats {
+    /// Typed reads through the client accessors.
+    pub reads: u64,
+    /// Typed writes through the client accessors.
+    pub writes: u64,
+    /// Update frames shipped for this entry.
+    pub updates_sent: u64,
+    /// Elements covered by shipped updates.
+    pub elems_sent: u64,
+    /// Payload bytes shipped for this entry.
+    pub bytes_sent: u64,
+    /// Update frames applied to this entry.
+    pub updates_applied: u64,
+    /// Payload bytes applied to this entry.
+    pub bytes_applied: u64,
+    /// Lowest element index ever shipped (u64::MAX when none).
+    pub min_elem: u64,
+    /// Highest element index ever shipped (exclusive; 0 when none).
+    pub max_elem: u64,
+}
+
+impl Default for EntryStats {
+    /// All counters zero; `min_elem` starts at `u64::MAX` so the first
+    /// shipped range establishes the minimum.
+    fn default() -> EntryStats {
+        EntryStats {
+            reads: 0,
+            writes: 0,
+            updates_sent: 0,
+            elems_sent: 0,
+            bytes_sent: 0,
+            updates_applied: 0,
+            bytes_applied: 0,
+            min_elem: u64::MAX,
+            max_elem: 0,
+        }
+    }
+}
+
+/// The two maps together.
+#[derive(Debug, Default)]
+pub struct Heatmap {
+    pages: BTreeMap<u64, PageStats>,
+    entries: BTreeMap<u32, EntryStats>,
+}
+
+impl Heatmap {
+    /// A diff scan found `bytes` changed bytes on `page`.
+    pub fn page_diff(&mut self, page: u64, bytes: u64) {
+        let p = self.pages.entry(page).or_default();
+        p.writes += 1;
+        p.diff_bytes += bytes;
+    }
+
+    /// Incoming updates overwrote `page`.
+    pub fn page_invalidated(&mut self, page: u64) {
+        self.pages.entry(page).or_default().invalidations += 1;
+    }
+
+    /// A typed read hit `entry`.
+    pub fn entry_read(&mut self, entry: u32) {
+        self.entries.entry(entry).or_default().reads += 1;
+    }
+
+    /// A typed write hit `entry`.
+    pub fn entry_write(&mut self, entry: u32) {
+        self.entries.entry(entry).or_default().writes += 1;
+    }
+
+    /// An update frame for `entry` covering `[first, first+count)` with
+    /// `bytes` payload bytes was shipped.
+    pub fn update_sent(&mut self, entry: u32, first: u64, count: u64, bytes: u64) {
+        let e = self.entries.entry(entry).or_default();
+        e.updates_sent += 1;
+        e.elems_sent += count;
+        e.bytes_sent += bytes;
+        e.min_elem = e.min_elem.min(first);
+        e.max_elem = e.max_elem.max(first + count);
+    }
+
+    /// An update frame for `entry` with `bytes` payload bytes was applied.
+    pub fn update_applied(&mut self, entry: u32, bytes: u64) {
+        let e = self.entries.entry(entry).or_default();
+        e.updates_applied += 1;
+        e.bytes_applied += bytes;
+    }
+
+    /// Page map, page-ordered.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, PageStats)> + '_ {
+        self.pages.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Entry map, entry-ordered.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, EntryStats)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Statistics for one entry.
+    pub fn entry(&self, entry: u32) -> Option<EntryStats> {
+        self.entries.get(&entry).copied()
+    }
+
+    /// Statistics for one page.
+    pub fn page(&self, page: u64) -> Option<PageStats> {
+        self.pages.get(&page).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_accumulate() {
+        let mut h = Heatmap::default();
+        h.page_diff(3, 100);
+        h.page_diff(3, 50);
+        h.page_invalidated(3);
+        h.page_diff(7, 1);
+        let p3 = h.page(3).unwrap();
+        assert_eq!(p3.writes, 2);
+        assert_eq!(p3.diff_bytes, 150);
+        assert_eq!(p3.invalidations, 1);
+        assert_eq!(h.pages().count(), 2);
+        // BTreeMap order.
+        let keys: Vec<u64> = h.pages().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![3, 7]);
+    }
+
+    #[test]
+    fn entry_ranges_track_min_max() {
+        let mut h = Heatmap::default();
+        h.update_sent(0, 10, 5, 40);
+        h.update_sent(0, 2, 3, 24);
+        h.update_applied(0, 64);
+        h.entry_read(0);
+        h.entry_write(0);
+        let e = h.entry(0).unwrap();
+        assert_eq!(e.updates_sent, 2);
+        assert_eq!(e.elems_sent, 8);
+        assert_eq!(e.bytes_sent, 64);
+        assert_eq!(e.min_elem, 2);
+        assert_eq!(e.max_elem, 15);
+        assert_eq!(e.updates_applied, 1);
+        assert_eq!(e.bytes_applied, 64);
+        assert_eq!(e.reads, 1);
+        assert_eq!(e.writes, 1);
+    }
+
+    #[test]
+    fn untouched_entry_is_absent() {
+        let h = Heatmap::default();
+        assert!(h.entry(5).is_none());
+        assert!(h.page(5).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! hdsm-obs — observability substrate for the heterogeneous DSM.
+//!
+//! One [`Recorder`] handle threads through the whole stack. Disabled (the
+//! default) it is a null pointer check per call site; enabled it gathers:
+//!
+//! - **Events** — per-rank ring buffers of structured spans and instants
+//!   ([`Event`], [`EventKind`]): lock wait/hold, barriers, the Eq. 1 cost
+//!   pipeline (diff scan, tag build, pack, unpack, convert), message
+//!   send/recv, retransmits, injected faults, lease expiries, migration
+//!   pack/restore.
+//! - **Metrics** — named counters, gauges and log2-bucket latency
+//!   histograms with p50/p95/p99 ([`Registry`], [`Histogram`]).
+//! - **Heatmaps** — per-page write/diff/invalidation and per-index-entry
+//!   traffic tables ([`Heatmap`]).
+//! - **Exporters** — Chrome tracing JSON ([`chrome_trace`], one track per
+//!   rank), a plain-text cluster report and the machine-readable
+//!   [`ObsSnapshot`].
+//!
+//! The crate sits below the rest of the stack and speaks message kinds as
+//! `&'static str` labels, so every other crate can depend on it without
+//! cycles.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod heatmap;
+pub mod metrics;
+pub mod recorder;
+pub mod ring;
+pub mod snapshot;
+
+pub use chrome::chrome_trace;
+pub use event::{Event, EventKind};
+pub use heatmap::{EntryStats, Heatmap, PageStats};
+pub use metrics::{bucket_index, bucket_upper, Histogram, Registry, BUCKETS};
+pub use recorder::{ObsConfig, Recorder, Span};
+pub use ring::EventRing;
+pub use snapshot::{EntryRow, HistSummary, KindTraffic, ObsSnapshot, PageRow};

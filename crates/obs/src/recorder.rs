@@ -1,0 +1,450 @@
+//! The [`Recorder`] handle — the one type the rest of the stack sees.
+//!
+//! A recorder is either *disabled* (the default: a `None` inside, every
+//! call is a branch on a null pointer and returns immediately — no
+//! counters, no clocks, no locks) or *enabled* (an `Arc` to the shared
+//! observability core: per-rank event rings, the metrics registry, the
+//! heatmaps and the per-kind network traffic table). Cloning is cheap and
+//! every clone feeds the same core, so one recorder wired through
+//! `ClusterBuilder::obs` observes the whole cluster.
+
+use crate::event::{Event, EventKind};
+use crate::heatmap::Heatmap;
+use crate::metrics::Registry;
+use crate::ring::EventRing;
+use crate::snapshot::{KindTraffic, ObsSnapshot};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tunables for an enabled recorder.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Maximum events held per rank before the ring wraps (oldest lost).
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            ring_capacity: 65_536,
+        }
+    }
+}
+
+pub(crate) struct ObsCore {
+    epoch: Instant,
+    config: ObsConfig,
+    /// Per-rank event rings, grown on first touch.
+    rings: Mutex<Vec<EventRing>>,
+    registry: Mutex<Registry>,
+    heatmap: Mutex<Heatmap>,
+    /// Per-message-kind traffic, fed from the fabric send path (the same
+    /// call site as `NetStats::record`, so totals always agree).
+    net: Mutex<BTreeMap<&'static str, KindTraffic>>,
+}
+
+/// Cheap, cloneable handle to the observability core (or to nothing).
+#[derive(Clone, Default)]
+pub struct Recorder(Option<Arc<ObsCore>>);
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.0 {
+            Some(_) => write!(f, "Recorder(enabled)"),
+            None => write!(f, "Recorder(disabled)"),
+        }
+    }
+}
+
+impl Recorder {
+    /// The no-op recorder (default).
+    pub fn disabled() -> Recorder {
+        Recorder(None)
+    }
+
+    /// An enabled recorder with default configuration.
+    pub fn enabled() -> Recorder {
+        Recorder::with_config(ObsConfig::default())
+    }
+
+    /// An enabled recorder with explicit configuration.
+    pub fn with_config(config: ObsConfig) -> Recorder {
+        Recorder(Some(Arc::new(ObsCore {
+            epoch: Instant::now(),
+            config,
+            rings: Mutex::new(Vec::new()),
+            registry: Mutex::new(Registry::default()),
+            heatmap: Mutex::new(Heatmap::default()),
+            net: Mutex::new(BTreeMap::new()),
+        })))
+    }
+
+    /// Is this recorder live?
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Microseconds since the recorder's epoch (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        match &self.0 {
+            Some(c) => c.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    fn push(core: &ObsCore, e: Event) {
+        let mut rings = core.rings.lock();
+        let idx = e.rank as usize;
+        while rings.len() <= idx {
+            let cap = core.config.ring_capacity;
+            rings.push(EventRing::new(cap));
+        }
+        rings[idx].push(e);
+    }
+
+    /// Record an instant event.
+    pub fn instant(&self, rank: u32, kind: EventKind, arg0: u64, arg1: u64, label: &'static str) {
+        if let Some(core) = &self.0 {
+            let e = Event {
+                rank,
+                kind,
+                t_us: core.epoch.elapsed().as_micros() as u64,
+                dur_us: 0,
+                arg0,
+                arg1,
+                label,
+            };
+            Self::push(core, e);
+        }
+    }
+
+    /// Record a completed span given its wall-clock endpoints.
+    #[allow(clippy::too_many_arguments)] // mirrors the Event fields
+    pub fn span_at(
+        &self,
+        rank: u32,
+        kind: EventKind,
+        t_us: u64,
+        dur_us: u64,
+        arg0: u64,
+        arg1: u64,
+        label: &'static str,
+    ) {
+        if let Some(core) = &self.0 {
+            Self::push(
+                core,
+                Event {
+                    rank,
+                    kind,
+                    t_us,
+                    dur_us,
+                    arg0,
+                    arg1,
+                    label,
+                },
+            );
+            core.registry.lock().observe(kind.name(), dur_us);
+        }
+    }
+
+    /// Open a timing span; the event is recorded (and its duration fed
+    /// into the per-kind latency histogram) when the guard drops. On a
+    /// disabled recorder the guard is inert and costs nothing.
+    pub fn span(&self, rank: u32, kind: EventKind) -> Span {
+        match &self.0 {
+            Some(core) => Span {
+                inner: Some(SpanInner {
+                    rec: self.clone(),
+                    rank,
+                    kind,
+                    t_us: core.epoch.elapsed().as_micros() as u64,
+                    start: Instant::now(),
+                    arg0: 0,
+                    arg1: 0,
+                    label: "",
+                }),
+            },
+            None => Span { inner: None },
+        }
+    }
+
+    /// Add `delta` to counter `name`.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if let Some(core) = &self.0 {
+            core.registry.lock().count(name, delta);
+        }
+    }
+
+    /// Set gauge `name`.
+    pub fn gauge(&self, name: &'static str, value: i64) {
+        if let Some(core) = &self.0 {
+            core.registry.lock().gauge(name, value);
+        }
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        if let Some(core) = &self.0 {
+            core.registry.lock().observe(name, value);
+        }
+    }
+
+    // ----- network traffic (fed by the fabric send path) -----
+
+    /// One message of `kind_label` with `bytes` payload bytes crossed the
+    /// fabric. `update` marks data-carrying kinds, separating the paper's
+    /// Figure 8 update traffic from control traffic.
+    pub fn net_send(&self, kind_label: &'static str, bytes: u64, update: bool) {
+        if let Some(core) = &self.0 {
+            let mut net = core.net.lock();
+            let t = net.entry(kind_label).or_insert(KindTraffic {
+                kind: kind_label.to_string(),
+                msgs: 0,
+                bytes: 0,
+                update,
+            });
+            t.msgs += 1;
+            t.bytes += bytes;
+        }
+    }
+
+    // ----- heatmap feeds -----
+
+    /// A diff scan found `bytes` changed bytes on `page`.
+    pub fn page_diff(&self, page: u64, bytes: u64) {
+        if let Some(core) = &self.0 {
+            core.heatmap.lock().page_diff(page, bytes);
+        }
+    }
+
+    /// Incoming updates overwrote `page`.
+    pub fn page_invalidated(&self, page: u64) {
+        if let Some(core) = &self.0 {
+            core.heatmap.lock().page_invalidated(page);
+        }
+    }
+
+    /// A typed read hit `entry`.
+    pub fn entry_read(&self, entry: u32) {
+        if let Some(core) = &self.0 {
+            core.heatmap.lock().entry_read(entry);
+        }
+    }
+
+    /// A typed write hit `entry`.
+    pub fn entry_write(&self, entry: u32) {
+        if let Some(core) = &self.0 {
+            core.heatmap.lock().entry_write(entry);
+        }
+    }
+
+    /// An update frame was shipped for `entry` over `[first, first+count)`.
+    pub fn update_sent(&self, entry: u32, first: u64, count: u64, bytes: u64) {
+        if let Some(core) = &self.0 {
+            core.heatmap.lock().update_sent(entry, first, count, bytes);
+        }
+    }
+
+    /// An update frame was applied to `entry`.
+    pub fn update_applied(&self, entry: u32, bytes: u64) {
+        if let Some(core) = &self.0 {
+            core.heatmap.lock().update_applied(entry, bytes);
+        }
+    }
+
+    // ----- export -----
+
+    /// Every held event across ranks, time-ordered. Empty when disabled.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => {
+                let rings = core.rings.lock();
+                let mut out: Vec<Event> = rings
+                    .iter()
+                    .flat_map(|r| r.iter_in_order().copied())
+                    .collect();
+                out.sort_by_key(|e| (e.t_us, e.rank));
+                out
+            }
+        }
+    }
+
+    /// Freeze the current state into a machine-readable snapshot.
+    /// `None` when disabled.
+    pub fn snapshot(&self) -> Option<ObsSnapshot> {
+        let core = self.0.as_ref()?;
+        let rings = core.rings.lock();
+        let (mut recorded, mut dropped) = (0u64, 0u64);
+        for r in rings.iter() {
+            recorded += r.total_pushed();
+            dropped += r.dropped();
+        }
+        drop(rings);
+        let registry = core.registry.lock();
+        let heatmap = core.heatmap.lock();
+        let net = core.net.lock();
+        Some(ObsSnapshot::build(
+            core.epoch.elapsed().as_micros() as u64,
+            &registry,
+            &heatmap,
+            &net,
+            recorded,
+            dropped,
+        ))
+    }
+
+    /// Run `f` against the live registry (tests, custom exporters).
+    /// No-op returning `None` when disabled.
+    pub fn with_registry<T>(&self, f: impl FnOnce(&Registry) -> T) -> Option<T> {
+        self.0.as_ref().map(|core| f(&core.registry.lock()))
+    }
+}
+
+struct SpanInner {
+    rec: Recorder,
+    rank: u32,
+    kind: EventKind,
+    t_us: u64,
+    start: Instant,
+    arg0: u64,
+    arg1: u64,
+    label: &'static str,
+}
+
+/// Guard for an open timing span (see [`Recorder::span`]).
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Attach arguments to the eventual event.
+    pub fn args(&mut self, arg0: u64, arg1: u64) {
+        if let Some(i) = &mut self.inner {
+            i.arg0 = arg0;
+            i.arg1 = arg1;
+        }
+    }
+
+    /// Attach a static label to the eventual event.
+    pub fn label(&mut self, label: &'static str) {
+        if let Some(i) = &mut self.inner {
+            i.label = label;
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(i) = self.inner.take() {
+            let dur_us = i.start.elapsed().as_micros() as u64;
+            i.rec
+                .span_at(i.rank, i.kind, i.t_us, dur_us, i.arg0, i.arg1, i.label);
+        }
+    }
+}
+
+/// Open a span guard for the rest of the enclosing scope:
+/// `obs_span!(recorder, rank, EventKind::DiffScan);`
+#[macro_export]
+macro_rules! obs_span {
+    ($rec:expr, $rank:expr, $kind:expr) => {
+        let _obs_span_guard = $rec.span($rank, $kind);
+    };
+    ($rec:expr, $rank:expr, $kind:expr, $label:expr) => {
+        let _obs_span_guard = {
+            let mut s = $rec.span($rank, $kind);
+            s.label($label);
+            s
+        };
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.instant(0, EventKind::Other, 1, 2, "x");
+        r.count("c", 5);
+        r.observe("h", 9);
+        r.page_diff(0, 10);
+        r.net_send("other", 100, false);
+        {
+            let mut s = r.span(0, EventKind::DiffScan);
+            s.args(1, 2);
+        }
+        assert!(r.events().is_empty());
+        assert!(r.snapshot().is_none());
+        assert_eq!(r.now_us(), 0);
+    }
+
+    #[test]
+    fn spans_and_instants_are_recorded_per_rank() {
+        let r = Recorder::enabled();
+        r.instant(2, EventKind::Retransmit, 0, 0, "");
+        {
+            let mut s = r.span(1, EventKind::DiffScan);
+            s.args(64, 0);
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert!(evs
+            .iter()
+            .any(|e| e.rank == 2 && e.kind == EventKind::Retransmit));
+        let scan = evs.iter().find(|e| e.kind == EventKind::DiffScan).unwrap();
+        assert_eq!(scan.rank, 1);
+        assert_eq!(scan.arg0, 64);
+        // The span also fed the per-kind histogram.
+        let count = r
+            .with_registry(|reg| reg.histogram("diff-scan").map(|h| h.count()))
+            .flatten();
+        assert_eq!(count, Some(1));
+    }
+
+    #[test]
+    fn obs_span_macro_records_on_scope_exit() {
+        let r = Recorder::enabled();
+        {
+            obs_span!(r, 3, EventKind::Barrier);
+            obs_span!(r, 3, EventKind::MsgSend, "lock-req");
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().any(|e| e.label == "lock-req"));
+    }
+
+    #[test]
+    fn net_traffic_accumulates_per_kind() {
+        let r = Recorder::enabled();
+        r.net_send("lock-req", 10, false);
+        r.net_send("lock-req", 20, false);
+        r.net_send("barrier-enter", 1000, true);
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.net_total_msgs, 3);
+        assert_eq!(snap.net_total_bytes, 1030);
+        assert_eq!(snap.net_update_bytes, 1000);
+        assert_eq!(snap.net_control_bytes, 30);
+        let lr = snap.net.iter().find(|t| t.kind == "lock-req").unwrap();
+        assert_eq!(lr.msgs, 2);
+        assert_eq!(lr.bytes, 30);
+    }
+
+    #[test]
+    fn ring_capacity_bounds_memory_and_counts_drops() {
+        let r = Recorder::with_config(ObsConfig { ring_capacity: 8 });
+        for _ in 0..20 {
+            r.instant(0, EventKind::Other, 0, 0, "");
+        }
+        assert_eq!(r.events().len(), 8);
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.events_recorded, 20);
+        assert_eq!(snap.events_dropped, 12);
+    }
+}

@@ -1,0 +1,568 @@
+//! The machine-readable observability snapshot and its exporters.
+//!
+//! [`ObsSnapshot`] freezes everything an enabled recorder gathered:
+//! metrics, per-kind network traffic, and the page/entry heatmaps. It is
+//! plain data (`serde` derives for downstream tooling), renders to JSON
+//! (`to_json`, hand-rolled so the offline serde stand-in suffices) and to
+//! a human cluster report (`report`).
+
+use crate::heatmap::Heatmap;
+use crate::metrics::Registry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Traffic of one message kind.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindTraffic {
+    /// Message kind label (e.g. `lock-req`).
+    pub kind: String,
+    /// Messages sent.
+    pub msgs: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Does this kind carry shared-data updates (vs pure control)?
+    pub update: bool,
+}
+
+/// Summary of one latency histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistSummary {
+    /// Metric name (event kind name for span histograms).
+    pub name: String,
+    /// Recorded values.
+    pub count: u64,
+    /// Mean in µs.
+    pub mean_us: f64,
+    /// Approximate 50th percentile in µs.
+    pub p50_us: u64,
+    /// Approximate 95th percentile in µs.
+    pub p95_us: u64,
+    /// Approximate 99th percentile in µs.
+    pub p99_us: u64,
+    /// Largest recorded value in µs.
+    pub max_us: u64,
+}
+
+/// One page row of the page heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageRow {
+    /// Page index in the protected global space.
+    pub page: u64,
+    /// Diff scans that found changed bytes on the page.
+    pub writes: u64,
+    /// Total changed bytes found.
+    pub diff_bytes: u64,
+    /// Times overwritten by incoming updates.
+    pub invalidations: u64,
+}
+
+/// One entry row of the entry heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntryRow {
+    /// Index-table entry id.
+    pub entry: u32,
+    /// Typed reads.
+    pub reads: u64,
+    /// Typed writes.
+    pub writes: u64,
+    /// Update frames shipped.
+    pub updates_sent: u64,
+    /// Elements covered by shipped frames.
+    pub elems_sent: u64,
+    /// Bytes shipped.
+    pub bytes_sent: u64,
+    /// Update frames applied.
+    pub updates_applied: u64,
+    /// Bytes applied.
+    pub bytes_applied: u64,
+    /// Lowest element shipped (0 when none).
+    pub min_elem: u64,
+    /// Highest element shipped, exclusive (0 when none).
+    pub max_elem: u64,
+}
+
+/// Everything an enabled recorder knows, frozen.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Wall time covered, µs since the recorder epoch.
+    pub wall_us: u64,
+    /// Counters, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, name-ordered.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, name-ordered.
+    pub histograms: Vec<HistSummary>,
+    /// Per-kind network traffic, kind-ordered.
+    pub net: Vec<KindTraffic>,
+    /// Total messages across kinds.
+    pub net_total_msgs: u64,
+    /// Total payload bytes across kinds.
+    pub net_total_bytes: u64,
+    /// Bytes in update-carrying kinds (paper Figure 8 "update traffic").
+    pub net_update_bytes: u64,
+    /// Bytes in control-only kinds.
+    pub net_control_bytes: u64,
+    /// Page heatmap rows.
+    pub pages: Vec<PageRow>,
+    /// Entry heatmap rows.
+    pub entries: Vec<EntryRow>,
+    /// Events ever recorded (incl. those lost to ring wraparound).
+    pub events_recorded: u64,
+    /// Events lost to ring wraparound.
+    pub events_dropped: u64,
+}
+
+impl ObsSnapshot {
+    pub(crate) fn build(
+        wall_us: u64,
+        registry: &Registry,
+        heatmap: &Heatmap,
+        net: &BTreeMap<&'static str, KindTraffic>,
+        events_recorded: u64,
+        events_dropped: u64,
+    ) -> ObsSnapshot {
+        let histograms = registry
+            .histograms()
+            .map(|(name, h)| {
+                let (p50, p95, p99) = h.quantiles();
+                HistSummary {
+                    name: name.to_string(),
+                    count: h.count(),
+                    mean_us: h.mean(),
+                    p50_us: p50,
+                    p95_us: p95,
+                    p99_us: p99,
+                    max_us: h.max(),
+                }
+            })
+            .collect();
+        let net: Vec<KindTraffic> = net.values().cloned().collect();
+        let (mut msgs, mut bytes, mut upd, mut ctl) = (0u64, 0u64, 0u64, 0u64);
+        for t in &net {
+            msgs += t.msgs;
+            bytes += t.bytes;
+            if t.update {
+                upd += t.bytes;
+            } else {
+                ctl += t.bytes;
+            }
+        }
+        let pages = heatmap
+            .pages()
+            .map(|(page, p)| PageRow {
+                page,
+                writes: p.writes,
+                diff_bytes: p.diff_bytes,
+                invalidations: p.invalidations,
+            })
+            .collect();
+        let entries = heatmap
+            .entries()
+            .map(|(entry, e)| EntryRow {
+                entry,
+                reads: e.reads,
+                writes: e.writes,
+                updates_sent: e.updates_sent,
+                elems_sent: e.elems_sent,
+                bytes_sent: e.bytes_sent,
+                updates_applied: e.updates_applied,
+                bytes_applied: e.bytes_applied,
+                min_elem: if e.min_elem == u64::MAX {
+                    0
+                } else {
+                    e.min_elem
+                },
+                max_elem: e.max_elem,
+            })
+            .collect();
+        ObsSnapshot {
+            wall_us,
+            counters: registry
+                .counters()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            gauges: registry.gauges().map(|(k, v)| (k.to_string(), v)).collect(),
+            histograms,
+            net,
+            net_total_msgs: msgs,
+            net_total_bytes: bytes,
+            net_update_bytes: upd,
+            net_control_bytes: ctl,
+            pages,
+            entries,
+            events_recorded,
+            events_dropped,
+        }
+    }
+
+    /// Serialize to a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_u64("wall_us", self.wall_us);
+        w.key("counters");
+        w.begin_obj();
+        for (k, v) in &self.counters {
+            w.field_u64_dyn(k, *v);
+        }
+        w.end_obj();
+        w.key("gauges");
+        w.begin_obj();
+        for (k, v) in &self.gauges {
+            w.field_i64_dyn(k, *v);
+        }
+        w.end_obj();
+        w.key("histograms");
+        w.begin_arr();
+        for h in &self.histograms {
+            w.begin_obj();
+            w.field_str("name", &h.name);
+            w.field_u64("count", h.count);
+            w.field_f64("mean_us", h.mean_us);
+            w.field_u64("p50_us", h.p50_us);
+            w.field_u64("p95_us", h.p95_us);
+            w.field_u64("p99_us", h.p99_us);
+            w.field_u64("max_us", h.max_us);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("net");
+        w.begin_arr();
+        for t in &self.net {
+            w.begin_obj();
+            w.field_str("kind", &t.kind);
+            w.field_u64("msgs", t.msgs);
+            w.field_u64("bytes", t.bytes);
+            w.field_bool("update", t.update);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.field_u64("net_total_msgs", self.net_total_msgs);
+        w.field_u64("net_total_bytes", self.net_total_bytes);
+        w.field_u64("net_update_bytes", self.net_update_bytes);
+        w.field_u64("net_control_bytes", self.net_control_bytes);
+        w.key("pages");
+        w.begin_arr();
+        for p in &self.pages {
+            w.begin_obj();
+            w.field_u64("page", p.page);
+            w.field_u64("writes", p.writes);
+            w.field_u64("diff_bytes", p.diff_bytes);
+            w.field_u64("invalidations", p.invalidations);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("entries");
+        w.begin_arr();
+        for e in &self.entries {
+            w.begin_obj();
+            w.field_u64("entry", e.entry as u64);
+            w.field_u64("reads", e.reads);
+            w.field_u64("writes", e.writes);
+            w.field_u64("updates_sent", e.updates_sent);
+            w.field_u64("elems_sent", e.elems_sent);
+            w.field_u64("bytes_sent", e.bytes_sent);
+            w.field_u64("updates_applied", e.updates_applied);
+            w.field_u64("bytes_applied", e.bytes_applied);
+            w.field_u64("min_elem", e.min_elem);
+            w.field_u64("max_elem", e.max_elem);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.field_u64("events_recorded", self.events_recorded);
+        w.field_u64("events_dropped", self.events_dropped);
+        w.end_obj();
+        w.finish()
+    }
+
+    /// Render the plain-text cluster report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== hdsm-obs cluster report ({:.3} s observed) ==\n",
+            self.wall_us as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "events: {} recorded, {} dropped to ring wraparound\n",
+            self.events_recorded, self.events_dropped
+        ));
+        out.push_str("\n-- network traffic by kind --\n");
+        out.push_str("kind              msgs       bytes  class\n");
+        for t in &self.net {
+            out.push_str(&format!(
+                "{:<16} {:>6} {:>11}  {}\n",
+                t.kind,
+                t.msgs,
+                t.bytes,
+                if t.update { "update" } else { "control" }
+            ));
+        }
+        out.push_str(&format!(
+            "total            {:>6} {:>11}  (update {} / control {})\n",
+            self.net_total_msgs,
+            self.net_total_bytes,
+            self.net_update_bytes,
+            self.net_control_bytes
+        ));
+        if !self.counters.is_empty() {
+            out.push_str("\n-- counters --\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("{k:<32} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n-- span latencies (µs) --\n");
+            out.push_str(
+                "name                 count      mean       p50       p95       p99       max\n",
+            );
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "{:<18} {:>7} {:>9.1} {:>9} {:>9} {:>9} {:>9}\n",
+                    h.name, h.count, h.mean_us, h.p50_us, h.p95_us, h.p99_us, h.max_us
+                ));
+            }
+        }
+        if !self.pages.is_empty() {
+            out.push_str("\n-- page heatmap --\n");
+            out.push_str("page     writes  diff-bytes  invalidations\n");
+            for p in &self.pages {
+                out.push_str(&format!(
+                    "{:<8} {:>6} {:>11} {:>14}\n",
+                    p.page, p.writes, p.diff_bytes, p.invalidations
+                ));
+            }
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n-- entry heatmap --\n");
+            out.push_str(
+                "entry    reads   writes  ups-sent  elems-sent  bytes-sent  ups-appl  bytes-appl  range\n",
+            );
+            for e in &self.entries {
+                out.push_str(&format!(
+                    "{:<8} {:>6} {:>8} {:>9} {:>11} {:>11} {:>9} {:>11}  [{}..{})\n",
+                    e.entry,
+                    e.reads,
+                    e.writes,
+                    e.updates_sent,
+                    e.elems_sent,
+                    e.bytes_sent,
+                    e.updates_applied,
+                    e.bytes_applied,
+                    e.min_elem,
+                    e.max_elem
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Minimal JSON writer: enough for the exporters, no dependencies.
+pub(crate) struct JsonWriter {
+    buf: String,
+    /// Does the current container already have an element?
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> JsonWriter {
+        JsonWriter {
+            buf: String::new(),
+            need_comma: vec![false],
+        }
+    }
+
+    fn elem(&mut self) {
+        if let Some(last) = self.need_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    pub fn begin_obj(&mut self) {
+        self.elem();
+        self.buf.push('{');
+        self.need_comma.push(false);
+    }
+
+    pub fn end_obj(&mut self) {
+        self.buf.push('}');
+        self.need_comma.pop();
+    }
+
+    pub fn begin_arr(&mut self) {
+        self.elem();
+        self.buf.push('[');
+        self.need_comma.push(false);
+    }
+
+    pub fn end_arr(&mut self) {
+        self.buf.push(']');
+        self.need_comma.pop();
+    }
+
+    /// Write `"key":` and prime the slot for the upcoming value.
+    pub fn key(&mut self, k: &str) {
+        self.elem();
+        self.push_string(k);
+        self.buf.push(':');
+        // The value that follows must not emit its own comma.
+        if let Some(last) = self.need_comma.last_mut() {
+            *last = false;
+        }
+    }
+
+    pub fn field_u64(&mut self, k: &'static str, v: u64) {
+        self.field_u64_dyn(k, v);
+    }
+
+    pub fn field_u64_dyn(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.elem();
+        self.buf.push_str(&v.to_string());
+    }
+
+    pub fn field_i64_dyn(&mut self, k: &str, v: i64) {
+        self.key(k);
+        self.elem();
+        self.buf.push_str(&v.to_string());
+    }
+
+    pub fn field_f64(&mut self, k: &'static str, v: f64) {
+        self.key(k);
+        self.elem();
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v:.3}"));
+        } else {
+            self.buf.push('0');
+        }
+    }
+
+    pub fn field_bool(&mut self, k: &'static str, v: bool) {
+        self.key(k);
+        self.elem();
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    pub fn field_str(&mut self, k: &'static str, v: &str) {
+        self.key(k);
+        self.elem();
+        self.push_string(v);
+    }
+
+    /// Append a raw pre-serialized value (used by the chrome exporter).
+    pub fn raw_value(&mut self, v: &str) {
+        self.elem();
+        self.buf.push_str(v);
+    }
+
+    fn push_string(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heatmap::Heatmap;
+    use crate::metrics::Registry;
+
+    fn sample() -> ObsSnapshot {
+        let mut reg = Registry::default();
+        reg.count("retransmits", 3);
+        reg.gauge("workers", 2);
+        reg.observe("barrier", 100);
+        let mut hm = Heatmap::default();
+        hm.page_diff(0, 128);
+        hm.update_sent(1, 0, 16, 64);
+        let mut net = BTreeMap::new();
+        net.insert(
+            "lock-req",
+            KindTraffic {
+                kind: "lock-req".into(),
+                msgs: 4,
+                bytes: 40,
+                update: false,
+            },
+        );
+        net.insert(
+            "barrier-enter",
+            KindTraffic {
+                kind: "barrier-enter".into(),
+                msgs: 2,
+                bytes: 2000,
+                update: true,
+            },
+        );
+        ObsSnapshot::build(1_500_000, &reg, &hm, &net, 10, 1)
+    }
+
+    #[test]
+    fn totals_split_update_and_control() {
+        let s = sample();
+        assert_eq!(s.net_total_msgs, 6);
+        assert_eq!(s.net_total_bytes, 2040);
+        assert_eq!(s.net_update_bytes, 2000);
+        assert_eq!(s.net_control_bytes, 40);
+    }
+
+    #[test]
+    fn json_is_wellformed_and_stable() {
+        let s = sample();
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        // Balanced braces/brackets (no strings contain them here).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"net_total_bytes\":2040"));
+        assert!(j.contains("\"retransmits\":3"));
+        assert!(j.contains("\"kind\":\"barrier-enter\""));
+        assert!(!j.contains(",,"));
+        assert!(!j.contains(",}"));
+        assert!(!j.contains(",]"));
+        // Deterministic.
+        assert_eq!(j, sample().to_json());
+    }
+
+    #[test]
+    fn report_mentions_every_section() {
+        let s = sample();
+        let r = s.report();
+        assert!(r.contains("network traffic by kind"));
+        assert!(r.contains("lock-req"));
+        assert!(r.contains("counters"));
+        assert!(r.contains("span latencies"));
+        assert!(r.contains("page heatmap"));
+        assert!(r.contains("entry heatmap"));
+        assert!(r.contains("update 2000 / control 40"));
+    }
+
+    #[test]
+    fn json_writer_escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.field_str("k", "a\"b\\c\nd");
+        w.end_obj();
+        assert_eq!(w.finish(), r#"{"k":"a\"b\\c\nd"}"#);
+    }
+}

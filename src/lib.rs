@@ -6,5 +6,6 @@ pub use hdsm_core as dsd;
 pub use hdsm_memory as memory;
 pub use hdsm_migthread as migthread;
 pub use hdsm_net as net;
+pub use hdsm_obs as obs;
 pub use hdsm_platform as platform;
 pub use hdsm_tags as tags;

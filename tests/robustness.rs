@@ -231,6 +231,116 @@ fn chaos_five_percent_faults_converge_to_fault_free_state() {
 }
 
 #[test]
+fn chaos_run_is_fully_observable() {
+    use hdsm::obs::{EventKind, Recorder};
+    // Same convergence workload as above, but with an enabled recorder
+    // wired through the cluster: the reliability layer's work (drops and
+    // the retransmissions that heal them) must be visible as events, and
+    // the observability traffic table must agree exactly with NetStats.
+    let recorder = Recorder::enabled();
+    let plan = FaultPlan::seeded(0xC4A05)
+        .drop(0.05)
+        .duplicate(0.05)
+        .reorder(0.05);
+    let outcome = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc())
+        .locks(1)
+        .barriers(1)
+        .lease(Duration::from_secs(5))
+        .retry_base(Duration::from_millis(10))
+        .recv_deadline(Duration::from_secs(30))
+        .fault_plan(plan)
+        .obs(recorder.clone())
+        .run(|c, _info| {
+            for _ in 0..20 {
+                c.mth_lock(0)?;
+                let v = c.read_int(0, 0)?;
+                c.write_int(0, 0, v + 1)?;
+                c.mth_unlock(0)?;
+            }
+            c.mth_barrier(0)?;
+            Ok(())
+        })
+        .expect("workload completes despite faults");
+    assert_eq!(outcome.final_gthv.read_int(0, 0).unwrap(), 40);
+
+    let events = recorder.events();
+    let s = &outcome.net_stats;
+    assert!(s.retransmitted > 0, "fabric was not hostile enough: {s:?}");
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Retransmit),
+        "client retransmissions must surface as events"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::FaultDrop),
+        "injected drops must surface as events"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::LockWait),
+        "lock waits must surface as spans"
+    );
+
+    let snap = outcome.obs.expect("recorder was enabled");
+    assert_eq!(snap.net_total_msgs, s.total_messages());
+    assert_eq!(snap.net_total_bytes, s.total_bytes());
+    assert_eq!(snap.net_update_bytes, s.update_bytes());
+    assert_eq!(snap.net_control_bytes, s.control_bytes());
+    // The retransmit counter mirrors NetStats too.
+    let retries = snap
+        .counters
+        .iter()
+        .find(|(k, _)| k == "net.retransmits")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert_eq!(retries, s.retransmitted);
+    // And the Chrome export of a chaos run is loadable JSON with content.
+    let trace = hdsm::obs::chrome_trace(&events);
+    assert!(trace.starts_with('[') && trace.ends_with(']'));
+    assert!(trace.contains("\"retransmit\""));
+}
+
+#[test]
+fn chaos_lease_expiry_is_observable() {
+    use hdsm::obs::{EventKind, Recorder};
+    let recorder = Recorder::enabled();
+    let err = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86_64())
+        .barriers(1)
+        .lease(Duration::from_millis(400))
+        .retry_base(Duration::from_millis(25))
+        .recv_deadline(Duration::from_secs(10))
+        .obs(recorder.clone())
+        .run(|c, info| {
+            if info.index == 1 {
+                std::thread::sleep(Duration::from_millis(100));
+                return Err(DsdError::Crashed);
+            }
+            c.mth_barrier(0)?;
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::WorkerLost { rank: 2 }));
+    // The failed run left no ClusterOutcome, but the recorder outlives it:
+    // the home's lease expiry for rank 2 is on the record.
+    let expiry = recorder
+        .events()
+        .into_iter()
+        .find(|e| e.kind == EventKind::LeaseExpired)
+        .expect("lease expiry must surface as an event");
+    assert_eq!(expiry.rank, 0, "the home (rank 0) declares the death");
+    assert_eq!(expiry.arg0, 2, "the dead worker's rank is the argument");
+    let snap = recorder.snapshot().unwrap();
+    assert!(snap
+        .counters
+        .iter()
+        .any(|(k, v)| k == "home.leases_expired" && *v == 1));
+}
+
+#[test]
 fn chaos_worker_crash_mid_barrier_returns_worker_lost_not_hang() {
     let t0 = Instant::now();
     let err = ClusterBuilder::new()
