@@ -4,6 +4,10 @@
 //!
 //! Sizes default to quick smoke values so the emitter finishes in seconds;
 //! pass `--paper` for the paper's matrix sizes (slower).
+//!
+//! `--check` re-runs the workloads and compares each `c_share_ms` against
+//! the *committed* `BENCH_dsd.json` without overwriting it, exiting
+//! non-zero on a > 20 % regression — the CI perf gate.
 
 use hdsm_apps::workload::{paper_pairs, SyncMode};
 use hdsm_apps::{jacobi, lu, matmul, sor};
@@ -100,8 +104,33 @@ fn run_workload(name: &'static str, n: usize) -> Row {
     }
 }
 
+/// Extract `(name, c_share_ms)` per benchmark from a committed
+/// `BENCH_dsd.json` by line scanning — the emitter writes one object per
+/// line, and the build has no JSON parser dependency to lean on.
+fn parse_committed(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(nend) = rest.find('"') else { continue };
+        let name = rest[..nend].to_string();
+        let Some(cpos) = line.find("\"c_share_ms\": ") else {
+            continue;
+        };
+        let rest = &line[cpos + 14..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
+    let check = std::env::args().any(|a| a == "--check");
     let (grid_n, mat_n) = if paper { (99, 99) } else { (32, 32) };
     let rows = vec![
         run_workload("jacobi", grid_n),
@@ -109,6 +138,67 @@ fn main() {
         run_workload("matmul", mat_n),
         run_workload("lu", mat_n),
     ];
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsd.json");
+    if check {
+        let committed = std::fs::read_to_string(path).expect("read committed BENCH_dsd.json");
+        let baseline = parse_committed(&committed);
+        // Sub-millisecond rows jitter run to run; compare the committed
+        // value against the best of three so the gate trips on genuine
+        // regressions, not scheduler noise.
+        let mut best: Vec<f64> = rows.iter().map(|r| ms(r.costs.c_share())).collect();
+        for _ in 0..2 {
+            for (i, r) in [
+                run_workload("jacobi", grid_n),
+                run_workload("sor", grid_n),
+                run_workload("matmul", mat_n),
+                run_workload("lu", mat_n),
+            ]
+            .iter()
+            .enumerate()
+            {
+                assert!(r.verified, "{} failed to verify on a re-run", r.name);
+                best[i] = best[i].min(ms(r.costs.c_share()));
+            }
+        }
+        let mut regressed = false;
+        println!(
+            "{:>7} {:>15} {:>15} {:>8}",
+            "bench", "committed", "measured", "delta"
+        );
+        for (r, &new) in rows.iter().zip(&best) {
+            match baseline.iter().find(|(n, _)| n == r.name) {
+                Some((_, old)) => {
+                    let delta = if *old > 0.0 {
+                        (new - old) / old * 100.0
+                    } else {
+                        0.0
+                    };
+                    let over = new > old * 1.2;
+                    regressed |= over;
+                    println!(
+                        "{:>7} {:>12.3} ms {:>12.3} ms {:>+7.1}%{}",
+                        r.name,
+                        old,
+                        new,
+                        delta,
+                        if over { "  REGRESSED" } else { "" }
+                    );
+                }
+                None => println!("{:>7} (no committed baseline)", r.name),
+            }
+        }
+        assert!(
+            rows.iter().all(|r| r.verified),
+            "a workload failed to verify"
+        );
+        if regressed {
+            eprintln!("c_share_ms regressed > 20% against committed BENCH_dsd.json");
+            std::process::exit(1);
+        }
+        println!("bench check passed (threshold: +20% c_share_ms)");
+        return;
+    }
 
     let mut json = String::from("{\n  \"pair\": \"SL\",\n  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -140,7 +230,6 @@ fn main() {
     }
     json.push_str("  ]\n}\n");
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsd.json");
     std::fs::write(path, &json).expect("write BENCH_dsd.json");
     for r in &rows {
         println!(

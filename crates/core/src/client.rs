@@ -21,7 +21,7 @@ use crate::costs::CostBreakdown;
 use crate::gthv::{GthvError, GthvInstance};
 use crate::protocol::{DsdMsg, ProtocolError};
 use crate::runs::{coalesce, map_runs};
-use crate::update::{apply_batch, apply_tracked, extract_updates, UpdateError};
+use crate::update::{apply_batch, apply_batch_mode, apply_tracked, extract_updates, UpdateError};
 use hdsm_memory::diff::diff_pages;
 use hdsm_net::endpoint::{Endpoint, NetError};
 use hdsm_net::message::MsgKind;
@@ -101,6 +101,10 @@ pub struct DsdClient {
     conv_stats: ConversionStats,
     recv_deadline: std::time::Duration,
     promote_threshold: u8,
+    /// Use the compiled-plan apply path, the grouped v2 wire format and
+    /// the parallel diff scan. On by default; the differential suite turns
+    /// it off to compare against the original slow paths.
+    fast_path: bool,
     /// Monotonic request id for the at-most-once envelope.
     req_counter: u64,
     /// Retransmissions attempted before waiting out the full deadline.
@@ -130,6 +134,7 @@ impl DsdClient {
             conv_stats: ConversionStats::default(),
             recv_deadline: std::time::Duration::from_secs(30),
             promote_threshold: 100,
+            fast_path: true,
             req_counter: 0,
             max_retries: 10,
             retry_base: std::time::Duration::from_millis(250),
@@ -163,6 +168,14 @@ impl DsdClient {
     pub fn set_promotion_threshold(&mut self, percent: u8) {
         assert!(percent <= 100);
         self.promote_threshold = percent;
+    }
+
+    /// Select between the hot paths (compiled conversion plans, grouped
+    /// wire batches, parallel diff scan — the default) and the original
+    /// per-update slow paths. Both produce byte-identical shared memory;
+    /// `tests/differential.rs` holds that equivalence.
+    pub fn set_fast_path(&mut self, fast: bool) {
+        self.fast_path = fast;
     }
 
     /// How long a blocking protocol receive may wait before failing with
@@ -243,7 +256,7 @@ impl DsdClient {
         let req_id = self.req_counter;
         let kind = msg.kind();
         let t0 = Instant::now();
-        let payload = msg.encode_enveloped(req_id);
+        let payload = msg.encode_enveloped_mode(req_id, self.fast_path);
         self.costs.t_pack += t0.elapsed();
         let deadline = Instant::now() + self.recv_deadline;
         let mut attempt: u32 = 0;
@@ -310,7 +323,12 @@ impl DsdClient {
         {
             let mut span = self.recorder.span(self.thread_rank, EventKind::Convert);
             span.args(updates.len() as u64, bytes);
-            apply_batch(&mut self.gthv, updates, &mut self.conv_stats)?;
+            apply_batch_mode(
+                &mut self.gthv,
+                updates,
+                &mut self.conv_stats,
+                self.fast_path,
+            )?;
         }
         self.costs.t_conv += t0.elapsed();
         self.costs.updates_applied += updates.len() as u64;
@@ -348,7 +366,14 @@ impl DsdClient {
         let mapped;
         {
             let mut span = self.recorder.span(self.thread_rank, EventKind::DiffScan);
-            runs = diff_pages(self.gthv.space());
+            runs = if self.fast_path {
+                hdsm_memory::diff::diff_pages_parallel(
+                    self.gthv.space(),
+                    hdsm_memory::diff::default_diff_threads(),
+                )
+            } else {
+                diff_pages(self.gthv.space())
+            };
             mapped = map_runs(self.gthv.table(), &runs);
             span.args(hdsm_memory::diff::total_bytes(&runs), runs.len() as u64);
         }

@@ -159,6 +159,7 @@ pub struct ClusterBuilder {
     max_retries: Option<u32>,
     retry_base: Option<Duration>,
     recorder: Recorder,
+    fast_path: bool,
 }
 
 impl Default for ClusterBuilder {
@@ -184,7 +185,18 @@ impl ClusterBuilder {
             max_retries: None,
             retry_base: None,
             recorder: Recorder::disabled(),
+            fast_path: true,
         }
+    }
+
+    /// Select the hot-path implementation for every node in the cluster:
+    /// compiled conversion plans, the grouped v2 wire format and the
+    /// parallel diff scan (default `true`). `false` forces the original
+    /// tag-interpreting slow paths — the differential suite runs both and
+    /// requires byte-identical final state.
+    pub fn fast_path(mut self, fast: bool) -> Self {
+        self.fast_path = fast;
+        self
     }
 
     /// Observe the run: the recorder is wired through the fabric, every
@@ -338,6 +350,7 @@ impl ClusterBuilder {
                 lease: self.lease,
                 linger,
                 recorder: self.recorder.clone(),
+                fast_path: self.fast_path,
             },
         );
         if let Some(init) = self.init.take() {
@@ -350,6 +363,7 @@ impl ClusterBuilder {
         let deadline = self.recv_deadline;
         let max_retries = self.max_retries;
         let retry_base_opt = self.retry_base;
+        let fast_path = self.fast_path;
         let mut first_error: Option<ClusterError> = None;
         let mut home_error: Option<ClusterError> = None;
         let mut worker_errors: Vec<(usize, DsdError)> = Vec::new();
@@ -401,6 +415,7 @@ impl ClusterBuilder {
                     let gthv = GthvInstance::new(def, plat);
                     let mut client = DsdClient::new(i as u32 + 1, ep, 0, gthv);
                     client.set_recorder(recorder.clone());
+                    client.set_fast_path(fast_path);
                     if let Some(d) = deadline {
                         client.set_recv_deadline(d);
                     }

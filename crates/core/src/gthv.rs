@@ -18,6 +18,7 @@ use hdsm_platform::endian::{read_float, read_int, read_uint, write_float, write_
 use hdsm_platform::layout::TypeLayout;
 use hdsm_platform::scalar::{ScalarClass, ScalarKind};
 use hdsm_platform::spec::Platform;
+use hdsm_tags::plan::{PlanCache, RunPlan};
 use std::fmt;
 use std::sync::Arc;
 
@@ -150,6 +151,7 @@ pub struct GthvInstance {
     layout: TypeLayout,
     table: IndexTable,
     space: AddressSpace,
+    plans: PlanCache,
 }
 
 impl GthvInstance {
@@ -159,12 +161,32 @@ impl GthvInstance {
         let layout = TypeLayout::compute(&def.ty, &platform);
         let table = IndexTable::build(&def.ty, def.base, &platform);
         let space = AddressSpace::new(def.base, layout.size as usize, platform.page_size);
+        // Compile conversion plans alongside the index table: one slot per
+        // entry, primed with the homogeneous identity plan (updates from a
+        // like-shaped sender are a memcpy). Heterogeneous senders re-lower
+        // lazily on first contact and stay memoized thereafter.
+        let mut plans = PlanCache::with_entries(table.rows().len());
+        for (i, row) in table.rows().iter().enumerate() {
+            plans.prime(
+                i,
+                row.size,
+                platform.endian,
+                RunPlan::lower(
+                    row.kind.class(),
+                    row.size,
+                    platform.endian,
+                    row.size,
+                    platform.endian,
+                ),
+            );
+        }
         GthvInstance {
             def,
             platform,
             layout,
             table,
             space,
+            plans,
         }
     }
 
@@ -196,6 +218,16 @@ impl GthvInstance {
     /// The protected address space.
     pub fn space(&self) -> &AddressSpace {
         &self.space
+    }
+
+    /// The compiled conversion-plan cache (read-only view).
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The compiled conversion-plan cache, for the hot apply path.
+    pub fn plans_mut(&mut self) -> &mut PlanCache {
+        &mut self.plans
     }
 
     fn row_checked(

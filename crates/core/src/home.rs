@@ -17,7 +17,7 @@ use crate::costs::CostBreakdown;
 use crate::gthv::GthvInstance;
 use crate::protocol::{DsdMsg, ProtocolError};
 use crate::runs::{coalesce, UpdateRange};
-use crate::update::{apply_batch, extract_updates, full_ranges, UpdateError};
+use crate::update::{apply_batch_mode, extract_updates, full_ranges, UpdateError};
 use bytes::Bytes;
 use hdsm_net::endpoint::{Endpoint, NetError};
 use hdsm_net::message::MsgKind;
@@ -52,6 +52,10 @@ pub struct HomeConfig {
     /// Observability hook for home-side spans (absorb/extract timing,
     /// lease expiries). Disabled by default.
     pub recorder: Recorder,
+    /// Use the compiled-plan apply path and the grouped v2 wire format
+    /// (default). The differential suite turns this off to compare against
+    /// the original slow paths.
+    pub fast_path: bool,
 }
 
 impl Default for HomeConfig {
@@ -64,6 +68,7 @@ impl Default for HomeConfig {
             lease: None,
             linger: Duration::ZERO,
             recorder: Recorder::disabled(),
+            fast_path: true,
         }
     }
 }
@@ -168,6 +173,7 @@ pub struct HomeService {
     costs: CostBreakdown,
     conv_stats: ConversionStats,
     recorder: Recorder,
+    fast_path: bool,
 }
 
 impl HomeService {
@@ -200,6 +206,7 @@ impl HomeService {
             costs: CostBreakdown::default(),
             conv_stats: ConversionStats::default(),
             recorder: config.recorder,
+            fast_path: config.fast_path,
         }
     }
 
@@ -239,7 +246,12 @@ impl HomeService {
                 updates.len() as u64,
                 updates.iter().map(|u| u.data.len() as u64).sum(),
             );
-            apply_batch(&mut self.gthv, updates, &mut self.conv_stats)?;
+            apply_batch_mode(
+                &mut self.gthv,
+                updates,
+                &mut self.conv_stats,
+                self.fast_path,
+            )?;
         }
         self.costs.t_conv += t0.elapsed();
         self.costs.updates_applied += updates.len() as u64;
@@ -330,7 +342,7 @@ impl HomeService {
             .ok_or_else(|| HomeError::Violation(format!("no route for thread {rank}")))?;
         let req_id = self.last_req.get(&rank).copied().unwrap_or(0);
         let t0 = Instant::now();
-        let payload = msg.encode_enveloped(req_id);
+        let payload = msg.encode_enveloped_mode(req_id, self.fast_path);
         self.costs.t_pack += t0.elapsed();
         self.reply_cache
             .insert(rank, (req_id, msg.kind(), payload.clone()));

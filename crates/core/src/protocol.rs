@@ -11,7 +11,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hdsm_net::message::MsgKind;
-use hdsm_tags::wire::{pack_batch, unpack_batch, WireError, WireUpdate};
+use hdsm_tags::wire::{pack_batch, pack_batch_fast, unpack_batch, WireError, WireUpdate};
 use std::fmt;
 
 /// A decoded DSD protocol message.
@@ -171,9 +171,21 @@ impl DsdMsg {
         }
     }
 
-    /// Encode to a payload. The update batch (if any) is packed with the
-    /// CGT-RMR wire format — this is the `t_pack` work.
+    /// Encode to a payload with the v1 (per-update framed) batch format.
+    /// The update batch (if any) is packed with the CGT-RMR wire format —
+    /// this is the `t_pack` work.
     pub fn encode(&self) -> Bytes {
+        self.encode_with(pack_batch)
+    }
+
+    /// Encode to a payload, choosing the batch format: `fast` uses the v2
+    /// grouped format ([`pack_batch_fast`]), otherwise v1. [`Self::decode`]
+    /// accepts either, so mixed-mode clusters interoperate.
+    pub fn encode_mode(&self, fast: bool) -> Bytes {
+        self.encode_with(if fast { pack_batch_fast } else { pack_batch })
+    }
+
+    fn encode_with(&self, pack: fn(&[WireUpdate]) -> Bytes) -> Bytes {
         let mut out = BytesMut::with_capacity(16);
         match self {
             DsdMsg::LockRequest { lock, rank } => {
@@ -182,7 +194,7 @@ impl DsdMsg {
             }
             DsdMsg::LockGrant { lock, updates } => {
                 out.put_u32(*lock);
-                out.put_slice(&pack_batch(updates));
+                out.put_slice(&pack(updates));
             }
             DsdMsg::UnlockRequest {
                 lock,
@@ -191,7 +203,7 @@ impl DsdMsg {
             } => {
                 out.put_u32(*lock);
                 out.put_u32(*rank);
-                out.put_slice(&pack_batch(updates));
+                out.put_slice(&pack(updates));
             }
             DsdMsg::UnlockAck { lock } => out.put_u32(*lock),
             DsdMsg::BarrierEnter {
@@ -201,11 +213,11 @@ impl DsdMsg {
             } => {
                 out.put_u32(*barrier);
                 out.put_u32(*rank);
-                out.put_slice(&pack_batch(updates));
+                out.put_slice(&pack(updates));
             }
             DsdMsg::BarrierRelease { barrier, updates } => {
                 out.put_u32(*barrier);
-                out.put_slice(&pack_batch(updates));
+                out.put_slice(&pack(updates));
             }
             DsdMsg::Join { rank }
             | DsdMsg::Resync { rank }
@@ -220,7 +232,7 @@ impl DsdMsg {
                 out.put_u32(*cond);
                 out.put_u32(*lock);
                 out.put_u32(*rank);
-                out.put_slice(&pack_batch(updates));
+                out.put_slice(&pack(updates));
             }
             DsdMsg::CondSignal {
                 cond,
@@ -331,7 +343,12 @@ impl DsdMsg {
     /// match them up and discard stale duplicates; `0` is reserved for
     /// unsolicited messages (heartbeats, shutdown broadcasts).
     pub fn encode_enveloped(&self, req_id: u64) -> Bytes {
-        let body = self.encode();
+        self.encode_enveloped_mode(req_id, false)
+    }
+
+    /// [`Self::encode_enveloped`] with an explicit batch-format choice.
+    pub fn encode_enveloped_mode(&self, req_id: u64, fast: bool) -> Bytes {
+        let body = self.encode_mode(fast);
         let mut out = BytesMut::with_capacity(8 + body.len());
         out.put_u64(req_id);
         out.put_slice(&body);
@@ -419,6 +436,55 @@ mod tests {
             // And through the reliability envelope.
             let (req_id, back) = DsdMsg::decode_enveloped(kind, m.encode_enveloped(77)).unwrap();
             assert_eq!(req_id, 77);
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn fast_mode_roundtrips_every_update_carrier() {
+        // Many small same-entry updates — the shape the v2 grouped format
+        // exists for — must survive every message that carries a batch.
+        let updates: Vec<WireUpdate> = (0..40u32)
+            .map(|i| WireUpdate {
+                elem_offset: u64::from(i) * 2,
+                ..sample_updates().pop().unwrap()
+            })
+            .collect();
+        let msgs = vec![
+            DsdMsg::LockGrant {
+                lock: 2,
+                updates: updates.clone(),
+            },
+            DsdMsg::UnlockRequest {
+                lock: 2,
+                rank: 5,
+                updates: updates.clone(),
+            },
+            DsdMsg::BarrierEnter {
+                barrier: 0,
+                rank: 5,
+                updates: updates.clone(),
+            },
+            DsdMsg::BarrierRelease {
+                barrier: 0,
+                updates: updates.clone(),
+            },
+            DsdMsg::CondWait {
+                cond: 1,
+                lock: 0,
+                rank: 5,
+                updates,
+            },
+        ];
+        for m in msgs {
+            let kind = m.kind();
+            let slow = m.encode_mode(false);
+            let fast = m.encode_mode(true);
+            assert!(fast.len() < slow.len(), "fast framing should be smaller");
+            assert_eq!(DsdMsg::decode(kind, fast).unwrap(), m);
+            let (rid, back) =
+                DsdMsg::decode_enveloped(kind, m.encode_enveloped_mode(9, true)).unwrap();
+            assert_eq!(rid, 9);
             assert_eq!(back, m);
         }
     }

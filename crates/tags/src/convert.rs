@@ -125,7 +125,11 @@ impl std::error::Error for ConversionError {}
 
 /// Convert one scalar from the source representation to the destination
 /// representation.
-fn convert_one(
+///
+/// Public so the compiled-plan layer ([`crate::plan`]) and its property
+/// tests can pin plan application against the canonical per-scalar
+/// semantics.
+pub fn convert_one(
     src: &[u8],
     src_endian: Endianness,
     dst: &mut [u8],

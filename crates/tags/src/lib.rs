@@ -22,11 +22,15 @@ pub mod binfmt;
 pub mod convert;
 pub mod generate;
 pub mod parse;
+pub mod plan;
 pub mod tag;
 pub mod wire;
 
-pub use convert::{convert_block, convert_scalar_run, ConversionError, ConversionStats};
+pub use convert::{
+    convert_block, convert_one, convert_scalar_run, ConversionError, ConversionStats,
+};
 pub use generate::{tag_for, tag_for_scalar_run};
 pub use parse::{parse_tag, TagParseError};
+pub use plan::{ConvPlan, PlanCache, PlanOp, RunOp, RunPlan};
 pub use tag::{Tag, TagItem};
-pub use wire::{pack_update, unpack_update, WireError, WireUpdate};
+pub use wire::{pack_batch_fast, pack_update, unpack_update, WireError, WireUpdate};

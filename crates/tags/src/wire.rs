@@ -9,7 +9,7 @@
 //! `t_pack`/`t_unpack` are comparatively small.
 
 use crate::parse::{parse_tag, TagParseError};
-use crate::tag::Tag;
+use crate::tag::{Tag, TagItem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hdsm_platform::endian::Endianness;
 use std::fmt;
@@ -18,6 +18,11 @@ use std::fmt;
 const MAGIC: u16 = 0xD5D; // "DSD"
 /// Frame format version.
 const VERSION: u8 = 1;
+/// Sentinel distinguishing a v2 grouped batch from a v1 count-prefixed
+/// batch: a v1 batch starts with its update count, which can never be
+/// `u32::MAX`, so the two formats are self-describing and [`unpack_batch`]
+/// accepts either.
+const BATCH_V2_MARKER: u32 = u32::MAX;
 
 /// One update: "this range of elements of entry `entry` now has these
 /// bytes" — the unit the home node and remote threads exchange on
@@ -162,16 +167,225 @@ pub fn pack_batch(updates: &[WireUpdate]) -> Bytes {
     out.freeze()
 }
 
-/// Unpack a batch previously produced by [`pack_batch`].
+/// Unpack a batch previously produced by [`pack_batch`] or
+/// [`pack_batch_fast`] — the leading word distinguishes the two formats.
 pub fn unpack_batch(mut buf: Bytes) -> Result<Vec<WireUpdate>, WireError> {
     if buf.remaining() < 4 {
         return Err(WireError::Truncated);
     }
-    let n = buf.get_u32() as usize;
+    let n = buf.get_u32();
+    if n == BATCH_V2_MARKER {
+        return unpack_batch_v2(buf);
+    }
+    let n = n as usize;
     // `n` is untrusted wire data: bound the preallocation.
     let mut out = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
         out.push(unpack_update(&mut buf)?);
+    }
+    if buf.has_remaining() {
+        return Err(WireError::BadHeader);
+    }
+    Ok(out)
+}
+
+/// Match a run-shaped tag — the shape every DSM update carries
+/// (`(m,n)(0,0)` or `(m,-n)(0,0)`): `(size, count, is_pointer)`.
+fn tag_run_shape(tag: &Tag) -> Option<(u32, u32, bool)> {
+    match tag.0.as_slice() {
+        [TagItem::Scalar { size, count }, TagItem::Padding { bytes: 0 }] => {
+            Some((*size, *count, false))
+        }
+        [TagItem::Pointer { size, count }, TagItem::Padding { bytes: 0 }] => {
+            Some((*size, *count, true))
+        }
+        _ => None,
+    }
+}
+
+/// Pack a batch in the v2 grouped format.
+///
+/// Consecutive updates sharing (entry, endianness, sender, element size,
+/// scalar-vs-pointer) and a run-shaped tag collapse into one *run group*
+/// that frames the shared metadata once and then just
+/// `(elem_offset, count)` pairs plus a single concatenated payload —
+/// SOR's 16k two-element updates shrink from ~50 framed bytes each to 12.
+/// Crucially the receiver reconstructs each update's tag directly from the
+/// group header, so `t_unpack` pays no per-update string parse. Updates
+/// whose tags are not run-shaped travel in a *raw group* of v1 frames.
+/// Grouping only ever merges **consecutive** updates, so apply order — and
+/// therefore last-writer-wins semantics within a batch — is preserved
+/// exactly.
+pub fn pack_batch_fast(updates: &[WireUpdate]) -> Bytes {
+    // Partition into maximal consecutive segments: (is_run_group, start, end).
+    let mut segs: Vec<(bool, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < updates.len() {
+        let mut j = i + 1;
+        if let Some((size, _, is_ptr)) = tag_run_shape(&updates[i].tag) {
+            while j < updates.len() {
+                match tag_run_shape(&updates[j].tag) {
+                    Some((s, _, p))
+                        if s == size
+                            && p == is_ptr
+                            && updates[j].entry == updates[i].entry
+                            && updates[j].endian == updates[i].endian
+                            && updates[j].sender == updates[i].sender =>
+                    {
+                        j += 1;
+                    }
+                    _ => break,
+                }
+            }
+            segs.push((true, i, j));
+        } else {
+            while j < updates.len() && tag_run_shape(&updates[j].tag).is_none() {
+                j += 1;
+            }
+            segs.push((false, i, j));
+        }
+        i = j;
+    }
+    let mut out =
+        BytesMut::with_capacity(32 + updates.iter().map(|u| 16 + u.data.len()).sum::<usize>());
+    out.put_u32(BATCH_V2_MARKER);
+    out.put_u32(segs.len() as u32);
+    for (is_run, a, b) in segs {
+        let head = &updates[a];
+        if is_run {
+            let (size, _, is_ptr) = tag_run_shape(&head.tag).expect("segment head is run-shaped");
+            out.put_u8(0);
+            out.put_u8(match head.endian {
+                Endianness::Little => 0,
+                Endianness::Big => 1,
+            });
+            out.put_u8(u8::from(is_ptr));
+            out.put_u32(size);
+            out.put_u32(head.entry);
+            out.put_u8(head.sender.len().min(255) as u8);
+            out.put_slice(&head.sender.as_bytes()[..head.sender.len().min(255)]);
+            out.put_u32((b - a) as u32);
+            let mut data_len: u64 = 0;
+            for u in &updates[a..b] {
+                let (_, count, _) = tag_run_shape(&u.tag).expect("grouped update is run-shaped");
+                debug_assert_eq!(u.data.len() as u64, u.tag.byte_size());
+                out.put_u64(u.elem_offset);
+                out.put_u32(count);
+                data_len += u.data.len() as u64;
+            }
+            out.put_u64(data_len);
+            for u in &updates[a..b] {
+                out.put_slice(&u.data);
+            }
+        } else {
+            out.put_u8(1);
+            out.put_u32((b - a) as u32);
+            for u in &updates[a..b] {
+                pack_update(u, &mut out);
+            }
+        }
+    }
+    out.freeze()
+}
+
+/// Unpack the body of a v2 grouped batch (marker already consumed).
+fn unpack_batch_v2(mut buf: Bytes) -> Result<Vec<WireUpdate>, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let groups = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(groups.min(1024));
+    for _ in 0..groups {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        match buf.get_u8() {
+            0 => {
+                if buf.remaining() < 1 + 1 + 4 + 4 + 1 {
+                    return Err(WireError::Truncated);
+                }
+                let endian = match buf.get_u8() {
+                    0 => Endianness::Little,
+                    1 => Endianness::Big,
+                    _ => return Err(WireError::BadHeader),
+                };
+                let is_ptr = match buf.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadHeader),
+                };
+                let size = buf.get_u32();
+                if size == 0 {
+                    return Err(WireError::BadHeader);
+                }
+                let entry = buf.get_u32();
+                let name_len = buf.get_u8() as usize;
+                if buf.remaining() < name_len + 4 {
+                    return Err(WireError::Truncated);
+                }
+                let sender = String::from_utf8_lossy(&buf.copy_to_bytes(name_len)).into_owned();
+                let nruns = buf.get_u32() as usize;
+                let mut runs = Vec::with_capacity(nruns.min(4096));
+                let mut want: u64 = 0;
+                for _ in 0..nruns {
+                    if buf.remaining() < 8 + 4 {
+                        return Err(WireError::Truncated);
+                    }
+                    let elem_offset = buf.get_u64();
+                    let count = buf.get_u32();
+                    if count == 0 {
+                        return Err(WireError::BadHeader);
+                    }
+                    want = u64::from(size)
+                        .checked_mul(u64::from(count))
+                        .and_then(|b| want.checked_add(b))
+                        .ok_or(WireError::BadHeader)?;
+                    runs.push((elem_offset, count));
+                }
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                let data_len = buf.get_u64();
+                if data_len != want {
+                    return Err(WireError::LengthMismatch {
+                        tag_bytes: want,
+                        data_bytes: data_len,
+                    });
+                }
+                if (buf.remaining() as u64) < data_len {
+                    return Err(WireError::Truncated);
+                }
+                let data = buf.copy_to_bytes(data_len as usize);
+                let mut at = 0usize;
+                for (elem_offset, count) in runs {
+                    let len = (u64::from(size) * u64::from(count)) as usize;
+                    let item = if is_ptr {
+                        TagItem::Pointer { size, count }
+                    } else {
+                        TagItem::Scalar { size, count }
+                    };
+                    out.push(WireUpdate {
+                        entry,
+                        elem_offset,
+                        endian,
+                        sender: sender.clone(),
+                        tag: Tag(vec![item, TagItem::Padding { bytes: 0 }]),
+                        data: data.slice(at..at + len),
+                    });
+                    at += len;
+                }
+            }
+            1 => {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                let n = buf.get_u32() as usize;
+                for _ in 0..n {
+                    out.push(unpack_update(&mut buf)?);
+                }
+            }
+            _ => return Err(WireError::BadHeader),
+        }
     }
     if buf.has_remaining() {
         return Err(WireError::BadHeader);
@@ -266,5 +480,101 @@ mod tests {
         let mut with_garbage = BytesMut::from(&packed[..]);
         with_garbage.put_u8(0);
         assert!(unpack_batch(with_garbage.freeze()).is_err());
+    }
+
+    fn aggregate_sample(entry: u32) -> WireUpdate {
+        // Not run-shaped: forces the raw-group fallback.
+        let tag = crate::parse::parse_tag("((4,1)(0,0),3)").unwrap();
+        WireUpdate {
+            entry,
+            elem_offset: 0,
+            endian: Endianness::Little,
+            sender: "linux-x86".into(),
+            tag,
+            data: Bytes::from(vec![7u8; 12]),
+        }
+    }
+
+    #[test]
+    fn fast_batch_roundtrips_and_preserves_order() {
+        // Same entry runs (groupable), an entry switch, an aggregate tag
+        // (raw fallback), then more runs — order must survive exactly.
+        let us = vec![
+            sample(0, 2),
+            sample(0, 2),
+            sample(0, 5),
+            sample(1, 3),
+            aggregate_sample(2),
+            sample(1, 1),
+            sample(1, 1),
+        ];
+        let packed = pack_batch_fast(&us);
+        assert_eq!(unpack_batch(packed).unwrap(), us);
+    }
+
+    #[test]
+    fn fast_batch_of_empty_and_single() {
+        assert_eq!(unpack_batch(pack_batch_fast(&[])).unwrap(), vec![]);
+        let us = vec![sample(4, 9)];
+        assert_eq!(unpack_batch(pack_batch_fast(&us)).unwrap(), us);
+        let us = vec![aggregate_sample(0)];
+        assert_eq!(unpack_batch(pack_batch_fast(&us)).unwrap(), us);
+    }
+
+    #[test]
+    fn fast_batch_is_much_smaller_for_small_runs() {
+        // The SOR shape: thousands of tiny same-entry updates.
+        let us: Vec<WireUpdate> = (0..500)
+            .map(|i| WireUpdate {
+                elem_offset: i * 7,
+                ..sample(3, 2)
+            })
+            .collect();
+        let v1 = pack_batch(&us);
+        let v2 = pack_batch_fast(&us);
+        assert_eq!(unpack_batch(v2.clone()).unwrap(), us);
+        assert!(
+            v2.len() * 2 < v1.len(),
+            "grouped batch should at least halve framing: v1={} v2={}",
+            v1.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
+    fn fast_batch_does_not_group_across_sender_or_endian_changes() {
+        let mut other = sample(0, 2);
+        other.endian = Endianness::Little;
+        other.sender = "linux-x86".into();
+        let us = vec![sample(0, 2), other, sample(0, 2)];
+        let packed = pack_batch_fast(&us);
+        assert_eq!(unpack_batch(packed).unwrap(), us);
+    }
+
+    #[test]
+    fn fast_batch_detects_truncation_everywhere() {
+        let us = vec![sample(0, 2), sample(0, 3), aggregate_sample(1)];
+        let full = pack_batch_fast(&us);
+        for cut in 0..full.len() {
+            assert!(
+                unpack_batch(full.slice(..cut)).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_batch_rejects_trailing_garbage() {
+        let packed = pack_batch_fast(&[sample(0, 1)]);
+        let mut with_garbage = BytesMut::from(&packed[..]);
+        with_garbage.put_u8(9);
+        assert!(unpack_batch(with_garbage.freeze()).is_err());
+    }
+
+    #[test]
+    fn v1_batches_still_decode() {
+        // Mixed-version clusters: a v1 producer must stay readable.
+        let us = vec![sample(0, 1), sample(1, 100)];
+        assert_eq!(unpack_batch(pack_batch(&us)).unwrap(), us);
     }
 }

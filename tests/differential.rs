@@ -1,0 +1,210 @@
+//! Differential harness for the Eq. 1 fast path.
+//!
+//! The compiled-plan apply path, the grouped v2 wire format and the
+//! parallel diff scan are performance changes only: for every
+//! (workload × platform pair × fault plan) the authoritative GThV at the
+//! end of a run must be *byte-identical* whether the cluster ran with
+//! `fast_path(true)` (the default) or `fast_path(false)` (the original
+//! tag-interpreting slow paths). A third axis checks DSD against the
+//! homogeneous `baseline` page DSM, which knows nothing about tags or
+//! plans at all.
+
+use hdsm::apps::workload::{paper_pairs, PlatformPair, SyncMode};
+use hdsm::apps::{jacobi, lu, matmul, sor};
+use hdsm::dsd::cluster::ClusterBuilder;
+use hdsm::net::FaultPlan;
+use std::time::Duration;
+
+/// The fault-plan axis: a clean fabric and a mildly hostile one (drops,
+/// duplicates and reorders all at once — enough to force retransmissions
+/// and out-of-order application on every run).
+fn fault_plans() -> [Option<FaultPlan>; 2] {
+    [
+        None,
+        Some(
+            FaultPlan::seeded(0xD1FF)
+                .drop(0.03)
+                .duplicate(0.03)
+                .reorder(0.03),
+        ),
+    ]
+}
+
+/// A two-worker cluster over `pair`, on a clean or faulty fabric, with the
+/// chosen hot-path mode.
+fn build(pair: &PlatformPair, plan: &Option<FaultPlan>, fast: bool) -> ClusterBuilder {
+    let mut b = ClusterBuilder::new()
+        .home(pair.home.clone())
+        .worker(pair.home.clone())
+        .worker(pair.remote.clone())
+        .locks(1)
+        .barriers(2)
+        .fast_path(fast);
+    if let Some(plan) = plan {
+        b = b
+            .fault_plan(plan.clone())
+            .retry_base(Duration::from_millis(10))
+            .lease(Duration::from_secs(5))
+            .recv_deadline(Duration::from_secs(30));
+    }
+    b
+}
+
+/// Run one workload in both modes across every pair × fault plan and
+/// require verified, byte-identical authoritative state.
+fn assert_fast_equals_slow<F>(workload: &str, run: F)
+where
+    F: Fn(&PlatformPair, &Option<FaultPlan>, bool) -> (Vec<u8>, bool),
+{
+    for pair in paper_pairs() {
+        for (p, plan) in fault_plans().iter().enumerate() {
+            let (slow_bytes, slow_ok) = run(&pair, plan, false);
+            let (fast_bytes, fast_ok) = run(&pair, plan, true);
+            assert!(
+                slow_ok,
+                "{workload} slow path failed verification on {} plan {p}",
+                pair.label
+            );
+            assert!(
+                fast_ok,
+                "{workload} fast path failed verification on {} plan {p}",
+                pair.label
+            );
+            assert_eq!(
+                fast_bytes, slow_bytes,
+                "{workload} fast/slow GThV divergence on {} plan {p}",
+                pair.label
+            );
+        }
+    }
+}
+
+#[test]
+fn jacobi_fast_path_is_byte_identical_to_slow_path() {
+    let (n, seed, sweeps) = (10usize, 11u64, 3usize);
+    assert_fast_equals_slow("jacobi", |pair, plan, fast| {
+        let outcome = build(pair, plan, fast)
+            .gthv(jacobi::gthv_def(n))
+            .init(move |g| jacobi::init(g, n, seed))
+            .run(move |c, i| jacobi::run_worker(c, i, n, sweeps))
+            .unwrap();
+        (
+            outcome.final_gthv.space().raw().to_vec(),
+            jacobi::verify(&outcome.final_gthv, n, seed, sweeps),
+        )
+    });
+}
+
+#[test]
+fn sor_fast_path_is_byte_identical_to_slow_path() {
+    let (n, seed, sweeps) = (10usize, 13u64, 2usize);
+    assert_fast_equals_slow("sor", |pair, plan, fast| {
+        let outcome = build(pair, plan, fast)
+            .gthv(sor::gthv_def(n))
+            .init(move |g| sor::init(g, n, seed))
+            .run(move |c, i| sor::run_worker(c, i, n, sweeps))
+            .unwrap();
+        (
+            outcome.final_gthv.space().raw().to_vec(),
+            sor::verify(&outcome.final_gthv, n, seed, sweeps),
+        )
+    });
+}
+
+#[test]
+fn matmul_fast_path_is_byte_identical_to_slow_path() {
+    let (n, seed) = (10usize, 17u64);
+    assert_fast_equals_slow("matmul", |pair, plan, fast| {
+        let outcome = build(pair, plan, fast)
+            .gthv(matmul::gthv_def(n))
+            .init(move |g| matmul::init(g, n, seed))
+            .run(move |c, i| matmul::run_worker(c, i, n, SyncMode::Barrier))
+            .unwrap();
+        (
+            outcome.final_gthv.space().raw().to_vec(),
+            matmul::verify(&outcome.final_gthv, n, seed),
+        )
+    });
+}
+
+#[test]
+fn lu_fast_path_is_byte_identical_to_slow_path() {
+    let (n, seed) = (8usize, 19u64);
+    assert_fast_equals_slow("lu", |pair, plan, fast| {
+        let outcome = build(pair, plan, fast)
+            .gthv(lu::gthv_def(n))
+            .init(move |g| lu::init(g, n, seed))
+            .run(move |c, i| lu::run_worker(c, i, n))
+            .unwrap();
+        (
+            outcome.final_gthv.space().raw().to_vec(),
+            lu::verify(&outcome.final_gthv, n, seed),
+        )
+    });
+}
+
+/// Cross-implementation axis: on a homogeneous pair, the full DSD pipeline
+/// (both modes) must reproduce exactly what the tag-free `baseline` page
+/// DSM propagates — same dirty bytes, same final memory image.
+#[test]
+fn dsd_both_modes_match_baseline_page_dsm() {
+    use hdsm::dsd::baseline::{apply_raw_diffs, extract_raw_diffs, pack_raw, unpack_raw};
+    use hdsm::dsd::gthv::GthvInstance;
+    use hdsm::dsd::runs::abstract_diffs;
+    use hdsm::dsd::update::{apply_batch_mode, extract_updates};
+    use hdsm::memory::diff::{diff_pages, diff_pages_parallel};
+    use hdsm::platform::spec::PlatformSpec;
+    use hdsm::tags::convert::ConversionStats;
+    use hdsm::tags::wire::{pack_batch, pack_batch_fast, unpack_batch};
+
+    let seed = 23u64;
+    let defs = [
+        ("jacobi", jacobi::gthv_def(12)),
+        ("sor", sor::gthv_def(12)),
+        ("matmul", matmul::gthv_def(12)),
+        ("lu", lu::gthv_def(12)),
+    ];
+    for (name, def) in defs {
+        let plat = PlatformSpec::linux_x86();
+        let mut src = GthvInstance::new(def.clone(), plat.clone());
+        src.space_mut().protect_all();
+        match name {
+            "jacobi" => jacobi::init(&mut src, 12, seed),
+            "sor" => sor::init(&mut src, 12, seed),
+            "matmul" => matmul::init(&mut src, 12, seed),
+            _ => lu::init(&mut src, 12, seed),
+        }
+
+        // Baseline page DSM: raw byte diffs, no tags, no conversion.
+        let mut via_baseline = GthvInstance::new(def.clone(), plat.clone());
+        let raw = unpack_raw(pack_raw(&extract_raw_diffs(&src))).unwrap();
+        apply_raw_diffs(&mut via_baseline, src.platform(), &raw).unwrap();
+
+        // DSD slow path: serial diff, v1 wire, per-update tag dispatch.
+        let mut via_slow = GthvInstance::new(def.clone(), plat.clone());
+        let runs = diff_pages(src.space());
+        let ups = extract_updates(&src, &abstract_diffs(src.table(), &runs)).unwrap();
+        let ups = unpack_batch(pack_batch(&ups)).unwrap();
+        let mut stats = ConversionStats::default();
+        apply_batch_mode(&mut via_slow, &ups, &mut stats, false).unwrap();
+
+        // DSD fast path: parallel diff, grouped v2 wire, compiled plans.
+        let mut via_fast = GthvInstance::new(def, plat);
+        let runs = diff_pages_parallel(src.space(), 4);
+        let ups = extract_updates(&src, &abstract_diffs(src.table(), &runs)).unwrap();
+        let ups = unpack_batch(pack_batch_fast(&ups)).unwrap();
+        let mut stats = ConversionStats::default();
+        apply_batch_mode(&mut via_fast, &ups, &mut stats, true).unwrap();
+
+        assert_eq!(
+            via_slow.space().raw(),
+            via_baseline.space().raw(),
+            "{name}: DSD slow path vs baseline page DSM"
+        );
+        assert_eq!(
+            via_fast.space().raw(),
+            via_baseline.space().raw(),
+            "{name}: DSD fast path vs baseline page DSM"
+        );
+    }
+}
