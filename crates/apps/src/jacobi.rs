@@ -20,6 +20,13 @@ pub mod entries {
     pub const N: u32 = 2;
 }
 
+/// Barrier ids.
+pub mod barriers {
+    use hdsm_core::BarrierId;
+    /// Reused every sweep: propagates each worker's row block.
+    pub const SWEEP: BarrierId = BarrierId::new(0);
+}
+
 /// Shared structure: two grids plus the dimension.
 pub fn gthv_def(n: usize) -> GthvDef {
     GthvDef::new(
@@ -104,7 +111,7 @@ pub fn run_worker(
     n: usize,
     sweeps: usize,
 ) -> Result<(), DsdError> {
-    client.mth_barrier(0)?;
+    client.barrier(barriers::SWEEP)?;
     let rows = block_rows(n, info.index, info.n_workers);
     for sweep in 0..sweeps {
         let (src, dst) = if sweep % 2 == 0 {
@@ -125,7 +132,7 @@ pub fn run_worker(
                 client.write_float(dst, (i * n + j) as u64, v)?;
             }
         }
-        client.mth_barrier(0)?;
+        client.barrier(barriers::SWEEP)?;
     }
     Ok(())
 }

@@ -22,6 +22,13 @@ pub mod entries {
     pub const N: u32 = 1;
 }
 
+/// Barrier ids.
+pub mod barriers {
+    use hdsm_core::BarrierId;
+    /// Reused every elimination step (and once up front).
+    pub const STEP: BarrierId = BarrierId::new(0);
+}
+
 /// Shared structure: `struct { double M[n*n]; int n; }`.
 pub fn gthv_def(n: usize) -> GthvDef {
     GthvDef::new(
@@ -92,7 +99,7 @@ pub fn verify(g: &GthvInstance, n: usize, seed: u64) -> bool {
 /// resets after each release).
 pub fn run_worker(client: &mut DsdClient, info: &WorkerInfo, n: usize) -> Result<(), DsdError> {
     // Opening barrier pulls the initial matrix.
-    client.mth_barrier(0)?;
+    client.barrier(barriers::STEP)?;
     debug_assert_eq!(client.read_int(entries::N, 0)? as usize, n);
     for k in 0..n.saturating_sub(1) {
         let pivot = client.read_float(entries::M, (k * n + k) as u64)?;
@@ -116,7 +123,7 @@ pub fn run_worker(client: &mut DsdClient, info: &WorkerInfo, n: usize) -> Result
                 )?;
             }
         }
-        client.mth_barrier(0)?;
+        client.barrier(barriers::STEP)?;
     }
     Ok(())
 }

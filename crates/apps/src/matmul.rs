@@ -43,10 +43,18 @@ pub mod entries {
 
 /// Barrier ids used by the barrier-mode worker.
 pub mod barriers {
+    use hdsm_core::BarrierId;
     /// Opening barrier (pulls the initial matrices).
-    pub const START: u32 = 0;
+    pub const START: BarrierId = BarrierId::new(0);
     /// Closing barrier (publishes and redistributes `C`).
-    pub const END: u32 = 1;
+    pub const END: BarrierId = BarrierId::new(1);
+}
+
+/// Mutex ids used by the lock-mode worker.
+pub mod locks {
+    use hdsm_core::LockId;
+    /// Protects the shared accumulation into `C`.
+    pub const C: LockId = LockId::new(0);
 }
 
 /// The Figure 4 shared structure for `n × n` matrices.
@@ -131,7 +139,7 @@ pub fn run_worker(
     mode: SyncMode,
 ) -> Result<(), DsdError> {
     // Pull the initial matrices.
-    client.mth_barrier(barriers::START)?;
+    client.barrier(barriers::START)?;
     debug_assert_eq!(client.read_int(entries::N, 0)? as usize, n);
 
     let rows = block_rows(n, info.index, info.n_workers);
@@ -152,7 +160,7 @@ pub fn run_worker(
                     client.write_int(entries::C, (i * n + j) as u64, i128::from(acc))?;
                 }
             }
-            client.mth_barrier(barriers::END)?;
+            client.barrier(barriers::END)?;
         }
         SyncMode::Lock => {
             // Compute locally, then publish the block under the mutex —
@@ -169,12 +177,12 @@ pub fn run_worker(
                     block.push(((i * n + j) as u64, acc));
                 }
             }
-            client.mth_lock(0)?;
+            let mut c = client.lock(locks::C)?;
             for (idx, v) in block {
-                client.write_int(entries::C, idx, i128::from(v))?;
+                c.write_int(entries::C, idx, i128::from(v))?;
             }
-            client.mth_unlock(0)?;
-            client.mth_barrier(barriers::END)?;
+            c.unlock()?;
+            client.barrier(barriers::END)?;
         }
     }
     Ok(())
@@ -263,7 +271,7 @@ impl Computation<DsdClient> for MatmulComputation {
         let phase = self.get(4);
         match phase {
             0 => {
-                client.mth_barrier(barriers::START).expect("start barrier");
+                client.barrier(barriers::START).expect("start barrier");
                 self.set(4, 1);
                 StepStatus::Yield
             }
@@ -272,7 +280,7 @@ impl Computation<DsdClient> for MatmulComputation {
                 let row = self.get(3) as usize;
                 let end = self.get(2) as usize;
                 if row >= end {
-                    client.mth_barrier(barriers::END).expect("end barrier");
+                    client.barrier(barriers::END).expect("end barrier");
                     self.set(4, 2);
                     return StepStatus::Done;
                 }

@@ -21,6 +21,13 @@ pub mod entries {
     pub const N: u32 = 1;
 }
 
+/// Barrier ids.
+pub mod barriers {
+    use hdsm_core::BarrierId;
+    /// Reused every half-sweep (red then black).
+    pub const SWEEP: BarrierId = BarrierId::new(0);
+}
+
 /// Relaxation factor.
 pub const OMEGA: f64 = 1.5;
 
@@ -95,7 +102,7 @@ pub fn run_worker(
     n: usize,
     sweeps: usize,
 ) -> Result<(), DsdError> {
-    client.mth_barrier(0)?;
+    client.barrier(barriers::SWEEP)?;
     let rows = block_rows(n, info.index, info.n_workers);
     for _ in 0..sweeps {
         for colour in 0..2 {
@@ -120,7 +127,7 @@ pub fn run_worker(
                     )?;
                 }
             }
-            client.mth_barrier(0)?;
+            client.barrier(barriers::SWEEP)?;
         }
     }
     Ok(())

@@ -12,6 +12,7 @@
 use hdsm_apps::matmul;
 use hdsm_bench::{ms, print_header};
 use hdsm_core::cluster::ClusterBuilder;
+use hdsm_core::{BarrierId, LockId};
 use hdsm_platform::spec::PlatformSpec;
 
 fn main() {
@@ -19,6 +20,8 @@ fn main() {
         "Batch-update spike (Figure 9 discussion)",
         "Grant size and cost at the reader's first acquire after K writer rounds.",
     );
+    const SYNC: BarrierId = BarrierId::new(0);
+    const STRIPE: LockId = LockId::new(0);
     let n: usize = 128;
     println!("matrix {n}x{n}, writer on linux-x86, reader on solaris-sparc\n");
     println!(
@@ -37,11 +40,11 @@ fn main() {
             .run(move |c, info| {
                 // Both threads pull the initial state first so the final
                 // measurement sees only the writer's K rounds.
-                c.mth_barrier(0)?;
+                c.barrier(SYNC)?;
                 if info.index == 0 {
                     // Writer: K rounds, each dirtying a stripe of C.
                     for round in 0..k {
-                        c.mth_lock(0)?;
+                        let mut c = c.lock(STRIPE)?;
                         let base = ((round * 97) % n) * n;
                         for j in 0..n {
                             c.write_int(
@@ -50,9 +53,9 @@ fn main() {
                                 (round * 1000 + j) as i128,
                             )?;
                         }
-                        c.mth_unlock(0)?;
+                        c.unlock()?;
                     }
-                    c.mth_barrier(0)?;
+                    c.barrier(SYNC)?;
                     Ok((0u64, 0u64, 0.0f64))
                 } else {
                     // Reader: stays out of the protocol while the writer
@@ -60,7 +63,7 @@ fn main() {
                     // whole accumulated batch (a barrier is a full
                     // release + acquire).
                     let before = c.costs();
-                    c.mth_barrier(0)?;
+                    c.barrier(SYNC)?;
                     let after = c.costs();
                     Ok((
                         after.updates_applied - before.updates_applied,

@@ -3,7 +3,11 @@
 //! `BENCH_dsd.json` at the repository root.
 //!
 //! Sizes default to quick smoke values so the emitter finishes in seconds;
-//! pass `--paper` for the paper's matrix sizes (slower).
+//! pass `--paper` for the paper's matrix sizes (slower). Every workload
+//! runs twice: once on the classic single-home DSD and once with the home
+//! service sharded (`--shards N`, default 3) — the sharded rows carry a
+//! `@sN` suffix and a `"shards"` field so the perf gate covers both
+//! configurations.
 //!
 //! `--check` re-runs the workloads and compares each `c_share_ms` against
 //! the *committed* `BENCH_dsd.json` without overwriting it, exiting
@@ -18,8 +22,9 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 struct Row {
-    name: &'static str,
+    label: String,
     n: usize,
+    shards: u32,
     wall: Duration,
     costs: CostBreakdown,
     net_bytes: u64,
@@ -31,7 +36,7 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-fn run_workload(name: &'static str, n: usize) -> Row {
+fn run_workload(name: &'static str, n: usize, shards: u32) -> Row {
     let pair = &paper_pairs()[2]; // SL: heterogeneous, exercises t_conv.
     let seed = 0xD5D;
     let sweeps = 6;
@@ -39,7 +44,8 @@ fn run_workload(name: &'static str, n: usize) -> Row {
     let mut builder = ClusterBuilder::new()
         .home(pair.home.clone())
         .locks(1)
-        .barriers(2);
+        .barriers(2)
+        .shards(shards);
     builder = match name {
         "jacobi" => builder
             .gthv(jacobi::gthv_def(n))
@@ -93,9 +99,15 @@ fn run_workload(name: &'static str, n: usize) -> Row {
     let wall = t0.elapsed();
     let mut costs: CostBreakdown = outcome.worker_costs.iter().sum();
     costs += &outcome.home_costs;
+    let label = if shards > 1 {
+        format!("{name}@s{shards}")
+    } else {
+        name.to_string()
+    };
     Row {
-        name,
+        label,
         n,
+        shards,
         wall,
         costs,
         net_bytes: outcome.net_stats.total_bytes(),
@@ -128,16 +140,34 @@ fn parse_committed(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+fn run_all(grid_n: usize, mat_n: usize, shards: u32) -> Vec<Row> {
+    let mut rows = vec![
+        run_workload("jacobi", grid_n, 1),
+        run_workload("sor", grid_n, 1),
+        run_workload("matmul", mat_n, 1),
+        run_workload("lu", mat_n, 1),
+    ];
+    if shards > 1 {
+        rows.push(run_workload("jacobi", grid_n, shards));
+        rows.push(run_workload("sor", grid_n, shards));
+        rows.push(run_workload("matmul", mat_n, shards));
+        rows.push(run_workload("lu", mat_n, shards));
+    }
+    rows
+}
+
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
     let check = std::env::args().any(|a| a == "--check");
+    let args: Vec<String> = std::env::args().collect();
+    let shards: u32 = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--shards takes a number"))
+        .unwrap_or(3);
     let (grid_n, mat_n) = if paper { (99, 99) } else { (32, 32) };
-    let rows = vec![
-        run_workload("jacobi", grid_n),
-        run_workload("sor", grid_n),
-        run_workload("matmul", mat_n),
-        run_workload("lu", mat_n),
-    ];
+    let rows = run_all(grid_n, mat_n, shards);
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dsd.json");
     if check {
@@ -148,26 +178,18 @@ fn main() {
         // regressions, not scheduler noise.
         let mut best: Vec<f64> = rows.iter().map(|r| ms(r.costs.c_share())).collect();
         for _ in 0..2 {
-            for (i, r) in [
-                run_workload("jacobi", grid_n),
-                run_workload("sor", grid_n),
-                run_workload("matmul", mat_n),
-                run_workload("lu", mat_n),
-            ]
-            .iter()
-            .enumerate()
-            {
-                assert!(r.verified, "{} failed to verify on a re-run", r.name);
+            for (i, r) in run_all(grid_n, mat_n, shards).iter().enumerate() {
+                assert!(r.verified, "{} failed to verify on a re-run", r.label);
                 best[i] = best[i].min(ms(r.costs.c_share()));
             }
         }
         let mut regressed = false;
         println!(
-            "{:>7} {:>15} {:>15} {:>8}",
+            "{:>10} {:>15} {:>15} {:>8}",
             "bench", "committed", "measured", "delta"
         );
         for (r, &new) in rows.iter().zip(&best) {
-            match baseline.iter().find(|(n, _)| n == r.name) {
+            match baseline.iter().find(|(n, _)| *n == r.label) {
                 Some((_, old)) => {
                     let delta = if *old > 0.0 {
                         (new - old) / old * 100.0
@@ -177,15 +199,15 @@ fn main() {
                     let over = new > old * 1.2;
                     regressed |= over;
                     println!(
-                        "{:>7} {:>12.3} ms {:>12.3} ms {:>+7.1}%{}",
-                        r.name,
+                        "{:>10} {:>12.3} ms {:>12.3} ms {:>+7.1}%{}",
+                        r.label,
                         old,
                         new,
                         delta,
                         if over { "  REGRESSED" } else { "" }
                     );
                 }
-                None => println!("{:>7} (no committed baseline)", r.name),
+                None => println!("{:>7} (no committed baseline)", r.label),
             }
         }
         assert!(
@@ -205,13 +227,14 @@ fn main() {
         let c = &r.costs;
         writeln!(
             json,
-            "    {{\"name\": \"{}\", \"n\": {}, \"wall_ms\": {:.3}, \
+            "    {{\"name\": \"{}\", \"n\": {}, \"shards\": {}, \"wall_ms\": {:.3}, \
              \"t_index_ms\": {:.3}, \"t_tag_ms\": {:.3}, \"t_pack_ms\": {:.3}, \
              \"t_unpack_ms\": {:.3}, \"t_conv_ms\": {:.3}, \"c_share_ms\": {:.3}, \
              \"updates_sent\": {}, \"bytes_sent\": {}, \"net_messages\": {}, \
              \"net_bytes\": {}, \"verified\": {}}}{}",
-            r.name,
+            r.label,
             r.n,
+            r.shards,
             ms(r.wall),
             ms(c.t_index),
             ms(c.t_tag),
@@ -233,8 +256,8 @@ fn main() {
     std::fs::write(path, &json).expect("write BENCH_dsd.json");
     for r in &rows {
         println!(
-            "{:>7} n={:<4} wall {:>9.2} ms  c_share {:>9.2} ms  verified {}",
-            r.name,
+            "{:>10} n={:<4} wall {:>9.2} ms  c_share {:>9.2} ms  verified {}",
+            r.label,
             r.n,
             ms(r.wall),
             ms(r.costs.c_share()),

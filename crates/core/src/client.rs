@@ -5,20 +5,35 @@
 //! representation, write-protected between synchronization points) and
 //! implements the four primitives of paper §4:
 //!
-//! * [`DsdClient::mth_lock`] — acquire a distributed mutex; outstanding
-//!   updates arrive with the grant, are converted (or memcpy'd) into the
-//!   local copy, and the region is re-armed for write detection;
-//! * [`DsdClient::mth_unlock`] — diff the dirty pages, abstract the diffs
+//! * [`DsdClient::acquire`] / [`DsdClient::lock`] — acquire a distributed
+//!   mutex (the latter returns an RAII [`LockGuard`]); outstanding updates
+//!   arrive with the grant, are converted (or memcpy'd) into the local
+//!   copy, and the region is re-armed for write detection;
+//! * [`DsdClient::release`] — diff the dirty pages, abstract the diffs
 //!   to application-level index ranges, coalesce, tag, pack, ship to the
 //!   home thread and release;
-//! * [`DsdClient::mth_barrier`] — a release followed by an acquire that
+//! * [`DsdClient::barrier`] — a release followed by an acquire that
 //!   completes when every thread has entered;
-//! * [`DsdClient::mth_join`] — sign off and wait for program shutdown.
+//! * [`DsdClient::join`] — sign off and wait for program shutdown.
+//!
+//! Synchronization objects are addressed by typed handles ([`LockId`],
+//! [`BarrierId`], [`CondId`]); the former bare-`u32` `mth_*` entry points
+//! remain as deprecated shims for one release.
+//!
+//! Under a sharded home ([`Directory`] with `S > 1`) a release first fans
+//! the collected updates out to their owning shards (`UpdateFlush`,
+//! awaiting each ack) before the release itself goes to the mutex's (or
+//! barrier's) home shard, and an acquire pulls outstanding updates from
+//! every non-granting shard (`UpdateFetch`) after the grant. With one
+//! shard both loops vanish and the message sequence is byte-identical to
+//! the classic single-home protocol.
 //!
 //! Every phase is timed into the Eq. 1 [`CostBreakdown`].
 
 use crate::costs::CostBreakdown;
+use crate::directory::Directory;
 use crate::gthv::{GthvError, GthvInstance};
+use crate::ids::{BarrierId, CondId, LockId};
 use crate::protocol::{DsdMsg, ProtocolError};
 use crate::runs::{coalesce, map_runs};
 use crate::update::{apply_batch, apply_batch_mode, apply_tracked, extract_updates, UpdateError};
@@ -48,6 +63,15 @@ pub enum DsdError {
     /// The home service declared a participant dead (lease expiry); the
     /// blocked operation cannot complete. Carries the lost worker's rank.
     WorkerLost(u32),
+    /// `MTh_cond_wait` under a sharded home requires the condition and
+    /// its mutex to be homed at the same shard — the release+park must be
+    /// atomic at a single owner.
+    ShardMismatch {
+        /// Condition variable index.
+        cond: u32,
+        /// Mutex index.
+        lock: u32,
+    },
     /// Sentinel returned by a test body to simulate this worker crashing:
     /// the cluster harness stops the worker without signing it off, so
     /// the home's failure detector must notice the silence.
@@ -63,12 +87,26 @@ impl fmt::Display for DsdError {
             DsdError::Gthv(e) => write!(f, "gthv: {e}"),
             DsdError::Unexpected(s) => write!(f, "unexpected message, wanted {s}"),
             DsdError::WorkerLost(r) => write!(f, "worker {r} lost (lease expired)"),
+            DsdError::ShardMismatch { cond, lock } => write!(
+                f,
+                "cond {cond} and mutex {lock} are homed at different shards"
+            ),
             DsdError::Crashed => write!(f, "worker simulated a crash"),
         }
     }
 }
 
-impl std::error::Error for DsdError {}
+impl std::error::Error for DsdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DsdError::Net(e) => Some(e),
+            DsdError::Protocol(e) => Some(e),
+            DsdError::Update(e) => Some(e),
+            DsdError::Gthv(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<NetError> for DsdError {
     fn from(e: NetError) -> Self {
@@ -96,6 +134,13 @@ pub struct DsdClient {
     thread_rank: u32,
     ep: Endpoint,
     home_ep: u32,
+    /// Entry/lock/barrier → home-shard partition; the single-home layout
+    /// unless the cluster was built with `shards(n)`.
+    directory: Directory,
+    /// Rank used for this client's observability events: the transport
+    /// endpoint rank, which never collides with home-shard ranks (it
+    /// equals the thread rank in the classic single-home layout).
+    obs_rank: u32,
     gthv: GthvInstance,
     costs: CostBreakdown,
     conv_stats: ConversionStats,
@@ -125,10 +170,13 @@ impl DsdClient {
     /// lock in the original system.
     pub fn new(thread_rank: u32, ep: Endpoint, home_ep: u32, mut gthv: GthvInstance) -> DsdClient {
         gthv.space_mut().reset_and_protect();
+        let obs_rank = ep.rank();
         DsdClient {
             thread_rank,
             ep,
             home_ep,
+            directory: Directory::single(),
+            obs_rank,
             gthv,
             costs: CostBreakdown::default(),
             conv_stats: ConversionStats::default(),
@@ -140,6 +188,28 @@ impl DsdClient {
             retry_base: std::time::Duration::from_millis(250),
             recorder: Recorder::disabled(),
             held_since: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Attach the cluster's home directory. Must match the directory the
+    /// home shards were built with; the default single-home directory
+    /// routes everything to `home_ep`.
+    pub fn set_directory(&mut self, directory: Directory) {
+        self.directory = directory;
+    }
+
+    /// The entry/lock/barrier → shard directory this client routes by.
+    pub fn directory(&self) -> Directory {
+        self.directory
+    }
+
+    /// Endpoint rank home shard `shard` listens on. The single-home
+    /// layout keeps honouring an arbitrary `home_ep`.
+    fn shard_ep(&self, shard: u32) -> u32 {
+        if self.directory.n_shards() == 1 {
+            self.home_ep
+        } else {
+            self.directory.shard_ep(shard)
         }
     }
 
@@ -204,14 +274,19 @@ impl DsdClient {
         self.ep.network()
     }
 
-    /// Fire-and-forget liveness beacon to the home service. Sent with
-    /// request id 0 — never deduplicated, never replied to.
+    /// Fire-and-forget liveness beacon to every home shard (each keeps
+    /// its own lease table). Sent with request id 0 — never deduplicated,
+    /// never replied to.
     pub fn heartbeat(&mut self) {
         let payload = DsdMsg::Heartbeat {
             rank: self.thread_rank,
         }
         .encode_enveloped(0);
-        let _ = self.ep.send(self.home_ep, MsgKind::Heartbeat, payload);
+        for s in 0..self.directory.n_shards() {
+            let _ = self
+                .ep
+                .send(self.shard_ep(s), MsgKind::Heartbeat, payload.clone());
+        }
     }
 
     /// This thread's stable rank.
@@ -251,7 +326,12 @@ impl DsdClient {
     /// replies to older ids (late duplicates) are skipped. The whole
     /// exchange is bounded by `recv_deadline`. A [`DsdMsg::WorkerLost`]
     /// reply aborts with [`DsdError::WorkerLost`] regardless of id.
-    fn request(&mut self, msg: DsdMsg) -> Result<DsdMsg, DsdError> {
+    ///
+    /// `shard` selects the home shard the request is addressed to; each
+    /// shard sees a strictly increasing subsequence of this client's
+    /// request ids, so one counter serves them all.
+    fn request(&mut self, shard: u32, msg: DsdMsg) -> Result<DsdMsg, DsdError> {
+        let dst = self.shard_ep(shard);
         self.req_counter += 1;
         let req_id = self.req_counter;
         let kind = msg.kind();
@@ -264,7 +344,7 @@ impl DsdClient {
             if attempt > 0 {
                 self.ep.network().note_retransmit();
                 self.recorder.instant(
-                    self.thread_rank,
+                    self.obs_rank,
                     EventKind::Retransmit,
                     attempt as u64,
                     0,
@@ -272,7 +352,7 @@ impl DsdClient {
                 );
             }
             self.costs.bytes_sent += payload.len() as u64;
-            self.ep.send(self.home_ep, kind, payload.clone())?;
+            self.ep.send(dst, kind, payload.clone())?;
             // How long to wait before the next retransmission; once the
             // retry budget is spent, wait out the remaining deadline.
             let attempt_wait = if attempt >= self.max_retries {
@@ -294,7 +374,7 @@ impl DsdClient {
                     Ok(m) => {
                         let t0 = Instant::now();
                         let (rid, decoded) = {
-                            let mut span = self.recorder.span(self.thread_rank, EventKind::Unpack);
+                            let mut span = self.recorder.span(self.obs_rank, EventKind::Unpack);
                             span.args(m.payload.len() as u64, m.src as u64);
                             DsdMsg::decode_enveloped(m.kind, m.payload)?
                         };
@@ -321,7 +401,7 @@ impl DsdClient {
         let bytes: u64 = updates.iter().map(|u| u.data.len() as u64).sum();
         let t0 = Instant::now();
         {
-            let mut span = self.recorder.span(self.thread_rank, EventKind::Convert);
+            let mut span = self.recorder.span(self.obs_rank, EventKind::Convert);
             span.args(updates.len() as u64, bytes);
             apply_batch_mode(
                 &mut self.gthv,
@@ -365,7 +445,7 @@ impl DsdClient {
         let runs;
         let mapped;
         {
-            let mut span = self.recorder.span(self.thread_rank, EventKind::DiffScan);
+            let mut span = self.recorder.span(self.obs_rank, EventKind::DiffScan);
             runs = if self.fast_path {
                 hdsm_memory::diff::diff_pages_parallel(
                     self.gthv.space(),
@@ -390,7 +470,7 @@ impl DsdClient {
         let t1 = Instant::now();
         let mut ranges;
         {
-            let mut span = self.recorder.span(self.thread_rank, EventKind::TagBuild);
+            let mut span = self.recorder.span(self.obs_rank, EventKind::TagBuild);
             ranges = coalesce(mapped);
             if self.promote_threshold < 100 {
                 ranges =
@@ -403,7 +483,7 @@ impl DsdClient {
         let t2 = Instant::now();
         let ups;
         {
-            let mut span = self.recorder.span(self.thread_rank, EventKind::Pack);
+            let mut span = self.recorder.span(self.obs_rank, EventKind::Pack);
             ups = extract_updates(&self.gthv, &ranges)?;
             span.args(
                 ups.iter().map(|u| u.data.len() as u64).sum(),
@@ -425,15 +505,83 @@ impl DsdClient {
         Ok(ups)
     }
 
-    /// `MTh_lock(index, rank)` — paper §4.1.
-    pub fn mth_lock(&mut self, lock: u32) -> Result<(), DsdError> {
+    /// Fan released updates out to their owning shards, keeping the
+    /// bucket owned by `keep` (the shard the release itself goes to).
+    /// Each flush is acknowledged before the next is sent and before the
+    /// caller sends its release, so by the time any shard grants a later
+    /// acquire, every flushed update is already absorbed somewhere the
+    /// acquirer will fetch from. A single-shard directory returns the
+    /// batch untouched without touching the wire.
+    fn flush_updates(
+        &mut self,
+        updates: Vec<WireUpdate>,
+        keep: u32,
+    ) -> Result<Vec<WireUpdate>, DsdError> {
+        let shards = self.directory.n_shards();
+        if shards == 1 {
+            return Ok(updates);
+        }
+        let mut buckets: Vec<Vec<WireUpdate>> = (0..shards).map(|_| Vec::new()).collect();
+        for u in updates {
+            buckets[self.directory.entry_shard(u.entry) as usize].push(u);
+        }
+        for shard in 0..shards {
+            if shard == keep || buckets[shard as usize].is_empty() {
+                continue;
+            }
+            let updates = std::mem::take(&mut buckets[shard as usize]);
+            match self.request(
+                shard,
+                DsdMsg::UpdateFlush {
+                    rank: self.thread_rank,
+                    updates,
+                },
+            )? {
+                DsdMsg::Ack => {}
+                _ => return Err(DsdError::Unexpected("Ack (update flush)")),
+            }
+        }
+        Ok(std::mem::take(&mut buckets[keep as usize]))
+    }
+
+    /// Pull outstanding updates from every shard other than `granting`
+    /// (whose updates rode in with the grant). Returns the merged batch;
+    /// empty — with no wire traffic — on a single-shard directory.
+    fn fetch_others(&mut self, granting: u32) -> Result<Vec<WireUpdate>, DsdError> {
+        let shards = self.directory.n_shards();
+        if shards == 1 {
+            return Ok(Vec::new());
+        }
+        let mut merged = Vec::new();
+        for shard in 0..shards {
+            if shard == granting {
+                continue;
+            }
+            match self.request(
+                shard,
+                DsdMsg::UpdateFetch {
+                    rank: self.thread_rank,
+                },
+            )? {
+                DsdMsg::UpdateBatch { updates } => merged.extend(updates),
+                _ => return Err(DsdError::Unexpected("UpdateBatch")),
+            }
+        }
+        Ok(merged)
+    }
+
+    fn lock_impl(&mut self, lock: u32) -> Result<(), DsdError> {
+        let owner = self.directory.lock_shard(lock);
         let reply = {
-            let mut span = self.recorder.span(self.thread_rank, EventKind::LockWait);
+            let mut span = self.recorder.span(self.obs_rank, EventKind::LockWait);
             span.args(lock as u64, 0);
-            self.request(DsdMsg::LockRequest {
-                lock,
-                rank: self.thread_rank,
-            })?
+            self.request(
+                owner,
+                DsdMsg::LockRequest {
+                    lock,
+                    rank: self.thread_rank,
+                },
+            )?
         };
         match reply {
             DsdMsg::LockGrant { lock: l, updates } if l == lock => {
@@ -441,29 +589,35 @@ impl DsdClient {
                     self.held_since
                         .insert(lock, (self.recorder.now_us(), Instant::now()));
                 }
-                self.apply_incoming(&updates)?;
+                let mut all = updates;
+                all.extend(self.fetch_others(owner)?);
+                self.apply_incoming(&all)?;
                 Ok(())
             }
             _ => Err(DsdError::Unexpected("LockGrant")),
         }
     }
 
-    /// `MTh_unlock(index, rank)` — paper §4.2.
-    pub fn mth_unlock(&mut self, lock: u32) -> Result<(), DsdError> {
-        let mut release = self.recorder.span(self.thread_rank, EventKind::LockRelease);
+    fn unlock_impl(&mut self, lock: u32) -> Result<(), DsdError> {
+        let owner = self.directory.lock_shard(lock);
+        let mut release = self.recorder.span(self.obs_rank, EventKind::LockRelease);
         release.args(lock as u64, 0);
         let updates = self.collect_outgoing()?;
         // Twins/dirty marks shipped; re-arm for the next critical section.
         self.gthv.space_mut().reset_and_protect();
-        match self.request(DsdMsg::UnlockRequest {
-            lock,
-            rank: self.thread_rank,
-            updates,
-        })? {
+        let updates = self.flush_updates(updates, owner)?;
+        match self.request(
+            owner,
+            DsdMsg::UnlockRequest {
+                lock,
+                rank: self.thread_rank,
+                updates,
+            },
+        )? {
             DsdMsg::UnlockAck { lock: l } if l == lock => {
                 if let Some((t_us, start)) = self.held_since.remove(&lock) {
                     self.recorder.span_at(
-                        self.thread_rank,
+                        self.obs_rank,
                         EventKind::LockHold,
                         t_us,
                         start.elapsed().as_micros() as u64,
@@ -478,90 +632,211 @@ impl DsdClient {
         }
     }
 
-    /// `MTh_cond_wait(cond, lock)` — the distributed
-    /// `pthread_cond_wait`: atomically release mutex `lock` (shipping this
-    /// thread's updates, a full release) and sleep on condition `cond`;
-    /// returns with the mutex re-acquired and outstanding updates applied
-    /// (a full acquire). As with Pthreads, re-check the predicate in a
-    /// loop — another thread may run between the signal and the wake.
-    pub fn mth_cond_wait(&mut self, cond: u32, lock: u32) -> Result<(), DsdError> {
+    fn cond_wait_impl(&mut self, cond: u32, lock: u32) -> Result<(), DsdError> {
+        let owner = self.directory.lock_shard(lock);
+        if self.directory.cond_shard(cond) != owner {
+            return Err(DsdError::ShardMismatch { cond, lock });
+        }
         let updates = self.collect_outgoing()?;
         self.gthv.space_mut().reset_and_protect();
-        match self.request(DsdMsg::CondWait {
-            cond,
-            lock,
-            rank: self.thread_rank,
-            updates,
-        })? {
+        let updates = self.flush_updates(updates, owner)?;
+        match self.request(
+            owner,
+            DsdMsg::CondWait {
+                cond,
+                lock,
+                rank: self.thread_rank,
+                updates,
+            },
+        )? {
             DsdMsg::LockGrant { lock: l, updates } if l == lock => {
-                self.apply_incoming(&updates)?;
+                let mut all = updates;
+                all.extend(self.fetch_others(owner)?);
+                self.apply_incoming(&all)?;
                 Ok(())
             }
             _ => Err(DsdError::Unexpected("LockGrant (cond wake)")),
         }
     }
 
-    /// `MTh_cond_signal(cond)` — wake one waiter. Acknowledged by the
-    /// home so the signal survives a lossy fabric; callers conventionally
-    /// hold the associated mutex while signalling.
-    pub fn mth_cond_signal(&mut self, cond: u32) -> Result<(), DsdError> {
-        match self.request(DsdMsg::CondSignal {
-            cond,
-            rank: self.thread_rank,
-            broadcast: false,
-        })? {
+    fn cond_signal_impl(&mut self, cond: u32, broadcast: bool) -> Result<(), DsdError> {
+        let owner = self.directory.cond_shard(cond);
+        match self.request(
+            owner,
+            DsdMsg::CondSignal {
+                cond,
+                rank: self.thread_rank,
+                broadcast,
+            },
+        )? {
             DsdMsg::Ack => Ok(()),
             _ => Err(DsdError::Unexpected("Ack")),
         }
     }
 
-    /// `MTh_cond_broadcast(cond)` — wake every waiter.
-    pub fn mth_cond_broadcast(&mut self, cond: u32) -> Result<(), DsdError> {
-        match self.request(DsdMsg::CondSignal {
-            cond,
-            rank: self.thread_rank,
-            broadcast: true,
-        })? {
-            DsdMsg::Ack => Ok(()),
-            _ => Err(DsdError::Unexpected("Ack")),
-        }
-    }
-
-    /// `MTh_barrier(index, rank)` — a full release + acquire for every
-    /// participant (paper §4: barriers spare the programmer from building
-    /// them out of the distributed mutex).
-    pub fn mth_barrier(&mut self, barrier: u32) -> Result<(), DsdError> {
-        let mut span = self.recorder.span(self.thread_rank, EventKind::Barrier);
+    fn barrier_impl(&mut self, barrier: u32) -> Result<(), DsdError> {
+        let coordinator = self.directory.barrier_shard(barrier);
+        let mut span = self.recorder.span(self.obs_rank, EventKind::Barrier);
         span.args(barrier as u64, 0);
         let updates = self.collect_outgoing()?;
         self.gthv.space_mut().reset_and_protect();
-        match self.request(DsdMsg::BarrierEnter {
-            barrier,
-            rank: self.thread_rank,
-            updates,
-        })? {
+        let updates = self.flush_updates(updates, coordinator)?;
+        match self.request(
+            coordinator,
+            DsdMsg::BarrierEnter {
+                barrier,
+                rank: self.thread_rank,
+                updates,
+            },
+        )? {
             DsdMsg::BarrierRelease {
                 barrier: b,
                 updates,
             } if b == barrier => {
-                self.apply_incoming(&updates)?;
+                let mut all = updates;
+                all.extend(self.fetch_others(coordinator)?);
+                self.apply_incoming(&all)?;
                 Ok(())
             }
             _ => Err(DsdError::Unexpected("BarrierRelease")),
         }
     }
 
+    fn join_impl(mut self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
+        // Sign off at every shard; each keeps its own participant table
+        // and its Shutdown is the deferred (retransmittable) reply to the
+        // Join it received.
+        for shard in 0..self.directory.n_shards() {
+            match self.request(
+                shard,
+                DsdMsg::Join {
+                    rank: self.thread_rank,
+                },
+            ) {
+                Ok(DsdMsg::Shutdown) => {}
+                // A shard cannot exit its service loop before processing
+                // every participant's Join — ours included. If it hung up
+                // mid-retransmission, the Shutdown reply was lost after a
+                // clean sign-off; nothing is owed to us.
+                Err(DsdError::Net(NetError::Disconnected(_))) => {}
+                Ok(_) => return Err(DsdError::Unexpected("Shutdown")),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((self.costs, self.conv_stats, self.gthv))
+    }
+
+    // ----- the typed session API -----
+
+    /// Acquire distributed mutex `lock` (paper §4.1 `MTh_lock`):
+    /// outstanding updates arrive with the grant and are applied before
+    /// this returns. Pair with [`Self::release`], or use [`Self::lock`]
+    /// for an RAII guard.
+    pub fn acquire(&mut self, lock: LockId) -> Result<(), DsdError> {
+        self.lock_impl(lock.raw())
+    }
+
+    /// Release distributed mutex `lock` (paper §4.2 `MTh_unlock`): local
+    /// modifications are diffed, tagged, packed and shipped home.
+    pub fn release(&mut self, lock: LockId) -> Result<(), DsdError> {
+        self.unlock_impl(lock.raw())
+    }
+
+    /// Acquire mutex `lock` and return a guard that releases it when
+    /// dropped — including on panic, so a failing critical section still
+    /// flushes its diffs home. The guard dereferences to the client.
+    pub fn lock(&mut self, lock: LockId) -> Result<LockGuard<'_>, DsdError> {
+        self.lock_impl(lock.raw())?;
+        Ok(LockGuard {
+            client: self,
+            lock,
+            released: false,
+        })
+    }
+
+    /// `MTh_cond_wait(cond, lock)` — the distributed
+    /// `pthread_cond_wait`: atomically release mutex `lock` (shipping this
+    /// thread's updates, a full release) and sleep on condition `cond`;
+    /// returns with the mutex re-acquired and outstanding updates applied
+    /// (a full acquire). As with Pthreads, re-check the predicate in a
+    /// loop — another thread may run between the signal and the wake.
+    ///
+    /// Under a sharded home the condition and the mutex must be homed at
+    /// the same shard (`cond.raw() % S == lock.raw() % S`) so the
+    /// release+park stays atomic at one owner.
+    pub fn cond_wait(&mut self, cond: CondId, lock: LockId) -> Result<(), DsdError> {
+        self.cond_wait_impl(cond.raw(), lock.raw())
+    }
+
+    /// `MTh_cond_signal(cond)` — wake one waiter. Acknowledged by the
+    /// home so the signal survives a lossy fabric; callers conventionally
+    /// hold the associated mutex while signalling.
+    pub fn cond_signal(&mut self, cond: CondId) -> Result<(), DsdError> {
+        self.cond_signal_impl(cond.raw(), false)
+    }
+
+    /// `MTh_cond_broadcast(cond)` — wake every waiter.
+    pub fn cond_broadcast(&mut self, cond: CondId) -> Result<(), DsdError> {
+        self.cond_signal_impl(cond.raw(), true)
+    }
+
+    /// `MTh_barrier(index, rank)` — a full release + acquire for every
+    /// participant (paper §4: barriers spare the programmer from building
+    /// them out of the distributed mutex).
+    pub fn barrier(&mut self, barrier: BarrierId) -> Result<(), DsdError> {
+        self.barrier_impl(barrier.raw())
+    }
+
     /// `MTh_join()` — sign off and wait for the program to end. Consumes
     /// the client; returns the accumulated costs and the final local copy.
     /// The home's shutdown broadcast is the (deferred, retransmittable)
     /// reply to this request.
-    pub fn mth_join(mut self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
-        match self.request(DsdMsg::Join {
-            rank: self.thread_rank,
-        })? {
-            DsdMsg::Shutdown => Ok((self.costs, self.conv_stats, self.gthv)),
-            _ => Err(DsdError::Unexpected("Shutdown")),
-        }
+    pub fn join(self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
+        self.join_impl()
+    }
+
+    // ----- deprecated bare-u32 shims (one release) -----
+
+    /// `MTh_lock(index, rank)` — paper §4.1.
+    #[deprecated(since = "0.5.0", note = "use `acquire(LockId)` or `lock(LockId)`")]
+    pub fn mth_lock(&mut self, lock: u32) -> Result<(), DsdError> {
+        self.lock_impl(lock)
+    }
+
+    /// `MTh_unlock(index, rank)` — paper §4.2.
+    #[deprecated(since = "0.5.0", note = "use `release(LockId)`")]
+    pub fn mth_unlock(&mut self, lock: u32) -> Result<(), DsdError> {
+        self.unlock_impl(lock)
+    }
+
+    /// `MTh_cond_wait(cond, lock)`.
+    #[deprecated(since = "0.5.0", note = "use `cond_wait(CondId, LockId)`")]
+    pub fn mth_cond_wait(&mut self, cond: u32, lock: u32) -> Result<(), DsdError> {
+        self.cond_wait_impl(cond, lock)
+    }
+
+    /// `MTh_cond_signal(cond)`.
+    #[deprecated(since = "0.5.0", note = "use `cond_signal(CondId)`")]
+    pub fn mth_cond_signal(&mut self, cond: u32) -> Result<(), DsdError> {
+        self.cond_signal_impl(cond, false)
+    }
+
+    /// `MTh_cond_broadcast(cond)`.
+    #[deprecated(since = "0.5.0", note = "use `cond_broadcast(CondId)`")]
+    pub fn mth_cond_broadcast(&mut self, cond: u32) -> Result<(), DsdError> {
+        self.cond_signal_impl(cond, true)
+    }
+
+    /// `MTh_barrier(index, rank)`.
+    #[deprecated(since = "0.5.0", note = "use `barrier(BarrierId)`")]
+    pub fn mth_barrier(&mut self, barrier: u32) -> Result<(), DsdError> {
+        self.barrier_impl(barrier)
+    }
+
+    /// `MTh_join()`.
+    #[deprecated(since = "0.5.0", note = "use `join()`")]
+    pub fn mth_join(self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
+        self.join_impl()
     }
 
     /// Re-host this thread on a different (possibly heterogeneous) node,
@@ -653,12 +928,20 @@ impl DsdClient {
         let def = self.gthv.def().clone();
         self.gthv = GthvInstance::new(def, platform);
         self.gthv.space_mut().reset_and_protect();
-        match self.request(DsdMsg::Resync {
-            rank: self.thread_rank,
-        })? {
-            DsdMsg::Ack => Ok(()),
-            _ => Err(DsdError::Unexpected("Ack")),
+        // Every shard tracks its own horizon for this thread; each must
+        // drop it so the next acquire fully refreshes every slice.
+        for shard in 0..self.directory.n_shards() {
+            match self.request(
+                shard,
+                DsdMsg::Resync {
+                    rank: self.thread_rank,
+                },
+            )? {
+                DsdMsg::Ack => {}
+                _ => return Err(DsdError::Unexpected("Ack")),
+            }
         }
+        Ok(())
     }
 
     // ----- typed convenience accessors (forwarders) -----
@@ -705,6 +988,56 @@ impl DsdClient {
     }
 }
 
+/// RAII guard over an acquired distributed mutex, returned by
+/// [`DsdClient::lock`]. Dereferences to the client so the critical
+/// section reads and writes through the guard; the mutex is released —
+/// shipping the section's diffs home — when the guard drops, explicitly
+/// via [`LockGuard::unlock`] or implicitly at scope exit, including
+/// during a panic unwind.
+pub struct LockGuard<'a> {
+    client: &'a mut DsdClient,
+    lock: LockId,
+    released: bool,
+}
+
+impl LockGuard<'_> {
+    /// The mutex this guard holds.
+    pub fn lock_id(&self) -> LockId {
+        self.lock
+    }
+
+    /// Release explicitly, surfacing any protocol error (a drop-release
+    /// can only swallow it).
+    pub fn unlock(mut self) -> Result<(), DsdError> {
+        self.released = true;
+        self.client.unlock_impl(self.lock.raw())
+    }
+}
+
+impl std::ops::Deref for LockGuard<'_> {
+    type Target = DsdClient;
+    fn deref(&self) -> &DsdClient {
+        self.client
+    }
+}
+
+impl std::ops::DerefMut for LockGuard<'_> {
+    fn deref_mut(&mut self) -> &mut DsdClient {
+        self.client
+    }
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        if !self.released {
+            // Best effort: the release must not panic inside a drop
+            // (possibly already unwinding). A failed release surfaces at
+            // the next protocol operation instead.
+            let _ = self.client.unlock_impl(self.lock.raw());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,6 +1048,11 @@ mod tests {
     use hdsm_platform::ctype::StructBuilder;
     use hdsm_platform::scalar::ScalarKind;
     use hdsm_platform::spec::{Platform, PlatformSpec};
+
+    const L0: LockId = LockId::new(0);
+    const B0: BarrierId = BarrierId::new(0);
+    const C0: CondId = CondId::new(0);
+    const C1: CondId = CondId::new(1);
 
     fn tiny_def() -> GthvDef {
         GthvDef::new(
@@ -766,7 +1104,7 @@ mod tests {
                     let gthv = GthvInstance::new(def, plat);
                     let mut c = DsdClient::new(i as u32 + 1, ep, 0, gthv);
                     body(&mut c);
-                    c.mth_join().expect("join");
+                    c.join().expect("join");
                 });
             }
         });
@@ -775,10 +1113,10 @@ mod tests {
     #[test]
     fn lock_pulls_initial_state_heterogeneous() {
         with_cluster(vec![PlatformSpec::solaris_sparc()], 1, 0, |c| {
-            c.mth_lock(0).unwrap();
+            c.acquire(L0).unwrap();
             assert_eq!(c.read_int(0, 0).unwrap(), 1000);
             assert_eq!(c.read_int(0, 127).unwrap(), 1127);
-            c.mth_unlock(0).unwrap();
+            c.release(L0).unwrap();
         });
     }
 
@@ -792,21 +1130,21 @@ mod tests {
             1,
             |c| {
                 if c.thread_rank() == 1 {
-                    c.mth_lock(0).unwrap();
+                    c.acquire(L0).unwrap();
                     c.write_int(1, 0, 7).unwrap();
                     for i in 0..64 {
                         c.write_int(0, i, -(i as i128)).unwrap();
                     }
-                    c.mth_unlock(0).unwrap();
-                    c.mth_barrier(0).unwrap();
+                    c.release(L0).unwrap();
+                    c.barrier(B0).unwrap();
                 } else {
-                    c.mth_barrier(0).unwrap();
-                    c.mth_lock(0).unwrap();
+                    c.barrier(B0).unwrap();
+                    c.acquire(L0).unwrap();
                     assert_eq!(c.read_int(1, 0).unwrap(), 7);
                     assert_eq!(c.read_int(0, 63).unwrap(), -63);
                     // Untouched tail still has the initial contents.
                     assert_eq!(c.read_int(0, 100).unwrap(), 1100);
-                    c.mth_unlock(0).unwrap();
+                    c.release(L0).unwrap();
                 }
             },
         );
@@ -826,12 +1164,12 @@ mod tests {
                 let r = c.thread_rank() as u64 - 1;
                 // Pull the initial state first — release consistency only
                 // guarantees a coherent view after an acquire.
-                c.mth_barrier(0).unwrap();
+                c.barrier(B0).unwrap();
                 // Each thread writes its own 32-element stripe.
                 for i in (r * 32)..(r * 32 + 32) {
                     c.write_int(0, i, (i as i128) * 10).unwrap();
                 }
-                c.mth_barrier(0).unwrap();
+                c.barrier(B0).unwrap();
                 // Everyone sees every stripe.
                 for i in 0..96 {
                     assert_eq!(c.read_int(0, i).unwrap(), (i as i128) * 10, "elem {i}");
@@ -853,15 +1191,15 @@ mod tests {
             1,
             move |c| {
                 for _ in 0..10 {
-                    c.mth_lock(0).unwrap();
+                    c.acquire(L0).unwrap();
                     let v = c.read_int(counter_entry, 0).unwrap();
                     c.write_int(counter_entry, 0, v + 1).unwrap();
-                    c.mth_unlock(0).unwrap();
+                    c.release(L0).unwrap();
                 }
-                c.mth_barrier(0).unwrap();
-                c.mth_lock(0).unwrap();
+                c.barrier(B0).unwrap();
+                c.acquire(L0).unwrap();
                 assert_eq!(c.read_int(counter_entry, 0).unwrap(), 30);
-                c.mth_unlock(0).unwrap();
+                c.release(L0).unwrap();
             },
         );
     }
@@ -869,11 +1207,11 @@ mod tests {
     #[test]
     fn costs_are_recorded() {
         with_cluster(vec![PlatformSpec::solaris_sparc()], 1, 0, |c| {
-            c.mth_lock(0).unwrap();
+            c.acquire(L0).unwrap();
             for i in 0..128 {
                 c.write_int(0, i, i as i128).unwrap();
             }
-            c.mth_unlock(0).unwrap();
+            c.release(L0).unwrap();
             let costs = c.costs();
             assert!(costs.updates_sent >= 1);
             assert!(costs.updates_applied >= 1); // initial state batch
@@ -896,23 +1234,23 @@ mod tests {
                 if c.thread_rank() == 1 {
                     // Producer.
                     for i in 0..ITEMS {
-                        c.mth_lock(0).unwrap();
+                        c.acquire(L0).unwrap();
                         c.write_int(0, i as u64, 500 + i).unwrap();
                         c.write_int(1, 0, i + 1).unwrap();
-                        c.mth_cond_signal(0).unwrap();
-                        c.mth_unlock(0).unwrap();
+                        c.cond_signal(C0).unwrap();
+                        c.release(L0).unwrap();
                     }
-                    c.mth_barrier(0).unwrap();
+                    c.barrier(B0).unwrap();
                 } else {
                     // Consumer.
                     let mut consumed = 0i128;
-                    c.mth_lock(0).unwrap();
+                    c.acquire(L0).unwrap();
                     while consumed < ITEMS {
                         let available = c.read_int(1, 0).unwrap();
                         if available <= consumed {
                             // Predicate loop around cond_wait, as with
                             // pthread_cond_wait.
-                            c.mth_cond_wait(0, 0).unwrap();
+                            c.cond_wait(C0, L0).unwrap();
                             continue;
                         }
                         for i in consumed..available {
@@ -920,8 +1258,8 @@ mod tests {
                         }
                         consumed = available;
                     }
-                    c.mth_unlock(0).unwrap();
-                    c.mth_barrier(0).unwrap();
+                    c.release(L0).unwrap();
+                    c.barrier(B0).unwrap();
                 }
             },
         );
@@ -943,27 +1281,27 @@ mod tests {
                     // bump entry 1 under the lock before waiting), then
                     // sets the flag and wakes everyone.
                     loop {
-                        c.mth_lock(0).unwrap();
+                        c.acquire(L0).unwrap();
                         let parked = c.read_int(1, 0).unwrap();
                         if parked == 2 {
                             c.write_int(0, 0, 777).unwrap();
-                            c.mth_cond_broadcast(1).unwrap();
-                            c.mth_unlock(0).unwrap();
+                            c.cond_broadcast(C1).unwrap();
+                            c.release(L0).unwrap();
                             break;
                         }
-                        c.mth_unlock(0).unwrap();
+                        c.release(L0).unwrap();
                         std::thread::yield_now();
                     }
                 } else {
-                    c.mth_lock(0).unwrap();
+                    c.acquire(L0).unwrap();
                     let parked = c.read_int(1, 0).unwrap();
                     c.write_int(1, 0, parked + 1).unwrap();
                     while c.read_int(0, 0).unwrap() != 777 {
-                        c.mth_cond_wait(1, 0).unwrap();
+                        c.cond_wait(C1, L0).unwrap();
                     }
-                    c.mth_unlock(0).unwrap();
+                    c.release(L0).unwrap();
                 }
-                c.mth_barrier(0).unwrap();
+                c.barrier(B0).unwrap();
             },
         );
     }
@@ -972,7 +1310,7 @@ mod tests {
     fn promotion_ships_whole_entry_when_mostly_dirty() {
         with_cluster(vec![PlatformSpec::linux_x86()], 1, 0, |c| {
             c.set_promotion_threshold(50);
-            c.mth_lock(0).unwrap();
+            c.acquire(L0).unwrap();
             // Write > 50% of entry 0 in two disjoint chunks; with
             // promotion the release ships one full-entry update.
             for i in 0..50 {
@@ -981,7 +1319,7 @@ mod tests {
             for i in 90..120 {
                 c.write_int(0, i, i as i128 + 2000).unwrap();
             }
-            c.mth_unlock(0).unwrap();
+            c.release(L0).unwrap();
             // One update frame for the promoted entry (128 elements,
             // 512 bytes) rather than two fragments.
             let costs = c.costs();
@@ -989,29 +1327,29 @@ mod tests {
             assert!(costs.bytes_sent > 512);
             // And the values are correct at the next acquire (including
             // the untouched gap, which keeps its pre-critical values).
-            c.mth_lock(0).unwrap();
+            c.acquire(L0).unwrap();
             assert_eq!(c.read_int(0, 49).unwrap(), 2049);
             assert_eq!(c.read_int(0, 70).unwrap(), 1070); // initial value
             assert_eq!(c.read_int(0, 91).unwrap(), 2091);
-            c.mth_unlock(0).unwrap();
+            c.release(L0).unwrap();
         });
     }
 
     #[test]
     fn cold_rehost_pulls_full_state_on_new_platform() {
         with_cluster(vec![PlatformSpec::linux_x86()], 1, 0, |c| {
-            c.mth_lock(0).unwrap();
+            c.acquire(L0).unwrap();
             c.write_int(1, 0, 99).unwrap();
-            c.mth_unlock(0).unwrap();
+            c.release(L0).unwrap();
             // Migrate this thread to a big-endian LP64 node, cold.
             c.rehost_cold(PlatformSpec::solaris_sparc64()).unwrap();
             assert_eq!(c.platform().name, "solaris-sparc64");
             // Cold copy: zero until the next acquire.
             assert_eq!(c.read_int(1, 0).unwrap(), 0);
-            c.mth_lock(0).unwrap();
+            c.acquire(L0).unwrap();
             assert_eq!(c.read_int(1, 0).unwrap(), 99);
             assert_eq!(c.read_int(0, 5).unwrap(), 1005);
-            c.mth_unlock(0).unwrap();
+            c.release(L0).unwrap();
         });
     }
 
@@ -1019,7 +1357,7 @@ mod tests {
     fn warm_rehost_carries_globals_and_dirty_state() {
         with_cluster(vec![PlatformSpec::linux_x86()], 1, 0, |c| {
             // Acquire initial state, then write *without releasing*.
-            c.mth_lock(0).unwrap();
+            c.acquire(L0).unwrap();
             c.write_int(0, 10, -42).unwrap();
             // Migrate mid-critical-section data to a BE LP64 node.
             c.rehost(PlatformSpec::solaris_sparc64()).unwrap();
@@ -1029,11 +1367,133 @@ mod tests {
             assert_eq!(c.read_int(0, 10).unwrap(), -42);
             assert_eq!(c.read_int(0, 5).unwrap(), 1005);
             // Releasing after the move still ships the pre-move write.
-            c.mth_unlock(0).unwrap();
+            c.release(L0).unwrap();
             c.rehost_cold(PlatformSpec::linux_x86()).unwrap();
-            c.mth_lock(0).unwrap();
+            c.acquire(L0).unwrap();
             assert_eq!(c.read_int(0, 10).unwrap(), -42, "write survived");
+            c.release(L0).unwrap();
+        });
+    }
+
+    #[test]
+    fn lock_guard_releases_on_drop() {
+        with_cluster(vec![PlatformSpec::linux_x86()], 1, 0, |c| {
+            {
+                let mut g = c.lock(L0).unwrap();
+                g.write_int(1, 0, 11).unwrap();
+                assert_eq!(g.lock_id(), L0);
+            }
+            // If the drop hadn't released, this second acquire would
+            // deadlock (the home only grants a free mutex).
+            let g = c.lock(L0).unwrap();
+            assert_eq!(g.read_int(1, 0).unwrap(), 11);
+            g.unlock().unwrap();
+            assert!(c.costs().updates_sent >= 1, "drop shipped the diff");
+        });
+    }
+
+    #[test]
+    fn panicking_critical_section_still_flushes_diffs() {
+        with_cluster(
+            vec![PlatformSpec::linux_x86(), PlatformSpec::solaris_sparc()],
+            1,
+            1,
+            |c| {
+                if c.thread_rank() == 1 {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut g = c.lock(L0).unwrap();
+                        g.write_int(1, 0, 123).unwrap();
+                        panic!("simulated failure inside the critical section");
+                    }));
+                    assert!(r.is_err());
+                    c.barrier(B0).unwrap();
+                } else {
+                    c.barrier(B0).unwrap();
+                    // The panicking thread's guard released on unwind and
+                    // shipped its write home.
+                    c.acquire(L0).unwrap();
+                    assert_eq!(c.read_int(1, 0).unwrap(), 123);
+                    c.release(L0).unwrap();
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_mth_shims_still_work() {
+        with_cluster(vec![PlatformSpec::linux_x86()], 1, 1, |c| {
+            c.mth_lock(0).unwrap();
+            c.write_int(1, 0, 5).unwrap();
             c.mth_unlock(0).unwrap();
+            c.mth_barrier(0).unwrap();
+            assert_eq!(c.read_int(1, 0).unwrap(), 5);
+        });
+    }
+
+    /// Two home shards, two workers: entry 0 ("xs") is owned by shard 0,
+    /// entry 1 ("flag") by shard 1, so a critical section touching both
+    /// must flush to the non-owning shard and the next acquirer must
+    /// fetch from it.
+    #[test]
+    fn updates_flow_across_two_shards() {
+        let def = tiny_def();
+        let dir = Directory::new(2);
+        let (_net, mut eps) =
+            hdsm_net::endpoint::Network::new(2 + 2, hdsm_net::stats::NetConfig::instant());
+        let shard1_ep = eps.remove(1);
+        let shard0_ep = eps.remove(0);
+        let mut shards = Vec::new();
+        for (shard, ep) in [(0u32, shard0_ep), (1u32, shard1_ep)] {
+            let mut h = HomeService::new(
+                GthvInstance::new(def.clone(), PlatformSpec::linux_x86()),
+                ep,
+                HomeConfig {
+                    n_locks: 1,
+                    n_barriers: 1,
+                    n_conds: 0,
+                    participants: vec![1, 2],
+                    shard,
+                    directory: dir,
+                    ..Default::default()
+                },
+            );
+            h.init_with(|g| {
+                for i in 0..128 {
+                    g.write_int(0, i, 1000 + i as i128).unwrap();
+                }
+            });
+            shards.push(h);
+        }
+        std::thread::scope(|s| {
+            for h in shards {
+                s.spawn(move || h.run().expect("shard"));
+            }
+            for (i, ep) in eps.drain(..).enumerate() {
+                let def = def.clone();
+                s.spawn(move || {
+                    let gthv = GthvInstance::new(def, PlatformSpec::linux_x86());
+                    let mut c = DsdClient::new(i as u32 + 1, ep, 0, gthv);
+                    c.set_directory(dir);
+                    if c.thread_rank() == 1 {
+                        c.acquire(L0).unwrap();
+                        // Initial state arrived from shard 0's slice.
+                        assert_eq!(c.read_int(0, 5).unwrap(), 1005);
+                        c.write_int(0, 0, -1).unwrap(); // shard 0's entry
+                        c.write_int(1, 0, 77).unwrap(); // shard 1's entry
+                        c.release(L0).unwrap();
+                        c.barrier(B0).unwrap();
+                    } else {
+                        c.barrier(B0).unwrap();
+                        c.acquire(L0).unwrap();
+                        assert_eq!(c.read_int(0, 0).unwrap(), -1, "granting shard's slice");
+                        assert_eq!(c.read_int(1, 0).unwrap(), 77, "fetched shard's slice");
+                        assert_eq!(c.read_int(0, 99).unwrap(), 1099, "untouched initial state");
+                        c.release(L0).unwrap();
+                    }
+                    c.join().expect("join");
+                });
+            }
         });
     }
 }

@@ -24,9 +24,12 @@
 
 use crate::client::{DsdClient, DsdError};
 use crate::costs::CostBreakdown;
+use crate::directory::Directory;
 use crate::gthv::{GthvDef, GthvInstance};
-use crate::home::{HomeConfig, HomeError, HomeService};
+use crate::home::{HomeConfig, HomeError, HomeShard};
+use crate::ids::{BarrierId, CondId, LockId};
 use crate::protocol::DsdMsg;
+use crate::update::{apply_batch, extract_updates, full_ranges};
 use hdsm_migthread::compute::{Computation, ProgramRegistry, StepStatus};
 use hdsm_migthread::packfmt::{pack_state_observed, MigrateError};
 use hdsm_migthread::state::ThreadState;
@@ -80,7 +83,30 @@ impl fmt::Display for ClusterError {
     }
 }
 
-impl std::error::Error for ClusterError {}
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Home(e) => Some(e),
+            ClusterError::Worker { error, .. } => Some(error),
+            ClusterError::Migration(e) => Some(e),
+            ClusterError::Config(_) | ClusterError::Panic(_) | ClusterError::WorkerLost { .. } => {
+                None
+            }
+        }
+    }
+}
+
+impl From<HomeError> for ClusterError {
+    fn from(e: HomeError) -> ClusterError {
+        ClusterError::Home(e)
+    }
+}
+
+impl From<MigrateError> for ClusterError {
+    fn from(e: MigrateError) -> ClusterError {
+        ClusterError::Migration(e)
+    }
+}
 
 /// Per-worker identity handed to the SPMD body.
 #[derive(Debug, Clone)]
@@ -152,6 +178,7 @@ pub struct ClusterBuilder {
     n_locks: u32,
     n_barriers: u32,
     n_conds: u32,
+    shards: u32,
     net_config: NetConfig,
     init: Option<InitFn>,
     recv_deadline: Option<Duration>,
@@ -178,6 +205,7 @@ impl ClusterBuilder {
             n_locks: 1,
             n_barriers: 1,
             n_conds: 0,
+            shards: 1,
             net_config: NetConfig::instant(),
             init: None,
             recv_deadline: None,
@@ -288,6 +316,36 @@ impl ClusterBuilder {
         self
     }
 
+    /// Shard the home service `n` ways (default 1). Index-table entries,
+    /// mutexes, barriers and condition variables are partitioned across
+    /// independent [`HomeShard`]s by the deterministic [`Directory`]
+    /// (`id % n`); each shard owns authoritative bytes, update log and
+    /// sequence horizon for its slice only. `shards(1)` is the classic
+    /// single-home layout and produces a byte-identical message sequence.
+    pub fn shards(mut self, n: u32) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Typed handles for the configured mutexes, in index order. Mint
+    /// these once after [`ClusterBuilder::locks`] and hand them to the
+    /// workers — the session API on [`DsdClient`] only accepts the
+    /// matching handle kind.
+    pub fn lock_ids(&self) -> Vec<LockId> {
+        (0..self.n_locks).map(LockId::new).collect()
+    }
+
+    /// Typed handles for the configured barriers, in index order.
+    pub fn barrier_ids(&self) -> Vec<BarrierId> {
+        (0..self.n_barriers).map(BarrierId::new).collect()
+    }
+
+    /// Typed handles for the configured condition variables, in index
+    /// order.
+    pub fn cond_ids(&self) -> Vec<CondId> {
+        (0..self.n_conds).map(CondId::new).collect()
+    }
+
     /// Network cost model (default: instant, for tests).
     pub fn net(mut self, config: NetConfig) -> Self {
         self.net_config = config;
@@ -311,8 +369,13 @@ impl ClusterBuilder {
         if self.worker_platforms.is_empty() {
             return Err(ClusterError::Config("no workers".into()));
         }
+        if self.shards == 0 {
+            return Err(ClusterError::Config(
+                "at least one home shard required".into(),
+            ));
+        }
         let (net, eps) = Network::new_observed(
-            self.worker_platforms.len() + 1,
+            self.worker_platforms.len() + self.shards as usize,
             self.net_config.clone(),
             self.recorder.clone(),
         );
@@ -328,7 +391,9 @@ impl ClusterBuilder {
         F: Fn(&mut DsdClient, &WorkerInfo) -> Result<R, DsdError> + Send + Sync,
     {
         let (def, net, mut eps) = self.take_parts()?;
-        let home_ep = eps.remove(0);
+        let directory = Directory::new(self.shards);
+        let shard_eps: Vec<hdsm_net::endpoint::Endpoint> =
+            eps.drain(..self.shards as usize).collect();
         let n_workers = self.worker_platforms.len();
         let participants: Vec<u32> = (1..=n_workers as u32).collect();
         let retry_base = self.retry_base.unwrap_or(Duration::from_millis(250));
@@ -339,27 +404,59 @@ impl ClusterBuilder {
         } else {
             Duration::ZERO
         };
-        let mut home = HomeService::new(
-            GthvInstance::new(def.clone(), self.home_platform.clone()),
-            home_ep,
-            HomeConfig {
-                n_locks: self.n_locks,
-                n_barriers: self.n_barriers,
-                n_conds: self.n_conds,
-                participants,
-                lease: self.lease,
-                linger,
-                recorder: self.recorder.clone(),
-                fast_path: self.fast_path,
-            },
-        );
-        if let Some(init) = self.init.take() {
-            home.init_with(init);
+        // The obs report keys its shard-utilization section off this gauge.
+        self.recorder.gauge("cluster.shards", self.shards as i64);
+        let mut init = self.init.take();
+        // With one shard the initialiser runs directly on the home
+        // instance, exactly the pre-shard path. With several, it runs once
+        // on a seed instance and its raw bytes replay into every shard —
+        // all homes share one platform, so an untracked byte copy
+        // reproduces the closure's effect exactly, and each shard then
+        // logs only the slice of the structure it owns.
+        let init_image: Option<Vec<u8>> = if directory.n_shards() > 1 {
+            init.take().map(|f| {
+                let mut seed = GthvInstance::new(def.clone(), self.home_platform.clone());
+                f(&mut seed);
+                seed.space().raw().to_vec()
+            })
+        } else {
+            None
+        };
+        let mut shard_services = Vec::with_capacity(directory.n_shards() as usize);
+        for (s, ep) in shard_eps.into_iter().enumerate() {
+            let mut home = HomeShard::new(
+                GthvInstance::new(def.clone(), self.home_platform.clone()),
+                ep,
+                HomeConfig {
+                    n_locks: self.n_locks,
+                    n_barriers: self.n_barriers,
+                    n_conds: self.n_conds,
+                    participants: participants.clone(),
+                    lease: self.lease,
+                    linger,
+                    recorder: self.recorder.clone(),
+                    fast_path: self.fast_path,
+                    shard: s as u32,
+                    directory,
+                },
+            );
+            if let Some(image) = &init_image {
+                home.init_with(|g| {
+                    let base = g.space().base();
+                    g.space_mut()
+                        .write_untracked(base, image)
+                        .expect("init image matches structure size");
+                });
+            } else if let Some(f) = init.take() {
+                home.init_with(f);
+            }
+            shard_services.push(home);
         }
 
         let mut results: Vec<Option<(R, CostBreakdown, ConversionStats)>> =
             (0..n_workers).map(|_| None).collect();
-        let mut home_out = None;
+        let mut home_outs: Vec<Option<(GthvInstance, CostBreakdown, ConversionStats)>> =
+            (0..directory.n_shards()).map(|_| None).collect();
         let deadline = self.recv_deadline;
         let max_retries = self.max_retries;
         let retry_base_opt = self.retry_base;
@@ -373,10 +470,15 @@ impl ClusterBuilder {
         let pump_done = AtomicBool::new(false);
 
         std::thread::scope(|s| {
-            let home_handle = s.spawn(move || home.run());
+            let home_handles: Vec<_> = shard_services
+                .into_iter()
+                .map(|home| s.spawn(move || home.run()))
+                .collect();
             // Heartbeat pump: beats on behalf of every live worker at a
             // quarter of the lease, so blocked-but-alive workers (e.g.
-            // waiting in a barrier) are never declared dead.
+            // waiting in a barrier) are never declared dead. Every shard
+            // runs its own lease table, so each beat fans out to all of
+            // them.
             let pump_handle = self.lease.map(|lease| {
                 let net = net.clone();
                 let alive = &alive;
@@ -390,8 +492,12 @@ impl ClusterBuilder {
                             for (i, a) in alive.iter().enumerate() {
                                 if a.load(Ordering::Relaxed) {
                                     let rank = i as u32 + 1;
-                                    let payload = DsdMsg::Heartbeat { rank }.encode_enveloped(0);
-                                    let _ = net.send_as(rank, 0, MsgKind::Heartbeat, payload);
+                                    let src = directory.worker_ep(rank);
+                                    for dst in directory.shard_eps() {
+                                        let payload =
+                                            DsdMsg::Heartbeat { rank }.encode_enveloped(0);
+                                        let _ = net.send_as(src, dst, MsgKind::Heartbeat, payload);
+                                    }
                                 }
                             }
                         }
@@ -414,6 +520,7 @@ impl ClusterBuilder {
                     };
                     let gthv = GthvInstance::new(def, plat);
                     let mut client = DsdClient::new(i as u32 + 1, ep, 0, gthv);
+                    client.set_directory(directory);
                     client.set_recorder(recorder.clone());
                     client.set_fast_path(fast_path);
                     if let Some(d) = deadline {
@@ -432,9 +539,9 @@ impl ClusterBuilder {
                         alive[i].store(false, Ordering::Relaxed);
                         return Err(DsdError::Crashed);
                     }
-                    // Always join so the home service can terminate, even
+                    // Always join so every home shard can terminate, even
                     // if the body failed.
-                    let join = client.mth_join();
+                    let join = client.join();
                     alive[i].store(false, Ordering::Relaxed);
                     match (result, join) {
                         (Ok(r), Ok((costs, conv, _gthv))) => Ok((r, costs, conv)),
@@ -456,13 +563,15 @@ impl ClusterBuilder {
             if let Some(h) = pump_handle {
                 let _ = h.join();
             }
-            match home_handle.join() {
-                Ok(Ok(out)) => home_out = Some(out),
-                Ok(Err(e)) => {
-                    home_error = Some(ClusterError::Home(e));
-                }
-                Err(p) => {
-                    first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
+            for (sidx, h) in home_handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(Ok(out)) => home_outs[sidx] = Some(out),
+                    Ok(Err(e)) => {
+                        home_error.get_or_insert(ClusterError::from(e));
+                    }
+                    Err(p) => {
+                        first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
+                    }
                 }
             }
         });
@@ -494,7 +603,31 @@ impl ClusterBuilder {
         if let Some(e) = first_error {
             return Err(e);
         }
-        let (final_gthv, home_costs, home_conv) = home_out.expect("home finished");
+        // Stitch the authoritative view back together: shard 0's instance
+        // already holds the full initial image, so overlay every other
+        // shard's owned slice on top (same platform, so each overlay is a
+        // straight memcpy). Home-side costs and conversion stats sum
+        // across the shards. With one shard this is a move, byte-identical
+        // to the pre-shard path.
+        let mut shard_results = home_outs
+            .into_iter()
+            .map(|o| o.expect("home shard finished"));
+        let (mut final_gthv, mut home_costs, mut home_conv) =
+            shard_results.next().expect("at least one shard");
+        for (i, (g, c, v)) in shard_results.enumerate() {
+            let shard = i as u32 + 1;
+            let owned: Vec<_> = full_ranges(&g)
+                .into_iter()
+                .filter(|r| directory.entry_shard(r.entry) == shard)
+                .collect();
+            let updates = extract_updates(&g, &owned)
+                .map_err(|e| ClusterError::Home(HomeError::Update(e)))?;
+            let mut scratch = ConversionStats::default();
+            apply_batch(&mut final_gthv, &updates, &mut scratch)
+                .map_err(|e| ClusterError::Home(HomeError::Update(e)))?;
+            home_costs.merge(&c);
+            home_conv.merge(&v);
+        }
         let mut out_results = Vec::with_capacity(n_workers);
         let mut worker_costs = Vec::with_capacity(n_workers);
         let mut worker_conv = Vec::with_capacity(n_workers);

@@ -1,0 +1,118 @@
+//! The home directory: which shard owns what.
+//!
+//! A sharded DSD partitions the home service into `S` independent
+//! [`crate::home::HomeShard`]s. The directory is the *deterministic*
+//! function every node evaluates locally to route work — there is no
+//! directory server and no lookup traffic:
+//!
+//! * index-table entry `e` is owned by shard `e % S` (its authoritative
+//!   bytes, update log and sequence horizon live there);
+//! * mutex `l`, barrier `b` and condition variable `c` are homed
+//!   round-robin the same way (`id % S`);
+//! * shard `s` listens on endpoint rank `s` (ranks `0..S`), and worker
+//!   thread rank `r` (ranks start at 1) sits at endpoint `S + r - 1`.
+//!
+//! With `S == 1` every function collapses to the single-home layout the
+//! rest of the stack grew up with: shard 0 at endpoint 0, worker rank `r`
+//! at endpoint `r`.
+
+/// Deterministic entry/lock/barrier/cond → shard mapping for a home
+/// service sharded `S` ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Directory {
+    shards: u32,
+}
+
+impl Directory {
+    /// Directory over `shards` home shards. `shards` must be at least 1.
+    pub fn new(shards: u32) -> Directory {
+        assert!(shards >= 1, "a cluster needs at least one home shard");
+        Directory { shards }
+    }
+
+    /// The classic single-home layout.
+    pub fn single() -> Directory {
+        Directory { shards: 1 }
+    }
+
+    /// Number of home shards.
+    pub fn n_shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Shard owning index-table entry `entry`.
+    pub fn entry_shard(&self, entry: u32) -> u32 {
+        entry % self.shards
+    }
+
+    /// Shard homing mutex `lock`.
+    pub fn lock_shard(&self, lock: u32) -> u32 {
+        lock % self.shards
+    }
+
+    /// Shard coordinating barrier `barrier` (arrival fan-in point).
+    pub fn barrier_shard(&self, barrier: u32) -> u32 {
+        barrier % self.shards
+    }
+
+    /// Shard homing condition variable `cond`. `MTh_cond_wait` atomically
+    /// releases a mutex and parks, so the client requires
+    /// `cond_shard(cond) == lock_shard(lock)` when `S > 1`.
+    pub fn cond_shard(&self, cond: u32) -> u32 {
+        cond % self.shards
+    }
+
+    /// Endpoint rank shard `shard` listens on.
+    pub fn shard_ep(&self, shard: u32) -> u32 {
+        debug_assert!(shard < self.shards);
+        shard
+    }
+
+    /// Endpoint rank worker thread `rank` (threads rank from 1) sits on.
+    pub fn worker_ep(&self, rank: u32) -> u32 {
+        debug_assert!(rank >= 1, "thread ranks start at 1");
+        self.shards + rank - 1
+    }
+
+    /// All shard endpoint ranks.
+    pub fn shard_eps(&self) -> impl Iterator<Item = u32> {
+        0..self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_home_layout_is_preserved() {
+        let d = Directory::single();
+        assert_eq!(d.n_shards(), 1);
+        for id in [0u32, 1, 7, 4095, u32::MAX] {
+            assert_eq!(d.entry_shard(id), 0);
+            assert_eq!(d.lock_shard(id), 0);
+        }
+        // Worker rank r at endpoint r — exactly the pre-shard layout.
+        assert_eq!(d.worker_ep(1), 1);
+        assert_eq!(d.worker_ep(5), 5);
+        assert_eq!(d.shard_ep(0), 0);
+    }
+
+    #[test]
+    fn round_robin_covers_every_shard() {
+        let d = Directory::new(3);
+        assert_eq!(
+            (0..6).map(|e| d.entry_shard(e)).collect::<Vec<_>>(),
+            [0, 1, 2, 0, 1, 2]
+        );
+        assert_eq!(d.worker_ep(1), 3);
+        assert_eq!(d.worker_ep(2), 4);
+        assert_eq!(d.shard_eps().collect::<Vec<_>>(), [0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one home shard")]
+    fn zero_shards_rejected() {
+        Directory::new(0);
+    }
+}

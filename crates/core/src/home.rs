@@ -1,9 +1,20 @@
-//! The home node's stub service.
+//! The home node's stub service, shardable across several owners.
 //!
 //! Paper §3.1/§4: after local threads migrate away, stub threads remain at
 //! the home node "for future resource access" — they own the authoritative
 //! copy of `GThV`, the lock table and the barrier table, and serve
 //! lock/unlock/barrier/join requests from every computing thread.
+//!
+//! The service is a [`HomeShard`]: one of `S` independent owners between
+//! which the [`crate::directory::Directory`] partitions index-table
+//! entries, mutexes, barriers and condition variables. Each shard keeps
+//! authoritative bytes, update log, sequence horizon, lease table and
+//! at-most-once dedup state for *its slice only*, and shards never talk
+//! to each other — clients fan released updates out to the owning shards
+//! (`UpdateFlush`) before releasing, and pull outstanding updates from
+//! every non-granting shard (`UpdateFetch`) after acquiring. With `S == 1`
+//! (the default directory) a shard *is* the classic single home service
+//! and produces a byte-identical message sequence.
 //!
 //! Consistency bookkeeping is a sequence-numbered update log: every
 //! absorbed [`UpdateRange`] is logged under a global sequence number, and
@@ -14,6 +25,7 @@
 //! "batch update" spike is this mechanism at work).
 
 use crate::costs::CostBreakdown;
+use crate::directory::Directory;
 use crate::gthv::GthvInstance;
 use crate::protocol::{DsdMsg, ProtocolError};
 use crate::runs::{coalesce, UpdateRange};
@@ -56,6 +68,11 @@ pub struct HomeConfig {
     /// (default). The differential suite turns this off to compare against
     /// the original slow paths.
     pub fast_path: bool,
+    /// Which shard of the home service this instance is (`0..S`).
+    pub shard: u32,
+    /// The deterministic entry/lock/barrier → shard partition shared by
+    /// the whole cluster. Defaults to the single-home layout.
+    pub directory: Directory,
 }
 
 impl Default for HomeConfig {
@@ -69,6 +86,8 @@ impl Default for HomeConfig {
             linger: Duration::ZERO,
             recorder: Recorder::disabled(),
             fast_path: true,
+            shard: 0,
+            directory: Directory::single(),
         }
     }
 }
@@ -135,11 +154,15 @@ struct CondState {
     waiters: VecDeque<(u32, u32)>,
 }
 
-/// The home service: owns the authoritative `GThV` copy and runs the
-/// message loop until every participant has joined.
-pub struct HomeService {
+/// One shard of the home service: owns the authoritative bytes, update
+/// log and synchronization tables of its directory slice and runs the
+/// message loop until every participant has joined. A cluster with a
+/// single shard is exactly the classic home service.
+pub struct HomeShard {
     gthv: GthvInstance,
     ep: Endpoint,
+    shard: u32,
+    directory: Directory,
     locks: Vec<LockState>,
     barriers: Vec<BarrierState>,
     conds: Vec<CondState>,
@@ -176,17 +199,23 @@ pub struct HomeService {
     fast_path: bool,
 }
 
-impl HomeService {
+/// The pre-sharding name of [`HomeShard`], kept for downstream code that
+/// spawns a single home service directly.
+pub type HomeService = HomeShard;
+
+impl HomeShard {
     /// Create the service around the authoritative instance.
-    pub fn new(gthv: GthvInstance, ep: Endpoint, config: HomeConfig) -> HomeService {
+    pub fn new(gthv: GthvInstance, ep: Endpoint, config: HomeConfig) -> HomeShard {
         let locks = (0..config.n_locks).map(|_| LockState::default()).collect();
         let barriers = (0..config.n_barriers)
             .map(|_| BarrierState::default())
             .collect();
         let conds = (0..config.n_conds).map(|_| CondState::default()).collect();
-        HomeService {
+        HomeShard {
             gthv,
             ep,
+            shard: config.shard,
+            directory: config.directory,
             locks,
             barriers,
             conds,
@@ -210,23 +239,33 @@ impl HomeService {
         }
     }
 
-    /// Initialise the authoritative copy and log the whole structure as
-    /// one big update, so every thread pulls the initial contents at its
-    /// first acquire.
+    /// Initialise the authoritative copy and log this shard's slice of the
+    /// structure as one big update, so every thread pulls the initial
+    /// contents at its first acquire. Every shard runs the same
+    /// initialiser; each logs (and later serves) only the entries it owns,
+    /// so with one shard the whole structure is logged exactly as before.
     pub fn init_with<F: FnOnce(&mut GthvInstance)>(&mut self, f: F) {
         f(&mut self.gthv);
         self.seq += 1;
         let s = self.seq;
-        self.log.extend(
-            full_ranges(&self.gthv)
-                .into_iter()
-                .map(|r| (s, HOME_WRITER, r)),
-        );
+        let owned = self.owned_full_ranges();
+        self.log
+            .extend(owned.into_iter().map(|r| (s, HOME_WRITER, r)));
     }
 
-    /// Authoritative instance (read access for inspection).
+    /// Authoritative instance (read access for inspection). Under a
+    /// sharded home only the entries this shard owns are authoritative.
     pub fn gthv(&self) -> &GthvInstance {
         &self.gthv
+    }
+
+    /// Full-structure ranges restricted to the entries this shard owns.
+    fn owned_full_ranges(&self) -> Vec<UpdateRange> {
+        let mut ranges = full_ranges(&self.gthv);
+        if self.directory.n_shards() > 1 {
+            ranges.retain(|r| self.directory.entry_shard(r.entry) == self.shard);
+        }
+        ranges
     }
 
     /// Absorb a batch of incoming updates: unpack time was already spent
@@ -238,6 +277,21 @@ impl HomeService {
     ) -> Result<(), HomeError> {
         if updates.is_empty() {
             return Ok(());
+        }
+        if self.directory.n_shards() > 1 {
+            // Routing bugs must not silently corrupt another shard's
+            // slice: this shard is only authoritative for what it owns.
+            if let Some(u) = updates
+                .iter()
+                .find(|u| self.directory.entry_shard(u.entry) != self.shard)
+            {
+                return Err(HomeError::Violation(format!(
+                    "shard {} received update for entry {} owned by shard {}",
+                    self.shard,
+                    u.entry,
+                    self.directory.entry_shard(u.entry)
+                )));
+            }
         }
         let t0 = Instant::now();
         {
@@ -302,8 +356,9 @@ impl HomeService {
         {
             let mut span = self.recorder.span(self.ep.rank(), EventKind::TagBuild);
             ranges = if horizon < self.log_floor {
-                // The thread's horizon predates the log: full refresh.
-                full_ranges(&self.gthv)
+                // The thread's horizon predates the log: full refresh of
+                // this shard's slice.
+                self.owned_full_ranges()
             } else {
                 coalesce(
                     self.log
@@ -390,7 +445,14 @@ impl HomeService {
         // cached and resent if the fabric drops it.
         let ranks: Vec<u32> = self.joined.iter().copied().collect();
         for r in ranks {
-            self.send(r, DsdMsg::Shutdown)?;
+            // A duplicated copy of this very Shutdown (or a prior shard's)
+            // may already have reached the worker, which then exits and
+            // drops its endpoint before our enqueue lands. A disconnected
+            // client has everything it was owed.
+            match self.send(r, DsdMsg::Shutdown) {
+                Err(HomeError::Net(NetError::Disconnected(_))) => {}
+                other => other?,
+            }
         }
         if !self.dead.is_empty() {
             // A declared-dead worker may only be partitioned and will
@@ -471,9 +533,13 @@ impl HomeService {
         if self.dead.contains(&rank) {
             // A declared-dead worker resurfaced (e.g. a healed partition
             // after its lease expired). Its synchronisation state is
-            // gone; tell it so instead of corrupting the tables.
+            // gone; tell it so instead of corrupting the tables. If it
+            // already hung up again, there is nobody left to tell.
             self.last_req.insert(rank, req_id);
-            return self.send(rank, DsdMsg::WorkerLost { rank });
+            return match self.send(rank, DsdMsg::WorkerLost { rank }) {
+                Err(HomeError::Net(NetError::Disconnected(_))) => Ok(()),
+                other => other,
+            };
         }
         if req_id != 0 {
             let last = self.last_req.get(&rank).copied().unwrap_or(0);
@@ -488,7 +554,14 @@ impl HomeService {
                     if *rid == req_id {
                         let (kind, payload) = (*kind, payload.clone());
                         let ep_rank = *self.routes.get(&rank).unwrap();
-                        self.ep.send(ep_rank, kind, payload)?;
+                        // A requester only hangs up once it has its reply
+                        // (and, under a sharded home, every other shard's):
+                        // a dropped endpoint means the duplicate outlived
+                        // its sender, not that the reply was lost.
+                        match self.ep.send(ep_rank, kind, payload) {
+                            Err(NetError::Disconnected(_)) => {}
+                            other => other?,
+                        }
                     }
                 }
                 return Ok(());
@@ -567,10 +640,29 @@ impl HomeService {
         Ok(())
     }
 
+    /// Does this shard home synchronization object `id` of kind `what`
+    /// (per `shard_of`)? Misrouted operations are protocol violations.
+    fn check_owner(
+        &self,
+        what: &'static str,
+        id: u32,
+        shard_of: impl Fn(&Directory, u32) -> u32,
+    ) -> Result<(), HomeError> {
+        let owner = shard_of(&self.directory, id);
+        if owner != self.shard {
+            return Err(HomeError::Violation(format!(
+                "{what} {id} homed at shard {owner}, not shard {}",
+                self.shard
+            )));
+        }
+        Ok(())
+    }
+
     fn handle(&mut self, src_ep: u32, msg: DsdMsg) -> Result<(), HomeError> {
         match msg {
             DsdMsg::LockRequest { lock, rank } => {
                 self.routes.insert(rank, src_ep);
+                self.check_owner("lock", lock, Directory::lock_shard)?;
                 let idx = lock as usize;
                 if idx >= self.locks.len() {
                     return Err(HomeError::Violation(format!("no lock {lock}")));
@@ -589,6 +681,7 @@ impl HomeService {
                 updates,
             } => {
                 self.routes.insert(rank, src_ep);
+                self.check_owner("lock", lock, Directory::lock_shard)?;
                 let idx = lock as usize;
                 if idx >= self.locks.len() {
                     return Err(HomeError::Violation(format!("no lock {lock}")));
@@ -614,6 +707,7 @@ impl HomeService {
                 updates,
             } => {
                 self.routes.insert(rank, src_ep);
+                self.check_owner("barrier", barrier, Directory::barrier_shard)?;
                 let idx = barrier as usize;
                 if idx >= self.barriers.len() {
                     return Err(HomeError::Violation(format!("no barrier {barrier}")));
@@ -653,6 +747,8 @@ impl HomeService {
                 updates,
             } => {
                 self.routes.insert(rank, src_ep);
+                self.check_owner("cond", cond, Directory::cond_shard)?;
+                self.check_owner("lock", lock, Directory::lock_shard)?;
                 let cidx = cond as usize;
                 let lidx = lock as usize;
                 if cidx >= self.conds.len() {
@@ -683,6 +779,7 @@ impl HomeService {
                 broadcast,
             } => {
                 self.routes.insert(rank, src_ep);
+                self.check_owner("cond", cond, Directory::cond_shard)?;
                 let cidx = cond as usize;
                 if cidx >= self.conds.len() {
                     return Err(HomeError::Violation(format!("no cond {cond}")));
@@ -717,6 +814,23 @@ impl HomeService {
                     self.log_floor = self.log_floor.max(1);
                 }
                 self.send(rank, DsdMsg::Ack)
+            }
+            DsdMsg::UpdateFlush { rank, updates } => {
+                // Release-time fan-out from a thread whose critical
+                // section touched this shard's slice but whose release
+                // goes to another shard. Absorb and ack; the thread holds
+                // its release until the ack arrives, so the next acquirer
+                // of any mutex is guaranteed to fetch these updates.
+                self.routes.insert(rank, src_ep);
+                self.absorb(rank, &updates)?;
+                self.send(rank, DsdMsg::Ack)
+            }
+            DsdMsg::UpdateFetch { rank } => {
+                // Acquire-time pull: the thread just acquired at another
+                // shard and needs this shard's outstanding updates too.
+                self.routes.insert(rank, src_ep);
+                let updates = self.stale_updates_for(rank)?;
+                self.send(rank, DsdMsg::UpdateBatch { updates })
             }
             other => Err(HomeError::Violation(format!(
                 "home received unexpected {other:?}"
@@ -866,5 +980,58 @@ mod tests {
         assert!(h.log_floor > 0);
         let ups = h.stale_updates_for(2).unwrap();
         assert_eq!(ups[0].tag.element_count(), 64);
+    }
+
+    #[test]
+    fn sharded_home_owns_only_its_slice() {
+        let def = || {
+            GthvDef::new(
+                StructBuilder::new("G")
+                    .array("a", ScalarKind::Int, 8)
+                    .array("b", ScalarKind::Int, 8)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let (_net, mut eps) = Network::new(1, NetConfig::instant());
+        let gthv = GthvInstance::new(def(), PlatformSpec::linux_x86());
+        let mut h = HomeShard::new(
+            gthv,
+            eps.pop().unwrap(),
+            HomeConfig {
+                participants: vec![1],
+                shard: 1,
+                directory: Directory::new(2),
+                ..Default::default()
+            },
+        );
+        h.init_with(|g| {
+            for i in 0..8 {
+                g.write_int(0, i, 1).unwrap();
+                g.write_int(1, i, 2).unwrap();
+            }
+        });
+        // Entry 0 belongs to shard 0; this shard logs and serves only
+        // entry 1.
+        assert!(!h.log.is_empty());
+        assert!(h.log.iter().all(|(_, _, r)| r.entry == 1));
+        let ups = h.stale_updates_for(1).unwrap();
+        assert!(!ups.is_empty());
+        assert!(ups.iter().all(|u| u.entry == 1));
+        // A misrouted update for entry 0 is a protocol violation, not a
+        // silent write into a non-authoritative copy.
+        let mut src = GthvInstance::new(def(), PlatformSpec::linux_x86());
+        src.write_int(0, 0, 9).unwrap();
+        let bad = extract_updates(
+            &src,
+            &[UpdateRange {
+                entry: 0,
+                first: 0,
+                count: 1,
+            }],
+        )
+        .unwrap();
+        assert!(matches!(h.absorb(1, &bad), Err(HomeError::Violation(_))));
     }
 }

@@ -1,0 +1,76 @@
+//! Typed synchronization-object handles.
+//!
+//! The `MTh_*` API of paper §4 addresses mutexes, barriers and condition
+//! variables by bare `u32` index — nothing stops a program from passing a
+//! barrier index to `mth_lock`. These newtypes make that a compile error:
+//! [`LockId`], [`BarrierId`] and [`CondId`] are distinct types minted by
+//! the cluster builder (or `const`-constructed by applications that lay
+//! out their synchronization objects statically), and the session API on
+//! `DsdClient` only accepts the matching kind.
+
+use std::fmt;
+
+macro_rules! sync_id {
+    ($(#[$doc:meta])* $name:ident, $label:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Handle for index `raw`. Applications laying out their
+            /// synchronization objects statically use this in `const`
+            /// position; the index must be below the count configured on
+            /// the cluster builder.
+            pub const fn new(raw: u32) -> $name {
+                $name(raw)
+            }
+
+            /// The underlying index-table slot.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($label, "#{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+sync_id!(
+    /// Handle of one distributed mutex.
+    LockId,
+    "lock"
+);
+sync_id!(
+    /// Handle of one distributed barrier.
+    BarrierId,
+    "barrier"
+);
+sync_id!(
+    /// Handle of one distributed condition variable.
+    CondId,
+    "cond"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_expose_their_raw_index() {
+        const L: LockId = LockId::new(3);
+        assert_eq!(L.raw(), 3);
+        assert_eq!(u32::from(BarrierId::new(7)), 7);
+        assert_eq!(CondId::new(0).to_string(), "cond#0");
+        assert_eq!(L.to_string(), "lock#3");
+    }
+}

@@ -42,16 +42,20 @@ pub mod baseline;
 pub mod client;
 pub mod cluster;
 pub mod costs;
+pub mod directory;
 pub mod gthv;
 pub mod home;
+pub mod ids;
 pub mod index_table;
 pub mod protocol;
 pub mod runs;
 pub mod update;
 
-pub use client::{DsdClient, DsdError};
+pub use client::{DsdClient, DsdError, LockGuard};
 pub use cluster::{ClusterBuilder, ClusterError, ClusterOutcome, MigrationEvent, WorkerInfo};
 pub use costs::CostBreakdown;
+pub use directory::Directory;
 pub use gthv::{GthvDef, GthvInstance};
+pub use ids::{BarrierId, CondId, LockId};
 pub use index_table::{IndexRow, IndexTable};
 pub use runs::UpdateRange;

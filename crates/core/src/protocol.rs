@@ -119,6 +119,29 @@ pub enum DsdMsg {
     /// Home tells everyone the program is over (maps to `pthread_join`
     /// completing at the home node).
     Shutdown,
+    /// Release-time fan-out under a sharded home: thread `rank` pushes the
+    /// updates owned by a *non-coordinating* shard before it sends the
+    /// release itself to the owning/coordinating shard. Replied to with
+    /// [`DsdMsg::Ack`]; the ack must arrive before the release is sent so
+    /// the next acquirer's fetch observes these updates.
+    UpdateFlush {
+        /// Flushing thread rank.
+        rank: u32,
+        /// Updates for entries this shard owns.
+        updates: Vec<WireUpdate>,
+    },
+    /// Acquire-time pull under a sharded home: thread `rank` asks a
+    /// non-granting shard for the outstanding updates of its slice.
+    UpdateFetch {
+        /// Fetching thread rank.
+        rank: u32,
+    },
+    /// Reply to [`DsdMsg::UpdateFetch`]: the outstanding updates of this
+    /// shard's slice since the fetcher's horizon.
+    UpdateBatch {
+        /// Outstanding updates.
+        updates: Vec<WireUpdate>,
+    },
 }
 
 /// Protocol-level decode errors.
@@ -168,6 +191,9 @@ impl DsdMsg {
             DsdMsg::Heartbeat { .. } => MsgKind::Heartbeat,
             DsdMsg::WorkerLost { .. } => MsgKind::WorkerLost,
             DsdMsg::Shutdown => MsgKind::Shutdown,
+            DsdMsg::UpdateFlush { .. } => MsgKind::UpdateFlush,
+            DsdMsg::UpdateFetch { .. } => MsgKind::UpdateFetch,
+            DsdMsg::UpdateBatch { .. } => MsgKind::UpdateBatch,
         }
     }
 
@@ -243,6 +269,12 @@ impl DsdMsg {
                 out.put_u32(*rank);
                 out.put_u8(u8::from(*broadcast));
             }
+            DsdMsg::UpdateFlush { rank, updates } => {
+                out.put_u32(*rank);
+                out.put_slice(&pack(updates));
+            }
+            DsdMsg::UpdateFetch { rank } => out.put_u32(*rank),
+            DsdMsg::UpdateBatch { updates } => out.put_slice(&pack(updates)),
             DsdMsg::Ack | DsdMsg::Shutdown => {}
         }
         out.freeze()
@@ -317,6 +349,16 @@ impl DsdMsg {
                 rank: u32_of(&mut payload)?,
             }),
             MsgKind::Shutdown => Ok(DsdMsg::Shutdown),
+            MsgKind::UpdateFlush => Ok(DsdMsg::UpdateFlush {
+                rank: u32_of(&mut payload)?,
+                updates: unpack_batch(payload)?,
+            }),
+            MsgKind::UpdateFetch => Ok(DsdMsg::UpdateFetch {
+                rank: u32_of(&mut payload)?,
+            }),
+            MsgKind::UpdateBatch => Ok(DsdMsg::UpdateBatch {
+                updates: unpack_batch(payload)?,
+            }),
             _ => Err(ProtocolError::BadMessage("unexpected transport kind")),
         }
     }
@@ -333,7 +375,9 @@ impl DsdMsg {
             | DsdMsg::CondWait { rank, .. }
             | DsdMsg::CondSignal { rank, .. }
             | DsdMsg::Resync { rank }
-            | DsdMsg::Heartbeat { rank } => Some(*rank),
+            | DsdMsg::Heartbeat { rank }
+            | DsdMsg::UpdateFlush { rank, .. }
+            | DsdMsg::UpdateFetch { rank } => Some(*rank),
             _ => None,
         }
     }
@@ -427,6 +471,14 @@ mod tests {
             DsdMsg::Heartbeat { rank: 5 },
             DsdMsg::WorkerLost { rank: 5 },
             DsdMsg::Shutdown,
+            DsdMsg::UpdateFlush {
+                rank: 5,
+                updates: sample_updates(),
+            },
+            DsdMsg::UpdateFetch { rank: 5 },
+            DsdMsg::UpdateBatch {
+                updates: sample_updates(),
+            },
         ];
         for m in msgs {
             let kind = m.kind();
@@ -473,8 +525,13 @@ mod tests {
                 cond: 1,
                 lock: 0,
                 rank: 5,
-                updates,
+                updates: updates.clone(),
             },
+            DsdMsg::UpdateFlush {
+                rank: 5,
+                updates: updates.clone(),
+            },
+            DsdMsg::UpdateBatch { updates },
         ];
         for m in msgs {
             let kind = m.kind();

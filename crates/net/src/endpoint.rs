@@ -182,10 +182,11 @@ impl Network {
         self.fabric
             .stats
             .lock()
-            .record(msg.kind, msg.payload.len(), wire);
+            .record(msg.kind, msg.dst, msg.payload.len(), wire);
         let rec = &self.fabric.recorder;
         rec.net_send(
             msg.kind.label(),
+            msg.dst,
             msg.payload.len() as u64,
             msg.kind.carries_updates(),
         );

@@ -27,4 +27,4 @@ pub mod stats;
 pub use endpoint::{Endpoint, NetError, Network};
 pub use fault::{FaultPlan, LinkFaults};
 pub use message::{Message, MsgKind};
-pub use stats::{NetConfig, NetStats};
+pub use stats::{DestTraffic, NetConfig, NetStats};

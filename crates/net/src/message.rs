@@ -42,13 +42,21 @@ pub enum MsgKind {
     /// A participant was declared dead; the receiver's blocked operation
     /// cannot complete (home → remote).
     WorkerLost = 16,
+    /// Release-time diff fan-out to a non-owning home shard
+    /// (remote → shard; carries updates, acknowledged with `Ack`).
+    UpdateFlush = 17,
+    /// Acquire-time horizon pull from a non-owning home shard
+    /// (remote → shard; replied to with `UpdateBatch`).
+    UpdateFetch = 18,
+    /// Outstanding updates for one shard's slice (shard → remote).
+    UpdateBatch = 19,
     /// Anything else (tests, applications).
     Other = 255,
 }
 
 impl MsgKind {
     /// All kinds (for stats iteration).
-    pub const ALL: [MsgKind; 17] = [
+    pub const ALL: [MsgKind; 20] = [
         MsgKind::LockRequest,
         MsgKind::LockGrant,
         MsgKind::UnlockRequest,
@@ -65,6 +73,9 @@ impl MsgKind {
         MsgKind::Ack,
         MsgKind::Heartbeat,
         MsgKind::WorkerLost,
+        MsgKind::UpdateFlush,
+        MsgKind::UpdateFetch,
+        MsgKind::UpdateBatch,
         MsgKind::Other,
     ];
 
@@ -87,6 +98,9 @@ impl MsgKind {
             MsgKind::Ack => "ack",
             MsgKind::Heartbeat => "heartbeat",
             MsgKind::WorkerLost => "worker-lost",
+            MsgKind::UpdateFlush => "update-flush",
+            MsgKind::UpdateFetch => "update-fetch",
+            MsgKind::UpdateBatch => "update-batch",
             MsgKind::Other => "other",
         }
     }
@@ -103,6 +117,8 @@ impl MsgKind {
                 | MsgKind::BarrierRelease
                 | MsgKind::CondWait
                 | MsgKind::Migration
+                | MsgKind::UpdateFlush
+                | MsgKind::UpdateBatch
         )
     }
 }

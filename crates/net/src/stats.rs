@@ -67,6 +67,16 @@ impl NetConfig {
     }
 }
 
+/// Traffic bound for one destination endpoint — the per-shard (and
+/// per-worker) attribution behind the sharded-home utilization report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DestTraffic {
+    /// Messages addressed to this endpoint.
+    pub msgs: u64,
+    /// Payload bytes addressed to this endpoint.
+    pub bytes: u64,
+}
+
 /// Per-kind traffic counters plus accumulated modelled wire time and
 /// fault-injection/reliability counters.
 #[derive(Debug, Clone, Default)]
@@ -75,6 +85,9 @@ pub struct NetStats {
     pub messages: HashMap<MsgKind, u64>,
     /// Payload bytes sent, by kind.
     pub bytes: HashMap<MsgKind, u64>,
+    /// Traffic by destination endpoint rank. With a sharded home this is
+    /// what shows whether load actually spread across the shards.
+    pub by_dest: HashMap<u32, DestTraffic>,
     /// Total modelled time on the wire.
     pub simulated_wire_time: Duration,
     /// Messages silently dropped by fault injection (incl. partitions).
@@ -88,11 +101,19 @@ pub struct NetStats {
 }
 
 impl NetStats {
-    /// Record one sent message.
-    pub fn record(&mut self, kind: MsgKind, bytes: usize, wire: Duration) {
+    /// Record one sent message addressed to endpoint `dst`.
+    pub fn record(&mut self, kind: MsgKind, dst: u32, bytes: usize, wire: Duration) {
         *self.messages.entry(kind).or_default() += 1;
         *self.bytes.entry(kind).or_default() += bytes as u64;
+        let d = self.by_dest.entry(dst).or_default();
+        d.msgs += 1;
+        d.bytes += bytes as u64;
         self.simulated_wire_time += wire;
+    }
+
+    /// Traffic addressed to endpoint `dst` (zero when none recorded).
+    pub fn dest_traffic(&self, dst: u32) -> DestTraffic {
+        self.by_dest.get(&dst).copied().unwrap_or_default()
     }
 
     /// Total messages across kinds.
@@ -197,12 +218,15 @@ mod tests {
     #[test]
     fn stats_accumulate_per_kind() {
         let mut s = NetStats::default();
-        s.record(MsgKind::LockRequest, 10, Duration::from_micros(1));
-        s.record(MsgKind::LockRequest, 20, Duration::from_micros(1));
-        s.record(MsgKind::LockGrant, 1000, Duration::from_micros(5));
+        s.record(MsgKind::LockRequest, 0, 10, Duration::from_micros(1));
+        s.record(MsgKind::LockRequest, 1, 20, Duration::from_micros(1));
+        s.record(MsgKind::LockGrant, 1, 1000, Duration::from_micros(5));
         assert_eq!(s.total_messages(), 3);
         assert_eq!(s.total_bytes(), 1030);
         assert_eq!(s.messages[&MsgKind::LockRequest], 2);
+        assert_eq!(s.dest_traffic(0).msgs, 1);
+        assert_eq!(s.dest_traffic(1).bytes, 1020);
+        assert_eq!(s.dest_traffic(7), DestTraffic::default());
         assert_eq!(s.simulated_wire_time, Duration::from_micros(7));
         let rep = s.report();
         assert!(rep.contains("lock-req"));

@@ -36,4 +36,4 @@ pub use heatmap::{EntryStats, Heatmap, PageStats};
 pub use metrics::{bucket_index, bucket_upper, Histogram, Registry, BUCKETS};
 pub use recorder::{ObsConfig, Recorder, Span};
 pub use ring::EventRing;
-pub use snapshot::{EntryRow, HistSummary, KindTraffic, ObsSnapshot, PageRow};
+pub use snapshot::{DestRow, EntryRow, HistSummary, KindTraffic, ObsSnapshot, PageRow};

@@ -44,6 +44,10 @@ pub(crate) struct ObsCore {
     /// Per-message-kind traffic, fed from the fabric send path (the same
     /// call site as `NetStats::record`, so totals always agree).
     net: Mutex<BTreeMap<&'static str, KindTraffic>>,
+    /// Per-destination-endpoint traffic, fed at the same site. With a
+    /// sharded home (destination ranks `0..S` are shards) this is the raw
+    /// material of the report's shard-utilization section.
+    net_dest: Mutex<BTreeMap<u32, (u64, u64)>>,
 }
 
 /// Cheap, cloneable handle to the observability core (or to nothing).
@@ -79,6 +83,7 @@ impl Recorder {
             registry: Mutex::new(Registry::default()),
             heatmap: Mutex::new(Heatmap::default()),
             net: Mutex::new(BTreeMap::new()),
+            net_dest: Mutex::new(BTreeMap::new()),
         })))
     }
 
@@ -195,9 +200,10 @@ impl Recorder {
     // ----- network traffic (fed by the fabric send path) -----
 
     /// One message of `kind_label` with `bytes` payload bytes crossed the
-    /// fabric. `update` marks data-carrying kinds, separating the paper's
-    /// Figure 8 update traffic from control traffic.
-    pub fn net_send(&self, kind_label: &'static str, bytes: u64, update: bool) {
+    /// fabric towards endpoint `dst`. `update` marks data-carrying kinds,
+    /// separating the paper's Figure 8 update traffic from control
+    /// traffic; `dst` feeds the per-destination (shard utilization) table.
+    pub fn net_send(&self, kind_label: &'static str, dst: u32, bytes: u64, update: bool) {
         if let Some(core) = &self.0 {
             let mut net = core.net.lock();
             let t = net.entry(kind_label).or_insert(KindTraffic {
@@ -208,6 +214,11 @@ impl Recorder {
             });
             t.msgs += 1;
             t.bytes += bytes;
+            drop(net);
+            let mut dests = core.net_dest.lock();
+            let d = dests.entry(dst).or_insert((0, 0));
+            d.0 += 1;
+            d.1 += bytes;
         }
     }
 
@@ -287,11 +298,13 @@ impl Recorder {
         let registry = core.registry.lock();
         let heatmap = core.heatmap.lock();
         let net = core.net.lock();
+        let net_dest = core.net_dest.lock();
         Some(ObsSnapshot::build(
             core.epoch.elapsed().as_micros() as u64,
             &registry,
             &heatmap,
             &net,
+            &net_dest,
             recorded,
             dropped,
         ))
@@ -375,7 +388,7 @@ mod tests {
         r.count("c", 5);
         r.observe("h", 9);
         r.page_diff(0, 10);
-        r.net_send("other", 100, false);
+        r.net_send("other", 0, 100, false);
         {
             let mut s = r.span(0, EventKind::DiffScan);
             s.args(1, 2);
@@ -423,9 +436,9 @@ mod tests {
     #[test]
     fn net_traffic_accumulates_per_kind() {
         let r = Recorder::enabled();
-        r.net_send("lock-req", 10, false);
-        r.net_send("lock-req", 20, false);
-        r.net_send("barrier-enter", 1000, true);
+        r.net_send("lock-req", 0, 10, false);
+        r.net_send("lock-req", 1, 20, false);
+        r.net_send("barrier-enter", 0, 1000, true);
         let snap = r.snapshot().unwrap();
         assert_eq!(snap.net_total_msgs, 3);
         assert_eq!(snap.net_total_bytes, 1030);
@@ -434,6 +447,11 @@ mod tests {
         let lr = snap.net.iter().find(|t| t.kind == "lock-req").unwrap();
         assert_eq!(lr.msgs, 2);
         assert_eq!(lr.bytes, 30);
+        // Destination attribution feeds the shard-utilization table.
+        let d0 = snap.net_by_dest.iter().find(|d| d.dst == 0).unwrap();
+        assert_eq!((d0.msgs, d0.bytes), (2, 1010));
+        let d1 = snap.net_by_dest.iter().find(|d| d.dst == 1).unwrap();
+        assert_eq!((d1.msgs, d1.bytes), (1, 20));
     }
 
     #[test]

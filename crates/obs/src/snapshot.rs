@@ -24,6 +24,20 @@ pub struct KindTraffic {
     pub update: bool,
 }
 
+/// Traffic addressed to one destination endpoint. Destination ranks
+/// `0..S` are the home shards when the cluster runs sharded (the
+/// `cluster.shards` gauge carries `S`), so these rows are the data behind
+/// the report's shard-utilization section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DestRow {
+    /// Destination endpoint rank.
+    pub dst: u32,
+    /// Messages addressed to it.
+    pub msgs: u64,
+    /// Payload bytes addressed to it.
+    pub bytes: u64,
+}
+
 /// Summary of one latency histogram.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistSummary {
@@ -94,6 +108,8 @@ pub struct ObsSnapshot {
     pub histograms: Vec<HistSummary>,
     /// Per-kind network traffic, kind-ordered.
     pub net: Vec<KindTraffic>,
+    /// Per-destination network traffic, rank-ordered.
+    pub net_by_dest: Vec<DestRow>,
     /// Total messages across kinds.
     pub net_total_msgs: u64,
     /// Total payload bytes across kinds.
@@ -118,6 +134,7 @@ impl ObsSnapshot {
         registry: &Registry,
         heatmap: &Heatmap,
         net: &BTreeMap<&'static str, KindTraffic>,
+        net_dest: &BTreeMap<u32, (u64, u64)>,
         events_recorded: u64,
         events_dropped: u64,
     ) -> ObsSnapshot {
@@ -137,6 +154,10 @@ impl ObsSnapshot {
             })
             .collect();
         let net: Vec<KindTraffic> = net.values().cloned().collect();
+        let net_by_dest: Vec<DestRow> = net_dest
+            .iter()
+            .map(|(&dst, &(msgs, bytes))| DestRow { dst, msgs, bytes })
+            .collect();
         let (mut msgs, mut bytes, mut upd, mut ctl) = (0u64, 0u64, 0u64, 0u64);
         for t in &net {
             msgs += t.msgs;
@@ -184,6 +205,7 @@ impl ObsSnapshot {
             gauges: registry.gauges().map(|(k, v)| (k.to_string(), v)).collect(),
             histograms,
             net,
+            net_by_dest,
             net_total_msgs: msgs,
             net_total_bytes: bytes,
             net_update_bytes: upd,
@@ -234,6 +256,16 @@ impl ObsSnapshot {
             w.field_u64("msgs", t.msgs);
             w.field_u64("bytes", t.bytes);
             w.field_bool("update", t.update);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("net_by_dest");
+        w.begin_arr();
+        for d in &self.net_by_dest {
+            w.begin_obj();
+            w.field_u64("dst", d.dst as u64);
+            w.field_u64("msgs", d.msgs);
+            w.field_u64("bytes", d.bytes);
             w.end_obj();
         }
         w.end_arr();
@@ -304,6 +336,52 @@ impl ObsSnapshot {
             self.net_update_bytes,
             self.net_control_bytes
         ));
+        if !self.net_by_dest.is_empty() {
+            // When the cluster published its shard count, lead with a
+            // utilization table for the home shards (destination ranks
+            // `0..S`): this is where an unbalanced directory shows up.
+            let shards = self
+                .gauges
+                .iter()
+                .find(|(k, _)| k == "cluster.shards")
+                .map(|&(_, v)| v.max(0) as u32);
+            if let Some(s) = shards.filter(|&s| s > 0) {
+                out.push_str("\n-- shard utilization --\n");
+                out.push_str("shard      msgs       bytes  share\n");
+                let shard_bytes: u64 = self
+                    .net_by_dest
+                    .iter()
+                    .filter(|d| d.dst < s)
+                    .map(|d| d.bytes)
+                    .sum();
+                for rank in 0..s {
+                    let t = self
+                        .net_by_dest
+                        .iter()
+                        .find(|d| d.dst == rank)
+                        .copied()
+                        .unwrap_or(DestRow {
+                            dst: rank,
+                            msgs: 0,
+                            bytes: 0,
+                        });
+                    let share = if shard_bytes > 0 {
+                        100.0 * t.bytes as f64 / shard_bytes as f64
+                    } else {
+                        0.0
+                    };
+                    out.push_str(&format!(
+                        "{:<8} {:>6} {:>11}  {:>5.1}%\n",
+                        t.dst, t.msgs, t.bytes, share
+                    ));
+                }
+            }
+            out.push_str("\n-- traffic by destination --\n");
+            out.push_str("dst        msgs       bytes\n");
+            for d in &self.net_by_dest {
+                out.push_str(&format!("{:<8} {:>6} {:>11}\n", d.dst, d.msgs, d.bytes));
+            }
+        }
         if !self.counters.is_empty() {
             out.push_str("\n-- counters --\n");
             for (k, v) in &self.counters {
@@ -514,7 +592,10 @@ mod tests {
                 update: true,
             },
         );
-        ObsSnapshot::build(1_500_000, &reg, &hm, &net, 10, 1)
+        let mut dest = BTreeMap::new();
+        dest.insert(0u32, (4u64, 40u64));
+        dest.insert(1u32, (2u64, 2000u64));
+        ObsSnapshot::build(1_500_000, &reg, &hm, &net, &dest, 10, 1)
     }
 
     #[test]
@@ -555,6 +636,29 @@ mod tests {
         assert!(r.contains("page heatmap"));
         assert!(r.contains("entry heatmap"));
         assert!(r.contains("update 2000 / control 40"));
+        assert!(r.contains("traffic by destination"));
+        // Without a cluster.shards gauge there is no shard section.
+        assert!(!r.contains("shard utilization"));
+    }
+
+    #[test]
+    fn shard_gauge_drives_utilization_section() {
+        let mut reg = Registry::default();
+        reg.gauge("cluster.shards", 2);
+        let hm = Heatmap::default();
+        let net = BTreeMap::new();
+        let mut dest = BTreeMap::new();
+        dest.insert(0u32, (3u64, 300u64));
+        dest.insert(1u32, (1u64, 100u64));
+        dest.insert(5u32, (9u64, 999u64)); // worker endpoint, not a shard
+        let s = ObsSnapshot::build(1_000, &reg, &hm, &net, &dest, 0, 0);
+        let r = s.report();
+        assert!(r.contains("-- shard utilization --"));
+        // Shares are computed over shard traffic only (ranks < S).
+        assert!(r.contains("75.0%"), "report was:\n{r}");
+        assert!(r.contains("25.0%"), "report was:\n{r}");
+        let j = s.to_json();
+        assert!(j.contains("\"net_by_dest\":[{\"dst\":0,\"msgs\":3,\"bytes\":300}"));
     }
 
     #[test]

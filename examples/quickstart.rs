@@ -1,18 +1,17 @@
 //! Quickstart: share a counter and an array between three threads running
 //! on *different simulated architectures* — a little-endian ILP32 node, a
-//! big-endian ILP32 node and a big-endian LP64 node — using the DSD
-//! primitives (`MTh_lock` / `MTh_unlock` / `MTh_barrier`).
+//! big-endian ILP32 node and a big-endian LP64 node — using the typed DSD
+//! session API (`lock` guards and `barrier` handles over the paper's
+//! `MTh_*` primitives).
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use hdsm::dsd::cluster::ClusterBuilder;
-use hdsm::dsd::gthv::GthvDef;
 use hdsm::platform::ctype::StructBuilder;
 use hdsm::platform::scalar::ScalarKind;
-use hdsm::platform::spec::PlatformSpec;
+use hdsm::prelude::*;
 
 fn main() {
     // 1. Declare the shared global structure — the role of MigThread's
@@ -27,6 +26,10 @@ fn main() {
     .expect("valid definition");
     const COUNTER: u32 = 0;
     const HISTORY: u32 = 1;
+    // Typed synchronization handles: a LockId is not a BarrierId, so
+    // handing the wrong kind to the session API is a compile error.
+    const MUTEX: LockId = LockId::new(0);
+    const DONE: BarrierId = BarrierId::new(0);
 
     // 2. Build a heterogeneous cluster: the home node is big-endian
     //    Solaris/SPARC; workers land on three different architectures.
@@ -43,15 +46,17 @@ fn main() {
         })
         // 3. The SPMD body: every worker increments the shared counter ten
         //    times under the distributed mutex and records what it saw.
+        //    The guard releases the lock (flushing this thread's diffs to
+        //    the home) when it drops — even on early return or panic.
         .run(|client, info| {
             for round in 0..10 {
-                client.mth_lock(0)?;
-                let v = client.read_int(COUNTER, 0)?;
-                client.write_int(COUNTER, 0, v + 1)?;
-                client.write_int(HISTORY, (info.index * 10 + round) as u64, v + 1)?;
-                client.mth_unlock(0)?;
+                let mut c = client.lock(MUTEX)?;
+                let v = c.read_int(COUNTER, 0)?;
+                c.write_int(COUNTER, 0, v + 1)?;
+                c.write_int(HISTORY, (info.index * 10 + round) as u64, v + 1)?;
+                c.unlock()?;
             }
-            client.mth_barrier(0)?;
+            client.barrier(DONE)?;
             // After the barrier everyone observes the final value.
             let final_v = client.read_int(COUNTER, 0)?;
             println!(

@@ -9,3 +9,16 @@ pub use hdsm_net as net;
 pub use hdsm_obs as obs;
 pub use hdsm_platform as platform;
 pub use hdsm_tags as tags;
+
+pub mod prelude {
+    //! Everything a DSD session touches, in one import.
+    //!
+    //! `use hdsm::prelude::*;` gives an application the cluster builder,
+    //! the typed synchronization handles, the client session API and the
+    //! platform specs — no deep-importing individual workspace crates.
+    pub use hdsm_core::{
+        BarrierId, ClusterBuilder, ClusterError, ClusterOutcome, CondId, CostBreakdown, Directory,
+        DsdClient, DsdError, GthvDef, GthvInstance, LockGuard, LockId, WorkerInfo,
+    };
+    pub use hdsm_platform::spec::{Platform, PlatformSpec};
+}

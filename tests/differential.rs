@@ -30,6 +30,16 @@ fn fault_plans() -> [Option<FaultPlan>; 2] {
     ]
 }
 
+/// Shard count for the whole suite: CI runs it at `HDSM_SHARDS=1` and
+/// `HDSM_SHARDS=3`, so every fast/slow/baseline comparison also holds
+/// under a sharded home. Defaults to the classic single home.
+fn shards_from_env() -> u32 {
+    std::env::var("HDSM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// A two-worker cluster over `pair`, on a clean or faulty fabric, with the
 /// chosen hot-path mode.
 fn build(pair: &PlatformPair, plan: &Option<FaultPlan>, fast: bool) -> ClusterBuilder {
@@ -39,6 +49,7 @@ fn build(pair: &PlatformPair, plan: &Option<FaultPlan>, fast: bool) -> ClusterBu
         .worker(pair.remote.clone())
         .locks(1)
         .barriers(2)
+        .shards(shards_from_env())
         .fast_path(fast);
     if let Some(plan) = plan {
         b = b
@@ -141,6 +152,142 @@ fn lu_fast_path_is_byte_identical_to_slow_path() {
             lu::verify(&outcome.final_gthv, n, seed),
         )
     });
+}
+
+/// One workload on a two-worker cluster with the home service sharded
+/// `shards` ways; returns the final authoritative bytes and the oracle
+/// verdict.
+fn run_workload_sharded(
+    name: &str,
+    pair: &PlatformPair,
+    plan: &Option<FaultPlan>,
+    shards: u32,
+) -> (Vec<u8>, bool) {
+    let (n, seed, sweeps) = (10usize, 29u64, 2usize);
+    let mut b = ClusterBuilder::new()
+        .home(pair.home.clone())
+        .worker(pair.home.clone())
+        .worker(pair.remote.clone())
+        .locks(1)
+        .barriers(2)
+        .shards(shards);
+    if let Some(plan) = plan {
+        b = b
+            .fault_plan(plan.clone())
+            .retry_base(Duration::from_millis(10))
+            .lease(Duration::from_secs(5))
+            .recv_deadline(Duration::from_secs(30));
+    }
+    match name {
+        "jacobi" => {
+            let o = b
+                .gthv(jacobi::gthv_def(n))
+                .init(move |g| jacobi::init(g, n, seed))
+                .run(move |c, i| jacobi::run_worker(c, i, n, sweeps))
+                .unwrap();
+            (
+                o.final_gthv.space().raw().to_vec(),
+                jacobi::verify(&o.final_gthv, n, seed, sweeps),
+            )
+        }
+        "sor" => {
+            let o = b
+                .gthv(sor::gthv_def(n))
+                .init(move |g| sor::init(g, n, seed))
+                .run(move |c, i| sor::run_worker(c, i, n, sweeps))
+                .unwrap();
+            (
+                o.final_gthv.space().raw().to_vec(),
+                sor::verify(&o.final_gthv, n, seed, sweeps),
+            )
+        }
+        "matmul" => {
+            let o = b
+                .gthv(matmul::gthv_def(n))
+                .init(move |g| matmul::init(g, n, seed))
+                .run(move |c, i| matmul::run_worker(c, i, n, SyncMode::Barrier))
+                .unwrap();
+            (
+                o.final_gthv.space().raw().to_vec(),
+                matmul::verify(&o.final_gthv, n, seed),
+            )
+        }
+        "lu" => {
+            let o = b
+                .gthv(lu::gthv_def(n))
+                .init(move |g| lu::init(g, n, seed))
+                .run(move |c, i| lu::run_worker(c, i, n))
+                .unwrap();
+            (
+                o.final_gthv.space().raw().to_vec(),
+                lu::verify(&o.final_gthv, n, seed),
+            )
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// The sharding axis is a pure routing change: partitioning entries,
+/// locks and barriers across three home shards must reproduce the exact
+/// authoritative bytes of the classic single-home run — on a clean fabric
+/// and under drops/duplicates/reorders alike. Runs on the heterogeneous
+/// SL pair so every grant also crosses a representation boundary.
+#[test]
+fn three_shard_home_is_byte_identical_to_single_home() {
+    let pair = &paper_pairs()[2];
+    for (p, plan) in fault_plans().iter().enumerate() {
+        for name in ["jacobi", "sor", "matmul", "lu"] {
+            let (one, ok1) = run_workload_sharded(name, pair, plan, 1);
+            let (three, ok3) = run_workload_sharded(name, pair, plan, 3);
+            assert!(ok1, "{name} failed to verify at shards=1 on plan {p}");
+            assert!(ok3, "{name} failed to verify at shards=3 on plan {p}");
+            assert_eq!(
+                one, three,
+                "{name} shards=3 GThV diverged from shards=1 on plan {p}"
+            );
+        }
+    }
+}
+
+/// Per-shard traffic must be visible end to end: NetStats attributes
+/// bytes to each shard's endpoint, and the obs cluster report renders
+/// the shard-utilization table from the `cluster.shards` gauge.
+#[test]
+fn sharded_run_reports_per_shard_traffic() {
+    use hdsm::obs::Recorder;
+    let recorder = Recorder::enabled();
+    let (n, seed) = (10usize, 31u64);
+    let pair = &paper_pairs()[2];
+    let outcome = ClusterBuilder::new()
+        .home(pair.home.clone())
+        .worker(pair.home.clone())
+        .worker(pair.remote.clone())
+        .locks(1)
+        .barriers(2)
+        .shards(3)
+        .obs(recorder.clone())
+        .gthv(matmul::gthv_def(n))
+        .init(move |g| matmul::init(g, n, seed))
+        .run(move |c, i| matmul::run_worker(c, i, n, SyncMode::Barrier))
+        .unwrap();
+    assert!(matmul::verify(&outcome.final_gthv, n, seed));
+    // Every shard terminated something: NetStats saw bytes to each of
+    // the three shard endpoints (ranks 0..3).
+    let snap = outcome.obs.expect("recorder was enabled");
+    for shard in 0..3u32 {
+        let row = snap
+            .net_by_dest
+            .iter()
+            .find(|r| r.dst == shard)
+            .unwrap_or_else(|| panic!("no traffic attributed to shard {shard}"));
+        assert!(row.bytes > 0, "shard {shard} received zero bytes");
+    }
+    let report = snap.report();
+    assert!(
+        report.contains("-- shard utilization --"),
+        "cluster report must carry the shard table:\n{report}"
+    );
+    assert!(report.contains("-- traffic by destination --"));
 }
 
 /// Cross-implementation axis: on a homogeneous pair, the full DSD pipeline

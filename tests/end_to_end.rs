@@ -4,6 +4,7 @@
 use hdsm::apps::workload::{paper_pairs, SyncMode};
 use hdsm::apps::{jacobi, lu, matmul, sor};
 use hdsm::dsd::cluster::{ClusterBuilder, MigrationEvent};
+use hdsm::dsd::{BarrierId, LockId};
 use hdsm::platform::spec::PlatformSpec;
 
 #[test]
@@ -253,10 +254,10 @@ fn empty_critical_sections_are_cheap_and_correct() {
         .barriers(1)
         .run(move |c, _i| {
             for _ in 0..5 {
-                c.mth_lock(0)?;
-                c.mth_unlock(0)?;
+                c.acquire(LockId::new(0))?;
+                c.release(LockId::new(0))?;
             }
-            c.mth_barrier(0)?;
+            c.barrier(BarrierId::new(0))?;
             Ok(())
         })
         .unwrap();
@@ -293,7 +294,7 @@ fn worker_protocol_violation_surfaces_as_error() {
         .locks(1)
         .recv_deadline(std::time::Duration::from_millis(500))
         .run(|c, _i| {
-            c.mth_unlock(0)?;
+            c.release(LockId::new(0))?;
             Ok(())
         })
         .unwrap_err();
@@ -301,4 +302,54 @@ fn worker_protocol_violation_surfaces_as_error() {
         ClusterError::Home(_) | ClusterError::Worker { .. } | ClusterError::Panic(_) => {}
         other => panic!("unexpected error {other}"),
     }
+}
+
+#[test]
+fn typed_session_api_three_shards_three_workers() {
+    // The whole typed surface in one sharded run: handles minted by the
+    // builder, a drop-release guard for the critical section, and a home
+    // service split three ways — entries and sync objects round-robin
+    // across the shards while every worker sees one coherent structure.
+    let builder = ClusterBuilder::new()
+        .gthv(matmul::gthv_def(9))
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc())
+        .worker(PlatformSpec::linux_x86_64())
+        .locks(2)
+        .barriers(1)
+        .shards(3);
+    let locks = builder.lock_ids();
+    let barriers = builder.barrier_ids();
+    assert_eq!(locks.len(), 2);
+    assert_eq!(barriers.len(), 1);
+    let (evens, odds, done) = (locks[0], locks[1], barriers[0]);
+    let outcome = builder
+        .init(|g| {
+            for i in 0..81 {
+                g.write_int(matmul::entries::C, i, 0).unwrap();
+            }
+        })
+        .run(move |client, info| {
+            // Each worker bumps every element once, alternating which
+            // lock guards the write so both shards' mutexes see traffic.
+            for i in 0..81u64 {
+                let lock = if i % 2 == 0 { evens } else { odds };
+                let mut c = client.lock(lock)?;
+                let v = c.read_int(matmul::entries::C, i)?;
+                c.write_int(matmul::entries::C, i, v + 1 + info.index as i128)?;
+                c.unlock()?;
+            }
+            client.barrier(done)?;
+            client.read_int(matmul::entries::C, 80)
+        })
+        .unwrap();
+    // 3 workers added 1, 2 and 3 to every element.
+    for i in 0..81 {
+        assert_eq!(
+            outcome.final_gthv.read_int(matmul::entries::C, i).unwrap(),
+            6
+        );
+    }
+    // The post-barrier view agreed everywhere.
+    assert!(outcome.results.iter().all(|&v| v == 6));
 }

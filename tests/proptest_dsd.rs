@@ -5,6 +5,7 @@
 
 use hdsm::dsd::cluster::ClusterBuilder;
 use hdsm::dsd::gthv::GthvDef;
+use hdsm::dsd::{BarrierId, LockId};
 use hdsm::platform::ctype::StructBuilder;
 use hdsm::platform::scalar::ScalarKind;
 use hdsm::platform::spec::{Platform, PlatformSpec};
@@ -113,12 +114,12 @@ proptest! {
                     // barrier instead: barrier, then index-ordered locks
                     // within the burst via repeated lock acquisition.
                     for turn in 0..info.n_workers {
-                        c.mth_barrier(0)?;
+                        c.barrier(BarrierId::new(0))?;
                         if turn != info.index {
                             continue;
                         }
                         if let Some(op) = sched.get(burst) {
-                            c.mth_lock(0)?;
+                            c.acquire(LockId::new(0))?;
                             match op {
                                 Op::WriteInt { elem, value } => {
                                     c.write_int(0, *elem, *value as i128)?;
@@ -134,11 +135,11 @@ proptest! {
                                     c.write_ptr(2, 0, Some((0, *elem)))?;
                                 }
                             }
-                            c.mth_unlock(0)?;
+                            c.release(LockId::new(0))?;
                         }
                     }
                 }
-                c.mth_barrier(0)?;
+                c.barrier(BarrierId::new(0))?;
                 // Post-barrier view must equal the final state.
                 let mut ints = Vec::with_capacity(ELEMS as usize);
                 for i in 0..ELEMS {
@@ -392,5 +393,41 @@ proptest! {
             space.write(BASE + off as u64, &vec![val; wlen]).unwrap();
         }
         prop_assert_eq!(diff_pages_parallel(&space, threads), diff_pages(&space));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    /// The home directory is a total function: every entry, lock, barrier
+    /// and cond id maps to exactly one shard, always in range, and worker
+    /// endpoints never collide with shard endpoints.
+    #[test]
+    fn directory_maps_every_id_to_exactly_one_shard(
+        id in any::<u32>(),
+        shards in 1u32..9,
+        rank in 1u32..32,
+    ) {
+        use hdsm::dsd::Directory;
+        let d = Directory::new(shards);
+        for shard_of in [
+            Directory::entry_shard,
+            Directory::lock_shard,
+            Directory::barrier_shard,
+            Directory::cond_shard,
+        ] {
+            let owner = shard_of(&d, id);
+            prop_assert!(owner < shards, "owner {owner} out of range");
+            // Exactly one shard claims the id: the function is
+            // deterministic, so "claims" means "equals the computed owner".
+            let claimants = (0..shards).filter(|&s| shard_of(&d, id) == s).count();
+            prop_assert_eq!(claimants, 1);
+            // Re-evaluation agrees (pure function of (id, S)).
+            prop_assert_eq!(owner, shard_of(&Directory::new(shards), id));
+        }
+        // Topology: shard s listens on endpoint s; worker rank r sits
+        // above every shard endpoint.
+        prop_assert!(d.shard_eps().all(|ep| ep < shards));
+        prop_assert!(d.worker_ep(rank) >= shards);
+        prop_assert_eq!(d.worker_ep(rank), shards + rank - 1);
     }
 }

@@ -8,6 +8,7 @@ use hdsm::dsd::client::DsdError;
 use hdsm::dsd::cluster::{ClusterBuilder, ClusterError};
 use hdsm::dsd::gthv::GthvDef;
 use hdsm::dsd::protocol::{DsdMsg, ProtocolError};
+use hdsm::dsd::{BarrierId, CondId, LockId};
 use hdsm::net::message::MsgKind;
 use hdsm::net::{FaultPlan, NetStats};
 use hdsm::platform::ctype::StructBuilder;
@@ -16,6 +17,16 @@ use hdsm::platform::spec::PlatformSpec;
 use hdsm::tags::wire::unpack_batch;
 use proptest::prelude::*;
 use std::time::{Duration, Instant};
+
+/// Shard count for the suite: CI runs it at `HDSM_SHARDS=1` and
+/// `HDSM_SHARDS=3` so the whole failure-injection battery also holds
+/// under a sharded home. Defaults to the classic single home.
+fn shards_from_env() -> u32 {
+    std::env::var("HDSM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 fn tiny_def() -> GthvDef {
     GthvDef::new(
@@ -71,9 +82,9 @@ fn home_rejects_double_lock_release() {
         .locks(1)
         .recv_deadline(Duration::from_millis(500))
         .run(|c, _| {
-            c.mth_lock(0)?;
-            c.mth_unlock(0)?;
-            c.mth_unlock(0)?; // violation
+            c.acquire(LockId::new(0))?;
+            c.release(LockId::new(0))?;
+            c.release(LockId::new(0))?; // violation
             Ok(())
         })
         .unwrap_err();
@@ -91,7 +102,7 @@ fn home_rejects_unknown_lock_index() {
         .locks(1)
         .recv_deadline(Duration::from_millis(500))
         .run(|c, _| {
-            c.mth_lock(7)?; // only lock 0 exists
+            c.acquire(LockId::new(7))?; // only lock 0 exists
             Ok(())
         })
         .unwrap_err();
@@ -116,9 +127,9 @@ fn worker_body_error_does_not_hang_the_cluster() {
                 return Err(hdsm::dsd::client::DsdError::Unexpected("app failure"));
             }
             // … while the other does real work; the run must still end.
-            c.mth_lock(0)?;
+            c.acquire(LockId::new(0))?;
             c.write_int(0, 0, 1)?;
-            c.mth_unlock(0)?;
+            c.release(LockId::new(0))?;
             Ok(())
         })
         .unwrap_err();
@@ -173,6 +184,7 @@ fn run_convergence_workload(plan: Option<FaultPlan>) -> (Vec<u8>, i128, NetStats
         .worker(PlatformSpec::solaris_sparc())
         .locks(1)
         .barriers(1)
+        .shards(shards_from_env())
         .lease(Duration::from_secs(5))
         .retry_base(Duration::from_millis(10))
         .recv_deadline(Duration::from_secs(30));
@@ -182,18 +194,18 @@ fn run_convergence_workload(plan: Option<FaultPlan>) -> (Vec<u8>, i128, NetStats
     let outcome = b
         .run(|c, info| {
             for _ in 0..20 {
-                c.mth_lock(0)?;
+                c.acquire(LockId::new(0))?;
                 let v = c.read_int(0, 0)?;
                 c.write_int(0, 0, v + 1)?;
-                c.mth_unlock(0)?;
+                c.release(LockId::new(0))?;
             }
-            c.mth_barrier(0)?;
+            c.barrier(BarrierId::new(0))?;
             // Disjoint stripes: worker 0 → xs[1..8], worker 1 → xs[8..15].
             let base = 1 + info.index as u64 * 7;
             for i in base..base + 7 {
                 c.write_int(0, i, i as i128 * 3 + 1)?;
             }
-            c.mth_barrier(0)?; // ships the stripes
+            c.barrier(BarrierId::new(0))?; // ships the stripes
             Ok(())
         })
         .expect("workload completes despite faults");
@@ -248,6 +260,7 @@ fn chaos_run_is_fully_observable() {
         .worker(PlatformSpec::solaris_sparc())
         .locks(1)
         .barriers(1)
+        .shards(shards_from_env())
         .lease(Duration::from_secs(5))
         .retry_base(Duration::from_millis(10))
         .recv_deadline(Duration::from_secs(30))
@@ -255,12 +268,12 @@ fn chaos_run_is_fully_observable() {
         .obs(recorder.clone())
         .run(|c, _info| {
             for _ in 0..20 {
-                c.mth_lock(0)?;
+                c.acquire(LockId::new(0))?;
                 let v = c.read_int(0, 0)?;
                 c.write_int(0, 0, v + 1)?;
-                c.mth_unlock(0)?;
+                c.release(LockId::new(0))?;
             }
-            c.mth_barrier(0)?;
+            c.barrier(BarrierId::new(0))?;
             Ok(())
         })
         .expect("workload completes despite faults");
@@ -319,7 +332,7 @@ fn chaos_lease_expiry_is_observable() {
                 std::thread::sleep(Duration::from_millis(100));
                 return Err(DsdError::Crashed);
             }
-            c.mth_barrier(0)?;
+            c.barrier(BarrierId::new(0))?;
             Ok(())
         })
         .unwrap_err();
@@ -358,7 +371,7 @@ fn chaos_worker_crash_mid_barrier_returns_worker_lost_not_hang() {
                 std::thread::sleep(Duration::from_millis(100));
                 return Err(DsdError::Crashed);
             }
-            c.mth_barrier(0)?; // blocks on the crashed worker
+            c.barrier(BarrierId::new(0))?; // blocks on the crashed worker
             Ok(())
         })
         .unwrap_err();
@@ -382,18 +395,19 @@ fn chaos_crashed_worker_lock_is_reclaimed() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::linux_x86())
         .locks(1)
+        .shards(shards_from_env())
         .lease(Duration::from_millis(400))
         .retry_base(Duration::from_millis(25))
         .recv_deadline(Duration::from_secs(10))
         .run(|c, info| {
             if info.index == 1 {
-                c.mth_lock(0)?;
+                c.acquire(LockId::new(0))?;
                 return Err(DsdError::Crashed); // die holding the lock
             }
             std::thread::sleep(Duration::from_millis(150));
-            c.mth_lock(0)?; // queued behind the crashed holder
+            c.acquire(LockId::new(0))?; // queued behind the crashed holder
             c.write_int(0, 1, 11)?;
-            c.mth_unlock(0)?;
+            c.release(LockId::new(0))?;
             Ok(())
         })
         .unwrap_err();
@@ -424,7 +438,7 @@ fn chaos_partitioned_worker_declared_dead_after_heal() {
                 std::thread::sleep(Duration::from_millis(100));
                 // Retransmits into the void until the partition heals;
                 // by then the home has declared us dead.
-                return match c.mth_lock(0) {
+                return match c.acquire(LockId::new(0)) {
                     Err(e) => Err(e),
                     Ok(()) => panic!("lock granted through a partition"),
                 };
@@ -465,18 +479,19 @@ proptest! {
             .worker(PlatformSpec::linux_x86_64())
             .locks(1)
             .barriers(1)
+            .shards(shards_from_env())
             .fault_plan(plan)
             .lease(Duration::from_secs(5))
             .retry_base(Duration::from_millis(10))
             .recv_deadline(Duration::from_secs(20))
             .run(|c, _| {
                 for _ in 0..5 {
-                    c.mth_lock(0)?;
+                    c.acquire(LockId::new(0))?;
                     let v = c.read_int(0, 0)?;
                     c.write_int(0, 0, v + 1)?;
-                    c.mth_unlock(0)?;
+                    c.release(LockId::new(0))?;
                 }
-                c.mth_barrier(0)?;
+                c.barrier(BarrierId::new(0))?;
                 Ok(())
             });
         prop_assert!(t0.elapsed() < Duration::from_secs(60), "run hung");
@@ -514,5 +529,77 @@ fn corrupted_migration_images_rejected() {
         let _ = parse_image(&StateImage {
             bytes: Bytes::from(corrupted),
         });
+    }
+}
+
+#[test]
+fn chaos_shard_worker_loss_reclaims_only_that_shards_locks() {
+    // Two home shards: lock 0 homes on shard 0, lock 1 on shard 1. A
+    // worker dies holding shard 0's lock. Every shard's lease detector
+    // declares the silence independently, but failure domains are
+    // per-shard: only shard 0 has anything to reclaim, and the
+    // survivor's hold on shard 1's lock rides straight through the
+    // expiry — it can still write under it and release it normally
+    // while re-acquiring the reclaimed lock from shard 0.
+    let err = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86())
+        .locks(2)
+        .shards(2)
+        .lease(Duration::from_millis(400))
+        .retry_base(Duration::from_millis(25))
+        .recv_deadline(Duration::from_secs(10))
+        .run(|c, info| {
+            if info.index == 1 {
+                c.acquire(LockId::new(0))?;
+                return Err(DsdError::Crashed); // die holding shard 0's lock
+            }
+            // Survivor: take shard 1's lock before the crash is declared
+            // and hold it across the lease expiry.
+            c.acquire(LockId::new(1))?;
+            std::thread::sleep(Duration::from_millis(700));
+            c.acquire(LockId::new(0))?; // reclaimed by shard 0's detector
+            c.write_int(0, 1, 11)?;
+            c.release(LockId::new(0))?;
+            // Still inside shard 1's critical section: the expiry on
+            // shard 0 must not have touched this lock.
+            c.write_int(0, 2, 22)?;
+            c.release(LockId::new(1))?;
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, ClusterError::WorkerLost { rank: 2 }),
+        "expected WorkerLost {{ rank: 2 }}, got {err}"
+    );
+}
+
+#[test]
+fn cond_paired_with_a_lock_on_another_shard_is_rejected() {
+    // MTh_cond_wait atomically releases a mutex and parks on the cond's
+    // home shard; that atomicity only exists when both live on the same
+    // shard. The client rejects a cross-shard pairing locally, before
+    // anything reaches the wire.
+    let err = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .locks(2)
+        .conds(2)
+        .shards(2)
+        .recv_deadline(Duration::from_secs(5))
+        .run(|c, _| {
+            c.acquire(LockId::new(0))?;
+            // cond 1 homes on shard 1, lock 0 on shard 0.
+            c.cond_wait(CondId::new(1), LockId::new(0))?;
+            Ok(())
+        })
+        .unwrap_err();
+    match err {
+        ClusterError::Worker {
+            error: DsdError::ShardMismatch { cond: 1, lock: 0 },
+            ..
+        } => {}
+        other => panic!("expected ShardMismatch, got {other}"),
     }
 }
