@@ -1,21 +1,31 @@
 //! End-to-end observability demo: run a Jacobi cluster with an enabled
-//! recorder and export everything `hdsm-obs` produces.
+//! recorder and export everything `hdsm-obs` produces, then run a SOR
+//! cluster over a lossy fabric and let the critical-path analyzer name
+//! the straggler.
 //!
 //! Writes:
 //! * `results/obs_trace.json` — Chrome tracing JSON (load via
-//!   `chrome://tracing` or <https://ui.perfetto.dev>); one track per rank.
+//!   `chrome://tracing` or <https://ui.perfetto.dev>); one track per rank,
+//!   with flow arrows linking each send to its receive.
 //! * `results/obs_snapshot.json` — the machine-readable [`ObsSnapshot`].
+//! * `results/critpath.txt` — per-sync-op critical paths from the faulty
+//!   SOR run (straggler rank, slowest shard, retransmits per link).
+//! * `results/obs_metrics.prom` — Prometheus text exposition (`--prom`).
 //!
-//! Also prints the plain-text cluster report and cross-checks the
-//! snapshot's per-kind network totals against the fabric's own
-//! [`NetStats`] — they are fed at the same call site and must agree.
+//! Also prints the plain-text cluster reports and cross-checks the
+//! snapshot's network totals against the fabric's own [`NetStats`] —
+//! overall and per destination endpoint — since they are fed at the same
+//! call site and must agree.
 
-use hdsm_apps::jacobi;
 use hdsm_apps::workload::paper_pairs;
+use hdsm_apps::{jacobi, sor};
 use hdsm_core::cluster::ClusterBuilder;
+use hdsm_net::fault::FaultPlan;
 use hdsm_obs::{chrome_trace, Recorder};
+use std::time::Duration;
 
 fn main() {
+    let prom = std::env::args().any(|a| a == "--prom");
     let n = 48;
     let sweeps = 6;
     let seed = 0x0B5;
@@ -42,7 +52,7 @@ fn main() {
 
     let snapshot = outcome.obs.as_ref().expect("recorder was enabled");
 
-    // The snapshot's traffic table and NetStats are fed from the same
+    // The snapshot's traffic tables and NetStats are fed from the same
     // send-path call site; any disagreement is a bug.
     assert_eq!(snapshot.net_total_msgs, outcome.net_stats.total_messages());
     assert_eq!(snapshot.net_total_bytes, outcome.net_stats.total_bytes());
@@ -51,6 +61,10 @@ fn main() {
         snapshot.net_control_bytes,
         outcome.net_stats.control_bytes()
     );
+    for row in &snapshot.net_by_dest {
+        let t = outcome.net_stats.dest_traffic(row.dst);
+        assert_eq!((row.msgs, row.bytes), (t.msgs, t.bytes), "dest {}", row.dst);
+    }
 
     let results = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
     std::fs::create_dir_all(results).expect("create results dir");
@@ -58,13 +72,70 @@ fn main() {
     let snap_path = format!("{results}/obs_snapshot.json");
     std::fs::write(&trace_path, chrome_trace(&recorder.events())).expect("write trace");
     std::fs::write(&snap_path, snapshot.to_json()).expect("write snapshot");
+    if prom {
+        let text = recorder
+            .with_registry(|r| r.to_prometheus())
+            .expect("recorder enabled");
+        std::fs::write(format!("{results}/obs_metrics.prom"), text).expect("write prom");
+    }
 
     println!("{}", snapshot.report());
     println!("jacobi n={n} sweeps={sweeps} pair={} verified", pair.label);
+
+    // ---- faulty SOR: who made each barrier slow? ----
+    let sor_n = 36;
+    let sor_sweeps = 4;
+    let sor_seed = 0x50F;
+    let plan = FaultPlan::seeded(0xBEEF).drop(0.05);
+    let faulty = Recorder::enabled();
+    let outcome2 = ClusterBuilder::new()
+        .gthv(sor::gthv_def(sor_n))
+        .home(pair.home.clone())
+        .worker(pair.home.clone())
+        .worker(pair.remote.clone())
+        .barriers(1)
+        .shards(2)
+        .fault_plan(plan)
+        .retry_base(Duration::from_millis(10))
+        .recv_deadline(Duration::from_secs(30))
+        .obs(faulty.clone())
+        .init(move |g| sor::init(g, sor_n, sor_seed))
+        .run(move |c, info| sor::run_worker(c, info, sor_n, sor_sweeps))
+        .expect("faulty sor cluster");
+    assert!(
+        sor::verify(&outcome2.final_gthv, sor_n, sor_seed, sor_sweeps),
+        "sor failed to verify under faults"
+    );
+    let snap2 = outcome2.obs.as_ref().expect("recorder was enabled");
+    assert!(
+        !snap2.critpaths.is_empty(),
+        "critical-path analyzer found no sync ops"
+    );
+    let mut critpath = String::new();
+    critpath.push_str(&format!(
+        "critical paths: sor n={sor_n} sweeps={sor_sweeps} shards=2, 5% drop fabric\n\n"
+    ));
+    for cp in &snap2.critpaths {
+        critpath.push_str(&cp.describe(2));
+        critpath.push('\n');
+    }
+    std::fs::write(format!("{results}/critpath.txt"), &critpath).expect("write critpath");
+    println!("{}", snap2.report());
+    println!(
+        "faulty sor fabric: dropped {} retransmitted {}",
+        outcome2.net_stats.dropped, outcome2.net_stats.retransmitted
+    );
+
     println!("chrome trace  -> results/obs_trace.json");
     println!("obs snapshot  -> results/obs_snapshot.json");
+    println!("critical path -> results/critpath.txt");
+    if prom {
+        println!("prometheus    -> results/obs_metrics.prom");
+    }
     println!(
-        "net cross-check: {} msgs / {} bytes (obs == NetStats)",
-        snapshot.net_total_msgs, snapshot.net_total_bytes
+        "net cross-check: {} msgs / {} bytes over {} dests (obs == NetStats)",
+        snapshot.net_total_msgs,
+        snapshot.net_total_bytes,
+        snapshot.net_by_dest.len()
     );
 }

@@ -40,7 +40,7 @@ use crate::update::{apply_batch, apply_batch_mode, apply_tracked, extract_update
 use hdsm_memory::diff::diff_pages;
 use hdsm_net::endpoint::{Endpoint, NetError};
 use hdsm_net::message::MsgKind;
-use hdsm_obs::{EventKind, Recorder};
+use hdsm_obs::{EventKind, OpCtx, OpKind, Recorder};
 use hdsm_platform::spec::Platform;
 use hdsm_tags::convert::ConversionStats;
 use hdsm_tags::wire::WireUpdate;
@@ -160,6 +160,11 @@ pub struct DsdClient {
     recorder: Recorder,
     /// Open lock-hold spans: lock id → (epoch µs, wall start) at grant.
     held_since: std::collections::HashMap<u32, (u64, Instant)>,
+    /// The sync operation currently in progress; stamped into every span,
+    /// send and retransmit so the cross-rank trace can attribute them.
+    cur_op: OpCtx,
+    /// Per-(kind, id) episode counters backing `cur_op.epoch`.
+    op_epochs: std::collections::HashMap<(OpKind, u32), u32>,
 }
 
 impl DsdClient {
@@ -188,7 +193,28 @@ impl DsdClient {
             retry_base: std::time::Duration::from_millis(250),
             recorder: Recorder::disabled(),
             held_since: std::collections::HashMap::new(),
+            cur_op: OpCtx::default(),
+            op_epochs: std::collections::HashMap::new(),
         }
+    }
+
+    /// Open a new sync-op trace context: everything recorded until the
+    /// next `begin_op` — phase spans, sends (including the flush/fetch
+    /// fan-out), retransmits and the home's replies — is attributed to
+    /// this `(kind, id, epoch, origin)` tuple. A disabled recorder keeps
+    /// this a no-op and `cur_op` permanently unattributed.
+    fn begin_op(&mut self, kind: OpKind, id: u32) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        let epoch = self.op_epochs.entry((kind, id)).or_insert(0);
+        *epoch += 1;
+        self.cur_op = OpCtx {
+            kind,
+            id,
+            epoch: *epoch,
+            origin: self.obs_rank,
+        };
     }
 
     /// Attach the cluster's home directory. Must match the directory the
@@ -343,16 +369,19 @@ impl DsdClient {
         loop {
             if attempt > 0 {
                 self.ep.network().note_retransmit();
-                self.recorder.instant(
+                // arg1 carries the destination so the critical-path
+                // analyzer can pin retransmits to a link.
+                self.recorder.instant_op(
                     self.obs_rank,
                     EventKind::Retransmit,
                     attempt as u64,
-                    0,
+                    dst as u64,
                     kind.label(),
+                    self.cur_op,
                 );
             }
             self.costs.bytes_sent += payload.len() as u64;
-            self.ep.send(dst, kind, payload.clone())?;
+            self.ep.send_op(dst, kind, payload.clone(), self.cur_op)?;
             // How long to wait before the next retransmission; once the
             // retry budget is spent, wait out the remaining deadline.
             let attempt_wait = if attempt >= self.max_retries {
@@ -376,6 +405,7 @@ impl DsdClient {
                         let (rid, decoded) = {
                             let mut span = self.recorder.span(self.obs_rank, EventKind::Unpack);
                             span.args(m.payload.len() as u64, m.src as u64);
+                            span.op(self.cur_op);
                             DsdMsg::decode_enveloped(m.kind, m.payload)?
                         };
                         self.costs.t_unpack += t0.elapsed();
@@ -403,6 +433,7 @@ impl DsdClient {
         {
             let mut span = self.recorder.span(self.obs_rank, EventKind::Convert);
             span.args(updates.len() as u64, bytes);
+            span.op(self.cur_op);
             apply_batch_mode(
                 &mut self.gthv,
                 updates,
@@ -446,6 +477,7 @@ impl DsdClient {
         let mapped;
         {
             let mut span = self.recorder.span(self.obs_rank, EventKind::DiffScan);
+            span.op(self.cur_op);
             runs = if self.fast_path {
                 hdsm_memory::diff::diff_pages_parallel(
                     self.gthv.space(),
@@ -471,6 +503,7 @@ impl DsdClient {
         let mut ranges;
         {
             let mut span = self.recorder.span(self.obs_rank, EventKind::TagBuild);
+            span.op(self.cur_op);
             ranges = coalesce(mapped);
             if self.promote_threshold < 100 {
                 ranges =
@@ -484,6 +517,7 @@ impl DsdClient {
         let ups;
         {
             let mut span = self.recorder.span(self.obs_rank, EventKind::Pack);
+            span.op(self.cur_op);
             ups = extract_updates(&self.gthv, &ranges)?;
             span.args(
                 ups.iter().map(|u| u.data.len() as u64).sum(),
@@ -571,10 +605,12 @@ impl DsdClient {
     }
 
     fn lock_impl(&mut self, lock: u32) -> Result<(), DsdError> {
+        self.begin_op(OpKind::Lock, lock);
         let owner = self.directory.lock_shard(lock);
         let reply = {
             let mut span = self.recorder.span(self.obs_rank, EventKind::LockWait);
             span.args(lock as u64, 0);
+            span.op(self.cur_op);
             self.request(
                 owner,
                 DsdMsg::LockRequest {
@@ -599,9 +635,11 @@ impl DsdClient {
     }
 
     fn unlock_impl(&mut self, lock: u32) -> Result<(), DsdError> {
+        self.begin_op(OpKind::Unlock, lock);
         let owner = self.directory.lock_shard(lock);
         let mut release = self.recorder.span(self.obs_rank, EventKind::LockRelease);
         release.args(lock as u64, 0);
+        release.op(self.cur_op);
         let updates = self.collect_outgoing()?;
         // Twins/dirty marks shipped; re-arm for the next critical section.
         self.gthv.space_mut().reset_and_protect();
@@ -616,7 +654,7 @@ impl DsdClient {
         )? {
             DsdMsg::UnlockAck { lock: l } if l == lock => {
                 if let Some((t_us, start)) = self.held_since.remove(&lock) {
-                    self.recorder.span_at(
+                    self.recorder.span_at_op(
                         self.obs_rank,
                         EventKind::LockHold,
                         t_us,
@@ -624,6 +662,7 @@ impl DsdClient {
                         lock as u64,
                         0,
                         "",
+                        self.cur_op,
                     );
                 }
                 Ok(())
@@ -633,6 +672,7 @@ impl DsdClient {
     }
 
     fn cond_wait_impl(&mut self, cond: u32, lock: u32) -> Result<(), DsdError> {
+        self.begin_op(OpKind::Cond, cond);
         let owner = self.directory.lock_shard(lock);
         if self.directory.cond_shard(cond) != owner {
             return Err(DsdError::ShardMismatch { cond, lock });
@@ -660,6 +700,7 @@ impl DsdClient {
     }
 
     fn cond_signal_impl(&mut self, cond: u32, broadcast: bool) -> Result<(), DsdError> {
+        self.begin_op(OpKind::Cond, cond);
         let owner = self.directory.cond_shard(cond);
         match self.request(
             owner,
@@ -675,9 +716,11 @@ impl DsdClient {
     }
 
     fn barrier_impl(&mut self, barrier: u32) -> Result<(), DsdError> {
+        self.begin_op(OpKind::Barrier, barrier);
         let coordinator = self.directory.barrier_shard(barrier);
         let mut span = self.recorder.span(self.obs_rank, EventKind::Barrier);
         span.args(barrier as u64, 0);
+        span.op(self.cur_op);
         let updates = self.collect_outgoing()?;
         self.gthv.space_mut().reset_and_protect();
         let updates = self.flush_updates(updates, coordinator)?;
@@ -703,6 +746,7 @@ impl DsdClient {
     }
 
     fn join_impl(mut self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
+        self.begin_op(OpKind::Join, 0);
         // Sign off at every shard; each keeps its own participant table
         // and its Shutdown is the deferred (retransmittable) reply to the
         // Join it received.

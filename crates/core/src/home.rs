@@ -33,7 +33,7 @@ use crate::update::{apply_batch_mode, extract_updates, full_ranges, UpdateError}
 use bytes::Bytes;
 use hdsm_net::endpoint::{Endpoint, NetError};
 use hdsm_net::message::MsgKind;
-use hdsm_obs::{EventKind, Recorder};
+use hdsm_obs::{EventKind, OpCtx, Recorder};
 use hdsm_tags::convert::ConversionStats;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -197,6 +197,11 @@ pub struct HomeShard {
     conv_stats: ConversionStats,
     recorder: Recorder,
     fast_path: bool,
+    /// The sync operation each thread's outstanding request is doing work
+    /// for (from the request's trace context), so replies — including
+    /// deferred grants and barrier releases — and home-side spans are
+    /// attributed to the op that caused them. Empty when obs is disabled.
+    op_ctx: HashMap<u32, OpCtx>,
 }
 
 /// The pre-sharding name of [`HomeShard`], kept for downstream code that
@@ -236,7 +241,13 @@ impl HomeShard {
             conv_stats: ConversionStats::default(),
             recorder: config.recorder,
             fast_path: config.fast_path,
+            op_ctx: HashMap::new(),
         }
+    }
+
+    /// The sync op thread `rank`'s outstanding request belongs to.
+    fn op_of(&self, rank: u32) -> OpCtx {
+        self.op_ctx.get(&rank).copied().unwrap_or_default()
     }
 
     /// Initialise the authoritative copy and log this shard's slice of the
@@ -300,6 +311,7 @@ impl HomeShard {
                 updates.len() as u64,
                 updates.iter().map(|u| u.data.len() as u64).sum(),
             );
+            span.op(self.op_of(writer));
             apply_batch_mode(
                 &mut self.gthv,
                 updates,
@@ -355,6 +367,7 @@ impl HomeShard {
         let ranges: Vec<UpdateRange>;
         {
             let mut span = self.recorder.span(self.ep.rank(), EventKind::TagBuild);
+            span.op(self.op_of(rank));
             ranges = if horizon < self.log_floor {
                 // The thread's horizon predates the log: full refresh of
                 // this shard's slice.
@@ -375,6 +388,7 @@ impl HomeShard {
         let ups;
         {
             let mut span = self.recorder.span(self.ep.rank(), EventKind::Pack);
+            span.op(self.op_of(rank));
             ups = extract_updates(&self.gthv, &ranges)?;
             span.args(
                 ups.iter().map(|u| u.data.len() as u64).sum(),
@@ -401,7 +415,10 @@ impl HomeShard {
         self.costs.t_pack += t0.elapsed();
         self.reply_cache
             .insert(rank, (req_id, msg.kind(), payload.clone()));
-        self.ep.send(ep_rank, msg.kind(), payload)?;
+        // The reply — including a deferred grant or barrier release —
+        // belongs to the op the requester is blocked in.
+        self.ep
+            .send_op(ep_rank, msg.kind(), payload, self.op_of(rank))?;
         Ok(())
     }
 
@@ -429,14 +446,16 @@ impl HomeShard {
                 Some(self.ep.recv()?)
             };
             if let Some(msg) = msg {
+                let op = msg.trace.map(|t| t.op).unwrap_or_default();
                 let t0 = Instant::now();
                 let (req_id, decoded) = {
                     let mut span = self.recorder.span(self.ep.rank(), EventKind::Unpack);
                     span.args(msg.payload.len() as u64, msg.src as u64);
+                    span.op(op);
                     DsdMsg::decode_enveloped(msg.kind, msg.payload)?
                 };
                 self.costs.t_unpack += t0.elapsed();
-                self.dispatch(msg.src, req_id, decoded)?;
+                self.dispatch(msg.src, req_id, decoded, op)?;
             }
             self.check_leases()?;
         }
@@ -500,7 +519,7 @@ impl HomeShard {
                 Some((rid, kind, payload)) if *rid == req_id => {
                     let (kind, payload) = (*kind, payload.clone());
                     let ep_rank = *self.routes.get(&rank).unwrap();
-                    let _ = self.ep.send(ep_rank, kind, payload);
+                    let _ = self.ep.send_op(ep_rank, kind, payload, self.op_of(rank));
                 }
                 _ if req_id > self.last_req.get(&rank).copied().unwrap_or(0) => {
                     // A new request after shutdown can only be a stray
@@ -517,7 +536,13 @@ impl HomeShard {
     /// Reliability front-end: refresh liveness, deduplicate retransmitted
     /// requests (resending the cached reply), then hand fresh requests to
     /// [`Self::handle`].
-    fn dispatch(&mut self, src_ep: u32, req_id: u64, msg: DsdMsg) -> Result<(), HomeError> {
+    fn dispatch(
+        &mut self,
+        src_ep: u32,
+        req_id: u64,
+        msg: DsdMsg,
+        op: OpCtx,
+    ) -> Result<(), HomeError> {
         if let DsdMsg::Heartbeat { rank } = msg {
             self.routes.insert(rank, src_ep);
             self.touch(rank);
@@ -530,6 +555,12 @@ impl HomeShard {
         };
         self.routes.insert(rank, src_ep);
         self.touch(rank);
+        if op.is_some() {
+            // Remember which sync op this thread is blocked in, so its
+            // reply (possibly deferred past other requests) and the spans
+            // spent serving it are attributed to the right op.
+            self.op_ctx.insert(rank, op);
+        }
         if self.dead.contains(&rank) {
             // A declared-dead worker resurfaced (e.g. a healed partition
             // after its lease expired). Its synchronisation state is
@@ -558,7 +589,7 @@ impl HomeShard {
                         // (and, under a sharded home, every other shard's):
                         // a dropped endpoint means the duplicate outlived
                         // its sender, not that the reply was lost.
-                        match self.ep.send(ep_rank, kind, payload) {
+                        match self.ep.send_op(ep_rank, kind, payload, self.op_of(rank)) {
                             Err(NetError::Disconnected(_)) => {}
                             other => other?,
                         }
@@ -607,8 +638,16 @@ impl HomeShard {
     /// barrier it was blocking with [`DsdMsg::WorkerLost`].
     fn declare_dead(&mut self, rank: u32) -> Result<(), HomeError> {
         self.dead.insert(rank);
-        self.recorder
-            .instant(self.ep.rank(), EventKind::LeaseExpired, rank as u64, 0, "");
+        // Attributed to the dead rank's last known op — the op whose
+        // participants will observe the expiry.
+        self.recorder.instant_op(
+            self.ep.rank(),
+            EventKind::LeaseExpired,
+            rank as u64,
+            0,
+            "",
+            self.op_of(rank),
+        );
         self.recorder.count("home.leases_expired", 1);
         for idx in 0..self.locks.len() {
             self.locks[idx].waiters.retain(|&w| w != rank);

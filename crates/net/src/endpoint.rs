@@ -1,11 +1,11 @@
 //! The network fabric and per-node endpoints.
 
 use crate::fault::{FaultPlan, FaultState};
-use crate::message::{Message, MsgKind};
+use crate::message::{Message, MsgKind, TraceCtx};
 use crate::stats::{NetConfig, NetStats};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use hdsm_obs::{EventKind, Recorder};
+use hdsm_obs::{EventKind, OpCtx, Recorder};
 use parking_lot::{Mutex, RwLock};
 use std::fmt;
 use std::sync::Arc;
@@ -159,15 +159,19 @@ impl Network {
         kind: MsgKind,
         payload: Bytes,
     ) -> Result<(), NetError> {
-        self.send(Message {
-            src,
-            dst,
-            kind,
-            payload,
-        })
+        self.send(
+            Message {
+                src,
+                dst,
+                kind,
+                payload,
+                trace: None,
+            },
+            OpCtx::default(),
+        )
     }
 
-    fn send(&self, msg: Message) -> Result<(), NetError> {
+    fn send(&self, mut msg: Message, op: OpCtx) -> Result<(), NetError> {
         let wire = self.fabric.config.transfer_time(msg.payload.len());
         let tx = {
             let senders = self.fabric.senders.read();
@@ -190,13 +194,19 @@ impl Network {
             msg.payload.len() as u64,
             msg.kind.carries_updates(),
         );
-        rec.instant(
+        // Tick the sender's hybrid logical clock and stamp the causal
+        // trace context into the envelope. With a disabled recorder this
+        // is one branch and the envelope stays trace-free (`None`), so
+        // the wire format is byte-identical to an unobserved fabric.
+        if let Some((hlc, flow)) = rec.msg_send_event(
             msg.src,
-            EventKind::MsgSend,
             msg.payload.len() as u64,
-            msg.dst as u64,
+            msg.dst,
             msg.kind.label(),
-        );
+            op,
+        ) {
+            msg.trace = Some(TraceCtx { flow, hlc, op });
+        }
         let dst = msg.dst;
         let mut sleep_for = if self.fabric.config.real_delay {
             wire
@@ -282,23 +292,53 @@ impl Endpoint {
 
     /// Send `payload` to `dst`.
     pub fn send(&self, dst: u32, kind: MsgKind, payload: Bytes) -> Result<(), NetError> {
-        self.net.send(Message {
-            src: self.rank,
-            dst,
-            kind,
-            payload,
-        })
+        self.send_op(dst, kind, payload, OpCtx::default())
     }
 
-    /// Record a delivered message in the fabric's observability stream.
+    /// Send `payload` to `dst`, attributing the message (and its trace
+    /// context) to sync operation `op`.
+    pub fn send_op(
+        &self,
+        dst: u32,
+        kind: MsgKind,
+        payload: Bytes,
+        op: OpCtx,
+    ) -> Result<(), NetError> {
+        self.net.send(
+            Message {
+                src: self.rank,
+                dst,
+                kind,
+                payload,
+                trace: None,
+            },
+            op,
+        )
+    }
+
+    /// Record a delivered message in the fabric's observability stream,
+    /// merging the carried HLC stamp into this rank's clock so the
+    /// receive is causally after the send even under fault injection.
     fn note_recv(&self, m: &Message) {
-        self.net.fabric.recorder.instant(
-            self.rank,
-            EventKind::MsgRecv,
-            m.payload.len() as u64,
-            m.src as u64,
-            m.kind.label(),
-        );
+        let rec = &self.net.fabric.recorder;
+        match &m.trace {
+            Some(t) => rec.msg_recv_event(
+                self.rank,
+                m.payload.len() as u64,
+                m.src,
+                m.kind.label(),
+                t.hlc,
+                t.flow,
+                t.op,
+            ),
+            None => rec.instant(
+                self.rank,
+                EventKind::MsgRecv,
+                m.payload.len() as u64,
+                m.src as u64,
+                m.kind.label(),
+            ),
+        }
     }
 
     /// Blocking receive.
@@ -527,6 +567,60 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| e.kind == EventKind::MsgRecv && e.label == "lock-req" && e.rank == 1));
+    }
+
+    #[test]
+    fn disabled_recorder_leaves_envelope_untraced() {
+        let (_net, eps) = Network::new(2, NetConfig::instant());
+        eps[0]
+            .send(1, MsgKind::LockRequest, Bytes::from_static(b"payload"))
+            .unwrap();
+        let m = eps[1].recv().unwrap();
+        assert!(m.trace.is_none());
+        assert_eq!(&m.payload[..], b"payload");
+    }
+
+    #[test]
+    fn observed_sends_stamp_trace_context() {
+        use hdsm_obs::OpKind;
+        let rec = Recorder::enabled();
+        let (_net, eps) = Network::new_observed(2, NetConfig::instant(), rec.clone());
+        let op = OpCtx {
+            kind: OpKind::Lock,
+            id: 4,
+            epoch: 1,
+            origin: 0,
+        };
+        eps[0]
+            .send_op(1, MsgKind::LockRequest, Bytes::from_static(b"x"), op)
+            .unwrap();
+        let m = eps[1].recv().unwrap();
+        let t = m.trace.expect("observed send must carry trace");
+        assert_ne!(t.flow, 0);
+        assert_eq!(t.op, op);
+        // The send and receive events share the flow id and carry the op;
+        // the receive's merged stamp is causally after the send's.
+        let evs = rec.events();
+        let send = evs.iter().find(|e| e.kind == EventKind::MsgSend).unwrap();
+        let recv = evs.iter().find(|e| e.kind == EventKind::MsgRecv).unwrap();
+        assert_eq!(send.flow, t.flow);
+        assert_eq!(recv.flow, t.flow);
+        assert_eq!(send.op, op);
+        assert_eq!(recv.op, op);
+        assert!(send.hlc < recv.hlc, "{} !< {}", send.hlc, recv.hlc);
+    }
+
+    #[test]
+    fn reordered_delivery_keeps_causal_send_recv_order() {
+        let rec = Recorder::enabled();
+        let plan = FaultPlan::seeded(11).reorder(1.0).duplicate(0.5);
+        let (_net, eps) =
+            Network::new_observed(2, NetConfig::instant().with_faults(plan), rec.clone());
+        for _ in 0..8 {
+            eps[0].send(1, MsgKind::Other, Bytes::new()).unwrap();
+        }
+        while eps[1].try_recv().is_ok() {}
+        hdsm_obs::check_happens_before(&rec.events()).unwrap();
     }
 
     #[test]

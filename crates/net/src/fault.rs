@@ -272,6 +272,7 @@ mod tests {
             dst,
             kind: MsgKind::Other,
             payload: Bytes::copy_from_slice(&[tag]),
+            trace: None,
         }
     }
 

@@ -2,11 +2,15 @@
 //!
 //! Emits the Trace Event Format's JSON-array form: one complete (`"X"`)
 //! event per recorded span, one instant (`"i"`) per zero-duration event,
-//! plus metadata naming each rank's track. Load the file at
+//! plus metadata naming each rank's track. Message sends/receives that
+//! carry a flow id additionally emit flow events (`ph:"s"` at the send,
+//! `ph:"f"` with `bp:"e"` at the receive, same `id`), which Perfetto
+//! draws as arrows connecting the two rank tracks — the visual form of
+//! the causal order established in [`crate::causal`]. Load the file at
 //! `chrome://tracing` or <https://ui.perfetto.dev> to see every rank as
 //! its own timeline.
 
-use crate::event::Event;
+use crate::event::{Event, EventKind};
 use crate::snapshot::JsonWriter;
 use std::collections::BTreeSet;
 
@@ -59,8 +63,30 @@ pub fn chrome_trace(events: &[Event]) -> String {
         if !e.label.is_empty() {
             w.field_str("label", e.label);
         }
+        if e.op.is_some() {
+            w.key("op");
+            w.raw_value(&json_string(&e.op.to_string()));
+        }
         w.end_obj();
         w.end_obj();
+        // Flow arrow endpoints: a start at each send, a finish (binding
+        // to the enclosing slice end, `bp:"e"`) at each receive.
+        if e.flow != 0 && matches!(e.kind, EventKind::MsgSend | EventKind::MsgRecv) {
+            w.begin_obj();
+            w.field_str("name", "msg");
+            w.field_str("cat", "flow");
+            if e.kind == EventKind::MsgSend {
+                w.field_str("ph", "s");
+            } else {
+                w.field_str("ph", "f");
+                w.field_str("bp", "e");
+            }
+            w.field_u64("id", e.flow);
+            w.field_u64("ts", e.t_us);
+            w.field_u64("pid", 0);
+            w.field_u64("tid", e.rank as u64);
+            w.end_obj();
+        }
     }
     w.end_arr();
     w.finish()
@@ -95,17 +121,15 @@ mod tests {
                 t_us: 100,
                 dur_us: 40,
                 arg0: 4096,
-                arg1: 0,
-                label: "",
+                ..Default::default()
             },
             Event {
                 rank: 1,
                 kind: EventKind::Retransmit,
                 t_us: 150,
-                dur_us: 0,
                 arg0: 2,
-                arg1: 0,
                 label: "lock-req",
+                ..Default::default()
             },
         ]
     }
@@ -127,6 +151,46 @@ mod tests {
     #[test]
     fn empty_trace_is_empty_array() {
         assert_eq!(chrome_trace(&[]), "[]");
+    }
+
+    #[test]
+    fn flows_link_send_to_recv_across_tracks() {
+        let events = vec![
+            Event {
+                rank: 1,
+                kind: EventKind::MsgSend,
+                t_us: 10,
+                arg0: 64,
+                arg1: 0,
+                label: "lock-req",
+                flow: 42,
+                ..Default::default()
+            },
+            Event {
+                rank: 0,
+                kind: EventKind::MsgRecv,
+                t_us: 15,
+                arg0: 64,
+                arg1: 1,
+                label: "lock-req",
+                flow: 42,
+                ..Default::default()
+            },
+        ];
+        let t = chrome_trace(&events);
+        assert!(
+            t.contains(r#"{"name":"msg","cat":"flow","ph":"s","id":42,"ts":10,"pid":0,"tid":1}"#),
+            "trace: {t}"
+        );
+        assert!(
+            t.contains(
+                r#"{"name":"msg","cat":"flow","ph":"f","bp":"e","id":42,"ts":15,"pid":0,"tid":0}"#
+            ),
+            "trace: {t}"
+        );
+        // Flow-less events emit no arrows (golden_trace relies on this).
+        let quiet = chrome_trace(&sample_events());
+        assert!(!quiet.contains(r#""cat":"flow""#));
     }
 
     #[test]

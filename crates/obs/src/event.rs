@@ -5,7 +5,88 @@
 //! and `Copy`-cheap: two integer arguments plus a static label cover every
 //! site in the stack without allocation on the hot path.
 
+use crate::hlc::HlcStamp;
 use std::fmt;
+
+/// The class of distributed sync operation an event belongs to.
+///
+/// Together with [`OpCtx`] this is the *trace context*: it names the
+/// lock/unlock/barrier/cond/join call that *caused* a message, span or
+/// fault event, so the critical-path analyzer can group everything that
+/// happened on behalf of one operation — across ranks, shards,
+/// retransmits and lease machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Not attributed to any sync operation.
+    #[default]
+    None,
+    /// `MTh_lock` acquire.
+    Lock,
+    /// `MTh_unlock` release.
+    Unlock,
+    /// `MTh_barrier`.
+    Barrier,
+    /// Condition-variable wait/signal.
+    Cond,
+    /// `MTh_join`.
+    Join,
+}
+
+impl OpKind {
+    /// Stable short name (report key, Chrome-trace argument).
+    pub const fn name(self) -> &'static str {
+        match self {
+            OpKind::None => "none",
+            OpKind::Lock => "lock",
+            OpKind::Unlock => "unlock",
+            OpKind::Barrier => "barrier",
+            OpKind::Cond => "cond",
+            OpKind::Join => "join",
+        }
+    }
+}
+
+/// Which concrete sync operation an event happened on behalf of.
+///
+/// `epoch` distinguishes successive uses of the same id (the 7th time
+/// barrier 3 fires, the 4th acquisition of lock 0 by rank 2); `origin`
+/// is the worker rank whose call started the operation. The default
+/// (all zero, kind `None`) means "unattributed".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpCtx {
+    /// Operation class.
+    pub kind: OpKind,
+    /// Lock / barrier / cond id (0 for join).
+    pub id: u32,
+    /// Per-(kind, id, origin) use counter, starting at 1.
+    pub epoch: u32,
+    /// Worker rank that initiated the operation.
+    pub origin: u32,
+}
+
+impl OpCtx {
+    /// Is this context attributed to a real operation?
+    pub fn is_some(&self) -> bool {
+        self.kind != OpKind::None
+    }
+}
+
+impl fmt::Display for OpCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_some() {
+            write!(
+                f,
+                "{} {} epoch {} (rank {})",
+                self.kind.name(),
+                self.id,
+                self.epoch,
+                self.origin
+            )
+        } else {
+            write!(f, "unattributed")
+        }
+    }
+}
 
 /// What happened. The taxonomy mirrors the paper's cost decomposition
 /// (Eq. 1: `t_index + t_tag + t_pack + t_unpack + t_conv`) plus the
@@ -125,6 +206,29 @@ pub struct Event {
     pub arg1: u64,
     /// Free-form static qualifier (e.g. the message kind label).
     pub label: &'static str,
+    /// Hybrid logical clock stamp at the event (ZERO when untracked).
+    pub hlc: HlcStamp,
+    /// Flow id binding a `MsgSend` to its `MsgRecv` (0 = no flow).
+    pub flow: u64,
+    /// The sync operation this event happened on behalf of.
+    pub op: OpCtx,
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Event {
+            rank: 0,
+            kind: EventKind::Other,
+            t_us: 0,
+            dur_us: 0,
+            arg0: 0,
+            arg1: 0,
+            label: "",
+            hlc: HlcStamp::ZERO,
+            flow: 0,
+            op: OpCtx::default(),
+        }
+    }
 }
 
 impl fmt::Display for Event {
@@ -186,11 +290,41 @@ mod tests {
             t_us: 10,
             dur_us: 5,
             arg0: 64,
-            arg1: 0,
-            label: "",
+            ..Default::default()
         };
         let s = e.to_string();
         assert!(s.contains("diff-scan"));
         assert!(s.contains("r2"));
+    }
+
+    #[test]
+    fn op_ctx_defaults_to_unattributed() {
+        let op = OpCtx::default();
+        assert!(!op.is_some());
+        assert_eq!(op.to_string(), "unattributed");
+        let b = OpCtx {
+            kind: OpKind::Barrier,
+            id: 3,
+            epoch: 7,
+            origin: 1,
+        };
+        assert!(b.is_some());
+        assert_eq!(b.to_string(), "barrier 3 epoch 7 (rank 1)");
+    }
+
+    #[test]
+    fn op_kind_names_are_unique() {
+        let kinds = [
+            OpKind::None,
+            OpKind::Lock,
+            OpKind::Unlock,
+            OpKind::Barrier,
+            OpKind::Cond,
+            OpKind::Join,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(seen.insert(k.name()));
+        }
     }
 }

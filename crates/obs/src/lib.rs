@@ -12,9 +12,14 @@
 //!   histograms with p50/p95/p99 ([`Registry`], [`Histogram`]).
 //! - **Heatmaps** — per-page write/diff/invalidation and per-index-entry
 //!   traffic tables ([`Heatmap`]).
+//! - **Causal tracing** — hybrid logical clocks stamped on every event
+//!   and merged across ranks on message receipt ([`HlcStamp`], the
+//!   [`causal`] timeline merge), plus per-sync-op critical paths naming
+//!   the straggler rank, slowest shard and retransmit count behind each
+//!   barrier/lock latency ([`critpath`]).
 //! - **Exporters** — Chrome tracing JSON ([`chrome_trace`], one track per
-//!   rank), a plain-text cluster report and the machine-readable
-//!   [`ObsSnapshot`].
+//!   rank, with flow arrows linking send→receive across tracks), a
+//!   plain-text cluster report and the machine-readable [`ObsSnapshot`].
 //!
 //! The crate sits below the rest of the stack and speaks message kinds as
 //! `&'static str` labels, so every other crate can depend on it without
@@ -22,18 +27,26 @@
 
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod chrome;
+pub mod critpath;
 pub mod event;
 pub mod heatmap;
+pub mod hlc;
 pub mod metrics;
 pub mod recorder;
 pub mod ring;
 pub mod snapshot;
 
+pub use causal::{causal_order, check_happens_before, estimate_skew, SkewRow};
 pub use chrome::chrome_trace;
-pub use event::{Event, EventKind};
+pub use critpath::{analyze as critical_paths, LinkRetransmits, OpCritPath, Segment};
+pub use event::{Event, EventKind, OpCtx, OpKind};
 pub use heatmap::{EntryStats, Heatmap, PageStats};
+pub use hlc::{HlcClock, HlcStamp};
 pub use metrics::{bucket_index, bucket_upper, Histogram, Registry, BUCKETS};
 pub use recorder::{ObsConfig, Recorder, Span};
 pub use ring::EventRing;
-pub use snapshot::{DestRow, EntryRow, HistSummary, KindTraffic, ObsSnapshot, PageRow};
+pub use snapshot::{
+    DestRow, EntryRow, HistSummary, KindTraffic, ObsSnapshot, PageRow, RingDropRow,
+};

@@ -170,6 +170,48 @@ impl Registry {
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
         self.histograms.iter().map(|(k, v)| (*k, v))
     }
+
+    /// Render every metric in the Prometheus text exposition format.
+    /// Metric names are prefixed `hdsm_` and sanitized to the Prometheus
+    /// charset; histograms emit cumulative `_bucket{le="..."}` rows over
+    /// the occupied log2 buckets plus `+Inf`, `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 5);
+            out.push_str("hdsm_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let top = bucket_index(h.max().max(1));
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets().iter().enumerate().take(top + 1) {
+                cum += c;
+                out.push_str(&format!("{n}_bucket{{le=\"{}\"}} {cum}\n", bucket_upper(i)));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{n}_sum {}\n", h.sum()));
+            out.push_str(&format!("{n}_count {}\n", h.count()));
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +281,35 @@ mod tests {
         assert_eq!(h.quantile(0.5), 100); // clamped to max
         assert_eq!(h.quantile(0.99), 100);
         assert_eq!(h.mean(), 100.0);
+    }
+
+    #[test]
+    fn prometheus_export_covers_all_metric_types() {
+        let mut r = Registry::default();
+        r.count("net.msgs-sent", 7);
+        r.gauge("cluster.shards", 3);
+        r.observe("barrier", 5);
+        r.observe("barrier", 100);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE hdsm_net_msgs_sent counter\nhdsm_net_msgs_sent 7\n"));
+        assert!(text.contains("# TYPE hdsm_cluster_shards gauge\nhdsm_cluster_shards 3\n"));
+        assert!(text.contains("# TYPE hdsm_barrier histogram\n"));
+        // Cumulative buckets: value 5 lands in le="7", value 100 in le="127".
+        assert!(text.contains("hdsm_barrier_bucket{le=\"7\"} 1\n"), "{text}");
+        assert!(
+            text.contains("hdsm_barrier_bucket{le=\"127\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("hdsm_barrier_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("hdsm_barrier_sum 105\n"));
+        assert!(text.contains("hdsm_barrier_count 2\n"));
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE hdsm_") || line.starts_with("hdsm_"),
+                "bad line: {line}"
+            );
+        }
     }
 
     #[test]

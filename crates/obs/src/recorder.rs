@@ -8,14 +8,16 @@
 //! every clone feeds the same core, so one recorder wired through
 //! `ClusterBuilder::obs` observes the whole cluster.
 
-use crate::event::{Event, EventKind};
+use crate::event::{Event, EventKind, OpCtx};
 use crate::heatmap::Heatmap;
+use crate::hlc::{HlcClock, HlcStamp};
 use crate::metrics::Registry;
 use crate::ring::EventRing;
-use crate::snapshot::{KindTraffic, ObsSnapshot};
+use crate::snapshot::{KindTraffic, ObsSnapshot, RingDropRow};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,6 +50,12 @@ pub(crate) struct ObsCore {
     /// sharded home (destination ranks `0..S` are shards) this is the raw
     /// material of the report's shard-utilization section.
     net_dest: Mutex<BTreeMap<u32, (u64, u64)>>,
+    /// Per-rank hybrid logical clocks, grown on first touch. Ticked on
+    /// every recorded event, merged with the remote stamp on receives.
+    clocks: Mutex<Vec<HlcClock>>,
+    /// Flow-id allocator binding each `MsgSend` to its `MsgRecv`s
+    /// (0 is reserved for "no flow").
+    flow: AtomicU64,
 }
 
 /// Cheap, cloneable handle to the observability core (or to nothing).
@@ -84,6 +92,8 @@ impl Recorder {
             heatmap: Mutex::new(Heatmap::default()),
             net: Mutex::new(BTreeMap::new()),
             net_dest: Mutex::new(BTreeMap::new()),
+            clocks: Mutex::new(Vec::new()),
+            flow: AtomicU64::new(1),
         })))
     }
 
@@ -110,17 +120,54 @@ impl Recorder {
         rings[idx].push(e);
     }
 
+    /// Tick `rank`'s HLC for a local event and return the new stamp.
+    fn hlc_tick(core: &ObsCore, rank: u32, now_us: u64) -> HlcStamp {
+        let mut clocks = core.clocks.lock();
+        let idx = rank as usize;
+        while clocks.len() <= idx {
+            clocks.push(HlcClock::new());
+        }
+        clocks[idx].tick(now_us)
+    }
+
+    /// Merge a remote stamp into `rank`'s HLC (receive event).
+    fn hlc_merge(core: &ObsCore, rank: u32, now_us: u64, remote: HlcStamp) -> HlcStamp {
+        let mut clocks = core.clocks.lock();
+        let idx = rank as usize;
+        while clocks.len() <= idx {
+            clocks.push(HlcClock::new());
+        }
+        clocks[idx].merge(now_us, remote)
+    }
+
     /// Record an instant event.
     pub fn instant(&self, rank: u32, kind: EventKind, arg0: u64, arg1: u64, label: &'static str) {
+        self.instant_op(rank, kind, arg0, arg1, label, OpCtx::default());
+    }
+
+    /// Record an instant event attributed to sync operation `op`.
+    pub fn instant_op(
+        &self,
+        rank: u32,
+        kind: EventKind,
+        arg0: u64,
+        arg1: u64,
+        label: &'static str,
+        op: OpCtx,
+    ) {
         if let Some(core) = &self.0 {
+            let t_us = core.epoch.elapsed().as_micros() as u64;
+            let hlc = Self::hlc_tick(core, rank, t_us);
             let e = Event {
                 rank,
                 kind,
-                t_us: core.epoch.elapsed().as_micros() as u64,
-                dur_us: 0,
+                t_us,
                 arg0,
                 arg1,
                 label,
+                hlc,
+                op,
+                ..Default::default()
             };
             Self::push(core, e);
         }
@@ -138,7 +185,34 @@ impl Recorder {
         arg1: u64,
         label: &'static str,
     ) {
+        self.span_at_op(
+            rank,
+            kind,
+            t_us,
+            dur_us,
+            arg0,
+            arg1,
+            label,
+            OpCtx::default(),
+        );
+    }
+
+    /// Record a completed span attributed to sync operation `op`.
+    #[allow(clippy::too_many_arguments)] // mirrors the Event fields
+    pub fn span_at_op(
+        &self,
+        rank: u32,
+        kind: EventKind,
+        t_us: u64,
+        dur_us: u64,
+        arg0: u64,
+        arg1: u64,
+        label: &'static str,
+        op: OpCtx,
+    ) {
         if let Some(core) = &self.0 {
+            let now = core.epoch.elapsed().as_micros() as u64;
+            let hlc = Self::hlc_tick(core, rank, now);
             Self::push(
                 core,
                 Event {
@@ -149,9 +223,97 @@ impl Recorder {
                     arg0,
                     arg1,
                     label,
+                    hlc,
+                    op,
+                    ..Default::default()
                 },
             );
             core.registry.lock().observe(kind.name(), dur_us);
+        }
+    }
+
+    // ----- message trace context (fed by the fabric send/recv paths) -----
+
+    /// A message is leaving rank `src`: tick the HLC, allocate a flow id,
+    /// record the `MsgSend` event, and return `(stamp, flow)` for the
+    /// sender to stamp into the envelope. `None` when disabled — the
+    /// envelope then carries no trace context at all.
+    pub fn msg_send_event(
+        &self,
+        src: u32,
+        bytes: u64,
+        dst: u32,
+        label: &'static str,
+        op: OpCtx,
+    ) -> Option<(HlcStamp, u64)> {
+        let core = self.0.as_ref()?;
+        let t_us = core.epoch.elapsed().as_micros() as u64;
+        let hlc = Self::hlc_tick(core, src, t_us);
+        let flow = core.flow.fetch_add(1, Ordering::Relaxed);
+        Self::push(
+            core,
+            Event {
+                rank: src,
+                kind: EventKind::MsgSend,
+                t_us,
+                dur_us: 0,
+                arg0: bytes,
+                arg1: dst as u64,
+                label,
+                hlc,
+                flow,
+                op,
+            },
+        );
+        Some((hlc, flow))
+    }
+
+    /// A traced message arrived at `rank`: merge the remote stamp into the
+    /// local HLC and record the `MsgRecv` event bound to the same flow.
+    #[allow(clippy::too_many_arguments)] // mirrors the Event fields
+    pub fn msg_recv_event(
+        &self,
+        rank: u32,
+        bytes: u64,
+        src: u32,
+        label: &'static str,
+        remote: HlcStamp,
+        flow: u64,
+        op: OpCtx,
+    ) {
+        if let Some(core) = &self.0 {
+            let t_us = core.epoch.elapsed().as_micros() as u64;
+            let hlc = Self::hlc_merge(core, rank, t_us, remote);
+            Self::push(
+                core,
+                Event {
+                    rank,
+                    kind: EventKind::MsgRecv,
+                    t_us,
+                    dur_us: 0,
+                    arg0: bytes,
+                    arg1: src as u64,
+                    label,
+                    hlc,
+                    flow,
+                    op,
+                },
+            );
+        }
+    }
+
+    /// The stamp of rank `rank`'s most recent event (ZERO when disabled
+    /// or untouched). Test/analyzer convenience.
+    pub fn hlc_last(&self, rank: u32) -> HlcStamp {
+        match &self.0 {
+            Some(core) => {
+                let clocks = core.clocks.lock();
+                clocks
+                    .get(rank as usize)
+                    .map(|c| c.last())
+                    .unwrap_or(HlcStamp::ZERO)
+            }
+            None => HlcStamp::ZERO,
         }
     }
 
@@ -170,6 +332,7 @@ impl Recorder {
                     arg0: 0,
                     arg1: 0,
                     label: "",
+                    op: OpCtx::default(),
                 }),
             },
             None => Span { inner: None },
@@ -284,22 +447,34 @@ impl Recorder {
         }
     }
 
-    /// Freeze the current state into a machine-readable snapshot.
-    /// `None` when disabled.
+    /// Freeze the current state into a machine-readable snapshot —
+    /// including per-rank ring drops, the estimated inter-rank clock
+    /// skew, and the per-sync-op critical paths computed from the event
+    /// stream. `None` when disabled.
     pub fn snapshot(&self) -> Option<ObsSnapshot> {
         let core = self.0.as_ref()?;
         let rings = core.rings.lock();
         let (mut recorded, mut dropped) = (0u64, 0u64);
-        for r in rings.iter() {
+        let mut ring_drops = Vec::new();
+        let mut events: Vec<Event> = Vec::new();
+        for (rank, r) in rings.iter().enumerate() {
             recorded += r.total_pushed();
             dropped += r.dropped();
+            ring_drops.push(RingDropRow {
+                rank: rank as u32,
+                recorded: r.total_pushed(),
+                dropped: r.dropped(),
+            });
+            events.extend(r.iter_in_order().copied());
         }
         drop(rings);
+        events.sort_by_key(|e| (e.t_us, e.rank));
         let registry = core.registry.lock();
         let heatmap = core.heatmap.lock();
         let net = core.net.lock();
         let net_dest = core.net_dest.lock();
-        Some(ObsSnapshot::build(
+        let shards = registry.gauge_value("cluster.shards").unwrap_or(1).max(1) as u32;
+        let mut snap = ObsSnapshot::build(
             core.epoch.elapsed().as_micros() as u64,
             &registry,
             &heatmap,
@@ -307,7 +482,11 @@ impl Recorder {
             &net_dest,
             recorded,
             dropped,
-        ))
+        );
+        snap.ring_drops = ring_drops;
+        snap.clock_skew = crate::causal::estimate_skew(&events);
+        snap.critpaths = crate::critpath::analyze(&events, shards);
+        Some(snap)
     }
 
     /// Run `f` against the live registry (tests, custom exporters).
@@ -326,6 +505,7 @@ struct SpanInner {
     arg0: u64,
     arg1: u64,
     label: &'static str,
+    op: OpCtx,
 }
 
 /// Guard for an open timing span (see [`Recorder::span`]).
@@ -348,14 +528,22 @@ impl Span {
             i.label = label;
         }
     }
+
+    /// Attribute the eventual event to sync operation `op`.
+    pub fn op(&mut self, op: OpCtx) {
+        if let Some(i) = &mut self.inner {
+            i.op = op;
+        }
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(i) = self.inner.take() {
             let dur_us = i.start.elapsed().as_micros() as u64;
-            i.rec
-                .span_at(i.rank, i.kind, i.t_us, dur_us, i.arg0, i.arg1, i.label);
+            i.rec.span_at_op(
+                i.rank, i.kind, i.t_us, dur_us, i.arg0, i.arg1, i.label, i.op,
+            );
         }
     }
 }

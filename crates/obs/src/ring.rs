@@ -82,10 +82,7 @@ mod tests {
             rank: 0,
             kind: EventKind::Other,
             t_us: t,
-            dur_us: 0,
-            arg0: 0,
-            arg1: 0,
-            label: "",
+            ..Default::default()
         }
     }
 

@@ -6,6 +6,8 @@
 //! (`to_json`, hand-rolled so the offline serde stand-in suffices) and to
 //! a human cluster report (`report`).
 
+use crate::causal::SkewRow;
+use crate::critpath::OpCritPath;
 use crate::heatmap::Heatmap;
 use crate::metrics::Registry;
 use serde::{Deserialize, Serialize};
@@ -126,6 +128,25 @@ pub struct ObsSnapshot {
     pub events_recorded: u64,
     /// Events lost to ring wraparound.
     pub events_dropped: u64,
+    /// Per-rank ring occupancy: who dropped how much. Filled by
+    /// `Recorder::snapshot` (empty from a bare `build`).
+    pub ring_drops: Vec<RingDropRow>,
+    /// Estimated pairwise clock skew from matched message flows.
+    /// Filled by `Recorder::snapshot`.
+    pub clock_skew: Vec<SkewRow>,
+    /// Per-sync-op critical paths. Filled by `Recorder::snapshot`.
+    pub critpaths: Vec<OpCritPath>,
+}
+
+/// Ring statistics of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingDropRow {
+    /// Endpoint rank.
+    pub rank: u32,
+    /// Events ever pushed to the rank's ring.
+    pub recorded: u64,
+    /// Events lost to the rank's ring wrapping.
+    pub dropped: u64,
 }
 
 impl ObsSnapshot {
@@ -214,6 +235,9 @@ impl ObsSnapshot {
             entries,
             events_recorded,
             events_dropped,
+            ring_drops: Vec::new(),
+            clock_skew: Vec::new(),
+            critpaths: Vec::new(),
         }
     }
 
@@ -303,6 +327,75 @@ impl ObsSnapshot {
         w.end_arr();
         w.field_u64("events_recorded", self.events_recorded);
         w.field_u64("events_dropped", self.events_dropped);
+        w.key("ring_drops");
+        w.begin_arr();
+        for r in &self.ring_drops {
+            w.begin_obj();
+            w.field_u64("rank", r.rank as u64);
+            w.field_u64("recorded", r.recorded);
+            w.field_u64("dropped", r.dropped);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("clock_skew");
+        w.begin_arr();
+        for s in &self.clock_skew {
+            w.begin_obj();
+            w.field_u64("a", s.a as u64);
+            w.field_u64("b", s.b as u64);
+            w.field_i64_dyn("skew_us", s.skew_us);
+            w.field_u64("samples", s.samples);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("critpath");
+        w.begin_arr();
+        for p in &self.critpaths {
+            w.begin_obj();
+            w.field_str("kind", p.op.kind.name());
+            w.field_u64("id", p.op.id as u64);
+            w.field_u64("epoch", p.op.epoch as u64);
+            w.field_u64("latency_us", p.latency_us);
+            match p.straggler {
+                Some(r) => w.field_u64("straggler", r as u64),
+                None => {
+                    w.key("straggler");
+                    w.raw_value("null");
+                }
+            }
+            match p.slowest_shard {
+                Some(s) => w.field_u64("slowest_shard", s as u64),
+                None => {
+                    w.key("slowest_shard");
+                    w.raw_value("null");
+                }
+            }
+            w.field_u64("shard_busy_us", p.shard_busy_us);
+            w.field_u64("retransmits", p.retransmits);
+            w.key("links");
+            w.begin_arr();
+            for l in &p.links {
+                w.begin_obj();
+                w.field_u64("from", l.from as u64);
+                w.field_u64("to", l.to as u64);
+                w.field_u64("count", l.count);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.field_u64("lease_expiries", p.lease_expiries);
+            w.key("segments");
+            w.begin_arr();
+            for s in &p.segments {
+                w.begin_obj();
+                w.field_str("label", s.label);
+                w.field_u64("rank", s.rank as u64);
+                w.field_u64("dur_us", s.dur_us);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+        w.end_arr();
         w.end_obj();
         w.finish()
     }
@@ -318,6 +411,51 @@ impl ObsSnapshot {
             "events: {} recorded, {} dropped to ring wraparound\n",
             self.events_recorded, self.events_dropped
         ));
+        if self.events_dropped > 0 {
+            out.push_str(&format!(
+                "!!! WARNING: {} events LOST to ring wraparound — traces and \
+                 critical paths below are incomplete; raise ObsConfig::ring_capacity\n",
+                self.events_dropped
+            ));
+            for r in self.ring_drops.iter().filter(|r| r.dropped > 0) {
+                out.push_str(&format!(
+                    "!!!   rank {}: dropped {} of {} recorded\n",
+                    r.rank, r.dropped, r.recorded
+                ));
+            }
+        }
+        if !self.clock_skew.is_empty() {
+            out.push_str("\n-- estimated clock skew (µs, from matched flows) --\n");
+            out.push_str("pair        skew  samples\n");
+            for s in &self.clock_skew {
+                out.push_str(&format!(
+                    "{:>2}↔{:<5} {:>7} {:>8}\n",
+                    s.a, s.b, s.skew_us, s.samples
+                ));
+            }
+        }
+        if !self.critpaths.is_empty() {
+            let shards = self
+                .gauges
+                .iter()
+                .find(|(k, _)| k == "cluster.shards")
+                .map(|&(_, v)| v.max(1) as u32)
+                .unwrap_or(1);
+            out.push_str("\n-- critical paths (slowest sync ops) --\n");
+            let mut by_latency: Vec<&OpCritPath> = self.critpaths.iter().collect();
+            by_latency.sort_by_key(|p| std::cmp::Reverse(p.latency_us));
+            const TOP: usize = 16;
+            for p in by_latency.iter().take(TOP) {
+                out.push_str(&p.describe(shards));
+                out.push('\n');
+            }
+            if by_latency.len() > TOP {
+                out.push_str(&format!(
+                    "... and {} more (see the critpath JSON section)\n",
+                    by_latency.len() - TOP
+                ));
+            }
+        }
         out.push_str("\n-- network traffic by kind --\n");
         out.push_str("kind              msgs       bytes  class\n");
         for t in &self.net {
@@ -659,6 +797,75 @@ mod tests {
         assert!(r.contains("25.0%"), "report was:\n{r}");
         let j = s.to_json();
         assert!(j.contains("\"net_by_dest\":[{\"dst\":0,\"msgs\":3,\"bytes\":300}"));
+    }
+
+    #[test]
+    fn drop_warning_is_loud_and_names_ranks() {
+        let mut s = sample(); // built with events_dropped = 1
+        s.ring_drops = vec![
+            RingDropRow {
+                rank: 0,
+                recorded: 5,
+                dropped: 0,
+            },
+            RingDropRow {
+                rank: 2,
+                recorded: 5,
+                dropped: 1,
+            },
+        ];
+        let r = s.report();
+        assert!(r.contains("!!! WARNING: 1 events LOST"), "report:\n{r}");
+        assert!(r.contains("!!!   rank 2: dropped 1 of 5"), "report:\n{r}");
+        // No warning when nothing was dropped.
+        let mut clean = sample();
+        clean.events_dropped = 0;
+        assert!(!clean.report().contains("WARNING"));
+    }
+
+    #[test]
+    fn skew_and_critpath_sections_render() {
+        use crate::critpath::{OpCritPath, Segment};
+        use crate::event::{OpCtx, OpKind};
+        let mut s = sample();
+        s.clock_skew = vec![crate::causal::SkewRow {
+            a: 0,
+            b: 1,
+            skew_us: -3,
+            samples: 12,
+        }];
+        s.critpaths = vec![OpCritPath {
+            op: OpCtx {
+                kind: OpKind::Barrier,
+                id: 3,
+                epoch: 7,
+                origin: 2,
+            },
+            latency_us: 31_000,
+            straggler: Some(2),
+            slowest_shard: Some(0),
+            shard_busy_us: 1_200,
+            retransmits: 2,
+            links: vec![crate::critpath::LinkRetransmits {
+                from: 2,
+                to: 0,
+                count: 2,
+            }],
+            lease_expiries: 0,
+            segments: vec![Segment {
+                label: crate::critpath::seg::WAIT,
+                rank: 2,
+                dur_us: 31_000,
+            }],
+        }];
+        let r = s.report();
+        assert!(r.contains("estimated clock skew"), "report:\n{r}");
+        assert!(r.contains("critical paths"), "report:\n{r}");
+        assert!(r.contains("barrier 3 epoch 7"), "report:\n{r}");
+        let j = s.to_json();
+        assert!(j.contains("\"critpath\":[{\"kind\":\"barrier\",\"id\":3,\"epoch\":7"));
+        assert!(j.contains("\"clock_skew\":[{\"a\":0,\"b\":1,\"skew_us\":-3,\"samples\":12}]"));
+        assert!(j.contains("\"ring_drops\":[]"));
     }
 
     #[test]

@@ -300,6 +300,20 @@ fn chaos_run_is_fully_observable() {
     assert_eq!(snap.net_total_bytes, s.total_bytes());
     assert_eq!(snap.net_update_bytes, s.update_bytes());
     assert_eq!(snap.net_control_bytes, s.control_bytes());
+    // The agreement must hold per destination endpoint too — under a
+    // sharded home that is what proves per-shard traffic is accounted
+    // once and only once on both sides, even on a faulty fabric.
+    assert!(!snap.net_by_dest.is_empty());
+    assert_eq!(snap.net_by_dest.len(), s.by_dest.len());
+    for row in &snap.net_by_dest {
+        let t = s.dest_traffic(row.dst);
+        assert_eq!(
+            (row.msgs, row.bytes),
+            (t.msgs, t.bytes),
+            "per-dest traffic disagrees for endpoint {}",
+            row.dst
+        );
+    }
     // The retransmit counter mirrors NetStats too.
     let retries = snap
         .counters
