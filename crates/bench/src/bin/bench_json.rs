@@ -18,6 +18,12 @@ use hdsm_apps::{jacobi, lu, matmul, sor};
 use hdsm_bench::paper_placement;
 use hdsm_core::cluster::ClusterBuilder;
 use hdsm_core::costs::CostBreakdown;
+use hdsm_core::gthv::GthvDef;
+use hdsm_core::{LockId, ShardId};
+use hdsm_obs::{EventKind, Recorder};
+use hdsm_platform::ctype::StructBuilder;
+use hdsm_platform::scalar::ScalarKind;
+use hdsm_platform::spec::PlatformSpec;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -114,6 +120,70 @@ fn run_workload(name: &'static str, n: usize, shards: u32) -> Row {
         net_messages: outcome.net_stats.total_messages(),
         verified,
     }
+}
+
+/// Injected-death recovery latency: steady lock traffic against a
+/// replicated home, the primary killed mid-run. Recovery is the gap in
+/// the causal trace between the kill and the first request served by the
+/// promoted standby (`ShardKill` → `FirstGrant`), in milliseconds. The
+/// row carries no `c_share_ms`, so the `--check` perf gate ignores it.
+fn measure_failover_recovery() -> f64 {
+    let recorder = Recorder::enabled();
+    let def = GthvDef::new(
+        StructBuilder::new("G")
+            .array("xs", ScalarKind::Int, 16)
+            .build()
+            .expect("bench struct"),
+    )
+    .expect("valid def");
+    let outcome = ClusterBuilder::new()
+        .gthv(def)
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86_64())
+        .locks(1)
+        .replicas(1)
+        .lease(Duration::from_millis(150))
+        .retry_base(Duration::from_millis(10))
+        .recv_deadline(Duration::from_secs(30))
+        .obs(recorder.clone())
+        .control(|ctl| {
+            std::thread::sleep(Duration::from_millis(120));
+            ctl.kill_shard(ShardId::new(0));
+        })
+        .run(|c, _| {
+            // Lock-serialized increments for a fixed wall budget, so the
+            // traffic is still flowing when the kill lands.
+            let t0 = Instant::now();
+            let mut mine = 0i128;
+            while t0.elapsed() < Duration::from_millis(400) {
+                c.acquire(LockId::new(0))?;
+                let v = c.read_int(0, 0)?;
+                c.write_int(0, 0, v + 1)?;
+                c.release(LockId::new(0))?;
+                mine += 1;
+            }
+            Ok(mine)
+        })
+        .expect("failover recovery run");
+    let total: i128 = outcome.results.iter().sum();
+    assert_eq!(
+        outcome.final_gthv.read_int(0, 0).expect("counter"),
+        total,
+        "increments lost across the failover"
+    );
+    let events = recorder.events();
+    let kill = events
+        .iter()
+        .find(|e| e.kind == EventKind::ShardKill)
+        .expect("kill event")
+        .t_us;
+    let grant = events
+        .iter()
+        .filter(|e| e.kind == EventKind::FirstGrant && e.t_us >= kill)
+        .map(|e| e.t_us)
+        .min()
+        .expect("first post-promotion grant");
+    (grant - kill) as f64 / 1e3
 }
 
 /// Extract `(name, c_share_ms)` per benchmark from a committed
@@ -223,7 +293,7 @@ fn main() {
     }
 
     let mut json = String::from("{\n  \"pair\": \"SL\",\n  \"benchmarks\": [\n");
-    for (i, r) in rows.iter().enumerate() {
+    for r in rows.iter() {
         let c = &r.costs;
         writeln!(
             json,
@@ -231,7 +301,7 @@ fn main() {
              \"t_index_ms\": {:.3}, \"t_tag_ms\": {:.3}, \"t_pack_ms\": {:.3}, \
              \"t_unpack_ms\": {:.3}, \"t_conv_ms\": {:.3}, \"c_share_ms\": {:.3}, \
              \"updates_sent\": {}, \"bytes_sent\": {}, \"net_messages\": {}, \
-             \"net_bytes\": {}, \"verified\": {}}}{}",
+             \"net_bytes\": {}, \"verified\": {}}},",
             r.label,
             r.n,
             r.shards,
@@ -247,10 +317,19 @@ fn main() {
             r.net_messages,
             r.net_bytes,
             r.verified,
-            if i + 1 < rows.len() { "," } else { "" },
         )
         .expect("write to string");
     }
+    // Robustness figure, not an Eq. 1 cost: how long a replicated home
+    // takes to serve again after its primary is killed mid-run. No
+    // `c_share_ms` key, so the perf gate skips it.
+    let recovery_ms = measure_failover_recovery();
+    writeln!(
+        json,
+        "    {{\"name\": \"failover_recovery\", \"shards\": 1, \"replicas\": 1, \
+         \"recovery_ms\": {recovery_ms:.3}}}"
+    )
+    .expect("write to string");
     json.push_str("  ]\n}\n");
 
     std::fs::write(path, &json).expect("write BENCH_dsd.json");
@@ -264,6 +343,10 @@ fn main() {
             r.verified
         );
     }
+    println!(
+        "{:>10} recovery {:>7.2} ms (kill -> first grant)",
+        "failover", recovery_ms
+    );
     println!("wrote BENCH_dsd.json");
     assert!(
         rows.iter().all(|r| r.verified),

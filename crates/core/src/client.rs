@@ -61,8 +61,18 @@ pub enum DsdError {
     /// Unexpected message while waiting for a specific reply.
     Unexpected(&'static str),
     /// The home service declared a participant dead (lease expiry); the
-    /// blocked operation cannot complete. Carries the lost worker's rank.
-    WorkerLost(u32),
+    /// blocked operation cannot complete. Carries the lost worker's rank
+    /// plus the failure detector's evidence at the moment it fired.
+    WorkerLost {
+        /// The lost worker's rank.
+        rank: u32,
+        /// How long the home had gone without hearing from the worker
+        /// (`None` when talking to a home that predates the enriched
+        /// frame).
+        heard_age: Option<std::time::Duration>,
+        /// The lease deadline that silence exceeded (`None` as above).
+        lease: Option<std::time::Duration>,
+    },
     /// `MTh_cond_wait` under a sharded home requires the condition and
     /// its mutex to be homed at the same shard — the release+park must be
     /// atomic at a single owner.
@@ -86,7 +96,19 @@ impl fmt::Display for DsdError {
             DsdError::Update(e) => write!(f, "update: {e}"),
             DsdError::Gthv(e) => write!(f, "gthv: {e}"),
             DsdError::Unexpected(s) => write!(f, "unexpected message, wanted {s}"),
-            DsdError::WorkerLost(r) => write!(f, "worker {r} lost (lease expired)"),
+            DsdError::WorkerLost {
+                rank,
+                heard_age,
+                lease,
+            } => match (heard_age, lease) {
+                (Some(age), Some(lease)) => write!(
+                    f,
+                    "worker {rank} lost: silent {}ms, past its {}ms lease",
+                    age.as_millis(),
+                    lease.as_millis()
+                ),
+                _ => write!(f, "worker {rank} lost (lease expired)"),
+            },
             DsdError::ShardMismatch { cond, lock } => write!(
                 f,
                 "cond {cond} and mutex {lock} are homed at different shards"
@@ -129,6 +151,34 @@ impl From<GthvError> for DsdError {
     }
 }
 
+/// One step of a xorshift64 PRNG — enough randomness for retry jitter
+/// without dragging in a dependency. `state` must be non-zero.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The next retransmission delay under *decorrelated jitter* (the
+/// AWS-architecture-blog variant): uniform in `[base, 3·prev]`, clamped
+/// to `cap`. Successive delays wander instead of doubling in lockstep,
+/// so clients whose requests died together do not thunder back together;
+/// the cap bounds the worst-case stall a single client can self-inflict.
+fn decorrelated_backoff(
+    prev: std::time::Duration,
+    base: std::time::Duration,
+    cap: std::time::Duration,
+    rng: &mut u64,
+) -> std::time::Duration {
+    let lo = base.as_micros() as u64;
+    let hi = (prev.as_micros() as u64).saturating_mul(3).max(lo + 1);
+    let pick = lo + xorshift64(rng) % (hi - lo);
+    std::time::Duration::from_micros(pick).min(cap)
+}
+
 /// A computing thread's handle on the distributed shared data.
 pub struct DsdClient {
     thread_rank: u32,
@@ -154,8 +204,17 @@ pub struct DsdClient {
     req_counter: u64,
     /// Retransmissions attempted before waiting out the full deadline.
     max_retries: u32,
-    /// First retransmission delay; doubles per attempt.
+    /// First retransmission delay; later delays use decorrelated jitter.
     retry_base: std::time::Duration,
+    /// Hard ceiling on any single retransmission delay.
+    retry_cap: std::time::Duration,
+    /// Directory epoch per shard, learned from `ViewChange` replies.
+    /// Requests are stamped with it when the directory has replicas;
+    /// absent entries mean epoch 0 (the shard's original primary).
+    shard_epochs: std::collections::HashMap<u32, u32>,
+    /// Failover overrides: shard → endpoint this client currently
+    /// believes serves it (set when a primary dies or deposes itself).
+    shard_overrides: std::collections::HashMap<u32, u32>,
     /// Observability hook (disabled by default: every use is a null check).
     recorder: Recorder,
     /// Open lock-hold spans: lock id → (epoch µs, wall start) at grant.
@@ -191,6 +250,9 @@ impl DsdClient {
             req_counter: 0,
             max_retries: 10,
             retry_base: std::time::Duration::from_millis(250),
+            retry_cap: std::time::Duration::from_secs(5),
+            shard_epochs: std::collections::HashMap::new(),
+            shard_overrides: std::collections::HashMap::new(),
             recorder: Recorder::disabled(),
             held_since: std::collections::HashMap::new(),
             cur_op: OpCtx::default(),
@@ -230,12 +292,44 @@ impl DsdClient {
     }
 
     /// Endpoint rank home shard `shard` listens on. The single-home
-    /// layout keeps honouring an arbitrary `home_ep`.
+    /// layout keeps honouring an arbitrary `home_ep`; a failover
+    /// override (learned from a dead endpoint or a `ViewChange`) wins
+    /// over the directory's default.
     fn shard_ep(&self, shard: u32) -> u32 {
-        if self.directory.n_shards() == 1 {
+        if let Some(&ep) = self.shard_overrides.get(&shard) {
+            return ep;
+        }
+        if self.directory.n_shards() == 1 && self.directory.n_replicas() == 0 {
             self.home_ep
         } else {
             self.directory.shard_ep(shard)
+        }
+    }
+
+    /// The epoch this client stamps on requests to `shard` (0 until a
+    /// `ViewChange` teaches it otherwise).
+    fn epoch_of(&self, shard: u32) -> u32 {
+        self.shard_epochs.get(&shard).copied().unwrap_or(0)
+    }
+
+    /// The other endpoint serving `shard` — its replica if `not` is the
+    /// primary, its primary otherwise. Only meaningful with replicas.
+    fn other_ep(&self, shard: u32, not: u32) -> u32 {
+        let primary = self.directory.shard_ep(shard);
+        if not == primary {
+            self.directory.replica_ep(shard)
+        } else {
+            primary
+        }
+    }
+
+    /// Encode a request for `shard`: the plain reliability envelope
+    /// without replicas, the epoch-stamped one with them.
+    fn encode_request(&self, msg: &DsdMsg, req_id: u64, shard: u32) -> bytes::Bytes {
+        if self.directory.n_replicas() > 0 {
+            msg.encode_enveloped_epoch(req_id, self.epoch_of(shard), self.fast_path)
+        } else {
+            msg.encode_enveloped_mode(req_id, self.fast_path)
         }
     }
 
@@ -289,10 +383,18 @@ impl DsdClient {
         self.max_retries = retries;
     }
 
-    /// Delay before the first retransmission; doubles on each subsequent
-    /// attempt. Default 250 ms.
+    /// Delay before the first retransmission. Subsequent delays use
+    /// decorrelated jitter: uniform in `[base, 3·previous]`, clamped to
+    /// the retry cap, so a cohort of clients whose requests died
+    /// together does not retransmit in lockstep forever. Default 250 ms.
     pub fn set_retry_base(&mut self, base: std::time::Duration) {
         self.retry_base = base;
+    }
+
+    /// Hard ceiling on any single retransmission delay, whatever the
+    /// jitter rolls. Default 5 s.
+    pub fn set_retry_cap(&mut self, cap: std::time::Duration) {
+        self.retry_cap = cap;
     }
 
     /// Handle to the fabric (stats, partitions).
@@ -304,14 +406,32 @@ impl DsdClient {
     /// its own lease table). Sent with request id 0 — never deduplicated,
     /// never replied to.
     pub fn heartbeat(&mut self) {
-        let payload = DsdMsg::Heartbeat {
+        let msg = DsdMsg::Heartbeat {
             rank: self.thread_rank,
-        }
-        .encode_enveloped(0);
-        for s in 0..self.directory.n_shards() {
-            let _ = self
-                .ep
-                .send(self.shard_ep(s), MsgKind::Heartbeat, payload.clone());
+        };
+        if self.directory.n_replicas() == 0 {
+            let payload = msg.encode_enveloped(0);
+            for s in 0..self.directory.n_shards() {
+                let _ = self
+                    .ep
+                    .send(self.shard_ep(s), MsgKind::Heartbeat, payload.clone());
+            }
+        } else {
+            // Beat both endpoints of every shard: a standby drops direct
+            // beats (its lease table is fed by the replication stream),
+            // but after a promotion the direct beat is what keeps this
+            // worker alive at the new primary.
+            for s in 0..self.directory.n_shards() {
+                let payload = msg.encode_enveloped_epoch(0, self.epoch_of(s), false);
+                let _ = self.ep.send(
+                    self.directory.shard_ep(s),
+                    MsgKind::Heartbeat,
+                    payload.clone(),
+                );
+                let _ = self
+                    .ep
+                    .send(self.directory.replica_ep(s), MsgKind::Heartbeat, payload);
+            }
         }
     }
 
@@ -346,8 +466,8 @@ impl DsdClient {
     }
 
     /// The reliability core: send `msg` under a fresh request id and wait
-    /// for the home's reply to *that* id, retransmitting with exponential
-    /// backoff (`retry_base · 2^attempt`) when no reply arrives. The home
+    /// for the home's reply to *that* id, retransmitting with capped
+    /// decorrelated-jitter backoff when no reply arrives. The home
     /// deduplicates by request id, so retransmissions are idempotent;
     /// replies to older ids (late duplicates) are skipped. The whole
     /// exchange is bounded by `recv_deadline`. A [`DsdMsg::WorkerLost`]
@@ -356,15 +476,28 @@ impl DsdClient {
     /// `shard` selects the home shard the request is addressed to; each
     /// shard sees a strictly increasing subsequence of this client's
     /// request ids, so one counter serves them all.
+    ///
+    /// With replicas in the directory the loop also performs client-side
+    /// failover: requests carry an epoch stamp; a dead destination flips
+    /// the request to the shard's other endpoint (a not-yet-promoted
+    /// standby silently drops it — retransmission covers the gap); and a
+    /// [`DsdMsg::ViewChange`] bounce re-resolves the shard, re-stamps the
+    /// payload with the new epoch and resends it under the *same* request
+    /// id, so the promoted replica's dedup table keeps the replayed
+    /// operation at-most-once.
     fn request(&mut self, shard: u32, msg: DsdMsg) -> Result<DsdMsg, DsdError> {
-        let dst = self.shard_ep(shard);
+        let mut dst = self.shard_ep(shard);
         self.req_counter += 1;
         let req_id = self.req_counter;
         let kind = msg.kind();
         let t0 = Instant::now();
-        let payload = msg.encode_enveloped_mode(req_id, self.fast_path);
+        let mut payload = self.encode_request(&msg, req_id, shard);
         self.costs.t_pack += t0.elapsed();
         let deadline = Instant::now() + self.recv_deadline;
+        // Decorrelated-jitter state. The seed mixes rank and request id
+        // so two clients (or two requests) never share a delay sequence.
+        let mut rng = (((self.thread_rank as u64) << 32) ^ req_id).max(1);
+        let mut prev_wait = self.retry_base;
         let mut attempt: u32 = 0;
         loop {
             if attempt > 0 {
@@ -380,14 +513,26 @@ impl DsdClient {
                     self.cur_op,
                 );
             }
-            self.costs.bytes_sent += payload.len() as u64;
-            self.ep.send_op(dst, kind, payload.clone(), self.cur_op)?;
+            match self.ep.send_op(dst, kind, payload.clone(), self.cur_op) {
+                Ok(()) => self.costs.bytes_sent += payload.len() as u64,
+                Err(NetError::Disconnected(_)) if self.directory.n_replicas() > 0 => {
+                    // The destination's endpoint is gone: fail over to
+                    // the shard's other endpoint and keep retrying there.
+                    dst = self.other_ep(shard, dst);
+                    self.shard_overrides.insert(shard, dst);
+                }
+                Err(e) => return Err(e.into()),
+            }
             // How long to wait before the next retransmission; once the
             // retry budget is spent, wait out the remaining deadline.
             let attempt_wait = if attempt >= self.max_retries {
                 self.recv_deadline
+            } else if attempt == 0 {
+                self.retry_base
             } else {
-                self.retry_base * 2u32.saturating_pow(attempt)
+                prev_wait =
+                    decorrelated_backoff(prev_wait, self.retry_base, self.retry_cap, &mut rng);
+                prev_wait
             };
             let attempt_deadline = (Instant::now() + attempt_wait).min(deadline);
             loop {
@@ -401,6 +546,7 @@ impl DsdClient {
                 }
                 match self.ep.recv_timeout(wait) {
                     Ok(m) => {
+                        let src = m.src;
                         let t0 = Instant::now();
                         let (rid, decoded) = {
                             let mut span = self.recorder.span(self.obs_rank, EventKind::Unpack);
@@ -409,8 +555,41 @@ impl DsdClient {
                             DsdMsg::decode_enveloped(m.kind, m.payload)?
                         };
                         self.costs.t_unpack += t0.elapsed();
-                        if let DsdMsg::WorkerLost { rank } = decoded {
-                            return Err(DsdError::WorkerLost(rank));
+                        if let DsdMsg::WorkerLost {
+                            rank,
+                            heard_ms,
+                            lease_ms,
+                        } = decoded
+                        {
+                            return Err(DsdError::WorkerLost {
+                                rank,
+                                heard_age: (heard_ms > 0)
+                                    .then(|| std::time::Duration::from_millis(heard_ms)),
+                                lease: (lease_ms > 0)
+                                    .then(|| std::time::Duration::from_millis(lease_ms)),
+                            });
+                        }
+                        if let DsdMsg::ViewChange { shard: vs, epoch } = decoded {
+                            // A fenced shard bounced a request: learn the
+                            // new epoch and re-resolve to the surviving
+                            // endpoint. Stale bounces (an epoch we have
+                            // already adopted) are ignored unless we are
+                            // still talking to the fenced sender itself.
+                            let newer = epoch > self.epoch_of(vs);
+                            if newer {
+                                self.shard_epochs.insert(vs, epoch);
+                                self.shard_overrides.insert(vs, self.other_ep(vs, src));
+                            }
+                            if vs == shard && (newer || dst == src) {
+                                if dst == src && !newer {
+                                    self.shard_overrides
+                                        .insert(shard, self.other_ep(shard, src));
+                                }
+                                dst = self.shard_ep(shard);
+                                payload = self.encode_request(&msg, req_id, shard);
+                                break; // resend under the new view now
+                            }
+                            continue;
                         }
                         if rid == req_id {
                             return Ok(decoded);
@@ -1539,5 +1718,76 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_bounds() {
+        use std::time::Duration;
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_millis(800);
+        let mut rng = 0x1234_5678_u64;
+        let mut prev = base;
+        for i in 0..10_000 {
+            let next = decorrelated_backoff(prev, base, cap, &mut rng);
+            assert!(next >= base.min(cap), "delay {i} fell below base: {next:?}");
+            assert!(next <= cap, "delay {i} blew the cap: {next:?}");
+            // Pre-cap the draw is bounded by 3x the previous delay (the
+            // +1 keeps the uniform range non-empty when prev == base).
+            let pre_cap_hi = (prev * 3).max(base + Duration::from_micros(1));
+            assert!(next <= pre_cap_hi.min(cap), "delay {i} overshot: {next:?}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed_and_decorrelated_across_seeds() {
+        use std::time::Duration;
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(5);
+        let draw = |seed: u64| {
+            let mut rng = seed;
+            let mut prev = base;
+            (0..32)
+                .map(|_| {
+                    prev = decorrelated_backoff(prev, base, cap, &mut rng);
+                    prev
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7), "same seed must replay the same delays");
+        assert_ne!(draw(7), draw(8), "different seeds must not march in step");
+    }
+
+    #[test]
+    fn backoff_cap_clamps_even_a_tiny_cap() {
+        use std::time::Duration;
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_millis(30); // cap below base: cap wins
+        let mut rng = 99;
+        let mut prev = base;
+        for _ in 0..100 {
+            prev = decorrelated_backoff(prev, base, cap, &mut rng);
+            assert_eq!(prev, cap);
+        }
+    }
+
+    #[test]
+    fn worker_lost_error_reports_detector_evidence() {
+        use std::time::Duration;
+        let e = DsdError::WorkerLost {
+            rank: 3,
+            heard_age: Some(Duration::from_millis(310)),
+            lease: Some(Duration::from_millis(250)),
+        };
+        let s = e.to_string();
+        assert!(s.contains("worker 3"), "{s}");
+        assert!(s.contains("310"), "{s}");
+        assert!(s.contains("250"), "{s}");
+        let legacy = DsdError::WorkerLost {
+            rank: 3,
+            heard_age: None,
+            lease: None,
+        };
+        assert!(legacy.to_string().contains("lease expired"));
     }
 }

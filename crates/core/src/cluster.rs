@@ -26,14 +26,15 @@ use crate::client::{DsdClient, DsdError};
 use crate::costs::CostBreakdown;
 use crate::directory::Directory;
 use crate::gthv::{GthvDef, GthvInstance};
-use crate::home::{HomeConfig, HomeError, HomeShard};
-use crate::ids::{BarrierId, CondId, LockId};
+use crate::home::{HomeConfig, HomeError, HomeRunOutcome, HomeShard};
+use crate::ids::{BarrierId, CondId, LockId, ShardId};
 use crate::protocol::DsdMsg;
 use crate::update::{apply_batch, extract_updates, full_ranges};
 use hdsm_migthread::compute::{Computation, ProgramRegistry, StepStatus};
 use hdsm_migthread::packfmt::{pack_state_observed, MigrateError};
 use hdsm_migthread::state::ThreadState;
-use hdsm_net::endpoint::Network;
+use hdsm_net::endpoint::{Endpoint, NetError, Network};
+use hdsm_net::fault::LinkFaults;
 use hdsm_net::message::MsgKind;
 use hdsm_net::stats::{NetConfig, NetStats};
 use hdsm_net::FaultPlan;
@@ -42,6 +43,7 @@ use hdsm_platform::spec::{Platform, PlatformSpec};
 use hdsm_tags::convert::ConversionStats;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors from cluster orchestration.
@@ -67,6 +69,18 @@ pub enum ClusterError {
     WorkerLost {
         /// Thread rank of the lost worker.
         rank: u32,
+        /// How long the home had gone without hearing from the worker
+        /// when the detector fired (`None` when not reported).
+        heard_age: Option<Duration>,
+        /// The lease deadline that silence exceeded (`None` as above).
+        lease: Option<Duration>,
+    },
+    /// A proactive shard handoff ([`ClusterCtl::handoff`]) failed.
+    Handoff {
+        /// The shard being drained.
+        shard: u32,
+        /// The underlying failure.
+        error: DsdError,
     },
 }
 
@@ -78,7 +92,22 @@ impl fmt::Display for ClusterError {
             ClusterError::Worker { index, error } => write!(f, "worker {index}: {error}"),
             ClusterError::Migration(e) => write!(f, "migration: {e}"),
             ClusterError::Panic(s) => write!(f, "worker panicked: {s}"),
-            ClusterError::WorkerLost { rank } => write!(f, "worker rank {rank} lost"),
+            ClusterError::WorkerLost {
+                rank,
+                heard_age,
+                lease,
+            } => match (heard_age, lease) {
+                (Some(age), Some(lease)) => write!(
+                    f,
+                    "worker rank {rank} lost: silent {}ms, past its {}ms lease",
+                    age.as_millis(),
+                    lease.as_millis()
+                ),
+                _ => write!(f, "worker rank {rank} lost"),
+            },
+            ClusterError::Handoff { shard, error } => {
+                write!(f, "handoff of shard {shard} failed: {error}")
+            }
         }
     }
 }
@@ -89,6 +118,7 @@ impl std::error::Error for ClusterError {
             ClusterError::Home(e) => Some(e),
             ClusterError::Worker { error, .. } => Some(error),
             ClusterError::Migration(e) => Some(e),
+            ClusterError::Handoff { error, .. } => Some(error),
             ClusterError::Config(_) | ClusterError::Panic(_) | ClusterError::WorkerLost { .. } => {
                 None
             }
@@ -170,6 +200,123 @@ pub struct MigrationEvent {
 /// Home-side initialisation closure.
 type InitFn = Box<dyn FnOnce(&mut GthvInstance) + Send>;
 
+/// Admin control script run concurrently with the workers.
+type ControlFn = Box<dyn FnOnce(ClusterCtl) + Send>;
+
+/// Handle given to a [`ClusterBuilder::control`] script: administrative
+/// operations against the *running* cluster — fault injection (kills,
+/// partitions) and membership changes (live shard handoff). The script
+/// runs on its own thread with its own endpoint; everything it does
+/// crosses the simulated fabric like any other traffic.
+pub struct ClusterCtl {
+    net: Network,
+    ep: Endpoint,
+    directory: Directory,
+    /// Cooperative kill switches, indexed by home endpoint rank.
+    kills: Vec<Arc<AtomicBool>>,
+}
+
+impl ClusterCtl {
+    /// The cluster's shard directory (for endpoint arithmetic).
+    pub fn directory(&self) -> Directory {
+        self.directory
+    }
+
+    /// Handle to the fabric (stats, partitions).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Kill shard `shard`'s primary instance: its service loop exits at
+    /// the next turn and its endpoint drops, so in-flight senders see
+    /// `Disconnected` — the sharpest failure the fabric can model.
+    pub fn kill_shard(&self, shard: ShardId) {
+        self.kills[self.directory.shard_ep(shard.raw()) as usize].store(true, Ordering::Relaxed);
+    }
+
+    /// Kill shard `shard`'s standby replica. Requires replicas.
+    pub fn kill_replica(&self, shard: ShardId) {
+        self.kills[self.directory.replica_ep(shard.raw()) as usize].store(true, Ordering::Relaxed);
+    }
+
+    /// Sever the link between two endpoint ranks, both ways. Unlike a
+    /// kill, sends still succeed — frames just vanish, like a pulled
+    /// cable — so neither side learns anything except from silence.
+    pub fn partition(&self, a: u32, b: u32) {
+        self.net.partition(a, b);
+    }
+
+    /// Sever the replication link of shard `shard` (primary ↔ replica):
+    /// the primary self-fences at ¾ of the lease, the replica promotes
+    /// at a full lease of silence.
+    pub fn partition_replication(&self, shard: ShardId) {
+        self.partition(
+            self.directory.shard_ep(shard.raw()),
+            self.directory.replica_ep(shard.raw()),
+        );
+    }
+
+    /// Restore every severed link.
+    pub fn heal(&self) {
+        self.net.heal();
+    }
+
+    /// Drain shard `shard` into its standby and retire the old primary:
+    /// the primary fences (clients bounce to the replica and replay
+    /// there), snapshots its full state — entry bytes, update log,
+    /// lease and dedup tables — through the wire, and retires once the
+    /// replica confirms installation under the bumped epoch. Blocks
+    /// until the handoff completes; zero client operations fail.
+    pub fn handoff(&mut self, shard: ShardId) -> Result<(), ClusterError> {
+        let s = shard.raw();
+        let dst = self.directory.shard_ep(s);
+        let req = DsdMsg::HandoffRequest { shard: s }.encode_enveloped(0);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut next_send = Instant::now();
+        loop {
+            if Instant::now() >= deadline {
+                return Err(ClusterError::Handoff {
+                    shard: s,
+                    error: DsdError::Net(NetError::Timeout),
+                });
+            }
+            if Instant::now() >= next_send {
+                match self.ep.send(dst, MsgKind::HandoffRequest, req.clone()) {
+                    // A dead primary cannot be drained, but its replica
+                    // promotes on its own; nothing to hand off.
+                    Ok(()) | Err(NetError::Disconnected(_)) => {}
+                    Err(e) => {
+                        return Err(ClusterError::Handoff {
+                            shard: s,
+                            error: e.into(),
+                        })
+                    }
+                }
+                next_send = Instant::now() + Duration::from_millis(100);
+            }
+            match self.ep.recv_timeout(Duration::from_millis(50)) {
+                Ok(m) if m.kind == MsgKind::HandoffDone => {
+                    if let Ok((_, DsdMsg::HandoffDone { shard: hs, .. })) =
+                        DsdMsg::decode_enveloped(m.kind, m.payload)
+                    {
+                        if hs == s {
+                            return Ok(());
+                        }
+                    }
+                }
+                Ok(_) => {} // stray redirects etc.: ignore
+                Err(NetError::Timeout) => {}
+                Err(e) => {
+                    return Err(ClusterError::Handoff {
+                        shard: s,
+                        error: DsdError::Net(e),
+                    })
+                }
+            }
+        }
+    }
+}
+
 /// Builder for a simulated cluster.
 pub struct ClusterBuilder {
     def: Option<GthvDef>,
@@ -179,8 +326,10 @@ pub struct ClusterBuilder {
     n_barriers: u32,
     n_conds: u32,
     shards: u32,
+    replicas: u32,
     net_config: NetConfig,
     init: Option<InitFn>,
+    control: Option<ControlFn>,
     recv_deadline: Option<Duration>,
     lease: Option<Duration>,
     max_retries: Option<u32>,
@@ -206,8 +355,10 @@ impl ClusterBuilder {
             n_barriers: 1,
             n_conds: 0,
             shards: 1,
+            replicas: 0,
             net_config: NetConfig::instant(),
             init: None,
+            control: None,
             recv_deadline: None,
             lease: Some(Duration::from_secs(30)),
             max_retries: None,
@@ -327,6 +478,28 @@ impl ClusterBuilder {
         self
     }
 
+    /// Give every home shard `n` warm standby replicas (0 or 1; default
+    /// 0). A replica shadows its primary through an op-log relay —
+    /// byte-identical tables, update log and dedup state — and promotes
+    /// itself when the primary goes silent past the lease, so the run
+    /// survives losing any single home shard. `replicas(0)` keeps the
+    /// wire protocol byte-identical to the unreplicated layout; with
+    /// replicas, client requests additionally carry a directory-epoch
+    /// stamp so a deposed primary can fence and redirect.
+    pub fn replicas(mut self, n: u32) -> Self {
+        self.replicas = n;
+        self
+    }
+
+    /// Run an admin control script concurrently with the workers. The
+    /// script gets a [`ClusterCtl`] on its own fabric endpoint and can
+    /// kill shards, partition links and drain shards into their
+    /// standbys while the computation runs.
+    pub fn control<F: FnOnce(ClusterCtl) + Send + 'static>(mut self, f: F) -> Self {
+        self.control = Some(Box::new(f));
+        self
+    }
+
     /// Typed handles for the configured mutexes, in index order. Mint
     /// these once after [`ClusterBuilder::locks`] and hand them to the
     /// workers — the session API on [`DsdClient`] only accepts the
@@ -359,9 +532,7 @@ impl ClusterBuilder {
         self
     }
 
-    fn take_parts(
-        &mut self,
-    ) -> Result<(GthvDef, Network, Vec<hdsm_net::endpoint::Endpoint>), ClusterError> {
+    fn take_parts(&mut self) -> Result<(GthvDef, Network, Vec<Endpoint>), ClusterError> {
         let def = self
             .def
             .take()
@@ -374,11 +545,45 @@ impl ClusterBuilder {
                 "at least one home shard required".into(),
             ));
         }
-        let (net, eps) = Network::new_observed(
-            self.worker_platforms.len() + self.shards as usize,
-            self.net_config.clone(),
-            self.recorder.clone(),
-        );
+        if self.replicas > 1 {
+            return Err(ClusterError::Config(
+                "at most one replica per shard is supported".into(),
+            ));
+        }
+        if self.replicas > 0 && self.lease.is_none() {
+            return Err(ClusterError::Config(
+                "replicas need a lease: promotion is driven by lease-timed silence".into(),
+            ));
+        }
+        let n_home_eps = (self.shards * (1 + self.replicas)) as usize;
+        let n_eps = n_home_eps + self.worker_platforms.len() + usize::from(self.control.is_some());
+        if let Some(plan) = &mut self.net_config.fault_plan {
+            // The replication relay and the admin control channel assume
+            // a FIFO-reliable link (the paper's fabric guarantee); chaos
+            // plans keep battering the client↔home links, but these two
+            // internal link classes stay clean. Runtime partitions still
+            // sever them — partitions are checked before link faults.
+            if self.replicas > 0 {
+                for s in 0..self.shards {
+                    let (p, r) = (s, self.shards + s);
+                    *plan = std::mem::take(plan).link(p, r, LinkFaults::default()).link(
+                        r,
+                        p,
+                        LinkFaults::default(),
+                    );
+                }
+            }
+            if self.control.is_some() {
+                let admin = (n_eps - 1) as u32;
+                for ep in 0..n_home_eps as u32 {
+                    *plan = std::mem::take(plan)
+                        .link(admin, ep, LinkFaults::default())
+                        .link(ep, admin, LinkFaults::default());
+                }
+            }
+        }
+        let (net, eps) =
+            Network::new_observed(n_eps, self.net_config.clone(), self.recorder.clone());
         Ok((def, net, eps))
     }
 
@@ -391,9 +596,19 @@ impl ClusterBuilder {
         F: Fn(&mut DsdClient, &WorkerInfo) -> Result<R, DsdError> + Send + Sync,
     {
         let (def, net, mut eps) = self.take_parts()?;
-        let directory = Directory::new(self.shards);
-        let shard_eps: Vec<hdsm_net::endpoint::Endpoint> =
-            eps.drain(..self.shards as usize).collect();
+        let directory = Directory::with_replicas(self.shards, self.replicas);
+        // Endpoint layout: primaries, then replicas, then workers, with
+        // the admin control endpoint last (when a control script runs).
+        let mut admin_ep = self.control.is_some().then(|| eps.pop().expect("admin ep"));
+        let n_home_eps = (self.shards * (1 + self.replicas)) as usize;
+        let home_eps: Vec<Endpoint> = eps.drain(..n_home_eps).collect();
+        let mut control = self.control.take();
+        // Cooperative kill switches, one per home endpoint, flipped by
+        // `ClusterCtl::kill_shard` / `kill_replica`. Only wired when a
+        // control script can actually flip them.
+        let kills: Vec<Arc<AtomicBool>> = (0..n_home_eps)
+            .map(|_| Arc::new(AtomicBool::new(false)))
+            .collect();
         let n_workers = self.worker_platforms.len();
         let participants: Vec<u32> = (1..=n_workers as u32).collect();
         let retry_base = self.retry_base.unwrap_or(Duration::from_millis(250));
@@ -413,7 +628,7 @@ impl ClusterBuilder {
         // all homes share one platform, so an untracked byte copy
         // reproduces the closure's effect exactly, and each shard then
         // logs only the slice of the structure it owns.
-        let init_image: Option<Vec<u8>> = if directory.n_shards() > 1 {
+        let init_image: Option<Vec<u8>> = if directory.n_shards() > 1 || self.replicas > 0 {
             init.take().map(|f| {
                 let mut seed = GthvInstance::new(def.clone(), self.home_platform.clone());
                 f(&mut seed);
@@ -422,8 +637,17 @@ impl ClusterBuilder {
         } else {
             None
         };
-        let mut shard_services = Vec::with_capacity(directory.n_shards() as usize);
-        for (s, ep) in shard_eps.into_iter().enumerate() {
+        // Every home endpoint gets an instance: primaries first, then
+        // (with replication) each shard's standby, configured to shadow
+        // its primary through the relay stream.
+        let mut shard_services = Vec::with_capacity(n_home_eps);
+        for (i, ep) in home_eps.into_iter().enumerate() {
+            let is_replica = i >= directory.n_shards() as usize;
+            let s = if is_replica {
+                i as u32 - directory.n_shards()
+            } else {
+                i as u32
+            };
             let mut home = HomeShard::new(
                 GthvInstance::new(def.clone(), self.home_platform.clone()),
                 ep,
@@ -436,8 +660,11 @@ impl ClusterBuilder {
                     linger,
                     recorder: self.recorder.clone(),
                     fast_path: self.fast_path,
-                    shard: s as u32,
+                    shard: s,
                     directory,
+                    replica_ep: (!is_replica && self.replicas > 0).then(|| directory.replica_ep(s)),
+                    primary_ep: is_replica.then(|| directory.shard_ep(s)),
+                    kill: control.is_some().then(|| kills[i].clone()),
                 },
             );
             if let Some(image) = &init_image {
@@ -450,13 +677,16 @@ impl ClusterBuilder {
             } else if let Some(f) = init.take() {
                 home.init_with(f);
             }
-            shard_services.push(home);
+            shard_services.push((s, home));
         }
 
         let mut results: Vec<Option<(R, CostBreakdown, ConversionStats)>> =
             (0..n_workers).map(|_| None).collect();
-        let mut home_outs: Vec<Option<(GthvInstance, CostBreakdown, ConversionStats)>> =
-            (0..directory.n_shards()).map(|_| None).collect();
+        // Finished instances per shard (primary and, with replication,
+        // its standby); the authoritative highest-epoch one wins the
+        // stitch below.
+        let mut home_outs: Vec<Vec<HomeRunOutcome>> =
+            (0..directory.n_shards()).map(|_| Vec::new()).collect();
         let deadline = self.recv_deadline;
         let max_retries = self.max_retries;
         let retry_base_opt = self.retry_base;
@@ -469,16 +699,20 @@ impl ClusterBuilder {
         let alive: Vec<AtomicBool> = (0..n_workers).map(|_| AtomicBool::new(true)).collect();
         let pump_done = AtomicBool::new(false);
 
+        let replicated = self.replicas > 0;
         std::thread::scope(|s| {
             let home_handles: Vec<_> = shard_services
                 .into_iter()
-                .map(|home| s.spawn(move || home.run()))
+                .map(|(shard, home)| (shard, s.spawn(move || home.run())))
                 .collect();
             // Heartbeat pump: beats on behalf of every live worker at a
             // quarter of the lease, so blocked-but-alive workers (e.g.
             // waiting in a barrier) are never declared dead. Every shard
             // runs its own lease table, so each beat fans out to all of
-            // them.
+            // them — including standbys: a shadow drops direct beats
+            // (its lease table is fed by the relay stream), but after a
+            // promotion the direct beat is what keeps workers alive at
+            // the new primary.
             let pump_handle = self.lease.map(|lease| {
                 let net = net.clone();
                 let alive = &alive;
@@ -493,9 +727,13 @@ impl ClusterBuilder {
                                 if a.load(Ordering::Relaxed) {
                                     let rank = i as u32 + 1;
                                     let src = directory.worker_ep(rank);
-                                    for dst in directory.shard_eps() {
-                                        let payload =
-                                            DsdMsg::Heartbeat { rank }.encode_enveloped(0);
+                                    for dst in directory.home_eps() {
+                                        let payload = if replicated {
+                                            DsdMsg::Heartbeat { rank }
+                                                .encode_enveloped_epoch(0, 0, false)
+                                        } else {
+                                            DsdMsg::Heartbeat { rank }.encode_enveloped(0)
+                                        };
                                         let _ = net.send_as(src, dst, MsgKind::Heartbeat, payload);
                                     }
                                 }
@@ -504,6 +742,16 @@ impl ClusterBuilder {
                         std::thread::sleep(Duration::from_millis(5));
                     }
                 })
+            });
+            // The admin control script, on its own endpoint.
+            let ctl_handle = control.take().map(|f| {
+                let ctl = ClusterCtl {
+                    net: net.clone(),
+                    ep: admin_ep.take().expect("control implies admin endpoint"),
+                    directory,
+                    kills: kills.clone(),
+                };
+                s.spawn(move || f(ctl))
             });
             let mut handles = Vec::new();
             let recorder = &self.recorder;
@@ -559,13 +807,18 @@ impl ClusterBuilder {
                     }
                 }
             }
+            if let Some(h) = ctl_handle {
+                if let Err(p) = h.join() {
+                    first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
+                }
+            }
             pump_done.store(true, Ordering::Relaxed);
             if let Some(h) = pump_handle {
                 let _ = h.join();
             }
-            for (sidx, h) in home_handles.into_iter().enumerate() {
+            for (shard, h) in home_handles {
                 match h.join() {
-                    Ok(Ok(out)) => home_outs[sidx] = Some(out),
+                    Ok(Ok(out)) => home_outs[shard as usize].push(out),
                     Ok(Err(e)) => {
                         home_error.get_or_insert(ClusterError::from(e));
                     }
@@ -580,20 +833,28 @@ impl ClusterBuilder {
         // reported over the secondary errors it induces in survivors),
         // then other worker errors, then home errors.
         if first_error.is_none() {
-            let lost_rank = worker_errors
+            let lost = worker_errors
                 .iter()
                 .find_map(|(_, e)| match e {
-                    DsdError::WorkerLost(r) => Some(*r),
+                    DsdError::WorkerLost {
+                        rank,
+                        heard_age,
+                        lease,
+                    } => Some((*rank, *heard_age, *lease)),
                     _ => None,
                 })
                 .or_else(|| {
                     worker_errors.iter().find_map(|(i, e)| match e {
-                        DsdError::Crashed => Some(*i as u32 + 1),
+                        DsdError::Crashed => Some((*i as u32 + 1, None, None)),
                         _ => None,
                     })
                 });
-            if let Some(rank) = lost_rank {
-                first_error = Some(ClusterError::WorkerLost { rank });
+            if let Some((rank, heard_age, lease)) = lost {
+                first_error = Some(ClusterError::WorkerLost {
+                    rank,
+                    heard_age,
+                    lease,
+                });
             } else if let Some((index, error)) = worker_errors.into_iter().next() {
                 first_error = Some(ClusterError::Worker { index, error });
             } else {
@@ -603,19 +864,35 @@ impl ClusterBuilder {
         if let Some(e) = first_error {
             return Err(e);
         }
-        // Stitch the authoritative view back together: shard 0's instance
+        // Stitch the authoritative view back together. Per shard, the
+        // winning instance is the authoritative one with the highest
+        // epoch — the original primary when nothing failed over, the
+        // promoted standby after a kill or handoff. Shard 0's winner
         // already holds the full initial image, so overlay every other
-        // shard's owned slice on top (same platform, so each overlay is a
-        // straight memcpy). Home-side costs and conversion stats sum
-        // across the shards. With one shard this is a move, byte-identical
-        // to the pre-shard path.
-        let mut shard_results = home_outs
-            .into_iter()
-            .map(|o| o.expect("home shard finished"));
-        let (mut final_gthv, mut home_costs, mut home_conv) =
-            shard_results.next().expect("at least one shard");
-        for (i, (g, c, v)) in shard_results.enumerate() {
+        // shard's owned slice on top (same platform, so each overlay is
+        // a straight memcpy). Home-side costs and conversion stats sum
+        // across the shards. Unreplicated, every shard has exactly one
+        // authoritative epoch-0 outcome and this is the pre-replica path.
+        let mut winners = Vec::with_capacity(directory.n_shards() as usize);
+        for (s, outs) in home_outs.into_iter().enumerate() {
+            let win = outs
+                .into_iter()
+                .filter(|o| o.authoritative)
+                .max_by_key(|o| o.epoch)
+                .ok_or_else(|| {
+                    ClusterError::Home(HomeError::Violation(format!(
+                        "no authoritative outcome for shard {s}: every instance \
+                         was killed or fenced"
+                    )))
+                })?;
+            winners.push(win);
+        }
+        let mut winners = winners.into_iter();
+        let first = winners.next().expect("at least one shard");
+        let (mut final_gthv, mut home_costs, mut home_conv) = (first.gthv, first.costs, first.conv);
+        for (i, out) in winners.enumerate() {
             let shard = i as u32 + 1;
+            let g = out.gthv;
             let owned: Vec<_> = full_ranges(&g)
                 .into_iter()
                 .filter(|r| directory.entry_shard(r.entry) == shard)
@@ -625,8 +902,8 @@ impl ClusterBuilder {
             let mut scratch = ConversionStats::default();
             apply_batch(&mut final_gthv, &updates, &mut scratch)
                 .map_err(|e| ClusterError::Home(HomeError::Update(e)))?;
-            home_costs.merge(&c);
-            home_conv.merge(&v);
+            home_costs.merge(&out.costs);
+            home_conv.merge(&out.conv);
         }
         let mut out_results = Vec::with_capacity(n_workers);
         let mut worker_costs = Vec::with_capacity(n_workers);

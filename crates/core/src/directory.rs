@@ -9,35 +9,60 @@
 //!   bytes, update log and sequence horizon live there);
 //! * mutex `l`, barrier `b` and condition variable `c` are homed
 //!   round-robin the same way (`id % S`);
-//! * shard `s` listens on endpoint rank `s` (ranks `0..S`), and worker
-//!   thread rank `r` (ranks start at 1) sits at endpoint `S + r - 1`.
+//! * shard `s` listens on endpoint rank `s` (ranks `0..S`); with
+//!   replication enabled its warm standby listens at `S + s`; worker
+//!   thread rank `r` (ranks start at 1) sits after all home endpoints,
+//!   at `S * (1 + R) + r - 1`.
 //!
-//! With `S == 1` every function collapses to the single-home layout the
-//! rest of the stack grew up with: shard 0 at endpoint 0, worker rank `r`
-//! at endpoint `r`.
+//! With `S == 1` and `R == 0` every function collapses to the
+//! single-home layout the rest of the stack grew up with: shard 0 at
+//! endpoint 0, worker rank `r` at endpoint `r`.
+//!
+//! The *epoch* of a shard is not part of the static map: it starts at 0
+//! (primary serving) and each promotion or handoff bumps it by one.
+//! Clients track observed epochs per shard and re-resolve between the
+//! primary and replica endpoint when a fenced shard answers with
+//! `ViewChange` — see DESIGN.md §14.
 
 /// Deterministic entry/lock/barrier/cond → shard mapping for a home
-/// service sharded `S` ways.
+/// service sharded `S` ways, with `R` warm standby replicas per shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Directory {
     shards: u32,
+    replicas: u32,
 }
 
 impl Directory {
-    /// Directory over `shards` home shards. `shards` must be at least 1.
+    /// Directory over `shards` home shards without replication.
+    /// `shards` must be at least 1.
     pub fn new(shards: u32) -> Directory {
+        Directory::with_replicas(shards, 0)
+    }
+
+    /// Directory over `shards` home shards, each with `replicas` warm
+    /// standbys (at most 1 today).
+    pub fn with_replicas(shards: u32, replicas: u32) -> Directory {
         assert!(shards >= 1, "a cluster needs at least one home shard");
-        Directory { shards }
+        assert!(replicas <= 1, "at most one replica per shard is supported");
+        Directory { shards, replicas }
     }
 
     /// The classic single-home layout.
     pub fn single() -> Directory {
-        Directory { shards: 1 }
+        Directory {
+            shards: 1,
+            replicas: 0,
+        }
     }
 
     /// Number of home shards.
     pub fn n_shards(&self) -> u32 {
         self.shards
+    }
+
+    /// Number of warm standby replicas per shard (0 = replication off).
+    pub fn n_replicas(&self) -> u32 {
+        self.replicas
     }
 
     /// Shard owning index-table entry `entry`.
@@ -62,21 +87,34 @@ impl Directory {
         cond % self.shards
     }
 
-    /// Endpoint rank shard `shard` listens on.
+    /// Endpoint rank shard `shard`'s primary listens on.
     pub fn shard_ep(&self, shard: u32) -> u32 {
         debug_assert!(shard < self.shards);
         shard
     }
 
+    /// Endpoint rank shard `shard`'s warm standby listens on. Only
+    /// meaningful when `n_replicas() > 0`.
+    pub fn replica_ep(&self, shard: u32) -> u32 {
+        debug_assert!(shard < self.shards);
+        debug_assert!(self.replicas > 0, "replication is off");
+        self.shards + shard
+    }
+
     /// Endpoint rank worker thread `rank` (threads rank from 1) sits on.
     pub fn worker_ep(&self, rank: u32) -> u32 {
         debug_assert!(rank >= 1, "thread ranks start at 1");
-        self.shards + rank - 1
+        self.shards * (1 + self.replicas) + rank - 1
     }
 
-    /// All shard endpoint ranks.
+    /// All *primary* shard endpoint ranks.
     pub fn shard_eps(&self) -> impl Iterator<Item = u32> {
         0..self.shards
+    }
+
+    /// Every home-service endpoint rank: primaries, then replicas.
+    pub fn home_eps(&self) -> impl Iterator<Item = u32> {
+        0..self.shards * (1 + self.replicas)
     }
 }
 
@@ -88,6 +126,7 @@ mod tests {
     fn single_home_layout_is_preserved() {
         let d = Directory::single();
         assert_eq!(d.n_shards(), 1);
+        assert_eq!(d.n_replicas(), 0);
         for id in [0u32, 1, 7, 4095, u32::MAX] {
             assert_eq!(d.entry_shard(id), 0);
             assert_eq!(d.lock_shard(id), 0);
@@ -111,8 +150,29 @@ mod tests {
     }
 
     #[test]
+    fn replicated_layout_slots_standbys_between_shards_and_workers() {
+        let d = Directory::with_replicas(3, 1);
+        // Primaries keep their legacy endpoints, so the modulo routing
+        // is untouched by replication.
+        assert_eq!(d.shard_ep(2), 2);
+        assert_eq!(d.replica_ep(0), 3);
+        assert_eq!(d.replica_ep(2), 5);
+        // Workers shift up past the replica block.
+        assert_eq!(d.worker_ep(1), 6);
+        assert_eq!(d.worker_ep(4), 9);
+        assert_eq!(d.home_eps().collect::<Vec<_>>(), [0, 1, 2, 3, 4, 5]);
+        assert_eq!(d.shard_eps().collect::<Vec<_>>(), [0, 1, 2]);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one home shard")]
     fn zero_shards_rejected() {
         Directory::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one replica")]
+    fn multi_replica_rejected() {
+        Directory::with_replicas(2, 2);
     }
 }

@@ -30,13 +30,16 @@ use crate::gthv::GthvInstance;
 use crate::protocol::{DsdMsg, ProtocolError};
 use crate::runs::{coalesce, UpdateRange};
 use crate::update::{apply_batch_mode, extract_updates, full_ranges, UpdateError};
-use bytes::Bytes;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hdsm_net::endpoint::{Endpoint, NetError};
-use hdsm_net::message::MsgKind;
-use hdsm_obs::{EventKind, OpCtx, Recorder};
+use hdsm_net::message::{Message, MsgKind};
+use hdsm_obs::{EventKind, OpCtx, OpKind, Recorder};
 use hdsm_tags::convert::ConversionStats;
+use hdsm_tags::wire::{pack_batch, unpack_batch};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of the home service.
@@ -73,6 +76,20 @@ pub struct HomeConfig {
     /// The deterministic entry/lock/barrier → shard partition shared by
     /// the whole cluster. Defaults to the single-home layout.
     pub directory: Directory,
+    /// Endpoint of this shard's warm standby. Set on a *primary* when
+    /// replication is on: every deduplicated client request is relayed
+    /// there before it is processed, so the standby replays the identical
+    /// sequence against shadow state.
+    pub replica_ep: Option<u32>,
+    /// Endpoint of this shard's primary. Set on a *replica*: the instance
+    /// starts as a mute shadow, drops direct client traffic, and promotes
+    /// itself (epoch + 1) when the primary goes silent past the lease or
+    /// its endpoint dies.
+    pub primary_ep: Option<u32>,
+    /// Cooperative kill switch for fault injection: when the flag flips,
+    /// the shard abandons its loop mid-run (recording a `ShardKill`
+    /// event) and drops its endpoint, exactly like a crashed process.
+    pub kill: Option<Arc<AtomicBool>>,
 }
 
 impl Default for HomeConfig {
@@ -88,8 +105,37 @@ impl Default for HomeConfig {
             fast_path: true,
             shard: 0,
             directory: Directory::single(),
+            replica_ep: None,
+            primary_ep: None,
+            kill: None,
         }
     }
+}
+
+/// Whether a [`HomeShard`] instance serves clients or shadows a primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Primary,
+    Replica,
+}
+
+/// What a finished [`HomeShard::run`] hands back: the instance and cost
+/// books as before, plus the epoch the shard ended on and whether its
+/// state is *authoritative* — `false` for a shadow replica that was never
+/// promoted, a deposed/fenced primary, a drained handoff source, or a
+/// killed shard. With replication off the outcome is always
+/// `authoritative` at epoch 0, matching the pre-failover contract.
+pub struct HomeRunOutcome {
+    /// The shard's final instance (authoritative only for its slice).
+    pub gthv: GthvInstance,
+    /// Home-side share-operation cost breakdown.
+    pub costs: CostBreakdown,
+    /// Home-side conversion statistics.
+    pub conv: ConversionStats,
+    /// The epoch the shard last served under (0 = never failed over).
+    pub epoch: u32,
+    /// Is this instance the shard's authoritative survivor?
+    pub authoritative: bool,
 }
 
 /// Errors surfaced by the home service loop.
@@ -202,6 +248,36 @@ pub struct HomeShard {
     /// deferred grants and barrier releases — and home-side spans are
     /// attributed to the op that caused them. Empty when obs is disabled.
     op_ctx: HashMap<u32, OpCtx>,
+    /// Primary (serves clients) or replica (mute shadow until promoted).
+    role: Role,
+    /// The epoch this instance serves under; bumped by promotion/handoff.
+    epoch: u32,
+    /// Fenced: stopped serving; answers clients with `ViewChange` only.
+    fenced: bool,
+    /// Partner endpoint: the replica (on a primary) / primary (on a
+    /// replica). `None` when replication is off.
+    replica_ep: Option<u32>,
+    primary_ep: Option<u32>,
+    /// Last sign of life from the replication-link partner.
+    peer_last_heard: Instant,
+    /// The partner's endpoint is gone (crashed replica): stop relaying.
+    replica_gone: bool,
+    /// On a replica: promoted to serving primary.
+    promoted: bool,
+    /// Replaying a relayed request: suppress every outbound send while
+    /// still populating the reply cache, so the shadow's dedup state
+    /// stays byte-identical to the primary's.
+    mute: bool,
+    /// Cooperative kill switch (fault injection).
+    kill: Option<Arc<AtomicBool>>,
+    /// A promoted replica still owes the old primary a `Depose`.
+    pending_depose: bool,
+    /// Handoff drain in progress: (admin endpoint, new epoch, snapshot).
+    handoff: Option<(u32, u32, Bytes)>,
+    /// Start (µs) of the handoff drain, for the obs span.
+    handoff_start_us: u64,
+    /// First post-promotion client reply already recorded.
+    first_grant_recorded: bool,
 }
 
 /// The pre-sharding name of [`HomeShard`], kept for downstream code that
@@ -242,6 +318,24 @@ impl HomeShard {
             recorder: config.recorder,
             fast_path: config.fast_path,
             op_ctx: HashMap::new(),
+            role: if config.primary_ep.is_some() {
+                Role::Replica
+            } else {
+                Role::Primary
+            },
+            epoch: 0,
+            fenced: false,
+            replica_ep: config.replica_ep,
+            primary_ep: config.primary_ep,
+            peer_last_heard: Instant::now(),
+            replica_gone: false,
+            promoted: false,
+            mute: false,
+            kill: config.kill,
+            pending_depose: false,
+            handoff: None,
+            handoff_start_us: 0,
+            first_grant_recorded: false,
         }
     }
 
@@ -402,6 +496,23 @@ impl HomeShard {
         Ok(ups)
     }
 
+    /// Transmit on the wire — unless this instance is a shadow replaying
+    /// a relayed request, in which case the send is swallowed (the
+    /// primary already answered) while all bookkeeping above this call
+    /// stays byte-identical to the primary's.
+    fn net_send(
+        &mut self,
+        ep_rank: u32,
+        kind: MsgKind,
+        payload: Bytes,
+        op: OpCtx,
+    ) -> Result<(), NetError> {
+        if self.mute {
+            return Ok(());
+        }
+        self.ep.send_op(ep_rank, kind, payload, op)
+    }
+
     /// Send a reply to thread `rank`, enveloped with the request id of
     /// its outstanding request, and cache it for retransmission.
     fn send(&mut self, rank: u32, msg: DsdMsg) -> Result<(), HomeError> {
@@ -417,9 +528,35 @@ impl HomeShard {
             .insert(rank, (req_id, msg.kind(), payload.clone()));
         // The reply — including a deferred grant or barrier release —
         // belongs to the op the requester is blocked in.
-        self.ep
-            .send_op(ep_rank, msg.kind(), payload, self.op_of(rank))?;
+        let op = self.op_of(rank);
+        self.net_send(ep_rank, msg.kind(), payload, op)?;
+        if self.promoted && !self.first_grant_recorded && !self.mute {
+            // The recovery-latency endpoint: the first client request
+            // this shard served after taking over.
+            self.first_grant_recorded = true;
+            self.recorder.instant(
+                self.ep.rank(),
+                EventKind::FirstGrant,
+                self.shard as u64,
+                self.epoch as u64,
+                "",
+            );
+        }
         Ok(())
+    }
+
+    /// The enriched lost-worker notification for `rank`: how stale its
+    /// lease was when it expired, so survivors can report forensics.
+    fn worker_lost_msg(&self, rank: u32) -> DsdMsg {
+        DsdMsg::WorkerLost {
+            rank,
+            heard_ms: self
+                .last_heard
+                .get(&rank)
+                .map(|t| t.elapsed().as_millis() as u64)
+                .unwrap_or(0),
+            lease_ms: self.lease.map(|l| l.as_millis() as u64).unwrap_or(0),
+        }
     }
 
     fn grant(&mut self, lock: u32, rank: u32) -> Result<(), HomeError> {
@@ -427,16 +564,59 @@ impl HomeShard {
         self.send(rank, DsdMsg::LockGrant { lock, updates })
     }
 
-    /// Run the service loop until all live participants joined. Returns
-    /// the authoritative instance and the home-side cost breakdown.
-    pub fn run(mut self) -> Result<(GthvInstance, CostBreakdown, ConversionStats), HomeError> {
+    /// Is replication on for this cluster (clients stamp epochs)?
+    fn replicated(&self) -> bool {
+        self.directory.n_replicas() > 0
+    }
+
+    /// Has the cooperative kill switch flipped?
+    fn killed(&self) -> bool {
+        self.kill
+            .as_ref()
+            .map(|k| k.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// Finish into the run outcome.
+    fn outcome(self, authoritative: bool) -> HomeRunOutcome {
+        HomeRunOutcome {
+            gthv: self.gthv,
+            costs: self.costs,
+            conv: self.conv_stats,
+            epoch: self.epoch,
+            authoritative,
+        }
+    }
+
+    /// Run the service loop until all live participants joined (or this
+    /// instance is killed, deposed or drained). Returns the instance,
+    /// the home-side cost breakdown and the failover verdict.
+    pub fn run(mut self) -> Result<HomeRunOutcome, HomeError> {
         let now = Instant::now();
         for &r in &self.participants {
             self.last_heard.insert(r, now);
         }
+        self.peer_last_heard = now;
+        // Replication, a lease and the kill switch all need periodic
+        // wake-ups; without any of them the classic blocking recv stands.
+        let tick = self
+            .lease
+            .map(|l| (l / 4).max(Duration::from_millis(10)))
+            .unwrap_or(Duration::from_millis(10));
+        let ticks = self.lease.is_some() || self.replicated() || self.kill.is_some();
         while self.joined.len() + self.dead.len() < self.participants.len() {
-            let msg = if let Some(lease) = self.lease {
-                let tick = (lease / 4).max(Duration::from_millis(10));
+            if self.killed() {
+                self.recorder.instant(
+                    self.ep.rank(),
+                    EventKind::ShardKill,
+                    self.shard as u64,
+                    self.epoch as u64,
+                    "",
+                );
+                self.recorder.count("home.shards_killed", 1);
+                return Ok(self.outcome(false));
+            }
+            let msg = if ticks {
                 match self.ep.recv_timeout(tick) {
                     Ok(m) => Some(m),
                     Err(NetError::Timeout) => None,
@@ -445,19 +625,23 @@ impl HomeShard {
             } else {
                 Some(self.ep.recv()?)
             };
+            let idle = msg.is_none();
             if let Some(msg) = msg {
-                let op = msg.trace.map(|t| t.op).unwrap_or_default();
-                let t0 = Instant::now();
-                let (req_id, decoded) = {
-                    let mut span = self.recorder.span(self.ep.rank(), EventKind::Unpack);
-                    span.args(msg.payload.len() as u64, msg.src as u64);
-                    span.op(op);
-                    DsdMsg::decode_enveloped(msg.kind, msg.payload)?
-                };
-                self.costs.t_unpack += t0.elapsed();
-                self.dispatch(msg.src, req_id, decoded, op)?;
+                self.process(msg)?;
             }
-            self.check_leases()?;
+            self.tick_duties(idle)?;
+            if self.fenced && self.handoff.is_none() {
+                // Deposed, self-fenced or drained: this instance no
+                // longer serves. Keep redirecting stragglers for a
+                // while, then retire.
+                self.fence_drain()?;
+                return Ok(self.outcome(false));
+            }
+        }
+        if self.role == Role::Replica && !self.promoted {
+            // The primary drove the run to completion; this shadow's job
+            // is done. The primary broadcasts the shutdown.
+            return Ok(self.outcome(false));
         }
         // Every live participant joined: broadcast shutdown. The shutdown
         // is the (deferred) reply to each thread's Join request, so it is
@@ -482,7 +666,715 @@ impl HomeShard {
             }
         }
         self.linger_drain()?;
-        Ok((self.gthv, self.costs, self.conv_stats))
+        Ok(self.outcome(true))
+    }
+
+    /// One incoming message: replication/failover control first, then the
+    /// epoch-checked client path into [`Self::dispatch`].
+    fn process(&mut self, msg: Message) -> Result<(), HomeError> {
+        let op = msg.trace.map(|t| t.op).unwrap_or_default();
+        match msg.kind {
+            MsgKind::Replicate => return self.on_replicate(msg),
+            MsgKind::ReplicaBeat => {
+                self.peer_last_heard = Instant::now();
+                return Ok(());
+            }
+            MsgKind::Depose => {
+                let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+                if let DsdMsg::Depose { shard, epoch } = m {
+                    if shard == self.shard && !self.fenced {
+                        self.fence();
+                    }
+                    let ack = DsdMsg::DeposeAck { shard, epoch }.encode_enveloped(0);
+                    match self.net_send(msg.src, MsgKind::DeposeAck, ack, OpCtx::default()) {
+                        Err(NetError::Disconnected(_)) => {}
+                        other => other?,
+                    }
+                }
+                return Ok(());
+            }
+            MsgKind::DeposeAck => {
+                self.peer_last_heard = Instant::now();
+                self.pending_depose = false;
+                return Ok(());
+            }
+            MsgKind::HandoffRequest => {
+                let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+                if let DsdMsg::HandoffRequest { shard } = m {
+                    if shard == self.shard {
+                        self.start_handoff(msg.src)?;
+                    }
+                }
+                return Ok(());
+            }
+            MsgKind::HandoffState => {
+                let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+                if let DsdMsg::HandoffState {
+                    shard,
+                    epoch,
+                    state,
+                } = m
+                {
+                    if shard == self.shard {
+                        self.on_handoff_state(msg.src, epoch, state)?;
+                    }
+                }
+                return Ok(());
+            }
+            MsgKind::HandoffInstalled => {
+                let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+                if let DsdMsg::HandoffInstalled { shard, epoch } = m {
+                    if shard == self.shard {
+                        self.peer_last_heard = Instant::now();
+                        self.finish_handoff(epoch)?;
+                    }
+                }
+                return Ok(());
+            }
+            _ => {}
+        }
+        // Client path. With replication on, client requests carry an
+        // epoch stamp after the request id.
+        let epoch_wire = self.replicated() && DsdMsg::epoch_stamped(msg.kind);
+        let t0 = Instant::now();
+        let (req_id, stamp, decoded) = {
+            let mut span = self.recorder.span(self.ep.rank(), EventKind::Unpack);
+            span.args(msg.payload.len() as u64, msg.src as u64);
+            span.op(op);
+            if epoch_wire {
+                let (r, e, d) = DsdMsg::decode_enveloped_epoch(msg.kind, msg.payload.clone())?;
+                (r, e, d)
+            } else {
+                let (r, d) = DsdMsg::decode_enveloped(msg.kind, msg.payload.clone())?;
+                (r, self.epoch, d)
+            }
+        };
+        self.costs.t_unpack += t0.elapsed();
+        if self.role == Role::Replica && !self.promoted {
+            // A shadow never answers clients: its state evolves through
+            // the relay stream only. The client retransmits; once this
+            // replica promotes, the retransmission is served (dedup
+            // catches anything the primary already answered).
+            return Ok(());
+        }
+        if stamp > self.epoch && !self.fenced {
+            // A request stamped from the future: some other instance
+            // already serves a later epoch of this shard. Fence.
+            self.fence();
+        }
+        if self.fenced {
+            return self.reply_view_change(msg.src, req_id);
+        }
+        if self.role == Role::Primary && self.replica_ep.is_some() && !self.replica_gone {
+            // Relay *before* processing, so the shadow can never miss a
+            // request whose effects the primary exposed to a client.
+            self.relay(msg.src, req_id, msg.kind, &msg.payload, epoch_wire)?;
+        }
+        self.dispatch(msg.src, req_id, decoded, op)
+    }
+
+    /// Redirect a client with a stale view: the shard now rules under
+    /// `epoch + 1` at its other endpoint.
+    fn reply_view_change(&mut self, src_ep: u32, req_id: u64) -> Result<(), HomeError> {
+        let payload = DsdMsg::ViewChange {
+            shard: self.shard,
+            epoch: self.epoch + 1,
+        }
+        .encode_enveloped(req_id);
+        match self.net_send(src_ep, MsgKind::ViewChange, payload, OpCtx::default()) {
+            Err(NetError::Disconnected(_)) => Ok(()),
+            other => Ok(other?),
+        }
+    }
+
+    /// Stop serving: every subsequent client request is answered with a
+    /// redirect instead of a grant, so no split-brain double-grant can
+    /// ever leave this instance.
+    fn fence(&mut self) {
+        self.fenced = true;
+        self.recorder.instant(
+            self.ep.rank(),
+            EventKind::Fence,
+            self.shard as u64,
+            self.epoch as u64,
+            "",
+        );
+        self.recorder.count("home.fenced", 1);
+    }
+
+    /// Forward one client frame to the shadow replica, envelope stripped,
+    /// so the replica replays it through the same dispatch path.
+    fn relay(
+        &mut self,
+        src_ep: u32,
+        req_id: u64,
+        kind: MsgKind,
+        payload: &Bytes,
+        epoch_wire: bool,
+    ) -> Result<(), HomeError> {
+        let Some(rep) = self.replica_ep else {
+            return Ok(());
+        };
+        let body = payload.slice(if epoch_wire { 12 } else { 8 }..);
+        let frame = DsdMsg::Replicate {
+            src_ep,
+            req_id,
+            kind: kind as u16,
+            body,
+        }
+        .encode_enveloped(0);
+        match self.ep.send(rep, MsgKind::Replicate, frame) {
+            Err(NetError::Disconnected(_)) => {
+                // The replica crashed. Continue solo — the cluster is
+                // back to the unreplicated availability level.
+                self.replica_gone = true;
+                Ok(())
+            }
+            other => Ok(other?),
+        }
+    }
+
+    /// Relay a home-side *decision* (today: a lease expiry) to the
+    /// shadow, so timing-dependent state transitions replay verbatim
+    /// instead of being re-derived from the replica's own clock.
+    fn relay_decision(&mut self, inner: DsdMsg) -> Result<(), HomeError> {
+        if self.role != Role::Primary || self.replica_gone || self.replica_ep.is_none() {
+            return Ok(());
+        }
+        let rep = self.replica_ep.unwrap();
+        let frame = DsdMsg::Replicate {
+            src_ep: 0,
+            req_id: 0,
+            kind: inner.kind() as u16,
+            body: inner.encode(),
+        }
+        .encode_enveloped(0);
+        match self.ep.send(rep, MsgKind::Replicate, frame) {
+            Err(NetError::Disconnected(_)) => {
+                self.replica_gone = true;
+                Ok(())
+            }
+            other => Ok(other?),
+        }
+    }
+
+    /// Replica side of the relay: replay the original request through the
+    /// normal dispatch path with sends muted. The shadow's tables, log,
+    /// dedup horizon and reply cache end up byte-identical to the
+    /// primary's, so a promoted replica can serve retransmissions of
+    /// requests the primary already answered.
+    fn on_replicate(&mut self, msg: Message) -> Result<(), HomeError> {
+        self.peer_last_heard = Instant::now();
+        let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+        let DsdMsg::Replicate {
+            src_ep,
+            req_id,
+            kind,
+            body,
+        } = m
+        else {
+            return Ok(());
+        };
+        let Some(kind) = MsgKind::from_u16(kind) else {
+            return Err(HomeError::Protocol(ProtocolError::BadMessage(
+                "relayed frame with unknown kind",
+            )));
+        };
+        let inner = DsdMsg::decode(kind, body)?;
+        self.mute = true;
+        let res = if req_id == 0 && matches!(inner, DsdMsg::WorkerLost { .. }) {
+            // A relayed lease decision, not a client request.
+            if let DsdMsg::WorkerLost { rank, .. } = inner {
+                if self.dead.contains(&rank) {
+                    Ok(())
+                } else {
+                    self.declare_dead(rank)
+                }
+            } else {
+                unreachable!()
+            }
+        } else {
+            self.dispatch(src_ep, req_id, inner, OpCtx::default())
+        };
+        self.mute = false;
+        res
+    }
+
+    /// Periodic failover duties, run on every loop turn (`idle` marks a
+    /// receive-timeout turn, i.e. the inbound queue is drained).
+    fn tick_duties(&mut self, idle: bool) -> Result<(), HomeError> {
+        match self.role {
+            Role::Primary => {
+                // Split-brain guard: if the replication link has been
+                // silent for ¾ of the lease, assume the replica is about
+                // to promote (it does so at one full lease) and fence
+                // *first*, so there is never a moment with two grant
+                // authorities.
+                if let (Some(_), Some(lease)) = (self.replica_ep, self.lease) {
+                    if !self.replica_gone
+                        && !self.fenced
+                        && self.peer_last_heard.elapsed() > lease * 3 / 4
+                    {
+                        self.fence();
+                    }
+                }
+                if idle {
+                    if let Some((_, epoch, state)) = self.handoff.clone() {
+                        // Keep offering the snapshot until the replica
+                        // confirms installation.
+                        let rep = self.replica_ep.expect("handoff without replica");
+                        let frame = DsdMsg::HandoffState {
+                            shard: self.shard,
+                            epoch,
+                            state,
+                        }
+                        .encode_enveloped(0);
+                        match self.ep.send(rep, MsgKind::HandoffState, frame) {
+                            Err(NetError::Disconnected(_)) => {
+                                return Err(HomeError::Violation(
+                                    "handoff target replica is gone".into(),
+                                ))
+                            }
+                            other => other?,
+                        }
+                    }
+                }
+                if !self.fenced {
+                    self.check_leases()?;
+                }
+            }
+            Role::Replica => {
+                if !self.promoted {
+                    // Beat the primary so it can self-fence if it loses
+                    // us; a dead endpoint on the other side means the
+                    // primary crashed outright.
+                    let beat = DsdMsg::ReplicaBeat { shard: self.shard }.encode_enveloped(0);
+                    let primary = self.primary_ep.expect("replica without primary");
+                    let primary_dead = matches!(
+                        self.ep.send(primary, MsgKind::ReplicaBeat, beat),
+                        Err(NetError::Disconnected(_))
+                    );
+                    let primary_silent = self
+                        .lease
+                        .map(|l| self.peer_last_heard.elapsed() > l)
+                        .unwrap_or(false);
+                    // Promote only once the inbound queue is drained, so
+                    // every relayed frame the primary managed to send is
+                    // replayed before this instance starts serving.
+                    if idle && (primary_dead || primary_silent) {
+                        self.promote();
+                    }
+                } else {
+                    if self.pending_depose {
+                        let frame = DsdMsg::Depose {
+                            shard: self.shard,
+                            epoch: self.epoch,
+                        }
+                        .encode_enveloped(0);
+                        let primary = self.primary_ep.expect("replica without primary");
+                        match self.ep.send(primary, MsgKind::Depose, frame) {
+                            // Dead primary needs no fencing.
+                            Err(NetError::Disconnected(_)) => self.pending_depose = false,
+                            other => other?,
+                        }
+                    }
+                    self.check_leases()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Take over the shard: bump the epoch, restart every survivor's
+    /// lease (they may have gone quiet waiting out the failover), and
+    /// start deposing the old primary.
+    fn promote(&mut self) {
+        self.promoted = true;
+        self.epoch += 1;
+        self.pending_depose = true;
+        let now = Instant::now();
+        for &r in &self.participants {
+            if !self.joined.contains(&r) && !self.dead.contains(&r) {
+                self.last_heard.insert(r, now);
+            }
+        }
+        self.recorder.instant(
+            self.ep.rank(),
+            EventKind::Promote,
+            self.shard as u64,
+            self.epoch as u64,
+            "",
+        );
+        self.recorder.count("home.promotions", 1);
+    }
+
+    /// Admin asked this primary to drain: fence immediately (clients
+    /// bounce to the replica with zero failed operations), snapshot the
+    /// full shard state and start offering it to the replica.
+    fn start_handoff(&mut self, admin_ep: u32) -> Result<(), HomeError> {
+        if self.handoff.is_some() || self.fenced {
+            return Ok(()); // duplicate request: drain already underway
+        }
+        if self.role != Role::Primary || self.replica_ep.is_none() {
+            return Err(HomeError::Violation(
+                "handoff requested on a shard without a replica".into(),
+            ));
+        }
+        self.handoff_start_us = self.recorder.now_us();
+        let new_epoch = self.epoch + 1;
+        self.fence();
+        let state = self.snapshot_state()?;
+        self.handoff = Some((admin_ep, new_epoch, state.clone()));
+        let rep = self.replica_ep.unwrap();
+        let frame = DsdMsg::HandoffState {
+            shard: self.shard,
+            epoch: new_epoch,
+            state,
+        }
+        .encode_enveloped(0);
+        match self.ep.send(rep, MsgKind::HandoffState, frame) {
+            Err(NetError::Disconnected(_)) => Err(HomeError::Violation(
+                "handoff target replica is gone".into(),
+            )),
+            other => Ok(other?),
+        }
+    }
+
+    /// The replica confirmed installation: tell the admin, close the obs
+    /// span, retire.
+    fn finish_handoff(&mut self, epoch: u32) -> Result<(), HomeError> {
+        let Some((admin_ep, new_epoch, _)) = self.handoff else {
+            return Ok(());
+        };
+        if epoch != new_epoch {
+            return Ok(());
+        }
+        let now = self.recorder.now_us();
+        self.recorder.span_at_op(
+            self.ep.rank(),
+            EventKind::Handoff,
+            self.handoff_start_us,
+            now.saturating_sub(self.handoff_start_us),
+            self.shard as u64,
+            new_epoch as u64,
+            "",
+            OpCtx {
+                kind: OpKind::Handoff,
+                id: self.shard,
+                epoch: new_epoch,
+                origin: 0,
+            },
+        );
+        self.recorder.count("home.handoffs", 1);
+        let done = DsdMsg::HandoffDone {
+            shard: self.shard,
+            epoch: new_epoch,
+        }
+        .encode_enveloped(0);
+        match self.ep.send(admin_ep, MsgKind::HandoffDone, done) {
+            Err(NetError::Disconnected(_)) => {}
+            other => other?,
+        }
+        self.handoff = None;
+        Ok(())
+    }
+
+    /// Replica side of the handoff: install the snapshot wholesale and
+    /// promote to the offered epoch. Idempotent — a retransmitted
+    /// snapshot after promotion is just re-acknowledged.
+    fn on_handoff_state(&mut self, src_ep: u32, epoch: u32, state: Bytes) -> Result<(), HomeError> {
+        if self.role != Role::Replica {
+            return Ok(());
+        }
+        if !self.promoted {
+            self.install_state(state)?;
+            self.promoted = true;
+            self.epoch = epoch;
+            // The old primary fenced itself; no depose needed.
+            self.pending_depose = false;
+            let now = Instant::now();
+            for &r in &self.participants {
+                if !self.joined.contains(&r) && !self.dead.contains(&r) {
+                    self.last_heard.insert(r, now);
+                }
+            }
+            self.recorder.instant(
+                self.ep.rank(),
+                EventKind::Promote,
+                self.shard as u64,
+                self.epoch as u64,
+                "handoff",
+            );
+            self.recorder.count("home.promotions", 1);
+        }
+        let ack = DsdMsg::HandoffInstalled {
+            shard: self.shard,
+            epoch: self.epoch,
+        }
+        .encode_enveloped(0);
+        match self.ep.send(src_ep, MsgKind::HandoffInstalled, ack) {
+            Err(NetError::Disconnected(_)) => Ok(()),
+            other => Ok(other?),
+        }
+    }
+
+    /// After fencing, keep redirecting stragglers (and re-acking deposes)
+    /// for a grace period, then let the endpoint drop — from then on
+    /// senders get `Disconnected` and probe the shard's other endpoint.
+    fn fence_drain(&mut self) -> Result<(), HomeError> {
+        let grace = self
+            .lease
+            .map(|l| l * 2)
+            .unwrap_or(Duration::from_millis(100))
+            .max(self.linger);
+        let deadline = Instant::now() + grace;
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(());
+            }
+            let msg = match self.ep.recv_timeout(left) {
+                Ok(m) => m,
+                Err(NetError::Timeout) | Err(NetError::ChannelClosed) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            };
+            match msg.kind {
+                MsgKind::Depose => {
+                    if let Ok((_, DsdMsg::Depose { shard, epoch })) =
+                        DsdMsg::decode_enveloped(msg.kind, msg.payload)
+                    {
+                        let ack = DsdMsg::DeposeAck { shard, epoch }.encode_enveloped(0);
+                        let _ = self.ep.send(msg.src, MsgKind::DeposeAck, ack);
+                    }
+                }
+                MsgKind::Replicate | MsgKind::ReplicaBeat | MsgKind::DeposeAck => {}
+                _ => {
+                    // Any client request: redirect. Only the leading
+                    // request id matters for the reply to match up.
+                    if msg.payload.len() < 8 {
+                        continue;
+                    }
+                    let req_id = msg.payload.clone().get_u64();
+                    let _ = self.reply_view_change(msg.src, req_id);
+                }
+            }
+        }
+    }
+
+    /// Serialize the full shard state for a handoff: authoritative entry
+    /// bytes (as a packed update batch over the owned slice), the update
+    /// log, horizons, routes, sync tables, membership and the at-most-once
+    /// dedup state. Opaque to the protocol layer — only this module reads
+    /// it back.
+    fn snapshot_state(&self) -> Result<Bytes, HomeError> {
+        let mut out = BytesMut::new();
+        out.put_u64(self.seq);
+        out.put_u64(self.log_floor);
+        let ups = extract_updates(&self.gthv, &self.owned_full_ranges())?;
+        let batch = pack_batch(&ups);
+        out.put_u32(batch.len() as u32);
+        out.put_slice(&batch);
+        out.put_u32(self.log.len() as u32);
+        for (s, w, r) in &self.log {
+            out.put_u64(*s);
+            out.put_u32(*w);
+            out.put_u32(r.entry);
+            out.put_u64(r.first);
+            out.put_u64(r.count);
+        }
+        out.put_u32(self.seen.len() as u32);
+        for (rank, s) in &self.seen {
+            out.put_u32(*rank);
+            out.put_u64(*s);
+        }
+        out.put_u32(self.routes.len() as u32);
+        for (rank, ep) in &self.routes {
+            out.put_u32(*rank);
+            out.put_u32(*ep);
+        }
+        out.put_u32(self.locks.len() as u32);
+        for l in &self.locks {
+            out.put_u32(l.holder.map(|h| h + 1).unwrap_or(0));
+            out.put_u32(l.waiters.len() as u32);
+            for w in &l.waiters {
+                out.put_u32(*w);
+            }
+        }
+        out.put_u32(self.barriers.len() as u32);
+        for b in &self.barriers {
+            out.put_u32(b.entered.len() as u32);
+            for r in &b.entered {
+                out.put_u32(*r);
+            }
+        }
+        out.put_u32(self.conds.len() as u32);
+        for c in &self.conds {
+            out.put_u32(c.waiters.len() as u32);
+            for (r, l) in &c.waiters {
+                out.put_u32(*r);
+                out.put_u32(*l);
+            }
+        }
+        out.put_u32(self.joined.len() as u32);
+        for r in &self.joined {
+            out.put_u32(*r);
+        }
+        out.put_u32(self.dead.len() as u32);
+        for r in &self.dead {
+            out.put_u32(*r);
+        }
+        out.put_u32(self.last_req.len() as u32);
+        for (rank, id) in &self.last_req {
+            out.put_u32(*rank);
+            out.put_u64(*id);
+        }
+        out.put_u32(self.reply_cache.len() as u32);
+        for (rank, (rid, kind, payload)) in &self.reply_cache {
+            out.put_u32(*rank);
+            out.put_u64(*rid);
+            out.put_u16(*kind as u16);
+            out.put_u32(payload.len() as u32);
+            out.put_slice(payload);
+        }
+        Ok(out.freeze())
+    }
+
+    /// Install a handoff snapshot wholesale, replacing whatever shadow
+    /// state this replica accumulated (correct even if it missed relays).
+    fn install_state(&mut self, mut b: Bytes) -> Result<(), HomeError> {
+        fn need(b: &Bytes, n: usize) -> Result<(), HomeError> {
+            if b.remaining() < n {
+                Err(HomeError::Protocol(ProtocolError::Truncated))
+            } else {
+                Ok(())
+            }
+        }
+        need(&b, 20)?;
+        self.seq = b.get_u64();
+        self.log_floor = b.get_u64();
+        let blen = b.get_u32() as usize;
+        need(&b, blen)?;
+        let batch = b.split_to(blen);
+        let ups = unpack_batch(batch).map_err(ProtocolError::from)?;
+        apply_batch_mode(&mut self.gthv, &ups, &mut self.conv_stats, self.fast_path)?;
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.log.clear();
+        for _ in 0..n {
+            need(&b, 32)?;
+            let (s, w) = (b.get_u64(), b.get_u32());
+            let (entry, first, count) = (b.get_u32(), b.get_u64(), b.get_u64());
+            self.log.push((
+                s,
+                w,
+                UpdateRange {
+                    entry,
+                    first,
+                    count,
+                },
+            ));
+        }
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.seen.clear();
+        for _ in 0..n {
+            need(&b, 12)?;
+            let (r, s) = (b.get_u32(), b.get_u64());
+            self.seen.insert(r, s);
+        }
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.routes.clear();
+        for _ in 0..n {
+            need(&b, 8)?;
+            let (r, ep) = (b.get_u32(), b.get_u32());
+            self.routes.insert(r, ep);
+        }
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.locks = (0..n)
+            .map(|_| -> Result<LockState, HomeError> {
+                need(&b, 8)?;
+                let holder = match b.get_u32() {
+                    0 => None,
+                    h => Some(h - 1),
+                };
+                let nw = b.get_u32();
+                let mut waiters = VecDeque::new();
+                for _ in 0..nw {
+                    need(&b, 4)?;
+                    waiters.push_back(b.get_u32());
+                }
+                Ok(LockState { holder, waiters })
+            })
+            .collect::<Result<_, _>>()?;
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.barriers = (0..n)
+            .map(|_| -> Result<BarrierState, HomeError> {
+                need(&b, 4)?;
+                let ne = b.get_u32();
+                let mut entered = Vec::new();
+                for _ in 0..ne {
+                    need(&b, 4)?;
+                    entered.push(b.get_u32());
+                }
+                Ok(BarrierState { entered })
+            })
+            .collect::<Result<_, _>>()?;
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.conds = (0..n)
+            .map(|_| -> Result<CondState, HomeError> {
+                need(&b, 4)?;
+                let nw = b.get_u32();
+                let mut waiters = VecDeque::new();
+                for _ in 0..nw {
+                    need(&b, 8)?;
+                    let (r, l) = (b.get_u32(), b.get_u32());
+                    waiters.push_back((r, l));
+                }
+                Ok(CondState { waiters })
+            })
+            .collect::<Result<_, _>>()?;
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.joined.clear();
+        for _ in 0..n {
+            need(&b, 4)?;
+            self.joined.insert(b.get_u32());
+        }
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.dead.clear();
+        for _ in 0..n {
+            need(&b, 4)?;
+            self.dead.insert(b.get_u32());
+        }
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.last_req.clear();
+        for _ in 0..n {
+            need(&b, 12)?;
+            let (r, id) = (b.get_u32(), b.get_u64());
+            self.last_req.insert(r, id);
+        }
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.reply_cache.clear();
+        for _ in 0..n {
+            need(&b, 18)?;
+            let rank = b.get_u32();
+            let rid = b.get_u64();
+            let kind = MsgKind::from_u16(b.get_u16()).ok_or(HomeError::Protocol(
+                ProtocolError::BadMessage("snapshot reply kind unknown"),
+            ))?;
+            let plen = b.get_u32() as usize;
+            need(&b, plen)?;
+            let payload = b.split_to(plen);
+            self.reply_cache.insert(rank, (rid, kind, payload));
+        }
+        Ok(())
     }
 
     /// Keep answering retransmissions for `linger` after shutdown, so
@@ -499,9 +1391,17 @@ impl HomeShard {
                 Err(NetError::Timeout) | Err(NetError::ChannelClosed) => return Ok(()),
                 Err(e) => return Err(e.into()),
             };
-            let (req_id, decoded) = match DsdMsg::decode_enveloped(msg.kind, msg.payload) {
-                Ok(x) => x,
-                Err(_) => continue,
+            let epoch_wire = self.replicated() && DsdMsg::epoch_stamped(msg.kind);
+            let (req_id, decoded) = if epoch_wire {
+                match DsdMsg::decode_enveloped_epoch(msg.kind, msg.payload) {
+                    Ok((r, _, d)) => (r, d),
+                    Err(_) => continue,
+                }
+            } else {
+                match DsdMsg::decode_enveloped(msg.kind, msg.payload) {
+                    Ok(x) => x,
+                    Err(_) => continue,
+                }
             };
             let Some(rank) = decoded.sender_rank() else {
                 continue;
@@ -512,14 +1412,16 @@ impl HomeShard {
             }
             if self.dead.contains(&rank) {
                 self.last_req.insert(rank, req_id);
-                let _ = self.send(rank, DsdMsg::WorkerLost { rank });
+                let lost = self.worker_lost_msg(rank);
+                let _ = self.send(rank, lost);
                 continue;
             }
             match self.reply_cache.get(&rank) {
                 Some((rid, kind, payload)) if *rid == req_id => {
                     let (kind, payload) = (*kind, payload.clone());
                     let ep_rank = *self.routes.get(&rank).unwrap();
-                    let _ = self.ep.send_op(ep_rank, kind, payload, self.op_of(rank));
+                    let op = self.op_of(rank);
+                    let _ = self.net_send(ep_rank, kind, payload, op);
                 }
                 _ if req_id > self.last_req.get(&rank).copied().unwrap_or(0) => {
                     // A new request after shutdown can only be a stray
@@ -567,7 +1469,8 @@ impl HomeShard {
             // gone; tell it so instead of corrupting the tables. If it
             // already hung up again, there is nobody left to tell.
             self.last_req.insert(rank, req_id);
-            return match self.send(rank, DsdMsg::WorkerLost { rank }) {
+            let lost = self.worker_lost_msg(rank);
+            return match self.send(rank, lost) {
                 Err(HomeError::Net(NetError::Disconnected(_))) => Ok(()),
                 other => other,
             };
@@ -589,7 +1492,8 @@ impl HomeShard {
                         // (and, under a sharded home, every other shard's):
                         // a dropped endpoint means the duplicate outlived
                         // its sender, not that the reply was lost.
-                        match self.ep.send_op(ep_rank, kind, payload, self.op_of(rank)) {
+                        let op = self.op_of(rank);
+                        match self.net_send(ep_rank, kind, payload, op) {
                             Err(NetError::Disconnected(_)) => {}
                             other => other?,
                         }
@@ -628,6 +1532,10 @@ impl HomeShard {
             .copied()
             .collect();
         for r in expired {
+            // Ship the expiry decision down the replication stream first
+            // (it is timing-dependent; the shadow must not re-derive it).
+            let decision = self.worker_lost_msg(r);
+            self.relay_decision(decision)?;
             self.declare_dead(r)?;
         }
         Ok(())
@@ -672,7 +1580,8 @@ impl HomeShard {
             let entered = std::mem::take(&mut self.barriers[idx].entered);
             for r in entered {
                 if !self.dead.contains(&r) {
-                    self.send(r, DsdMsg::WorkerLost { rank })?;
+                    let lost = self.worker_lost_msg(rank);
+                    self.send(r, lost)?;
                 }
             }
         }
@@ -756,7 +1665,8 @@ impl HomeShard {
                     // The barrier can never complete with a dead
                     // participant outstanding: fail fast.
                     let lost = *self.dead.iter().min().unwrap();
-                    return self.send(rank, DsdMsg::WorkerLost { rank: lost });
+                    let lost_msg = self.worker_lost_msg(lost);
+                    return self.send(rank, lost_msg);
                 }
                 self.barriers[idx].entered.push(rank);
                 let waiting_for = self.participants.len() - self.joined.len() - self.dead.len();

@@ -60,6 +60,13 @@ sync_id!(
     CondId,
     "cond"
 );
+sync_id!(
+    /// Handle of one home shard, as used by the cluster admin API
+    /// (`ClusterCtl::kill_shard`, `ClusterCtl::handoff`). Indexes the
+    /// directory's shard space `0..S`.
+    ShardId,
+    "shard"
+);
 
 #[cfg(test)]
 mod tests {
@@ -72,5 +79,6 @@ mod tests {
         assert_eq!(u32::from(BarrierId::new(7)), 7);
         assert_eq!(CondId::new(0).to_string(), "cond#0");
         assert_eq!(L.to_string(), "lock#3");
+        assert_eq!(ShardId::new(2).to_string(), "shard#2");
     }
 }

@@ -52,10 +52,12 @@ pub mod runs;
 pub mod update;
 
 pub use client::{DsdClient, DsdError, LockGuard};
-pub use cluster::{ClusterBuilder, ClusterError, ClusterOutcome, MigrationEvent, WorkerInfo};
+pub use cluster::{
+    ClusterBuilder, ClusterCtl, ClusterError, ClusterOutcome, MigrationEvent, WorkerInfo,
+};
 pub use costs::CostBreakdown;
 pub use directory::Directory;
 pub use gthv::{GthvDef, GthvInstance};
-pub use ids::{BarrierId, CondId, LockId};
+pub use ids::{BarrierId, CondId, LockId, ShardId};
 pub use index_table::{IndexRow, IndexTable};
 pub use runs::UpdateRange;

@@ -111,10 +111,16 @@ pub enum DsdMsg {
     },
     /// The home service declared thread `rank` dead (lease expired). Sent
     /// instead of a grant/release that can never come, so survivors fail
-    /// fast instead of hanging.
+    /// fast instead of hanging. Carries the forensic context of the
+    /// expiry: how long ago the home last heard from the rank, and the
+    /// lease it blew through (both 0 when unknown / legacy senders).
     WorkerLost {
         /// The dead thread's rank.
         rank: u32,
+        /// Milliseconds since the home last heard from the rank.
+        heard_ms: u64,
+        /// The lease duration (ms) that expired.
+        lease_ms: u64,
     },
     /// Home tells everyone the program is over (maps to `pthread_join`
     /// completing at the home node).
@@ -141,6 +147,83 @@ pub enum DsdMsg {
     UpdateBatch {
         /// Outstanding updates.
         updates: Vec<WireUpdate>,
+    },
+    /// Primary → replica: one deduplicated state-mutating client request,
+    /// relayed verbatim *before* the primary processes it, so the replica
+    /// replays the identical sequence against its shadow state. Lease
+    /// expiries travel the same stream as a relayed [`DsdMsg::WorkerLost`]
+    /// body (`req_id` 0), so the replica never has to re-derive
+    /// timing-dependent decisions.
+    Replicate {
+        /// Endpoint the original request arrived from (route seed).
+        src_ep: u32,
+        /// The original request id (dedup/reply-cache replay key).
+        req_id: u64,
+        /// The original transport kind, as its raw `u16`.
+        kind: u16,
+        /// The original message body (envelope stripped).
+        body: Bytes,
+    },
+    /// Replica → old primary after promotion: epoch `epoch` now rules
+    /// `shard`; the receiver must fence itself. Retried until
+    /// [`DsdMsg::DeposeAck`] (or the primary's endpoint is gone).
+    Depose {
+        /// Shard being taken over.
+        shard: u32,
+        /// The promoted replica's epoch.
+        epoch: u32,
+    },
+    /// Deposed primary → replica: fencing acknowledged.
+    DeposeAck {
+        /// Shard.
+        shard: u32,
+        /// Acknowledged epoch.
+        epoch: u32,
+    },
+    /// Fenced shard → client: this endpoint no longer serves `shard`;
+    /// re-resolve to the shard's other endpoint and retry the same
+    /// request under `epoch`.
+    ViewChange {
+        /// Shard the request addressed.
+        shard: u32,
+        /// The epoch now ruling the shard.
+        epoch: u32,
+    },
+    /// Admin → primary: drain `shard` and hand it to its replica.
+    HandoffRequest {
+        /// Shard to drain.
+        shard: u32,
+    },
+    /// Primary → replica: the full shard state (entry bytes, update log,
+    /// sync tables, lease/dedup tables) as an opaque snapshot, installed
+    /// wholesale before the replica promotes to `epoch`.
+    HandoffState {
+        /// Shard being handed off.
+        shard: u32,
+        /// Epoch the replica promotes to after install.
+        epoch: u32,
+        /// Opaque snapshot (see `home::snapshot_state`).
+        state: Bytes,
+    },
+    /// Replica → primary: snapshot installed, new epoch live.
+    HandoffInstalled {
+        /// Shard.
+        shard: u32,
+        /// Installed epoch.
+        epoch: u32,
+    },
+    /// Primary → admin: handoff complete; the old shard is retiring.
+    HandoffDone {
+        /// Shard.
+        shard: u32,
+        /// The epoch the shard now serves under (at the replica).
+        epoch: u32,
+    },
+    /// Replica → primary liveness beat on the replication link; lets the
+    /// primary self-fence when the link is cut (split-brain guard).
+    ReplicaBeat {
+        /// Shard.
+        shard: u32,
     },
 }
 
@@ -194,7 +277,37 @@ impl DsdMsg {
             DsdMsg::UpdateFlush { .. } => MsgKind::UpdateFlush,
             DsdMsg::UpdateFetch { .. } => MsgKind::UpdateFetch,
             DsdMsg::UpdateBatch { .. } => MsgKind::UpdateBatch,
+            DsdMsg::Replicate { .. } => MsgKind::Replicate,
+            DsdMsg::Depose { .. } => MsgKind::Depose,
+            DsdMsg::DeposeAck { .. } => MsgKind::DeposeAck,
+            DsdMsg::ViewChange { .. } => MsgKind::ViewChange,
+            DsdMsg::HandoffRequest { .. } => MsgKind::HandoffRequest,
+            DsdMsg::HandoffState { .. } => MsgKind::HandoffState,
+            DsdMsg::HandoffInstalled { .. } => MsgKind::HandoffInstalled,
+            DsdMsg::HandoffDone { .. } => MsgKind::HandoffDone,
+            DsdMsg::ReplicaBeat { .. } => MsgKind::ReplicaBeat,
         }
+    }
+
+    /// Is `kind` a client-originated request (or heartbeat)? These are
+    /// the kinds that carry the epoch-stamped reliability envelope when
+    /// replication is on; replies and the replication/admin control plane
+    /// keep the plain envelope.
+    pub fn epoch_stamped(kind: MsgKind) -> bool {
+        matches!(
+            kind,
+            MsgKind::LockRequest
+                | MsgKind::UnlockRequest
+                | MsgKind::BarrierEnter
+                | MsgKind::Join
+                | MsgKind::CondWait
+                | MsgKind::CondSignal
+                | MsgKind::Resync
+                | MsgKind::Other
+                | MsgKind::Heartbeat
+                | MsgKind::UpdateFlush
+                | MsgKind::UpdateFetch
+        )
     }
 
     /// Encode to a payload with the v1 (per-update framed) batch format.
@@ -245,10 +358,18 @@ impl DsdMsg {
                 out.put_u32(*barrier);
                 out.put_slice(&pack(updates));
             }
-            DsdMsg::Join { rank }
-            | DsdMsg::Resync { rank }
-            | DsdMsg::Heartbeat { rank }
-            | DsdMsg::WorkerLost { rank } => out.put_u32(*rank),
+            DsdMsg::Join { rank } | DsdMsg::Resync { rank } | DsdMsg::Heartbeat { rank } => {
+                out.put_u32(*rank)
+            }
+            DsdMsg::WorkerLost {
+                rank,
+                heard_ms,
+                lease_ms,
+            } => {
+                out.put_u32(*rank);
+                out.put_u64(*heard_ms);
+                out.put_u64(*lease_ms);
+            }
             DsdMsg::CondWait {
                 cond,
                 lock,
@@ -275,6 +396,35 @@ impl DsdMsg {
             }
             DsdMsg::UpdateFetch { rank } => out.put_u32(*rank),
             DsdMsg::UpdateBatch { updates } => out.put_slice(&pack(updates)),
+            DsdMsg::Replicate {
+                src_ep,
+                req_id,
+                kind,
+                body,
+            } => {
+                out.put_u32(*src_ep);
+                out.put_u64(*req_id);
+                out.put_u16(*kind);
+                out.put_slice(body);
+            }
+            DsdMsg::Depose { shard, epoch }
+            | DsdMsg::DeposeAck { shard, epoch }
+            | DsdMsg::ViewChange { shard, epoch }
+            | DsdMsg::HandoffInstalled { shard, epoch }
+            | DsdMsg::HandoffDone { shard, epoch } => {
+                out.put_u32(*shard);
+                out.put_u32(*epoch);
+            }
+            DsdMsg::HandoffRequest { shard } | DsdMsg::ReplicaBeat { shard } => out.put_u32(*shard),
+            DsdMsg::HandoffState {
+                shard,
+                epoch,
+                state,
+            } => {
+                out.put_u32(*shard);
+                out.put_u32(*epoch);
+                out.put_slice(state);
+            }
             DsdMsg::Ack | DsdMsg::Shutdown => {}
         }
         out.freeze()
@@ -345,9 +495,21 @@ impl DsdMsg {
             MsgKind::Heartbeat => Ok(DsdMsg::Heartbeat {
                 rank: u32_of(&mut payload)?,
             }),
-            MsgKind::WorkerLost => Ok(DsdMsg::WorkerLost {
-                rank: u32_of(&mut payload)?,
-            }),
+            MsgKind::WorkerLost => {
+                let rank = u32_of(&mut payload)?;
+                // Legacy frames carried only the rank; the forensic
+                // fields default to 0 ("unknown").
+                let (heard_ms, lease_ms) = if payload.remaining() >= 16 {
+                    (payload.get_u64(), payload.get_u64())
+                } else {
+                    (0, 0)
+                };
+                Ok(DsdMsg::WorkerLost {
+                    rank,
+                    heard_ms,
+                    lease_ms,
+                })
+            }
             MsgKind::Shutdown => Ok(DsdMsg::Shutdown),
             MsgKind::UpdateFlush => Ok(DsdMsg::UpdateFlush {
                 rank: u32_of(&mut payload)?,
@@ -358,6 +520,51 @@ impl DsdMsg {
             }),
             MsgKind::UpdateBatch => Ok(DsdMsg::UpdateBatch {
                 updates: unpack_batch(payload)?,
+            }),
+            MsgKind::Replicate => {
+                let src_ep = u32_of(&mut payload)?;
+                if payload.remaining() < 10 {
+                    return Err(ProtocolError::Truncated);
+                }
+                let req_id = payload.get_u64();
+                let kind = payload.get_u16();
+                Ok(DsdMsg::Replicate {
+                    src_ep,
+                    req_id,
+                    kind,
+                    body: payload,
+                })
+            }
+            MsgKind::Depose => Ok(DsdMsg::Depose {
+                shard: u32_of(&mut payload)?,
+                epoch: u32_of(&mut payload)?,
+            }),
+            MsgKind::DeposeAck => Ok(DsdMsg::DeposeAck {
+                shard: u32_of(&mut payload)?,
+                epoch: u32_of(&mut payload)?,
+            }),
+            MsgKind::ViewChange => Ok(DsdMsg::ViewChange {
+                shard: u32_of(&mut payload)?,
+                epoch: u32_of(&mut payload)?,
+            }),
+            MsgKind::HandoffRequest => Ok(DsdMsg::HandoffRequest {
+                shard: u32_of(&mut payload)?,
+            }),
+            MsgKind::HandoffState => Ok(DsdMsg::HandoffState {
+                shard: u32_of(&mut payload)?,
+                epoch: u32_of(&mut payload)?,
+                state: payload,
+            }),
+            MsgKind::HandoffInstalled => Ok(DsdMsg::HandoffInstalled {
+                shard: u32_of(&mut payload)?,
+                epoch: u32_of(&mut payload)?,
+            }),
+            MsgKind::HandoffDone => Ok(DsdMsg::HandoffDone {
+                shard: u32_of(&mut payload)?,
+                epoch: u32_of(&mut payload)?,
+            }),
+            MsgKind::ReplicaBeat => Ok(DsdMsg::ReplicaBeat {
+                shard: u32_of(&mut payload)?,
             }),
             _ => Err(ProtocolError::BadMessage("unexpected transport kind")),
         }
@@ -410,6 +617,34 @@ impl DsdMsg {
         }
         let req_id = payload.get_u64();
         Ok((req_id, DsdMsg::decode(kind, payload)?))
+    }
+
+    /// Encode with the *epoch-stamped* reliability envelope used by client
+    /// requests when replication is on: `req_id u64 | epoch u32 | body`.
+    /// A home shard compares the stamp against its own epoch to detect
+    /// stale views (reply [`DsdMsg::ViewChange`]) and its own deposition
+    /// (a stamp from the future means another epoch rules the shard).
+    pub fn encode_enveloped_epoch(&self, req_id: u64, epoch: u32, fast: bool) -> Bytes {
+        let body = self.encode_mode(fast);
+        let mut out = BytesMut::with_capacity(12 + body.len());
+        out.put_u64(req_id);
+        out.put_u32(epoch);
+        out.put_slice(&body);
+        out.freeze()
+    }
+
+    /// Decode a payload carrying the epoch-stamped envelope; returns the
+    /// request id and epoch stamp alongside the message.
+    pub fn decode_enveloped_epoch(
+        kind: MsgKind,
+        mut payload: Bytes,
+    ) -> Result<(u64, u32, DsdMsg), ProtocolError> {
+        if payload.remaining() < 12 {
+            return Err(ProtocolError::Truncated);
+        }
+        let req_id = payload.get_u64();
+        let epoch = payload.get_u32();
+        Ok((req_id, epoch, DsdMsg::decode(kind, payload)?))
     }
 }
 
@@ -469,7 +704,11 @@ mod tests {
             DsdMsg::Resync { rank: 5 },
             DsdMsg::Ack,
             DsdMsg::Heartbeat { rank: 5 },
-            DsdMsg::WorkerLost { rank: 5 },
+            DsdMsg::WorkerLost {
+                rank: 5,
+                heard_ms: 31_000,
+                lease_ms: 30_000,
+            },
             DsdMsg::Shutdown,
             DsdMsg::UpdateFlush {
                 rank: 5,
@@ -479,6 +718,24 @@ mod tests {
             DsdMsg::UpdateBatch {
                 updates: sample_updates(),
             },
+            DsdMsg::Replicate {
+                src_ep: 7,
+                req_id: 41,
+                kind: MsgKind::LockRequest as u16,
+                body: DsdMsg::LockRequest { lock: 2, rank: 5 }.encode(),
+            },
+            DsdMsg::Depose { shard: 1, epoch: 2 },
+            DsdMsg::DeposeAck { shard: 1, epoch: 2 },
+            DsdMsg::ViewChange { shard: 1, epoch: 2 },
+            DsdMsg::HandoffRequest { shard: 1 },
+            DsdMsg::HandoffState {
+                shard: 1,
+                epoch: 2,
+                state: Bytes::from_static(b"opaque-snapshot"),
+            },
+            DsdMsg::HandoffInstalled { shard: 1, epoch: 2 },
+            DsdMsg::HandoffDone { shard: 1, epoch: 2 },
+            DsdMsg::ReplicaBeat { shard: 1 },
         ];
         for m in msgs {
             let kind = m.kind();
@@ -550,6 +807,61 @@ mod tests {
     fn legacy_resync_under_other_kind_still_decodes() {
         let m = DsdMsg::Resync { rank: 9 };
         assert_eq!(DsdMsg::decode(MsgKind::Other, m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn legacy_worker_lost_rank_only_frame_still_decodes() {
+        // Pre-failover senders shipped just the rank.
+        let mut raw = BytesMut::new();
+        raw.put_u32(5);
+        assert_eq!(
+            DsdMsg::decode(MsgKind::WorkerLost, raw.freeze()).unwrap(),
+            DsdMsg::WorkerLost {
+                rank: 5,
+                heard_ms: 0,
+                lease_ms: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn epoch_envelope_roundtrips_and_detects_truncation() {
+        let m = DsdMsg::LockRequest { lock: 2, rank: 5 };
+        let bytes = m.encode_enveloped_epoch(77, 3, false);
+        let (rid, epoch, back) = DsdMsg::decode_enveloped_epoch(m.kind(), bytes).unwrap();
+        assert_eq!((rid, epoch), (77, 3));
+        assert_eq!(back, m);
+        assert_eq!(
+            DsdMsg::decode_enveloped_epoch(MsgKind::Join, Bytes::from_static(&[0; 11])),
+            Err(ProtocolError::Truncated)
+        );
+    }
+
+    #[test]
+    fn epoch_stamping_covers_exactly_the_client_request_kinds() {
+        for k in [
+            MsgKind::LockRequest,
+            MsgKind::UnlockRequest,
+            MsgKind::BarrierEnter,
+            MsgKind::Join,
+            MsgKind::CondWait,
+            MsgKind::Heartbeat,
+            MsgKind::UpdateFlush,
+            MsgKind::UpdateFetch,
+        ] {
+            assert!(DsdMsg::epoch_stamped(k), "{k:?}");
+        }
+        for k in [
+            MsgKind::LockGrant,
+            MsgKind::Ack,
+            MsgKind::Shutdown,
+            MsgKind::Replicate,
+            MsgKind::ViewChange,
+            MsgKind::HandoffState,
+            MsgKind::ReplicaBeat,
+        ] {
+            assert!(!DsdMsg::epoch_stamped(k), "{k:?}");
+        }
     }
 
     #[test]

@@ -51,13 +51,34 @@ pub enum MsgKind {
     UpdateFetch = 18,
     /// Outstanding updates for one shard's slice (shard → remote).
     UpdateBatch = 19,
+    /// Primary → replica replication relay: one deduplicated client
+    /// request forwarded verbatim for shadow replay.
+    Replicate = 20,
+    /// Replica → deposed primary: a new epoch rules this shard; stop
+    /// answering clients (fencing).
+    Depose = 21,
+    /// Deposed primary → replica: fencing acknowledged.
+    DeposeAck = 22,
+    /// Fenced shard → client: your directory view is stale; re-resolve
+    /// to the shard's current primary and retry under the new epoch.
+    ViewChange = 23,
+    /// Admin → primary: drain this shard and hand it to its replica.
+    HandoffRequest = 24,
+    /// Primary → replica: full shard state snapshot for installation.
+    HandoffState = 25,
+    /// Replica → primary: snapshot installed, new epoch live.
+    HandoffInstalled = 26,
+    /// Primary → admin: handoff complete, old shard retiring.
+    HandoffDone = 27,
+    /// Replica → primary liveness beat on the replication link.
+    ReplicaBeat = 28,
     /// Anything else (tests, applications).
     Other = 255,
 }
 
 impl MsgKind {
     /// All kinds (for stats iteration).
-    pub const ALL: [MsgKind; 20] = [
+    pub const ALL: [MsgKind; 29] = [
         MsgKind::LockRequest,
         MsgKind::LockGrant,
         MsgKind::UnlockRequest,
@@ -77,8 +98,24 @@ impl MsgKind {
         MsgKind::UpdateFlush,
         MsgKind::UpdateFetch,
         MsgKind::UpdateBatch,
+        MsgKind::Replicate,
+        MsgKind::Depose,
+        MsgKind::DeposeAck,
+        MsgKind::ViewChange,
+        MsgKind::HandoffRequest,
+        MsgKind::HandoffState,
+        MsgKind::HandoffInstalled,
+        MsgKind::HandoffDone,
+        MsgKind::ReplicaBeat,
         MsgKind::Other,
     ];
+
+    /// The kind whose discriminant is `raw`, if any — the inverse of
+    /// `kind as u16` for frames that carry a nested kind (replication
+    /// relays, reply-cache snapshots).
+    pub fn from_u16(raw: u16) -> Option<MsgKind> {
+        MsgKind::ALL.iter().copied().find(|k| *k as u16 == raw)
+    }
 
     /// Short label for reports.
     pub const fn label(self) -> &'static str {
@@ -102,6 +139,15 @@ impl MsgKind {
             MsgKind::UpdateFlush => "update-flush",
             MsgKind::UpdateFetch => "update-fetch",
             MsgKind::UpdateBatch => "update-batch",
+            MsgKind::Replicate => "replicate",
+            MsgKind::Depose => "depose",
+            MsgKind::DeposeAck => "depose-ack",
+            MsgKind::ViewChange => "view-change",
+            MsgKind::HandoffRequest => "handoff-req",
+            MsgKind::HandoffState => "handoff-state",
+            MsgKind::HandoffInstalled => "handoff-installed",
+            MsgKind::HandoffDone => "handoff-done",
+            MsgKind::ReplicaBeat => "replica-beat",
             MsgKind::Other => "other",
         }
     }
@@ -166,6 +212,14 @@ mod tests {
         for k in MsgKind::ALL {
             assert!(seen.insert(k.label()));
         }
+    }
+
+    #[test]
+    fn discriminants_roundtrip_through_from_u16() {
+        for k in MsgKind::ALL {
+            assert_eq!(MsgKind::from_u16(k as u16), Some(k));
+        }
+        assert_eq!(MsgKind::from_u16(200), None);
     }
 
     #[test]

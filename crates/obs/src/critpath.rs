@@ -77,6 +77,8 @@ pub mod seg {
     pub const FLIGHT: &str = "release in flight";
     /// Local unpack + heterogeneous conversion of carried updates.
     pub const APPLY: &str = "apply (unpack+convert)";
+    /// Administrative shard drain: fence → snapshot → install → retire.
+    pub const HANDOFF: &str = "handoff (fence+snapshot+install)";
 }
 
 /// Human name for an endpoint rank given the shard count: endpoints
@@ -141,6 +143,7 @@ fn group_key(op: &OpCtx) -> Option<(OpKind, u32, u32, u32)> {
     match op.kind {
         OpKind::Barrier => Some((OpKind::Barrier, op.id, op.epoch, 0)),
         OpKind::Lock => Some((OpKind::Lock, op.id, op.epoch, op.origin)),
+        OpKind::Handoff => Some((OpKind::Handoff, op.id, op.epoch, 0)),
         _ => None,
     }
 }
@@ -165,6 +168,35 @@ pub fn analyze(events: &[Event], shards: u32) -> Vec<OpCritPath> {
     let mut out = Vec::new();
     for ((kind, _, _, _), mut evs) in groups {
         evs.sort_by_key(|e| (e.t_us, e.rank));
+        if kind == OpKind::Handoff {
+            // An administrative drain, not a client sync op: the span on
+            // the retiring primary covers fence → snapshot → install, and
+            // the whole stall is attributed to that shard. Client ops
+            // stretched by the drain carry the wait on their own paths.
+            let Some(top) = evs
+                .iter()
+                .filter(|e| e.kind == EventKind::Handoff && e.dur_us > 0)
+                .max_by_key(|e| (e.dur_us, e.t_us))
+            else {
+                continue;
+            };
+            out.push(OpCritPath {
+                op: top.op,
+                latency_us: top.dur_us,
+                straggler: None,
+                slowest_shard: Some(top.rank),
+                shard_busy_us: top.dur_us,
+                retransmits: 0,
+                links: Vec::new(),
+                lease_expiries: 0,
+                segments: vec![Segment {
+                    label: seg::HANDOFF,
+                    rank: top.rank,
+                    dur_us: top.dur_us,
+                }],
+            });
+            continue;
+        }
         let span_kind = match kind {
             OpKind::Barrier => EventKind::Barrier,
             OpKind::Lock => EventKind::LockWait,

@@ -30,6 +30,9 @@ pub enum OpKind {
     Cond,
     /// `MTh_join`.
     Join,
+    /// Administrative shard handoff (drain → install → retire). Not a
+    /// worker-initiated sync op: `id` is the shard, `origin` 0.
+    Handoff,
 }
 
 impl OpKind {
@@ -42,6 +45,7 @@ impl OpKind {
             OpKind::Barrier => "barrier",
             OpKind::Cond => "cond",
             OpKind::Join => "join",
+            OpKind::Handoff => "handoff",
         }
     }
 }
@@ -130,6 +134,22 @@ pub enum EventKind {
     FaultReorder,
     /// The home's failure detector declared a worker dead (`arg0` = rank).
     LeaseExpired,
+    /// A home shard was killed by fault injection or its endpoint died
+    /// (`arg0` = shard).
+    ShardKill,
+    /// A standby replica promoted itself to primary (`arg0` = shard,
+    /// `arg1` = new epoch).
+    Promote,
+    /// A shard fenced itself — deposed, drained for handoff, or
+    /// self-fenced on a severed replication link (`arg0` = shard,
+    /// `arg1` = epoch it stopped serving).
+    Fence,
+    /// Proactive shard handoff, drain→install→retire (`arg0` = shard,
+    /// `arg1` = new epoch). A span on the old primary.
+    Handoff,
+    /// First client request served after a promotion (`arg0` = shard,
+    /// `arg1` = epoch) — the recovery-latency endpoint.
+    FirstGrant,
     /// Thread state packed into a portable image (`arg0` = image bytes).
     MigrationPack,
     /// Thread state restored receiver-makes-right (`arg0` = image bytes).
@@ -158,6 +178,11 @@ impl EventKind {
             EventKind::FaultDup => "fault-dup",
             EventKind::FaultReorder => "fault-reorder",
             EventKind::LeaseExpired => "lease-expired",
+            EventKind::ShardKill => "shard-kill",
+            EventKind::Promote => "promote",
+            EventKind::Fence => "fence",
+            EventKind::Handoff => "handoff",
+            EventKind::FirstGrant => "first-grant",
             EventKind::MigrationPack => "migration-pack",
             EventKind::MigrationRestore => "migration-restore",
             EventKind::Other => "other",
@@ -182,6 +207,11 @@ impl EventKind {
             | EventKind::FaultDup
             | EventKind::FaultReorder
             | EventKind::LeaseExpired => "fault",
+            EventKind::ShardKill
+            | EventKind::Promote
+            | EventKind::Fence
+            | EventKind::Handoff
+            | EventKind::FirstGrant => "failover",
             EventKind::MigrationPack | EventKind::MigrationRestore => "migrate",
             EventKind::Other => "misc",
         }
@@ -251,7 +281,7 @@ impl fmt::Display for Event {
 mod tests {
     use super::*;
 
-    const ALL: [EventKind; 19] = [
+    const ALL: [EventKind; 24] = [
         EventKind::LockWait,
         EventKind::LockHold,
         EventKind::LockRelease,
@@ -268,6 +298,11 @@ mod tests {
         EventKind::FaultDup,
         EventKind::FaultReorder,
         EventKind::LeaseExpired,
+        EventKind::ShardKill,
+        EventKind::Promote,
+        EventKind::Fence,
+        EventKind::Handoff,
+        EventKind::FirstGrant,
         EventKind::MigrationPack,
         EventKind::MigrationRestore,
         EventKind::Other,
@@ -321,6 +356,7 @@ mod tests {
             OpKind::Barrier,
             OpKind::Cond,
             OpKind::Join,
+            OpKind::Handoff,
         ];
         let mut seen = std::collections::HashSet::new();
         for k in kinds {

@@ -17,8 +17,9 @@ pub mod prelude {
     //! the typed synchronization handles, the client session API and the
     //! platform specs — no deep-importing individual workspace crates.
     pub use hdsm_core::{
-        BarrierId, ClusterBuilder, ClusterError, ClusterOutcome, CondId, CostBreakdown, Directory,
-        DsdClient, DsdError, GthvDef, GthvInstance, LockGuard, LockId, WorkerInfo,
+        BarrierId, ClusterBuilder, ClusterCtl, ClusterError, ClusterOutcome, CondId, CostBreakdown,
+        Directory, DsdClient, DsdError, GthvDef, GthvInstance, LockGuard, LockId, ShardId,
+        WorkerInfo,
     };
     pub use hdsm_platform::spec::{Platform, PlatformSpec};
 }
