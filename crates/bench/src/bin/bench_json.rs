@@ -186,6 +186,41 @@ fn measure_failover_recovery() -> f64 {
     (grant - kill) as f64 / 1e3
 }
 
+/// How far one process scales when the cluster runs on the
+/// deterministic discrete-event fabric: a jacobi relaxation multiplexed
+/// over `ranks` logical workers under `Sim { seed }`, measured in real
+/// wall time. The interesting figure is the growth curve — an
+/// event-driven scheduler should take 1000 ranks in seconds where
+/// free-running threads would thrash. Rows carry no `c_share_ms`, so
+/// the `--check` perf gate ignores them.
+fn measure_rank_scaling(ranks: u32) -> f64 {
+    use hdsm_net::FabricMode;
+    let n = 32usize;
+    let seed = 0xD5D;
+    let sweeps = 2;
+    let mut builder = ClusterBuilder::new().gthv(jacobi::gthv_def(n));
+    for i in 0..ranks {
+        builder = builder.worker(if i % 2 == 0 {
+            PlatformSpec::linux_x86()
+        } else {
+            PlatformSpec::linux_x86_64()
+        });
+    }
+    let t0 = Instant::now();
+    let outcome = builder
+        .barriers(1)
+        .init(move |g| jacobi::init(g, n, seed))
+        .fabric(FabricMode::Sim { seed: 9 })
+        .run(move |c, i| jacobi::run_worker(c, i, n, sweeps))
+        .expect("rank-scaling run");
+    let wall = t0.elapsed();
+    assert!(
+        jacobi::verify(&outcome.final_gthv, n, seed, sweeps),
+        "rank-scaling jacobi failed to verify at {ranks} ranks"
+    );
+    ms(wall)
+}
+
 /// Extract `(name, c_share_ms)` per benchmark from a committed
 /// `BENCH_dsd.json` by line scanning — the emitter writes one object per
 /// line, and the build has no JSON parser dependency to lean on.
@@ -230,6 +265,17 @@ fn main() {
     let paper = std::env::args().any(|a| a == "--paper");
     let check = std::env::args().any(|a| a == "--check");
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--sim-smoke") {
+        // CI smoke: one verified sim-fabric run at the requested rank
+        // count, no JSON written.
+        let ranks: u32 = args
+            .get(i + 1)
+            .map(|v| v.parse().expect("--sim-smoke takes a rank count"))
+            .unwrap_or(64);
+        let wall_ms = measure_rank_scaling(ranks);
+        println!("sim smoke: {ranks} ranks verified in {wall_ms:.2} ms");
+        return;
+    }
     let shards: u32 = args
         .iter()
         .position(|a| a == "--shards")
@@ -320,6 +366,21 @@ fn main() {
         )
         .expect("write to string");
     }
+    // Simulation-mode scalability curve: wall time to multiplex a
+    // jacobi cluster of 8 → 1024 logical ranks through the
+    // discrete-event scheduler in this one process. No `c_share_ms`
+    // key, so the perf gate skips these rows.
+    let mut scaling = Vec::new();
+    for ranks in [8u32, 64, 256, 1024] {
+        let wall_ms = measure_rank_scaling(ranks);
+        scaling.push((ranks, wall_ms));
+        writeln!(
+            json,
+            "    {{\"name\": \"rank_scaling@r{ranks}\", \"ranks\": {ranks}, \
+             \"fabric\": \"sim\", \"sim_seed\": 9, \"wall_ms\": {wall_ms:.3}}},"
+        )
+        .expect("write to string");
+    }
     // Robustness figure, not an Eq. 1 cost: how long a replicated home
     // takes to serve again after its primary is killed mid-run. No
     // `c_share_ms` key, so the perf gate skips it.
@@ -341,6 +402,12 @@ fn main() {
             ms(r.wall),
             ms(r.costs.c_share()),
             r.verified
+        );
+    }
+    for (ranks, wall_ms) in &scaling {
+        println!(
+            "{:>10} ranks={:<5} wall {:>9.2} ms (sim fabric)",
+            "rank-scale", ranks, wall_ms
         );
     }
     println!(

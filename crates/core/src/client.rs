@@ -217,8 +217,12 @@ pub struct DsdClient {
     shard_overrides: std::collections::HashMap<u32, u32>,
     /// Observability hook (disabled by default: every use is a null check).
     recorder: Recorder,
-    /// Open lock-hold spans: lock id → (epoch µs, wall start) at grant.
-    held_since: std::collections::HashMap<u32, (u64, Instant)>,
+    /// The fabric's time source (wall clock in threaded mode, virtual
+    /// clock in simulation mode); every deadline and backoff below reads
+    /// it, never `Instant`, so retries are seed-deterministic in sim runs.
+    clock: hdsm_net::FabricClock,
+    /// Open lock-hold spans: lock id → (epoch µs, fabric start) at grant.
+    held_since: std::collections::HashMap<u32, (u64, hdsm_net::FabricInstant)>,
     /// The sync operation currently in progress; stamped into every span,
     /// send and retransmit so the cross-rank trace can attribute them.
     cur_op: OpCtx,
@@ -235,6 +239,7 @@ impl DsdClient {
     pub fn new(thread_rank: u32, ep: Endpoint, home_ep: u32, mut gthv: GthvInstance) -> DsdClient {
         gthv.space_mut().reset_and_protect();
         let obs_rank = ep.rank();
+        let clock = ep.clock();
         DsdClient {
             thread_rank,
             ep,
@@ -254,6 +259,7 @@ impl DsdClient {
             shard_epochs: std::collections::HashMap::new(),
             shard_overrides: std::collections::HashMap::new(),
             recorder: Recorder::disabled(),
+            clock,
             held_since: std::collections::HashMap::new(),
             cur_op: OpCtx::default(),
             op_epochs: std::collections::HashMap::new(),
@@ -493,7 +499,7 @@ impl DsdClient {
         let t0 = Instant::now();
         let mut payload = self.encode_request(&msg, req_id, shard);
         self.costs.t_pack += t0.elapsed();
-        let deadline = Instant::now() + self.recv_deadline;
+        let deadline = self.clock.now() + self.recv_deadline;
         // Decorrelated-jitter state. The seed mixes rank and request id
         // so two clients (or two requests) never share a delay sequence.
         let mut rng = (((self.thread_rank as u64) << 32) ^ req_id).max(1);
@@ -534,13 +540,13 @@ impl DsdClient {
                     decorrelated_backoff(prev_wait, self.retry_base, self.retry_cap, &mut rng);
                 prev_wait
             };
-            let attempt_deadline = (Instant::now() + attempt_wait).min(deadline);
+            let attempt_deadline = (self.clock.now() + attempt_wait).min(deadline);
             loop {
-                let now = Instant::now();
+                let now = self.clock.now();
                 if now >= deadline {
                     return Err(DsdError::Net(NetError::Timeout));
                 }
-                let wait = attempt_deadline.saturating_duration_since(now);
+                let wait = attempt_deadline.saturating_since(now);
                 if wait.is_zero() {
                     break; // retransmit
                 }
@@ -802,7 +808,7 @@ impl DsdClient {
             DsdMsg::LockGrant { lock: l, updates } if l == lock => {
                 if self.recorder.is_enabled() {
                     self.held_since
-                        .insert(lock, (self.recorder.now_us(), Instant::now()));
+                        .insert(lock, (self.recorder.now_us(), self.clock.now()));
                 }
                 let mut all = updates;
                 all.extend(self.fetch_others(owner)?);
@@ -837,7 +843,7 @@ impl DsdClient {
                         self.obs_rank,
                         EventKind::LockHold,
                         t_us,
-                        start.elapsed().as_micros() as u64,
+                        self.clock.now().saturating_since(start).as_micros() as u64,
                         lock as u64,
                         0,
                         "",

@@ -29,6 +29,7 @@ use crate::gthv::{GthvDef, GthvInstance};
 use crate::home::{HomeConfig, HomeError, HomeRunOutcome, HomeShard};
 use crate::ids::{BarrierId, CondId, LockId, ShardId};
 use crate::protocol::DsdMsg;
+use crate::tenant::{ResidualReport, SessionSpec, TenantSpace};
 use crate::update::{apply_batch, extract_updates, full_ranges};
 use hdsm_migthread::compute::{Computation, ProgramRegistry, StepStatus};
 use hdsm_migthread::packfmt::{pack_state_observed, MigrateError};
@@ -37,7 +38,7 @@ use hdsm_net::endpoint::{Endpoint, NetError, Network};
 use hdsm_net::fault::LinkFaults;
 use hdsm_net::message::MsgKind;
 use hdsm_net::stats::{NetConfig, NetStats};
-use hdsm_net::FaultPlan;
+use hdsm_net::{ActorId, FabricClock, FabricMode, FaultPlan, SimFabric};
 use hdsm_obs::{EventKind, ObsSnapshot, Recorder};
 use hdsm_platform::spec::{Platform, PlatformSpec};
 use hdsm_tags::convert::ConversionStats;
@@ -147,6 +148,11 @@ pub struct WorkerInfo {
     pub n_workers: usize,
     /// The worker's (initial) platform.
     pub platform: Platform,
+    /// The tenancy session this worker belongs to, when the cluster was
+    /// built with [`ClusterBuilder::sessions`]: the offset map minting
+    /// its session-local lock/barrier/cond handles. `None` in classic
+    /// single-session mode.
+    pub session: Option<TenantSpace>,
 }
 
 /// Statistics about migrations performed during an adaptive run.
@@ -184,6 +190,10 @@ pub struct ClusterOutcome<R> {
     /// Observability snapshot, when the cluster ran with
     /// [`ClusterBuilder::obs`] wired to an enabled recorder.
     pub obs: Option<ObsSnapshot>,
+    /// Per-shard tenancy-hygiene reports from the winning home
+    /// instances: state still held for closed-session ranks at loop
+    /// exit. All-clean unless a session purge leaked.
+    pub residuals: Vec<ResidualReport>,
 }
 
 /// One scheduled migration for [`ClusterBuilder::run_adaptive`].
@@ -214,12 +224,23 @@ pub struct ClusterCtl {
     directory: Directory,
     /// Cooperative kill switches, indexed by home endpoint rank.
     kills: Vec<Arc<AtomicBool>>,
+    /// The fabric's time source. Control scripts that pace themselves
+    /// must use [`ClusterCtl::sleep`], not `std::thread::sleep`, so the
+    /// pacing rides the virtual clock in simulation mode.
+    clock: FabricClock,
 }
 
 impl ClusterCtl {
     /// The cluster's shard directory (for endpoint arithmetic).
     pub fn directory(&self) -> Directory {
         self.directory
+    }
+
+    /// Sleep on the fabric timeline: real time in threaded mode, virtual
+    /// time in simulation mode. Always prefer this over
+    /// `std::thread::sleep` inside a control script.
+    pub fn sleep(&self, d: Duration) {
+        self.clock.sleep(d);
     }
 
     /// Handle to the fabric (stats, partitions).
@@ -271,16 +292,16 @@ impl ClusterCtl {
         let s = shard.raw();
         let dst = self.directory.shard_ep(s);
         let req = DsdMsg::HandoffRequest { shard: s }.encode_enveloped(0);
-        let deadline = Instant::now() + Duration::from_secs(30);
-        let mut next_send = Instant::now();
+        let deadline = self.clock.now() + Duration::from_secs(30);
+        let mut next_send = self.clock.now();
         loop {
-            if Instant::now() >= deadline {
+            if self.clock.now() >= deadline {
                 return Err(ClusterError::Handoff {
                     shard: s,
                     error: DsdError::Net(NetError::Timeout),
                 });
             }
-            if Instant::now() >= next_send {
+            if self.clock.now() >= next_send {
                 match self.ep.send(dst, MsgKind::HandoffRequest, req.clone()) {
                     // A dead primary cannot be drained, but its replica
                     // promotes on its own; nothing to hand off.
@@ -292,7 +313,7 @@ impl ClusterCtl {
                         })
                     }
                 }
-                next_send = Instant::now() + Duration::from_millis(100);
+                next_send = self.clock.now() + Duration::from_millis(100);
             }
             match self.ep.recv_timeout(Duration::from_millis(50)) {
                 Ok(m) if m.kind == MsgKind::HandoffDone => {
@@ -336,6 +357,8 @@ pub struct ClusterBuilder {
     retry_base: Option<Duration>,
     recorder: Recorder,
     fast_path: bool,
+    fabric: FabricMode,
+    sessions: Vec<SessionSpec>,
 }
 
 impl Default for ClusterBuilder {
@@ -365,6 +388,8 @@ impl ClusterBuilder {
             retry_base: None,
             recorder: Recorder::disabled(),
             fast_path: true,
+            fabric: FabricMode::Threads,
+            sessions: Vec::new(),
         }
     }
 
@@ -384,6 +409,33 @@ impl ClusterBuilder {
     /// default) for a counter-free no-op.
     pub fn obs(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Select the execution fabric. [`FabricMode::Threads`] (the
+    /// default) runs every node as a free-running OS thread on the wall
+    /// clock — byte-identical to every pre-simulation release.
+    /// [`FabricMode::Sim`] multiplexes the same node code under a seeded
+    /// discrete-event scheduler on a virtual clock: sends, receive
+    /// timeouts, retransmit backoff, leases, heartbeats and promotion
+    /// timers all become ordered events, making the whole run — fault
+    /// injection included — an exactly reproducible function of
+    /// `(workload, config, seed)`.
+    pub fn fabric(mut self, mode: FabricMode) -> Self {
+        self.fabric = mode;
+        self
+    }
+
+    /// Multi-session tenancy: partition the configured workers (in rank
+    /// order) into independent sessions, each with a private lock,
+    /// barrier and cond namespace carved out of the shared home-shard
+    /// pool. The spec worker counts must sum to the worker count; lock,
+    /// barrier and cond totals override [`Self::locks`]/[`Self::barriers`]
+    /// /[`Self::conds`]. Each session shuts down — and has its home-side
+    /// per-rank state purged — as soon as its own members finish, while
+    /// other sessions keep running.
+    pub fn sessions(mut self, specs: Vec<SessionSpec>) -> Self {
+        self.sessions = specs;
         self
     }
 
@@ -582,8 +634,22 @@ impl ClusterBuilder {
                 }
             }
         }
-        let (net, eps) =
-            Network::new_observed(n_eps, self.net_config.clone(), self.recorder.clone());
+        let (net, eps) = match self.fabric {
+            FabricMode::Threads => {
+                Network::new_observed(n_eps, self.net_config.clone(), self.recorder.clone())
+            }
+            FabricMode::Sim { seed } => {
+                let sim = SimFabric::new(seed);
+                Network::new_sim(n_eps, self.net_config.clone(), self.recorder.clone(), &sim)
+            }
+        };
+        if let Some(sim) = net.sim() {
+            // Obs timestamps ride the virtual clock too, so snapshots of
+            // same-seed runs compare byte-for-byte.
+            let f = sim.clone();
+            self.recorder
+                .set_time_source(std::sync::Arc::new(move || f.now_us()));
+        }
         Ok((def, net, eps))
     }
 
@@ -595,7 +661,23 @@ impl ClusterBuilder {
         R: Send,
         F: Fn(&mut DsdClient, &WorkerInfo) -> Result<R, DsdError> + Send + Sync,
     {
+        // Tenancy layout first: session totals override the flat
+        // lock/barrier/cond counts before anything is sized from them.
+        let spaces: Vec<TenantSpace> = TenantSpace::layout(&self.sessions);
+        if !spaces.is_empty() {
+            let total: u32 = self.sessions.iter().map(|t| t.workers).sum();
+            if total as usize != self.worker_platforms.len() {
+                return Err(ClusterError::Config(format!(
+                    "sessions claim {total} workers, cluster has {}",
+                    self.worker_platforms.len()
+                )));
+            }
+            self.n_locks = self.sessions.iter().map(|t| t.locks).sum();
+            self.n_barriers = self.sessions.iter().map(|t| t.barriers).sum();
+            self.n_conds = self.sessions.iter().map(|t| t.conds).sum();
+        }
         let (def, net, mut eps) = self.take_parts()?;
+        let sim = net.sim().cloned();
         let directory = Directory::with_replicas(self.shards, self.replicas);
         // Endpoint layout: primaries, then replicas, then workers, with
         // the admin control endpoint last (when a control script runs).
@@ -665,6 +747,7 @@ impl ClusterBuilder {
                     replica_ep: (!is_replica && self.replicas > 0).then(|| directory.replica_ep(s)),
                     primary_ep: is_replica.then(|| directory.shard_ep(s)),
                     kill: control.is_some().then(|| kills[i].clone()),
+                    sessions: spaces.clone(),
                 },
             );
             if let Some(image) = &init_image {
@@ -700,10 +783,51 @@ impl ClusterBuilder {
         let pump_done = AtomicBool::new(false);
 
         let replicated = self.replicas > 0;
+        // Simulation mode: register every node as a scheduler actor, in
+        // a fixed order from this one thread, before anything spawns —
+        // actor ids are part of the deterministic schedule.
+        let home_actors: Vec<Option<ActorId>> = (0..n_home_eps)
+            .map(|i| {
+                sim.as_ref().map(|f| {
+                    let n_shards = directory.n_shards() as usize;
+                    if i < n_shards {
+                        f.add_actor(&format!("home-shard{i}"))
+                    } else {
+                        f.add_actor(&format!("home-replica{}", i - n_shards))
+                    }
+                })
+            })
+            .collect();
+        let pump_actor = if self.lease.is_some() {
+            sim.as_ref().map(|f| f.add_actor("pump"))
+        } else {
+            None
+        };
+        let ctl_actor = if control.is_some() {
+            sim.as_ref().map(|f| f.add_actor("control"))
+        } else {
+            None
+        };
+        let worker_actors: Vec<Option<ActorId>> = (0..n_workers)
+            .map(|i| {
+                sim.as_ref()
+                    .map(|f| f.add_actor(&format!("worker{}", i + 1)))
+            })
+            .collect();
         std::thread::scope(|s| {
             let home_handles: Vec<_> = shard_services
                 .into_iter()
-                .map(|(shard, home)| (shard, s.spawn(move || home.run())))
+                .zip(home_actors)
+                .map(|((shard, home), actor)| {
+                    let sim = sim.clone();
+                    (
+                        shard,
+                        s.spawn(move || {
+                            let _guard = actor.map(|a| sim.as_ref().unwrap().enter(a));
+                            home.run()
+                        }),
+                    )
+                })
                 .collect();
             // Heartbeat pump: beats on behalf of every live worker at a
             // quarter of the lease, so blocked-but-alive workers (e.g.
@@ -715,14 +839,23 @@ impl ClusterBuilder {
             // the new primary.
             let pump_handle = self.lease.map(|lease| {
                 let net = net.clone();
+                let sim = sim.clone();
                 let alive = &alive;
                 let pump_done = &pump_done;
                 let interval = (lease / 4).max(Duration::from_millis(5));
                 s.spawn(move || {
-                    let mut last_beat = Instant::now();
-                    while !pump_done.load(Ordering::Relaxed) {
-                        if last_beat.elapsed() >= interval {
-                            last_beat = Instant::now();
+                    let _guard = pump_actor.map(|a| sim.as_ref().unwrap().enter(a));
+                    let clock = net.clock();
+                    let mut last_beat = clock.now();
+                    // Exit when every worker has signed off (flags flip
+                    // at deterministic points) or the run tears down;
+                    // the flag check keeps the heartbeat count a pure
+                    // function of the schedule in simulation mode.
+                    while !pump_done.load(Ordering::Relaxed)
+                        && alive.iter().any(|a| a.load(Ordering::Relaxed))
+                    {
+                        if clock.now().saturating_since(last_beat) >= interval {
+                            last_beat = clock.now();
                             for (i, a) in alive.iter().enumerate() {
                                 if a.load(Ordering::Relaxed) {
                                     let rank = i as u32 + 1;
@@ -739,7 +872,7 @@ impl ClusterBuilder {
                                 }
                             }
                         }
-                        std::thread::sleep(Duration::from_millis(5));
+                        clock.sleep(Duration::from_millis(5));
                     }
                 })
             });
@@ -750,8 +883,13 @@ impl ClusterBuilder {
                     ep: admin_ep.take().expect("control implies admin endpoint"),
                     directory,
                     kills: kills.clone(),
+                    clock: net.clock(),
                 };
-                s.spawn(move || f(ctl))
+                let sim = sim.clone();
+                s.spawn(move || {
+                    let _guard = ctl_actor.map(|a| sim.as_ref().unwrap().enter(a));
+                    f(ctl)
+                })
             });
             let mut handles = Vec::new();
             let recorder = &self.recorder;
@@ -760,11 +898,19 @@ impl ClusterBuilder {
                 let plat = plat.clone();
                 let body = &body;
                 let alive = &alive;
+                let sim = sim.clone();
+                let actor = worker_actors[i];
+                let session = spaces
+                    .iter()
+                    .copied()
+                    .find(|t| t.contains_rank(i as u32 + 1));
                 handles.push(s.spawn(move || {
+                    let _guard = actor.map(|a| sim.as_ref().unwrap().enter(a));
                     let info = WorkerInfo {
                         index: i,
                         n_workers,
                         platform: plat.clone(),
+                        session,
                     };
                     let gthv = GthvInstance::new(def, plat);
                     let mut client = DsdClient::new(i as u32 + 1, ep, 0, gthv);
@@ -797,6 +943,11 @@ impl ClusterBuilder {
                         (_, Err(e)) => Err(e),
                     }
                 }));
+            }
+            if let Some(f) = &sim {
+                // Every actor is parked at its entry turnstile: start the
+                // deterministic schedule.
+                f.begin();
             }
             for (i, h) in handles.into_iter().enumerate() {
                 match h.join() {
@@ -887,6 +1038,7 @@ impl ClusterBuilder {
                 })?;
             winners.push(win);
         }
+        let residuals: Vec<ResidualReport> = winners.iter().map(|w| w.residual).collect();
         let mut winners = winners.into_iter();
         let first = winners.next().expect("at least one shard");
         let (mut final_gthv, mut home_costs, mut home_conv) = (first.gthv, first.costs, first.conv);
@@ -924,6 +1076,7 @@ impl ClusterBuilder {
             net_stats: net.stats(),
             migration_stats: MigrationStats::default(),
             obs: self.recorder.snapshot(),
+            residuals,
         })
     }
 
@@ -944,6 +1097,12 @@ impl ClusterBuilder {
                 starts.len(),
                 self.worker_platforms.len()
             )));
+        }
+        if !matches!(self.fabric, FabricMode::Threads) {
+            return Err(ClusterError::Config(
+                "run_adaptive is not supported in simulation mode; use fabric(FabricMode::Threads)"
+                    .into(),
+            ));
         }
         let platforms = self.worker_platforms.clone();
         let schedule = schedule.to_vec();

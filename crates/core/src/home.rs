@@ -33,6 +33,7 @@ use crate::update::{apply_batch_mode, extract_updates, full_ranges, UpdateError}
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use hdsm_net::endpoint::{Endpoint, NetError};
 use hdsm_net::message::{Message, MsgKind};
+use hdsm_net::{FabricClock, FabricInstant};
 use hdsm_obs::{EventKind, OpCtx, OpKind, Recorder};
 use hdsm_tags::convert::ConversionStats;
 use hdsm_tags::wire::{pack_batch, unpack_batch};
@@ -41,6 +42,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::tenant::{ResidualReport, TenantSpace};
 
 /// Configuration of the home service.
 #[derive(Debug, Clone)]
@@ -90,6 +93,10 @@ pub struct HomeConfig {
     /// the shard abandons its loop mid-run (recording a `ShardKill`
     /// event) and drops its endpoint, exactly like a crashed process.
     pub kill: Option<Arc<AtomicBool>>,
+    /// Multi-session tenancy: the sessions sharing this shard pool, with
+    /// their rank and synchronization-id slices. Empty (the default) is
+    /// classic single-session mode with byte-identical wire behaviour.
+    pub sessions: Vec<TenantSpace>,
 }
 
 impl Default for HomeConfig {
@@ -108,6 +115,7 @@ impl Default for HomeConfig {
             replica_ep: None,
             primary_ep: None,
             kill: None,
+            sessions: Vec::new(),
         }
     }
 }
@@ -136,6 +144,10 @@ pub struct HomeRunOutcome {
     pub epoch: u32,
     /// Is this instance the shard's authoritative survivor?
     pub authoritative: bool,
+    /// State still held for closed-session ranks at loop exit (tenancy
+    /// hygiene; always clean in classic mode, asserted clean by the
+    /// churn soak).
+    pub residual: ResidualReport,
 }
 
 /// Errors surfaced by the home service loop.
@@ -230,8 +242,10 @@ pub struct HomeShard {
     joined: HashSet<u32>,
     /// Participants declared dead by the lease detector.
     dead: HashSet<u32>,
-    /// Last time each participant was heard from (any message).
-    last_heard: HashMap<u32, Instant>,
+    /// Last time each participant was heard from (any message), on the
+    /// fabric timeline — the source of the `heard_ms` forensics in
+    /// [`DsdMsg::WorkerLost`], virtual-clock exact in simulation mode.
+    last_heard: HashMap<u32, FabricInstant>,
     /// Highest request id handled per thread (at-most-once dedup).
     last_req: HashMap<u32, u64>,
     /// Last reply sent to each thread, resent verbatim when the same
@@ -259,7 +273,7 @@ pub struct HomeShard {
     replica_ep: Option<u32>,
     primary_ep: Option<u32>,
     /// Last sign of life from the replication-link partner.
-    peer_last_heard: Instant,
+    peer_last_heard: FabricInstant,
     /// The partner's endpoint is gone (crashed replica): stop relaying.
     replica_gone: bool,
     /// On a replica: promoted to serving primary.
@@ -278,6 +292,16 @@ pub struct HomeShard {
     handoff_start_us: u64,
     /// First post-promotion client reply already recorded.
     first_grant_recorded: bool,
+    /// The fabric's time source; every lease, drain and promotion timer
+    /// reads it so failover timing is seed-deterministic in sim mode.
+    clock: FabricClock,
+    /// Tenancy layout (empty = classic single-session mode).
+    sessions: Vec<TenantSpace>,
+    /// Ranks whose session has shut down: their per-rank state (lease,
+    /// horizon, reply cache) is purged; only the `last_req` watermark
+    /// survives so a late duplicate is still answered at-most-once —
+    /// with an uncached `Shutdown`, never by re-entering the tables.
+    closed: HashSet<u32>,
 }
 
 /// The pre-sharding name of [`HomeShard`], kept for downstream code that
@@ -292,6 +316,7 @@ impl HomeShard {
             .map(|_| BarrierState::default())
             .collect();
         let conds = (0..config.n_conds).map(|_| CondState::default()).collect();
+        let clock = ep.clock();
         HomeShard {
             gthv,
             ep,
@@ -327,7 +352,7 @@ impl HomeShard {
             fenced: false,
             replica_ep: config.replica_ep,
             primary_ep: config.primary_ep,
-            peer_last_heard: Instant::now(),
+            peer_last_heard: clock.now(),
             replica_gone: false,
             promoted: false,
             mute: false,
@@ -336,6 +361,9 @@ impl HomeShard {
             handoff: None,
             handoff_start_us: 0,
             first_grant_recorded: false,
+            clock,
+            sessions: config.sessions,
+            closed: HashSet::new(),
         }
     }
 
@@ -553,9 +581,96 @@ impl HomeShard {
             heard_ms: self
                 .last_heard
                 .get(&rank)
-                .map(|t| t.elapsed().as_millis() as u64)
+                .map(|t| self.clock.now().saturating_since(*t).as_millis() as u64)
                 .unwrap_or(0),
             lease_ms: self.lease.map(|l| l.as_millis() as u64).unwrap_or(0),
+        }
+    }
+
+    /// The tenancy session thread `rank` belongs to, if any.
+    fn session_of_rank(&self, rank: u32) -> Option<&TenantSpace> {
+        self.sessions.iter().find(|t| t.contains_rank(rank))
+    }
+
+    /// The tenancy session owning global barrier id `barrier`, if any.
+    fn session_of_barrier(&self, barrier: u32) -> Option<&TenantSpace> {
+        self.sessions.iter().find(|t| t.contains_barrier(barrier))
+    }
+
+    /// Ranks a barrier waits for: the owning session's live unjoined
+    /// members under tenancy, every live unjoined participant otherwise.
+    fn barrier_waiting_for(&self, barrier: u32) -> usize {
+        match self.session_of_barrier(barrier) {
+            Some(t) => t
+                .member_ranks()
+                .filter(|r| {
+                    self.participants.contains(r)
+                        && !self.joined.contains(r)
+                        && !self.dead.contains(r)
+                })
+                .count(),
+            None => self.participants.len() - self.joined.len() - self.dead.len(),
+        }
+    }
+
+    /// A dead member whose loss dooms barriers `rank` participates in:
+    /// session-scoped under tenancy (another tenant's crash must not
+    /// fail this one's barriers), any dead participant otherwise.
+    fn blocking_dead(&self, rank: u32) -> Option<u32> {
+        match self.session_of_rank(rank) {
+            Some(t) => t.member_ranks().filter(|r| self.dead.contains(r)).min(),
+            None => self.dead.iter().min().copied(),
+        }
+    }
+
+    /// If `rank`'s session is now fully accounted for (every member
+    /// joined or dead), shut the session down: the deferred `Join`
+    /// replies go out as `Shutdown`s, then every member's per-rank state
+    /// is purged — except `last_req`, which keeps late duplicates
+    /// at-most-once (they are re-answered with an uncached `Shutdown`
+    /// via the `closed` set instead).
+    fn maybe_close_session(&mut self, rank: u32) -> Result<(), HomeError> {
+        let Some(t) = self.session_of_rank(rank).copied() else {
+            return Ok(());
+        };
+        let complete = t
+            .member_ranks()
+            .filter(|r| self.participants.contains(r))
+            .all(|r| self.joined.contains(&r) || self.dead.contains(&r));
+        if !complete {
+            return Ok(());
+        }
+        for r in t.member_ranks() {
+            if !self.participants.contains(&r) || self.closed.contains(&r) {
+                continue;
+            }
+            if self.joined.contains(&r) {
+                match self.send(r, DsdMsg::Shutdown) {
+                    Err(HomeError::Net(NetError::Disconnected(_))) => {}
+                    other => other?,
+                }
+            }
+            self.closed.insert(r);
+            self.last_heard.remove(&r);
+            self.seen.remove(&r);
+            self.op_ctx.remove(&r);
+            self.reply_cache.remove(&r);
+        }
+        self.recorder.count("home.sessions_closed", 1);
+        Ok(())
+    }
+
+    /// Answer a closed-session rank with `Shutdown` without touching the
+    /// purged reply cache.
+    fn resend_shutdown_uncached(&mut self, rank: u32) -> Result<(), HomeError> {
+        let Some(&ep_rank) = self.routes.get(&rank) else {
+            return Ok(());
+        };
+        let req_id = self.last_req.get(&rank).copied().unwrap_or(0);
+        let payload = DsdMsg::Shutdown.encode_enveloped_mode(req_id, self.fast_path);
+        match self.net_send(ep_rank, MsgKind::Shutdown, payload, OpCtx::default()) {
+            Err(NetError::Disconnected(_)) => Ok(()),
+            other => Ok(other?),
         }
     }
 
@@ -579,12 +694,30 @@ impl HomeShard {
 
     /// Finish into the run outcome.
     fn outcome(self, authoritative: bool) -> HomeRunOutcome {
+        let residual = ResidualReport {
+            leases: self
+                .closed
+                .iter()
+                .filter(|r| self.last_heard.contains_key(r))
+                .count(),
+            dedup: self
+                .closed
+                .iter()
+                .filter(|r| self.reply_cache.contains_key(r))
+                .count(),
+            horizons: self
+                .closed
+                .iter()
+                .filter(|r| self.seen.contains_key(r))
+                .count(),
+        };
         HomeRunOutcome {
             gthv: self.gthv,
             costs: self.costs,
             conv: self.conv_stats,
             epoch: self.epoch,
             authoritative,
+            residual,
         }
     }
 
@@ -592,7 +725,7 @@ impl HomeShard {
     /// instance is killed, deposed or drained). Returns the instance,
     /// the home-side cost breakdown and the failover verdict.
     pub fn run(mut self) -> Result<HomeRunOutcome, HomeError> {
-        let now = Instant::now();
+        let now = self.clock.now();
         for &r in &self.participants {
             self.last_heard.insert(r, now);
         }
@@ -646,7 +779,17 @@ impl HomeShard {
         // Every live participant joined: broadcast shutdown. The shutdown
         // is the (deferred) reply to each thread's Join request, so it is
         // cached and resent if the fabric drops it.
-        let ranks: Vec<u32> = self.joined.iter().copied().collect();
+        // Broadcast in rank order: `joined` is a hash set, and iterating
+        // it raw would make the shutdown send order (and with it the
+        // dedup traffic of any straggler retransmits racing the
+        // broadcast) vary run to run, breaking sim reproducibility.
+        let mut ranks: Vec<u32> = self
+            .joined
+            .iter()
+            .copied()
+            .filter(|r| !self.closed.contains(r))
+            .collect();
+        ranks.sort_unstable();
         for r in ranks {
             // A duplicated copy of this very Shutdown (or a prior shard's)
             // may already have reached the worker, which then exits and
@@ -676,7 +819,7 @@ impl HomeShard {
         match msg.kind {
             MsgKind::Replicate => return self.on_replicate(msg),
             MsgKind::ReplicaBeat => {
-                self.peer_last_heard = Instant::now();
+                self.peer_last_heard = self.clock.now();
                 return Ok(());
             }
             MsgKind::Depose => {
@@ -694,7 +837,7 @@ impl HomeShard {
                 return Ok(());
             }
             MsgKind::DeposeAck => {
-                self.peer_last_heard = Instant::now();
+                self.peer_last_heard = self.clock.now();
                 self.pending_depose = false;
                 return Ok(());
             }
@@ -725,7 +868,7 @@ impl HomeShard {
                 let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
                 if let DsdMsg::HandoffInstalled { shard, epoch } = m {
                     if shard == self.shard {
-                        self.peer_last_heard = Instant::now();
+                        self.peer_last_heard = self.clock.now();
                         self.finish_handoff(epoch)?;
                     }
                 }
@@ -864,7 +1007,7 @@ impl HomeShard {
     /// primary's, so a promoted replica can serve retransmissions of
     /// requests the primary already answered.
     fn on_replicate(&mut self, msg: Message) -> Result<(), HomeError> {
-        self.peer_last_heard = Instant::now();
+        self.peer_last_heard = self.clock.now();
         let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
         let DsdMsg::Replicate {
             src_ep,
@@ -913,7 +1056,7 @@ impl HomeShard {
                 if let (Some(_), Some(lease)) = (self.replica_ep, self.lease) {
                     if !self.replica_gone
                         && !self.fenced
-                        && self.peer_last_heard.elapsed() > lease * 3 / 4
+                        && self.clock.now().saturating_since(self.peer_last_heard) > lease * 3 / 4
                     {
                         self.fence();
                     }
@@ -956,7 +1099,7 @@ impl HomeShard {
                     );
                     let primary_silent = self
                         .lease
-                        .map(|l| self.peer_last_heard.elapsed() > l)
+                        .map(|l| self.clock.now().saturating_since(self.peer_last_heard) > l)
                         .unwrap_or(false);
                     // Promote only once the inbound queue is drained, so
                     // every relayed frame the primary managed to send is
@@ -992,7 +1135,7 @@ impl HomeShard {
         self.promoted = true;
         self.epoch += 1;
         self.pending_depose = true;
-        let now = Instant::now();
+        let now = self.clock.now();
         for &r in &self.participants {
             if !self.joined.contains(&r) && !self.dead.contains(&r) {
                 self.last_heard.insert(r, now);
@@ -1092,7 +1235,7 @@ impl HomeShard {
             self.epoch = epoch;
             // The old primary fenced itself; no depose needed.
             self.pending_depose = false;
-            let now = Instant::now();
+            let now = self.clock.now();
             for &r in &self.participants {
                 if !self.joined.contains(&r) && !self.dead.contains(&r) {
                     self.last_heard.insert(r, now);
@@ -1127,9 +1270,9 @@ impl HomeShard {
             .map(|l| l * 2)
             .unwrap_or(Duration::from_millis(100))
             .max(self.linger);
-        let deadline = Instant::now() + grace;
+        let deadline = self.clock.now() + grace;
         loop {
-            let left = deadline.saturating_duration_since(Instant::now());
+            let left = deadline.saturating_since(self.clock.now());
             if left.is_zero() {
                 return Ok(());
             }
@@ -1167,6 +1310,20 @@ impl HomeShard {
     /// dedup state. Opaque to the protocol layer — only this module reads
     /// it back.
     fn snapshot_state(&self) -> Result<Bytes, HomeError> {
+        // Every map/set below iterates in sorted order: the snapshot's
+        // bytes must be a pure function of the shard's state, not of the
+        // per-instance `HashMap` hash seed (the simulation determinism
+        // tests compare run artifacts byte-for-byte).
+        fn sorted<K: Ord + Copy, V>(m: &HashMap<K, V>) -> Vec<(K, &V)> {
+            let mut v: Vec<_> = m.iter().map(|(k, x)| (*k, x)).collect();
+            v.sort_by_key(|(k, _)| *k);
+            v
+        }
+        fn sorted_set(set: &HashSet<u32>) -> Vec<u32> {
+            let mut v: Vec<u32> = set.iter().copied().collect();
+            v.sort_unstable();
+            v
+        }
         let mut out = BytesMut::new();
         out.put_u64(self.seq);
         out.put_u64(self.log_floor);
@@ -1183,13 +1340,13 @@ impl HomeShard {
             out.put_u64(r.count);
         }
         out.put_u32(self.seen.len() as u32);
-        for (rank, s) in &self.seen {
-            out.put_u32(*rank);
+        for (rank, s) in sorted(&self.seen) {
+            out.put_u32(rank);
             out.put_u64(*s);
         }
         out.put_u32(self.routes.len() as u32);
-        for (rank, ep) in &self.routes {
-            out.put_u32(*rank);
+        for (rank, ep) in sorted(&self.routes) {
+            out.put_u32(rank);
             out.put_u32(*ep);
         }
         out.put_u32(self.locks.len() as u32);
@@ -1216,21 +1373,21 @@ impl HomeShard {
             }
         }
         out.put_u32(self.joined.len() as u32);
-        for r in &self.joined {
-            out.put_u32(*r);
+        for r in sorted_set(&self.joined) {
+            out.put_u32(r);
         }
         out.put_u32(self.dead.len() as u32);
-        for r in &self.dead {
-            out.put_u32(*r);
+        for r in sorted_set(&self.dead) {
+            out.put_u32(r);
         }
         out.put_u32(self.last_req.len() as u32);
-        for (rank, id) in &self.last_req {
-            out.put_u32(*rank);
+        for (rank, id) in sorted(&self.last_req) {
+            out.put_u32(rank);
             out.put_u64(*id);
         }
         out.put_u32(self.reply_cache.len() as u32);
-        for (rank, (rid, kind, payload)) in &self.reply_cache {
-            out.put_u32(*rank);
+        for (rank, (rid, kind, payload)) in sorted(&self.reply_cache) {
+            out.put_u32(rank);
             out.put_u64(*rid);
             out.put_u16(*kind as u16);
             out.put_u32(payload.len() as u32);
@@ -1380,9 +1537,9 @@ impl HomeShard {
     /// Keep answering retransmissions for `linger` after shutdown, so
     /// clients whose final reply was dropped can still complete.
     fn linger_drain(&mut self) -> Result<(), HomeError> {
-        let deadline = Instant::now() + self.linger;
+        let deadline = self.clock.now() + self.linger;
         loop {
-            let left = deadline.saturating_duration_since(Instant::now());
+            let left = deadline.saturating_since(self.clock.now());
             if left.is_zero() {
                 return Ok(());
             }
@@ -1475,6 +1632,17 @@ impl HomeShard {
                 other => other,
             };
         }
+        if self.closed.contains(&rank) {
+            // The rank's session already shut down and its cached reply
+            // was purged; whether this is a Join retransmission or a
+            // stray late operation, the only correct answer is Shutdown
+            // (sent uncached, so the purge stays permanent).
+            if req_id != 0 {
+                let last = self.last_req.entry(rank).or_insert(0);
+                *last = (*last).max(req_id);
+            }
+            return self.resend_shutdown_uncached(rank);
+        }
         if req_id != 0 {
             let last = self.last_req.get(&rank).copied().unwrap_or(0);
             if req_id < last {
@@ -1509,8 +1677,11 @@ impl HomeShard {
 
     /// Refresh a participant's liveness timestamp.
     fn touch(&mut self, rank: u32) {
-        if self.participants.contains(&rank) && !self.dead.contains(&rank) {
-            self.last_heard.insert(rank, Instant::now());
+        if self.participants.contains(&rank)
+            && !self.dead.contains(&rank)
+            && !self.closed.contains(&rank)
+        {
+            self.last_heard.insert(rank, self.clock.now());
         }
     }
 
@@ -1519,18 +1690,24 @@ impl HomeShard {
         let Some(lease) = self.lease else {
             return Ok(());
         };
-        let expired: Vec<u32> = self
+        let now = self.clock.now();
+        // Sorted so that simultaneous expiries are declared in rank
+        // order, not hash-set order — the declaration order decides who
+        // inherits contended locks, and sim reproducibility needs it
+        // fixed.
+        let mut expired: Vec<u32> = self
             .participants
             .iter()
             .filter(|r| !self.joined.contains(r) && !self.dead.contains(r))
             .filter(|r| {
                 self.last_heard
                     .get(r)
-                    .map(|t| t.elapsed() > lease)
+                    .map(|t| now.saturating_since(*t) > lease)
                     .unwrap_or(true)
             })
             .copied()
             .collect();
+        expired.sort_unstable();
         for r in expired {
             // Ship the expiry decision down the replication stream first
             // (it is timing-dependent; the shadow must not re-derive it).
@@ -1574,9 +1751,17 @@ impl HomeShard {
         for c in &mut self.conds {
             c.waiters.retain(|&(w, _)| w != rank);
         }
-        // Any barrier with entrants is now permanently stuck (the dead
-        // worker can never enter): fail the survivors.
+        // Any barrier of the dead worker's session with entrants is now
+        // permanently stuck (the dead worker can never enter): fail the
+        // survivors. Other sessions' barriers are untouched — a tenant
+        // crash must not bleed across the namespace boundary.
+        let dead_session = self.session_of_rank(rank).map(|t| t.session);
         for idx in 0..self.barriers.len() {
+            if !self.sessions.is_empty()
+                && self.session_of_barrier(idx as u32).map(|t| t.session) != dead_session
+            {
+                continue;
+            }
             let entered = std::mem::take(&mut self.barriers[idx].entered);
             for r in entered {
                 if !self.dead.contains(&r) {
@@ -1585,6 +1770,10 @@ impl HomeShard {
                 }
             }
         }
+        // The death may complete its session's membership (survivors
+        // already joined): close it now rather than waiting for a Join
+        // that can never come.
+        self.maybe_close_session(rank)?;
         Ok(())
     }
 
@@ -1661,15 +1850,14 @@ impl HomeShard {
                     return Err(HomeError::Violation(format!("no barrier {barrier}")));
                 }
                 self.absorb(rank, &updates)?;
-                if !self.dead.is_empty() {
+                if let Some(lost) = self.blocking_dead(rank) {
                     // The barrier can never complete with a dead
-                    // participant outstanding: fail fast.
-                    let lost = *self.dead.iter().min().unwrap();
+                    // participant of its session outstanding: fail fast.
                     let lost_msg = self.worker_lost_msg(lost);
                     return self.send(rank, lost_msg);
                 }
                 self.barriers[idx].entered.push(rank);
-                let waiting_for = self.participants.len() - self.joined.len() - self.dead.len();
+                let waiting_for = self.barrier_waiting_for(barrier);
                 if self.barriers[idx].entered.len() >= waiting_for {
                     let entered = std::mem::take(&mut self.barriers[idx].entered);
                     for r in entered {
@@ -1687,6 +1875,7 @@ impl HomeShard {
                     )));
                 }
                 self.joined.insert(rank);
+                self.maybe_close_session(rank)?;
                 Ok(())
             }
             DsdMsg::CondWait {

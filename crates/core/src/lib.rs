@@ -49,6 +49,7 @@ pub mod ids;
 pub mod index_table;
 pub mod protocol;
 pub mod runs;
+pub mod tenant;
 pub mod update;
 
 pub use client::{DsdClient, DsdError, LockGuard};
@@ -61,3 +62,4 @@ pub use gthv::{GthvDef, GthvInstance};
 pub use ids::{BarrierId, CondId, LockId, ShardId};
 pub use index_table::{IndexRow, IndexTable};
 pub use runs::UpdateRange;
+pub use tenant::{ResidualReport, SessionSpec, TenantSpace};

@@ -1,0 +1,232 @@
+//! Multi-session tenancy: several independent DSD sessions sharing one
+//! home-shard pool.
+//!
+//! A *session* is a group of workers with its own private lock, barrier
+//! and condition-variable namespace. The cluster builder lays sessions
+//! out back-to-back in the global id spaces — session `i`'s lock `j` is
+//! global lock `lock0_i + j` — so the home shards keep serving plain
+//! `u32` ids and the existing directory sharding (`id % n_shards`)
+//! applies unchanged. A [`TenantSpace`] is the offset map a worker uses
+//! to mint its session-local handles; the home shards get the same
+//! spaces to scope barrier membership, failure blast radius and
+//! shutdown to one session at a time.
+//!
+//! With no sessions configured the cluster runs in classic mode: one
+//! implicit global session, byte-identical wire traffic to every
+//! pre-tenancy release.
+
+use crate::ids::{BarrierId, CondId, LockId};
+use std::ops::Range;
+
+/// What one session asks the cluster builder for: how many of the
+/// configured workers it owns (claimed in rank order) and how many
+/// private synchronization objects it needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Workers in this session (consecutive ranks, claimed in order).
+    pub workers: u32,
+    /// Private mutexes.
+    pub locks: u32,
+    /// Private barriers.
+    pub barriers: u32,
+    /// Private condition variables.
+    pub conds: u32,
+}
+
+impl SessionSpec {
+    /// A session of `workers` workers with `locks` mutexes and
+    /// `barriers` barriers (no condition variables).
+    pub fn new(workers: u32, locks: u32, barriers: u32) -> SessionSpec {
+        SessionSpec {
+            workers,
+            locks,
+            barriers,
+            conds: 0,
+        }
+    }
+
+    /// Add condition variables.
+    pub fn conds(mut self, n: u32) -> SessionSpec {
+        self.conds = n;
+        self
+    }
+}
+
+/// One session's slice of the cluster's global rank and synchronization
+/// id spaces. Handed to each worker of the session (in its
+/// `WorkerInfo`) to mint session-local handles, and to every home shard
+/// to scope membership decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpace {
+    /// Session index, `0..n_sessions`.
+    pub session: u32,
+    /// First thread rank of the session (ranks are `1`-based).
+    pub rank0: u32,
+    /// Number of workers in the session.
+    pub workers: u32,
+    /// First global lock id owned by the session.
+    pub lock0: u32,
+    /// Number of locks owned.
+    pub locks: u32,
+    /// First global barrier id owned by the session.
+    pub barrier0: u32,
+    /// Number of barriers owned.
+    pub barriers: u32,
+    /// First global condition-variable id owned by the session.
+    pub cond0: u32,
+    /// Number of condition variables owned.
+    pub conds: u32,
+}
+
+impl TenantSpace {
+    /// Lay sessions out back-to-back: ranks from 1, each id space from
+    /// 0, in spec order. The layout is a pure function of the specs, so
+    /// every node of the cluster derives identical spaces.
+    pub fn layout(specs: &[SessionSpec]) -> Vec<TenantSpace> {
+        let (mut rank0, mut lock0, mut barrier0, mut cond0) = (1u32, 0u32, 0u32, 0u32);
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let t = TenantSpace {
+                    session: i as u32,
+                    rank0,
+                    workers: s.workers,
+                    lock0,
+                    locks: s.locks,
+                    barrier0,
+                    barriers: s.barriers,
+                    cond0,
+                    conds: s.conds,
+                };
+                rank0 += s.workers;
+                lock0 += s.locks;
+                barrier0 += s.barriers;
+                cond0 += s.conds;
+                t
+            })
+            .collect()
+    }
+
+    /// Session-local mutex `i` as a global handle.
+    pub fn lock(&self, i: u32) -> LockId {
+        assert!(
+            i < self.locks,
+            "session {} has {} locks, no lock {i}",
+            self.session,
+            self.locks
+        );
+        LockId::new(self.lock0 + i)
+    }
+
+    /// Session-local barrier `i` as a global handle.
+    pub fn barrier(&self, i: u32) -> BarrierId {
+        assert!(
+            i < self.barriers,
+            "session {} has {} barriers, no barrier {i}",
+            self.session,
+            self.barriers
+        );
+        BarrierId::new(self.barrier0 + i)
+    }
+
+    /// Session-local condition variable `i` as a global handle.
+    pub fn cond(&self, i: u32) -> CondId {
+        assert!(
+            i < self.conds,
+            "session {} has {} conds, no cond {i}",
+            self.session,
+            self.conds
+        );
+        CondId::new(self.cond0 + i)
+    }
+
+    /// The thread ranks belonging to this session.
+    pub fn member_ranks(&self) -> Range<u32> {
+        self.rank0..self.rank0 + self.workers
+    }
+
+    /// Does thread rank `rank` belong to this session?
+    pub fn contains_rank(&self, rank: u32) -> bool {
+        self.member_ranks().contains(&rank)
+    }
+
+    /// Does global barrier id `barrier` belong to this session?
+    pub fn contains_barrier(&self, barrier: u32) -> bool {
+        (self.barrier0..self.barrier0 + self.barriers).contains(&barrier)
+    }
+
+    /// This worker's 0-based index within the session.
+    pub fn local_index(&self, rank: u32) -> u32 {
+        assert!(self.contains_rank(rank), "rank {rank} not in session");
+        rank - self.rank0
+    }
+}
+
+/// State a home shard still holds for closed-session ranks when its run
+/// ends. Every field should be zero: a session close purges the lease,
+/// horizon and reply-cache entries of its members (only the dedup
+/// watermark `last_req` survives, deliberately, to keep late duplicate
+/// requests at-most-once). The churn soak asserts this stays dry over
+/// dozens of sessions under a faulty fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResidualReport {
+    /// Closed-session ranks still in the lease table.
+    pub leases: usize,
+    /// Closed-session ranks still holding a cached reply.
+    pub dedup: usize,
+    /// Closed-session ranks still in the sequence-horizon table.
+    pub horizons: usize,
+}
+
+impl ResidualReport {
+    /// No state leaked.
+    pub fn is_clean(&self) -> bool {
+        *self == ResidualReport::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_back_to_back() {
+        let spaces = TenantSpace::layout(&[
+            SessionSpec::new(2, 3, 1),
+            SessionSpec::new(3, 1, 2).conds(1),
+            SessionSpec::new(1, 0, 0),
+        ]);
+        assert_eq!(spaces.len(), 3);
+        assert_eq!(spaces[0].member_ranks(), 1..3);
+        assert_eq!(spaces[1].member_ranks(), 3..6);
+        assert_eq!(spaces[2].member_ranks(), 6..7);
+        assert_eq!(spaces[0].lock(2).raw(), 2);
+        assert_eq!(spaces[1].lock(0).raw(), 3);
+        assert_eq!(spaces[0].barrier(0).raw(), 0);
+        assert_eq!(spaces[1].barrier(1).raw(), 2);
+        assert_eq!(spaces[1].cond(0).raw(), 0);
+        assert!(spaces[1].contains_rank(4));
+        assert!(!spaces[1].contains_rank(6));
+        assert!(spaces[1].contains_barrier(1));
+        assert!(!spaces[0].contains_barrier(1));
+        assert_eq!(spaces[1].local_index(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no lock 1")]
+    fn out_of_space_handles_panic() {
+        let spaces = TenantSpace::layout(&[SessionSpec::new(1, 1, 0)]);
+        let _ = spaces[0].lock(1);
+    }
+
+    #[test]
+    fn residual_report_cleanliness() {
+        assert!(ResidualReport::default().is_clean());
+        assert!(!ResidualReport {
+            leases: 1,
+            ..Default::default()
+        }
+        .is_clean());
+    }
+}

@@ -1,0 +1,154 @@
+//! The fabric clock: one time abstraction for both execution modes.
+//!
+//! Every timer in the DSD — retransmit backoff, lease expiry, replica
+//! promotion, heartbeat cadence, drain deadlines — reads time through a
+//! [`FabricClock`] instead of `std::time::Instant`. In threaded mode the
+//! clock is wall time (microseconds since a process-wide epoch), so
+//! behaviour is identical to the pre-clock code. In simulation mode the
+//! clock is the [`SimFabric`](crate::sim::SimFabric)'s virtual clock, which
+//! only advances when the event queue fires — timers become events and a
+//! whole run is a pure function of `(workload, config, seed)`.
+
+use crate::sim::SimFabric;
+use std::ops::Add;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// A point on the fabric timeline, microseconds since the mode's epoch
+/// (process start for wall mode, virtual zero for sim mode). Instants from
+/// different clocks must not be compared; in practice every component of a
+/// cluster shares the one clock handed out by its [`Network`].
+///
+/// [`Network`]: crate::Network
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FabricInstant {
+    us: u64,
+}
+
+impl FabricInstant {
+    /// The epoch itself (`t = 0`).
+    pub const ZERO: FabricInstant = FabricInstant { us: 0 };
+
+    /// Construct from raw microseconds since the epoch.
+    pub fn from_micros(us: u64) -> FabricInstant {
+        FabricInstant { us }
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(self) -> u64 {
+        self.us
+    }
+
+    /// Time elapsed from `earlier` to `self`, zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: FabricInstant) -> Duration {
+        Duration::from_micros(self.us.saturating_sub(earlier.us))
+    }
+}
+
+impl Add<Duration> for FabricInstant {
+    type Output = FabricInstant;
+
+    fn add(self, d: Duration) -> FabricInstant {
+        FabricInstant {
+            us: self
+                .us
+                .saturating_add(d.as_micros().min(u64::MAX as u128) as u64),
+        }
+    }
+}
+
+fn wall_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[derive(Clone)]
+enum Source {
+    Wall,
+    Sim(SimFabric),
+}
+
+/// Handle to the time source of a fabric. Cheap to clone; all clones of a
+/// sim clock observe the same virtual timeline.
+#[derive(Clone)]
+pub struct FabricClock {
+    source: Source,
+}
+
+impl FabricClock {
+    /// The wall clock (threaded mode): real time since process start.
+    pub fn wall() -> FabricClock {
+        FabricClock {
+            source: Source::Wall,
+        }
+    }
+
+    /// The virtual clock of a simulation fabric.
+    pub fn sim(fabric: SimFabric) -> FabricClock {
+        FabricClock {
+            source: Source::Sim(fabric),
+        }
+    }
+
+    /// Is this a virtual (simulation) clock?
+    pub fn is_sim(&self) -> bool {
+        matches!(self.source, Source::Sim(_))
+    }
+
+    /// Current time on the fabric timeline.
+    pub fn now(&self) -> FabricInstant {
+        FabricInstant { us: self.now_us() }
+    }
+
+    /// Current time in microseconds since the epoch.
+    pub fn now_us(&self) -> u64 {
+        match &self.source {
+            Source::Wall => wall_epoch().elapsed().as_micros() as u64,
+            Source::Sim(f) => f.now_us(),
+        }
+    }
+
+    /// Sleep for `d` on this timeline. Wall mode really sleeps; sim mode
+    /// yields to the scheduler until the virtual clock reaches `now + d`
+    /// (the calling thread must be a registered sim actor).
+    pub fn sleep(&self, d: Duration) {
+        match &self.source {
+            Source::Wall => std::thread::sleep(d),
+            Source::Sim(f) => f.sleep(d),
+        }
+    }
+}
+
+impl std::fmt::Debug for FabricClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.source {
+            Source::Wall => write!(f, "FabricClock::Wall"),
+            Source::Sim(_) => write!(f, "FabricClock::Sim"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_advances() {
+        let clock = FabricClock::wall();
+        let a = clock.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b > a);
+        assert!(b.saturating_since(a) >= Duration::from_millis(1));
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = FabricInstant::from_micros(100);
+        let later = t + Duration::from_micros(50);
+        assert_eq!(later.as_micros(), 150);
+        assert_eq!(later.saturating_since(t), Duration::from_micros(50));
+        assert!(later > t);
+    }
+}

@@ -1,7 +1,9 @@
 //! The network fabric and per-node endpoints.
 
+use crate::clock::FabricClock;
 use crate::fault::{FaultPlan, FaultState};
 use crate::message::{Message, MsgKind, TraceCtx};
+use crate::sim::{SimFabric, Wake};
 use crate::stats::{NetConfig, NetStats};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -51,6 +53,9 @@ struct Fabric {
     /// Observability hook; the default disabled recorder costs one branch
     /// per send.
     recorder: Recorder,
+    /// Present in simulation mode: sends become virtual-clock events and
+    /// receives yield to the deterministic scheduler.
+    sim: Option<SimFabric>,
 }
 
 /// Handle to the shared network fabric. Cloning is cheap; all clones refer
@@ -74,6 +79,28 @@ impl Network {
         config: NetConfig,
         recorder: Recorder,
     ) -> (Network, Vec<Endpoint>) {
+        Network::build(n, config, recorder, None)
+    }
+
+    /// Create a fabric whose message delivery and timers run on `sim`'s
+    /// virtual clock instead of wall time. Sends enqueue deterministic
+    /// delivery events; blocking receives yield to the sim scheduler (the
+    /// receiving thread must be a registered sim actor).
+    pub fn new_sim(
+        n: usize,
+        config: NetConfig,
+        recorder: Recorder,
+        sim: &SimFabric,
+    ) -> (Network, Vec<Endpoint>) {
+        Network::build(n, config, recorder, Some(sim.clone()))
+    }
+
+    fn build(
+        n: usize,
+        config: NetConfig,
+        recorder: Recorder,
+        sim: Option<SimFabric>,
+    ) -> (Network, Vec<Endpoint>) {
         let faults = config.fault_plan.clone().map(FaultState::new);
         let net = Network {
             fabric: Arc::new(Fabric {
@@ -82,6 +109,7 @@ impl Network {
                 stats: Mutex::new(NetStats::default()),
                 faults: Mutex::new(faults),
                 recorder,
+                sim,
             }),
         };
         let eps = (0..n).map(|_| net.add_endpoint()).collect();
@@ -92,6 +120,21 @@ impl Network {
     /// built with [`Network::new_observed`]).
     pub fn recorder(&self) -> &Recorder {
         &self.fabric.recorder
+    }
+
+    /// The fabric's time source: wall time in threaded mode, the virtual
+    /// clock in simulation mode. Every timer above the fabric (retransmit
+    /// backoff, leases, heartbeats, drain deadlines) should read this.
+    pub fn clock(&self) -> FabricClock {
+        match &self.fabric.sim {
+            None => FabricClock::wall(),
+            Some(sim) => FabricClock::sim(sim.clone()),
+        }
+    }
+
+    /// The simulation scheduler, if this fabric runs in sim mode.
+    pub fn sim(&self) -> Option<&SimFabric> {
+        self.fabric.sim.as_ref()
     }
 
     /// Register a new endpoint at runtime — this is how a machine "joins"
@@ -208,11 +251,8 @@ impl Network {
             msg.trace = Some(TraceCtx { flow, hlc, op });
         }
         let dst = msg.dst;
-        let mut sleep_for = if self.fabric.config.real_delay {
-            wire
-        } else {
-            Duration::ZERO
-        };
+        let src_rank = msg.src;
+        let mut extra_delay = Duration::ZERO;
         let to_deliver = {
             let mut faults = self.fabric.faults.lock();
             match faults.as_mut() {
@@ -254,12 +294,24 @@ impl Network {
                             label,
                         );
                     }
-                    if self.fabric.config.real_delay {
-                        sleep_for += applied.extra_delay;
-                    }
+                    extra_delay = applied.extra_delay;
                     applied.deliver
                 }
             }
+        };
+        if let Some(sim) = &self.fabric.sim {
+            // Delivery is an event at `now + wire (+ jitter)` on the
+            // virtual clock; nothing sleeps and fault jitter becomes real
+            // (virtual) latency instead of pure accounting.
+            if sim.schedule_delivery(src_rank, dst, wire, extra_delay, &tx, to_deliver) {
+                return Ok(());
+            }
+            return Err(NetError::Disconnected(dst));
+        }
+        let sleep_for = if self.fabric.config.real_delay {
+            wire + extra_delay
+        } else {
+            Duration::ZERO
         };
         if sleep_for > Duration::ZERO {
             std::thread::sleep(sleep_for);
@@ -341,8 +393,30 @@ impl Endpoint {
         }
     }
 
+    /// This endpoint's fabric clock (wall or virtual).
+    pub fn clock(&self) -> FabricClock {
+        self.net.clock()
+    }
+
     /// Blocking receive.
     pub fn recv(&self) -> Result<Message, NetError> {
+        if let Some(sim) = &self.net.fabric.sim {
+            loop {
+                match self.rx.try_recv() {
+                    Ok(m) => {
+                        self.note_recv(&m);
+                        return Ok(m);
+                    }
+                    Err(TryRecvError::Disconnected) => return Err(NetError::ChannelClosed),
+                    Err(TryRecvError::Empty) => {}
+                }
+                match sim.block_recv(self.rank, None) {
+                    Wake::Delivery => continue,
+                    Wake::Timeout => unreachable!("no deadline on a plain recv"),
+                    Wake::Closed => return Err(NetError::ChannelClosed),
+                }
+            }
+        }
         let m = self.rx.recv().map_err(|_| NetError::ChannelClosed)?;
         self.note_recv(&m);
         Ok(m)
@@ -350,6 +424,28 @@ impl Endpoint {
 
     /// Blocking receive with timeout.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, NetError> {
+        if let Some(sim) = &self.net.fabric.sim {
+            let deadline = sim.now_us().saturating_add(timeout.as_micros() as u64);
+            loop {
+                match self.rx.try_recv() {
+                    Ok(m) => {
+                        self.note_recv(&m);
+                        return Ok(m);
+                    }
+                    Err(TryRecvError::Disconnected) => return Err(NetError::ChannelClosed),
+                    Err(TryRecvError::Empty) => {}
+                }
+                let left = deadline.saturating_sub(sim.now_us());
+                if left == 0 {
+                    return Err(NetError::Timeout);
+                }
+                match sim.block_recv(self.rank, Some(Duration::from_micros(left))) {
+                    Wake::Delivery => continue,
+                    Wake::Timeout => return Err(NetError::Timeout),
+                    Wake::Closed => return Err(NetError::ChannelClosed),
+                }
+            }
+        }
         let m = self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => NetError::Timeout,
             RecvTimeoutError::Disconnected => NetError::ChannelClosed,
@@ -366,6 +462,17 @@ impl Endpoint {
         })?;
         self.note_recv(&m);
         Ok(m)
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        // In sim mode a dropped endpoint is a crashed node: in-flight
+        // deliveries evaporate and later sends to it fail with
+        // `Disconnected`, matching the threaded fabric's closed channel.
+        if let Some(sim) = &self.net.fabric.sim {
+            sim.note_endpoint_dropped(self.rank);
+        }
     }
 }
 

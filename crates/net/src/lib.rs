@@ -19,12 +19,21 @@
 //! reorders, delay jitter and runtime partitions — so the reliability
 //! layer above it can be tested against real failure modes.
 
+//! Simulation mode ([`sim::SimFabric`]) goes further: the whole fabric —
+//! delivery, timeouts, leases, heartbeats — runs on a virtual clock under
+//! a seeded discrete-event scheduler, so a cluster run is an exactly
+//! reproducible function of `(workload, config, seed)`.
+
+pub mod clock;
 pub mod endpoint;
 pub mod fault;
 pub mod message;
+pub mod sim;
 pub mod stats;
 
+pub use clock::{FabricClock, FabricInstant};
 pub use endpoint::{Endpoint, NetError, Network};
 pub use fault::{FaultPlan, LinkFaults};
 pub use message::{Message, MsgKind};
+pub use sim::{ActorGuard, ActorId, FabricMode, SimFabric};
 pub use stats::{DestTraffic, NetConfig, NetStats};

@@ -78,8 +78,10 @@ pub struct DestTraffic {
 }
 
 /// Per-kind traffic counters plus accumulated modelled wire time and
-/// fault-injection/reliability counters.
-#[derive(Debug, Clone, Default)]
+/// fault-injection/reliability counters. Equality is by value (map
+/// ordering is irrelevant), which is what the simulation determinism
+/// tests compare across same-seed runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages sent, by kind.
     pub messages: HashMap<MsgKind, u64>,

@@ -18,8 +18,14 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Pluggable time source: microseconds since "the epoch" of whatever
+/// fabric the cluster runs on. Installed once per recorder by simulation
+/// mode so event timestamps, HLC physical components and span durations
+/// ride the virtual clock and become seed-deterministic.
+pub type TimeSource = Arc<dyn Fn() -> u64 + Send + Sync>;
 
 /// Tunables for an enabled recorder.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +44,9 @@ impl Default for ObsConfig {
 
 pub(crate) struct ObsCore {
     epoch: Instant,
+    /// Overrides `epoch.elapsed()` when set (see [`TimeSource`]). Set at
+    /// most once, before the cluster starts recording.
+    time: OnceLock<TimeSource>,
     config: ObsConfig,
     /// Per-rank event rings, grown on first touch.
     rings: Mutex<Vec<EventRing>>,
@@ -56,6 +65,16 @@ pub(crate) struct ObsCore {
     /// Flow-id allocator binding each `MsgSend` to its `MsgRecv`s
     /// (0 is reserved for "no flow").
     flow: AtomicU64,
+}
+
+impl ObsCore {
+    /// Microseconds since the epoch on the recorder's timeline.
+    fn now_us(&self) -> u64 {
+        match self.time.get() {
+            Some(f) => f(),
+            None => self.epoch.elapsed().as_micros() as u64,
+        }
+    }
 }
 
 /// Cheap, cloneable handle to the observability core (or to nothing).
@@ -86,6 +105,7 @@ impl Recorder {
     pub fn with_config(config: ObsConfig) -> Recorder {
         Recorder(Some(Arc::new(ObsCore {
             epoch: Instant::now(),
+            time: OnceLock::new(),
             config,
             rings: Mutex::new(Vec::new()),
             registry: Mutex::new(Registry::default()),
@@ -102,11 +122,21 @@ impl Recorder {
         self.0.is_some()
     }
 
-    /// Microseconds since the recorder's epoch (0 when disabled).
+    /// Microseconds since the recorder's epoch (0 when disabled). Reads
+    /// the installed [`TimeSource`] if any, else the wall clock.
     pub fn now_us(&self) -> u64 {
         match &self.0 {
-            Some(c) => c.epoch.elapsed().as_micros() as u64,
+            Some(c) => c.now_us(),
             None => 0,
+        }
+    }
+
+    /// Install a time source for every timestamp this recorder takes from
+    /// here on (virtual-clock timestamps in simulation mode). Only the
+    /// first call per recorder wins; no-op when disabled.
+    pub fn set_time_source(&self, time: TimeSource) {
+        if let Some(core) = &self.0 {
+            let _ = core.time.set(time);
         }
     }
 
@@ -156,7 +186,7 @@ impl Recorder {
         op: OpCtx,
     ) {
         if let Some(core) = &self.0 {
-            let t_us = core.epoch.elapsed().as_micros() as u64;
+            let t_us = core.now_us();
             let hlc = Self::hlc_tick(core, rank, t_us);
             let e = Event {
                 rank,
@@ -211,7 +241,7 @@ impl Recorder {
         op: OpCtx,
     ) {
         if let Some(core) = &self.0 {
-            let now = core.epoch.elapsed().as_micros() as u64;
+            let now = core.now_us();
             let hlc = Self::hlc_tick(core, rank, now);
             Self::push(
                 core,
@@ -247,7 +277,7 @@ impl Recorder {
         op: OpCtx,
     ) -> Option<(HlcStamp, u64)> {
         let core = self.0.as_ref()?;
-        let t_us = core.epoch.elapsed().as_micros() as u64;
+        let t_us = core.now_us();
         let hlc = Self::hlc_tick(core, src, t_us);
         let flow = core.flow.fetch_add(1, Ordering::Relaxed);
         Self::push(
@@ -282,7 +312,7 @@ impl Recorder {
         op: OpCtx,
     ) {
         if let Some(core) = &self.0 {
-            let t_us = core.epoch.elapsed().as_micros() as u64;
+            let t_us = core.now_us();
             let hlc = Self::hlc_merge(core, rank, t_us, remote);
             Self::push(
                 core,
@@ -327,8 +357,7 @@ impl Recorder {
                     rec: self.clone(),
                     rank,
                     kind,
-                    t_us: core.epoch.elapsed().as_micros() as u64,
-                    start: Instant::now(),
+                    t_us: core.now_us(),
                     arg0: 0,
                     arg1: 0,
                     label: "",
@@ -475,7 +504,7 @@ impl Recorder {
         let net_dest = core.net_dest.lock();
         let shards = registry.gauge_value("cluster.shards").unwrap_or(1).max(1) as u32;
         let mut snap = ObsSnapshot::build(
-            core.epoch.elapsed().as_micros() as u64,
+            core.now_us(),
             &registry,
             &heatmap,
             &net,
@@ -501,7 +530,6 @@ struct SpanInner {
     rank: u32,
     kind: EventKind,
     t_us: u64,
-    start: Instant,
     arg0: u64,
     arg1: u64,
     label: &'static str,
@@ -540,7 +568,9 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(i) = self.inner.take() {
-            let dur_us = i.start.elapsed().as_micros() as u64;
+            // Duration on the recorder's own timeline: wall micros
+            // normally, virtual micros (usually zero-width) in sim mode.
+            let dur_us = i.rec.now_us().saturating_sub(i.t_us);
             i.rec.span_at_op(
                 i.rank, i.kind, i.t_us, dur_us, i.arg0, i.arg1, i.label, i.op,
             );

@@ -18,8 +18,9 @@ pub mod prelude {
     //! platform specs — no deep-importing individual workspace crates.
     pub use hdsm_core::{
         BarrierId, ClusterBuilder, ClusterCtl, ClusterError, ClusterOutcome, CondId, CostBreakdown,
-        Directory, DsdClient, DsdError, GthvDef, GthvInstance, LockGuard, LockId, ShardId,
-        WorkerInfo,
+        Directory, DsdClient, DsdError, GthvDef, GthvInstance, LockGuard, LockId, ResidualReport,
+        SessionSpec, ShardId, TenantSpace, WorkerInfo,
     };
+    pub use hdsm_net::{FabricMode, FaultPlan};
     pub use hdsm_platform::spec::{Platform, PlatformSpec};
 }

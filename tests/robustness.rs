@@ -1152,3 +1152,164 @@ fn soak_seeded_failover_chaos() {
         panic!("soak seed {seed} failed ({why}); reproducer at {path}");
     }
 }
+
+/// Seeds kept as regression anchors for the deterministic fabric. The
+/// first two schedules reproduced real bugs before their fixes landed:
+/// a shutdown broadcast iterated in hash-set order (so straggler
+/// retransmits raced it differently run to run) and simultaneous lease
+/// expiries declared in hash-set order (so lock inheritance after a
+/// double expiry was unstable). The rest are the chaos-soak CI matrix.
+/// Each seed must (a) converge and (b) replay byte-identically, forever.
+const SIM_REGRESSION_SEEDS: [u64; 8] = [77, 88, 1, 2, 3, 5, 8, 13];
+
+/// The convergence workload on the deterministic fabric: same shape as
+/// [`run_convergence_workload`] but multiplexed under `Sim { seed }`
+/// with a chaotic fault plan, so the whole run is a pure function of
+/// the seed.
+fn run_sim_convergence(sim_seed: u64, fault_seed: u64) -> (Vec<u8>, i128, NetStats) {
+    use hdsm::net::FabricMode;
+    let outcome = ClusterBuilder::new()
+        .gthv(tiny_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc())
+        .locks(1)
+        .barriers(1)
+        .shards(shards_from_env())
+        .lease(Duration::from_secs(5))
+        .retry_base(Duration::from_millis(10))
+        .recv_deadline(Duration::from_secs(30))
+        .fault_plan(
+            FaultPlan::seeded(fault_seed)
+                .drop(0.05)
+                .duplicate(0.05)
+                .reorder(0.05),
+        )
+        .fabric(FabricMode::Sim { seed: sim_seed })
+        .run(|c, info| {
+            for _ in 0..20 {
+                c.acquire(LockId::new(0))?;
+                let v = c.read_int(0, 0)?;
+                c.write_int(0, 0, v + 1)?;
+                c.release(LockId::new(0))?;
+            }
+            c.barrier(BarrierId::new(0))?;
+            let base = 1 + info.index as u64 * 7;
+            for i in base..base + 7 {
+                c.write_int(0, i, i as i128 * 3 + 1)?;
+            }
+            c.barrier(BarrierId::new(0))?;
+            Ok(())
+        })
+        .expect("sim workload completes despite faults");
+    let counter = outcome.final_gthv.read_int(0, 0).unwrap();
+    (
+        outcome.final_gthv.space().raw().to_vec(),
+        counter,
+        outcome.net_stats,
+    )
+}
+
+/// Tier-1 regression: every committed seed replays the exact same run.
+/// When a chaos soak or a user report turns up a failing seed, it gets
+/// appended to [`SIM_REGRESSION_SEEDS`] and this test pins its schedule
+/// (convergence plus byte-identical traffic) from then on.
+#[test]
+fn sim_regression_seeds_replay_deterministically() {
+    for &seed in &SIM_REGRESSION_SEEDS {
+        let (bytes_a, counter_a, stats_a) = run_sim_convergence(seed, seed ^ 0xC4A05);
+        let (bytes_b, counter_b, stats_b) = run_sim_convergence(seed, seed ^ 0xC4A05);
+        assert_eq!(counter_a, 40, "seed {seed} lost increments");
+        assert_eq!(counter_b, 40, "seed {seed} lost increments on replay");
+        assert_eq!(bytes_a, bytes_b, "seed {seed} replay diverged in memory");
+        assert_eq!(stats_a, stats_b, "seed {seed} replay diverged in traffic");
+    }
+}
+
+/// Fifty tenants churning through one sharded home pool on the
+/// deterministic fabric, under a faulty network. Tenants run staggered
+/// amounts of work so their sessions close at different virtual times;
+/// the pool must keep every tenant's counter isolated (no cross-tenant
+/// id collisions) and must not leak leases, reply-cache entries or
+/// sequence horizons for any closed session.
+#[test]
+fn fifty_tenant_churn_soak_leaks_nothing() {
+    use hdsm::dsd::SessionSpec;
+    use hdsm::net::FabricMode;
+    const TENANTS: u32 = 50;
+    // One counter slot per tenant.
+    let def = GthvDef::new(
+        StructBuilder::new("G")
+            .array("xs", ScalarKind::Int, TENANTS as usize)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let mut b = ClusterBuilder::new().gthv(def);
+    let mut specs = Vec::new();
+    for t in 0..TENANTS {
+        // Mixed shapes: every third tenant is a pair with a private
+        // barrier, the rest are singletons with just a private lock.
+        let workers = if t % 3 == 0 { 2 } else { 1 };
+        let barriers = if workers == 2 { 1 } else { 0 };
+        specs.push(SessionSpec::new(workers, 1, barriers));
+        for w in 0..workers {
+            b = b.worker(if (t + w) % 2 == 0 {
+                PlatformSpec::linux_x86()
+            } else {
+                PlatformSpec::solaris_sparc()
+            });
+        }
+    }
+    let outcome = b
+        .sessions(specs)
+        .shards(3)
+        .lease(Duration::from_secs(5))
+        .retry_base(Duration::from_millis(10))
+        .recv_deadline(Duration::from_secs(120))
+        .fault_plan(
+            FaultPlan::seeded(0x50AC)
+                .drop(0.02)
+                .duplicate(0.02)
+                .reorder(0.02),
+        )
+        .fabric(FabricMode::Sim { seed: 0x7E4A47 })
+        .run(|c, info| {
+            let t = info.session.expect("tenancy configured");
+            // Staggered load: tenant k does 3 + k % 7 lock-guarded
+            // increments of its own slot, so sessions retire at
+            // different virtual times and the pool churns.
+            let rounds = 3 + t.session as usize % 7;
+            for _ in 0..rounds {
+                c.acquire(t.lock(0))?;
+                let slot = t.session as u64;
+                let v = c.read_int(0, slot)?;
+                c.write_int(0, slot, v + 1)?;
+                c.release(t.lock(0))?;
+            }
+            if t.barriers > 0 {
+                c.barrier(t.barrier(0))?;
+            }
+            Ok(())
+        })
+        .expect("churn soak completes");
+    // No cross-tenant collisions: each slot holds exactly its own
+    // tenant's increments (workers × rounds), nothing more or less.
+    for t in 0..TENANTS {
+        let workers = if t % 3 == 0 { 2 } else { 1 };
+        let rounds = (3 + t % 7) as i128;
+        let got = outcome.final_gthv.read_int(0, t as u64).unwrap();
+        assert_eq!(
+            got,
+            workers as i128 * rounds,
+            "tenant {t} counter corrupted (cross-tenant bleed?)"
+        );
+    }
+    // No leaked per-rank state for any closed session, on any shard.
+    assert_eq!(outcome.residuals.len(), 3);
+    for (shard, r) in outcome.residuals.iter().enumerate() {
+        assert!(
+            r.is_clean(),
+            "shard {shard} leaked session state after close: {r:?}"
+        );
+    }
+}
