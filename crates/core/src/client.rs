@@ -17,8 +17,8 @@
 //! * [`DsdClient::join`] — sign off and wait for program shutdown.
 //!
 //! Synchronization objects are addressed by typed handles ([`LockId`],
-//! [`BarrierId`], [`CondId`]); the former bare-`u32` `mth_*` entry points
-//! remain as deprecated shims for one release.
+//! [`BarrierId`], [`CondId`]). The bare-`u32` `mth_*` shims deprecated in
+//! 0.5.0 have been removed.
 //!
 //! Under a sharded home ([`Directory`] with `S > 1`) a release first fans
 //! the collected updates out to their owning shards (`UpdateFlush`,
@@ -215,6 +215,11 @@ pub struct DsdClient {
     /// Failover overrides: shard → endpoint this client currently
     /// believes serves it (set when a primary dies or deposes itself).
     shard_overrides: std::collections::HashMap<u32, u32>,
+    /// Placement overrides: entry → (owning shard, placement epoch),
+    /// learned lazily from `EntryMoved` bounces when the adaptive
+    /// placement engine re-homes an entry away from its modulo shard.
+    /// Higher epochs win; absent entries follow the static directory.
+    entry_overrides: std::collections::HashMap<u32, (u32, u32)>,
     /// Observability hook (disabled by default: every use is a null check).
     recorder: Recorder,
     /// The fabric's time source (wall clock in threaded mode, virtual
@@ -258,6 +263,7 @@ impl DsdClient {
             retry_cap: std::time::Duration::from_secs(5),
             shard_epochs: std::collections::HashMap::new(),
             shard_overrides: std::collections::HashMap::new(),
+            entry_overrides: std::collections::HashMap::new(),
             recorder: Recorder::disabled(),
             clock,
             held_since: std::collections::HashMap::new(),
@@ -326,6 +332,33 @@ impl DsdClient {
             self.directory.replica_ep(shard)
         } else {
             primary
+        }
+    }
+
+    /// The shard that *effectively* owns `entry`: a placement override
+    /// learned from an `EntryMoved` bounce, else the static modulo map.
+    fn entry_shard_eff(&self, entry: u32) -> u32 {
+        self.entry_overrides
+            .get(&entry)
+            .map(|&(s, _)| s)
+            .unwrap_or_else(|| self.directory.entry_shard(entry))
+    }
+
+    /// Adopt `EntryMoved` rows into the override map. Each row carries
+    /// the entry's monotonically increasing placement epoch, so stale
+    /// bounces (from a shard that has since lost the entry again) never
+    /// roll the map backwards.
+    fn learn_moves(&mut self, rows: &[(u32, u32, u32)]) {
+        let mut learned = 0u64;
+        for &(entry, shard, epoch) in rows {
+            let cur = self.entry_overrides.get(&entry).map(|&(_, e)| e);
+            if cur.is_none_or(|c| epoch > c) {
+                self.entry_overrides.insert(entry, (shard, epoch));
+                learned += 1;
+            }
+        }
+        if learned > 0 {
+            self.recorder.count("client.entry_moves_learned", learned);
         }
     }
 
@@ -719,6 +752,10 @@ impl DsdClient {
                     u.tag.element_count(),
                     u.data.len() as u64,
                 );
+                // Per-(entry, writer) attribution: the placement engine's
+                // "dominant writer" signal.
+                self.recorder
+                    .entry_written_by(u.entry, self.thread_rank, u.data.len() as u64);
             }
         }
         Ok(ups)
@@ -740,27 +777,45 @@ impl DsdClient {
         if shards == 1 {
             return Ok(updates);
         }
-        let mut buckets: Vec<Vec<WireUpdate>> = (0..shards).map(|_| Vec::new()).collect();
-        for u in updates {
-            buckets[self.directory.entry_shard(u.entry) as usize].push(u);
-        }
-        for shard in 0..shards {
-            if shard == keep || buckets[shard as usize].is_empty() {
-                continue;
+        let mut pending = updates;
+        let mut kept: Vec<WireUpdate> = Vec::new();
+        // An `EntryMoved` bounce means our placement view was stale: the
+        // shard refused the whole bucket without absorbing anything.
+        // Learn the new owners, re-bucket just the bounced updates and
+        // retry — every bounce strictly advances the override map (entry
+        // epochs only grow), so the loop terminates.
+        loop {
+            let mut buckets: Vec<Vec<WireUpdate>> = (0..shards).map(|_| Vec::new()).collect();
+            for u in pending.drain(..) {
+                buckets[self.entry_shard_eff(u.entry) as usize].push(u);
             }
-            let updates = std::mem::take(&mut buckets[shard as usize]);
-            match self.request(
-                shard,
-                DsdMsg::UpdateFlush {
-                    rank: self.thread_rank,
-                    updates,
-                },
-            )? {
-                DsdMsg::Ack => {}
-                _ => return Err(DsdError::Unexpected("Ack (update flush)")),
+            kept.append(&mut buckets[keep as usize]);
+            let mut bounced: Vec<WireUpdate> = Vec::new();
+            for shard in 0..shards {
+                if shard == keep || buckets[shard as usize].is_empty() {
+                    continue;
+                }
+                let ups = std::mem::take(&mut buckets[shard as usize]);
+                match self.request(
+                    shard,
+                    DsdMsg::UpdateFlush {
+                        rank: self.thread_rank,
+                        updates: ups.clone(),
+                    },
+                )? {
+                    DsdMsg::Ack => {}
+                    DsdMsg::EntryMoved { entries } => {
+                        self.learn_moves(&entries);
+                        bounced.extend(ups);
+                    }
+                    _ => return Err(DsdError::Unexpected("Ack (update flush)")),
+                }
             }
+            if bounced.is_empty() {
+                return Ok(kept);
+            }
+            pending = bounced;
         }
-        Ok(std::mem::take(&mut buckets[keep as usize]))
     }
 
     /// Pull outstanding updates from every shard other than `granting`
@@ -828,16 +883,30 @@ impl DsdClient {
         let updates = self.collect_outgoing()?;
         // Twins/dirty marks shipped; re-arm for the next critical section.
         self.gthv.space_mut().reset_and_protect();
-        let updates = self.flush_updates(updates, owner)?;
-        match self.request(
-            owner,
-            DsdMsg::UnlockRequest {
-                lock,
-                rank: self.thread_rank,
-                updates,
-            },
-        )? {
+        let mut updates = self.flush_updates(updates, owner)?;
+        let reply = loop {
+            match self.request(
+                owner,
+                DsdMsg::UnlockRequest {
+                    lock,
+                    rank: self.thread_rank,
+                    updates: updates.clone(),
+                },
+            )? {
+                // The release bucket held entries that no longer live at
+                // the granting shard: the home bounced without unlocking
+                // or absorbing. Re-flush to the new owners, resend the
+                // rest under a fresh request id.
+                DsdMsg::EntryMoved { entries } => {
+                    self.learn_moves(&entries);
+                    updates = self.flush_updates(std::mem::take(&mut updates), owner)?;
+                }
+                other => break other,
+            }
+        };
+        match reply {
             DsdMsg::UnlockAck { lock: l } if l == lock => {
+                self.recorder.release_to(self.thread_rank, owner);
                 if let Some((t_us, start)) = self.held_since.remove(&lock) {
                     self.recorder.span_at_op(
                         self.obs_rank,
@@ -864,16 +933,26 @@ impl DsdClient {
         }
         let updates = self.collect_outgoing()?;
         self.gthv.space_mut().reset_and_protect();
-        let updates = self.flush_updates(updates, owner)?;
-        match self.request(
-            owner,
-            DsdMsg::CondWait {
-                cond,
-                lock,
-                rank: self.thread_rank,
-                updates,
-            },
-        )? {
+        let mut updates = self.flush_updates(updates, owner)?;
+        let reply = loop {
+            match self.request(
+                owner,
+                DsdMsg::CondWait {
+                    cond,
+                    lock,
+                    rank: self.thread_rank,
+                    updates: updates.clone(),
+                },
+            )? {
+                // Bounced before the release+park: re-flush and re-wait.
+                DsdMsg::EntryMoved { entries } => {
+                    self.learn_moves(&entries);
+                    updates = self.flush_updates(std::mem::take(&mut updates), owner)?;
+                }
+                other => break other,
+            }
+        };
+        match reply {
             DsdMsg::LockGrant { lock: l, updates } if l == lock => {
                 let mut all = updates;
                 all.extend(self.fetch_others(owner)?);
@@ -908,19 +987,31 @@ impl DsdClient {
         span.op(self.cur_op);
         let updates = self.collect_outgoing()?;
         self.gthv.space_mut().reset_and_protect();
-        let updates = self.flush_updates(updates, coordinator)?;
-        match self.request(
-            coordinator,
-            DsdMsg::BarrierEnter {
-                barrier,
-                rank: self.thread_rank,
-                updates,
-            },
-        )? {
+        let mut updates = self.flush_updates(updates, coordinator)?;
+        let reply = loop {
+            match self.request(
+                coordinator,
+                DsdMsg::BarrierEnter {
+                    barrier,
+                    rank: self.thread_rank,
+                    updates: updates.clone(),
+                },
+            )? {
+                // Bounced before the coordinator counted our arrival:
+                // re-flush the moved entries and re-enter.
+                DsdMsg::EntryMoved { entries } => {
+                    self.learn_moves(&entries);
+                    updates = self.flush_updates(std::mem::take(&mut updates), coordinator)?;
+                }
+                other => break other,
+            }
+        };
+        match reply {
             DsdMsg::BarrierRelease {
                 barrier: b,
                 updates,
             } if b == barrier => {
+                self.recorder.release_to(self.thread_rank, coordinator);
                 let mut all = updates;
                 all.extend(self.fetch_others(coordinator)?);
                 self.apply_incoming(&all)?;
@@ -1021,50 +1112,6 @@ impl DsdClient {
     /// The home's shutdown broadcast is the (deferred, retransmittable)
     /// reply to this request.
     pub fn join(self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
-        self.join_impl()
-    }
-
-    // ----- deprecated bare-u32 shims (one release) -----
-
-    /// `MTh_lock(index, rank)` — paper §4.1.
-    #[deprecated(since = "0.5.0", note = "use `acquire(LockId)` or `lock(LockId)`")]
-    pub fn mth_lock(&mut self, lock: u32) -> Result<(), DsdError> {
-        self.lock_impl(lock)
-    }
-
-    /// `MTh_unlock(index, rank)` — paper §4.2.
-    #[deprecated(since = "0.5.0", note = "use `release(LockId)`")]
-    pub fn mth_unlock(&mut self, lock: u32) -> Result<(), DsdError> {
-        self.unlock_impl(lock)
-    }
-
-    /// `MTh_cond_wait(cond, lock)`.
-    #[deprecated(since = "0.5.0", note = "use `cond_wait(CondId, LockId)`")]
-    pub fn mth_cond_wait(&mut self, cond: u32, lock: u32) -> Result<(), DsdError> {
-        self.cond_wait_impl(cond, lock)
-    }
-
-    /// `MTh_cond_signal(cond)`.
-    #[deprecated(since = "0.5.0", note = "use `cond_signal(CondId)`")]
-    pub fn mth_cond_signal(&mut self, cond: u32) -> Result<(), DsdError> {
-        self.cond_signal_impl(cond, false)
-    }
-
-    /// `MTh_cond_broadcast(cond)`.
-    #[deprecated(since = "0.5.0", note = "use `cond_broadcast(CondId)`")]
-    pub fn mth_cond_broadcast(&mut self, cond: u32) -> Result<(), DsdError> {
-        self.cond_signal_impl(cond, true)
-    }
-
-    /// `MTh_barrier(index, rank)`.
-    #[deprecated(since = "0.5.0", note = "use `barrier(BarrierId)`")]
-    pub fn mth_barrier(&mut self, barrier: u32) -> Result<(), DsdError> {
-        self.barrier_impl(barrier)
-    }
-
-    /// `MTh_join()`.
-    #[deprecated(since = "0.5.0", note = "use `join()`")]
-    pub fn mth_join(self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
         self.join_impl()
     }
 
@@ -1646,18 +1693,6 @@ mod tests {
                 }
             },
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_mth_shims_still_work() {
-        with_cluster(vec![PlatformSpec::linux_x86()], 1, 1, |c| {
-            c.mth_lock(0).unwrap();
-            c.write_int(1, 0, 5).unwrap();
-            c.mth_unlock(0).unwrap();
-            c.mth_barrier(0).unwrap();
-            assert_eq!(c.read_int(1, 0).unwrap(), 5);
-        });
     }
 
     /// Two home shards, two workers: entry 0 ("xs") is owned by shard 0,

@@ -7,13 +7,19 @@
 //! network — nothing crosses a node boundary except serialized bytes.
 //!
 //! Two execution modes:
-//! * [`ClusterBuilder::run`] — static placement, SPMD-style: every worker
-//!   executes the same closure against its [`DsdClient`];
+//! * [`ClusterBuilder::run`] — SPMD-style: every worker executes the
+//!   same closure against its [`DsdClient`]. Data placement is static
+//!   (`entry % shards`) unless [`ClusterBuilder::placement`] selects an
+//!   adaptive [`PlacementPolicy`], in which case a placement engine
+//!   re-homes hot entries toward their dominant writers mid-run;
 //! * [`ClusterBuilder::run_adaptive`] — workers execute
 //!   [`Computation`]s from a [`ProgramRegistry`] and a migration schedule
 //!   moves threads between (possibly heterogeneous) platforms at their
 //!   adaptation points, exercising the full MigThread pack → ship →
-//!   receiver-makes-right → resync pipeline mid-computation.
+//!   receiver-makes-right → resync pipeline mid-computation. With an
+//!   adaptive policy and no explicit schedule, the moves are derived
+//!   from the platforms' `cpu_factor`s
+//!   ([`crate::placement::plan_thread_moves`]).
 //!
 //! A note on what "node" means here: a node is a platform specification
 //! plus an address space holding data in that platform's representation.
@@ -28,6 +34,7 @@ use crate::directory::Directory;
 use crate::gthv::{GthvDef, GthvInstance};
 use crate::home::{HomeConfig, HomeError, HomeRunOutcome, HomeShard};
 use crate::ids::{BarrierId, CondId, LockId, ShardId};
+use crate::placement::{PlacementInputs, PlacementPolicy};
 use crate::protocol::DsdMsg;
 use crate::tenant::{ResidualReport, SessionSpec, TenantSpace};
 use crate::update::{apply_batch, extract_updates, full_ranges};
@@ -39,7 +46,7 @@ use hdsm_net::fault::LinkFaults;
 use hdsm_net::message::MsgKind;
 use hdsm_net::stats::{NetConfig, NetStats};
 use hdsm_net::{ActorId, FabricClock, FabricMode, FaultPlan, SimFabric};
-use hdsm_obs::{EventKind, ObsSnapshot, Recorder};
+use hdsm_obs::{DecisionRow, EventKind, ObsSnapshot, Recorder};
 use hdsm_platform::spec::{Platform, PlatformSpec};
 use hdsm_tags::convert::ConversionStats;
 use std::fmt;
@@ -83,6 +90,14 @@ pub enum ClusterError {
         /// The underlying failure.
         error: DsdError,
     },
+    /// A handoff or per-entry re-homing found the shard fenced —
+    /// mid-promotion, deposed or busy with another move. Transient:
+    /// back off and retry once the view settles, as the adaptive
+    /// placement loop does.
+    HandoffBusy {
+        /// The shard that bounced the request.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -109,6 +124,12 @@ impl fmt::Display for ClusterError {
             ClusterError::Handoff { shard, error } => {
                 write!(f, "handoff of shard {shard} failed: {error}")
             }
+            ClusterError::HandoffBusy { shard } => {
+                write!(
+                    f,
+                    "shard {shard} is fenced (mid-promotion or mid-move); back off and retry"
+                )
+            }
         }
     }
 }
@@ -120,9 +141,10 @@ impl std::error::Error for ClusterError {
             ClusterError::Worker { error, .. } => Some(error),
             ClusterError::Migration(e) => Some(e),
             ClusterError::Handoff { error, .. } => Some(error),
-            ClusterError::Config(_) | ClusterError::Panic(_) | ClusterError::WorkerLost { .. } => {
-                None
-            }
+            ClusterError::Config(_)
+            | ClusterError::Panic(_)
+            | ClusterError::WorkerLost { .. }
+            | ClusterError::HandoffBusy { .. } => None,
         }
     }
 }
@@ -325,6 +347,17 @@ impl ClusterCtl {
                         }
                     }
                 }
+                // A shard fenced for any reason other than this very drain
+                // (deposed, mid-promotion, busy with an entry move) bounces
+                // the request with `ViewChange` instead of starting it.
+                // Surface the typed busy error — the old behaviour was a
+                // generic 30 s timeout — so callers can back off. Safe
+                // against false positives: the admin link is FIFO and a
+                // shard draining *for us* answers duplicates silently, so
+                // a `ViewChange` here never races a later `HandoffDone`.
+                Ok(m) if m.kind == MsgKind::ViewChange => {
+                    return Err(ClusterError::HandoffBusy { shard: s });
+                }
                 Ok(_) => {} // stray redirects etc.: ignore
                 Err(NetError::Timeout) => {}
                 Err(e) => {
@@ -336,6 +369,174 @@ impl ClusterCtl {
             }
         }
     }
+
+    /// Migrate one index entry's home from shard `from` to shard `to` —
+    /// the actuator behind heat-driven placement, also available to
+    /// control scripts directly. The source shard snapshots the entry's
+    /// authoritative bytes, flips its ownership overlay under a fresh
+    /// per-entry epoch and offers the state to the target; client
+    /// traffic for the entry is deferred at the source until the target
+    /// acknowledges, and clients with a stale view are bounced
+    /// `EntryMoved` rows to merge. Blocks until the move is confirmed.
+    ///
+    /// Returns [`ClusterError::HandoffBusy`] when the source shard is
+    /// fenced or mid-move — transient; retry after backing off.
+    pub fn rehome_entry(
+        &mut self,
+        entry: u32,
+        from: ShardId,
+        to: ShardId,
+    ) -> Result<(), ClusterError> {
+        let (s_from, s_to) = (from.raw(), to.raw());
+        let req = DsdMsg::EntryHandoff {
+            entry,
+            to_shard: s_to,
+        }
+        .encode_enveloped(0);
+        // Offer to both of the source shard's endpoints: the mute shadow
+        // drops it, a retired primary is Disconnected, the serving
+        // instance (original or promoted) acts on it.
+        let mut dsts = vec![self.directory.shard_ep(s_from)];
+        if self.directory.n_replicas() > 0 {
+            dsts.push(self.directory.replica_ep(s_from));
+        }
+        let deadline = self.clock.now() + Duration::from_secs(10);
+        let mut next_send = self.clock.now();
+        loop {
+            if self.clock.now() >= deadline {
+                return Err(ClusterError::Handoff {
+                    shard: s_from,
+                    error: DsdError::Net(NetError::Timeout),
+                });
+            }
+            if self.clock.now() >= next_send {
+                let mut alive = false;
+                for &dst in &dsts {
+                    match self.ep.send(dst, MsgKind::EntryHandoff, req.clone()) {
+                        Ok(()) => alive = true,
+                        Err(NetError::Disconnected(_)) => {}
+                        Err(e) => {
+                            return Err(ClusterError::Handoff {
+                                shard: s_from,
+                                error: e.into(),
+                            })
+                        }
+                    }
+                }
+                if !alive {
+                    // Every endpoint of the source shard is gone — the
+                    // cluster is tearing down. Let the caller break.
+                    return Err(ClusterError::Handoff {
+                        shard: s_from,
+                        error: DsdError::Net(NetError::Disconnected(dsts[0])),
+                    });
+                }
+                next_send = self.clock.now() + Duration::from_millis(100);
+            }
+            match self.ep.recv_timeout(Duration::from_millis(50)) {
+                Ok(m) if m.kind == MsgKind::EntryDone => {
+                    if let Ok((_, DsdMsg::EntryDone { entry: e, to_shard })) =
+                        DsdMsg::decode_enveloped(m.kind, m.payload)
+                    {
+                        if e == entry && to_shard == s_to {
+                            return Ok(());
+                        }
+                    }
+                }
+                Ok(m) if m.kind == MsgKind::ViewChange => {
+                    return Err(ClusterError::HandoffBusy { shard: s_from });
+                }
+                Ok(_) => {} // late acks for earlier moves etc.: ignore
+                Err(NetError::Timeout) => {}
+                Err(e) => {
+                    return Err(ClusterError::Handoff {
+                        shard: s_from,
+                        error: DsdError::Net(e),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Cluster shape: shard fan-out, replication and execution fabric.
+///
+/// Set with [`ClusterBuilder::topology`]; the one-knob-per-call builder
+/// methods ([`ClusterBuilder::shards`], [`ClusterBuilder::replicas`],
+/// [`ClusterBuilder::fabric`]) remain as shims for one release.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Home shard count (default 1; see [`ClusterBuilder::shards`]).
+    pub shards: u32,
+    /// Warm standby replicas per shard, 0 or 1 (default 0; see
+    /// [`ClusterBuilder::replicas`]).
+    pub replicas: u32,
+    /// Execution fabric (default [`FabricMode::Threads`]; see
+    /// [`ClusterBuilder::fabric`]).
+    pub fabric: FabricMode,
+    /// Hot-path implementation selection for every node (default `true`;
+    /// see [`ClusterBuilder::fast_path`]).
+    pub fast_path: bool,
+}
+
+impl Default for TopologyConfig {
+    /// One unreplicated shard on the threaded fabric with the hot paths
+    /// on — the classic single-home layout.
+    fn default() -> TopologyConfig {
+        TopologyConfig {
+            shards: 1,
+            replicas: 0,
+            fabric: FabricMode::Threads,
+            fast_path: true,
+        }
+    }
+}
+
+/// Protocol timing: the liveness lease, receive bounds and the client
+/// retransmission schedule.
+///
+/// Set with [`ClusterBuilder::timing`]; the one-knob-per-call builder
+/// methods ([`ClusterBuilder::lease`], [`ClusterBuilder::recv_deadline`],
+/// [`ClusterBuilder::max_retries`], [`ClusterBuilder::retry_base`])
+/// remain as shims for one release.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Liveness lease; `None` disables failure detection and the
+    /// heartbeat pumps (default 30 s).
+    pub lease: Option<Duration>,
+    /// Bound on every worker's blocking protocol receive (default
+    /// unbounded).
+    pub recv_deadline: Option<Duration>,
+    /// Retransmissions each client attempts per request before waiting
+    /// out its deadline (`None` = the client default of 10).
+    pub max_retries: Option<u32>,
+    /// First client retransmission delay, doubling per attempt
+    /// (`None` = the client default of 250 ms).
+    pub retry_base: Option<Duration>,
+}
+
+impl Default for TimingConfig {
+    /// The builder defaults: a 30 s lease, unbounded receives and the
+    /// client's own retransmission schedule.
+    fn default() -> TimingConfig {
+        TimingConfig {
+            lease: Some(Duration::from_secs(30)),
+            recv_deadline: None,
+            max_retries: None,
+            retry_base: None,
+        }
+    }
+}
+
+/// Fault injection for the simulated fabric.
+///
+/// Set with [`ClusterBuilder::faults`]; the one-knob
+/// [`ClusterBuilder::fault_plan`] method remains as a shim for one
+/// release.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// The fault plan; `None` (the default) runs a clean fabric.
+    pub plan: Option<FaultPlan>,
 }
 
 /// Builder for a simulated cluster.
@@ -359,6 +560,7 @@ pub struct ClusterBuilder {
     fast_path: bool,
     fabric: FabricMode,
     sessions: Vec<SessionSpec>,
+    placement: PlacementPolicy,
 }
 
 impl Default for ClusterBuilder {
@@ -390,14 +592,60 @@ impl ClusterBuilder {
             fast_path: true,
             fabric: FabricMode::Threads,
             sessions: Vec::new(),
+            placement: PlacementPolicy::Static,
         }
+    }
+
+    /// Choose how index entries are placed on home shards (default
+    /// [`PlacementPolicy::Static`] — entries stay at `entry % shards`,
+    /// byte-identical to every release so far). An adaptive policy
+    /// provisions a placement endpoint and engine thread that watches
+    /// the run's write heat and re-homes hot entries mid-run; see the
+    /// [`crate::placement`] module docs. Adaptive policies require an
+    /// enabled [`ClusterBuilder::obs`] recorder: the signals they plan
+    /// from come from the observability layer.
+    pub fn placement(mut self, policy: PlacementPolicy) -> Self {
+        self.placement = policy;
+        self
+    }
+
+    /// Set the cluster shape — shards, replicas, fabric and hot-path
+    /// selection — in one typed call. Replaces the [`Self::shards`],
+    /// [`Self::replicas`], [`Self::fabric`] and [`Self::fast_path`]
+    /// knobs.
+    pub fn topology(mut self, t: TopologyConfig) -> Self {
+        self.shards = t.shards;
+        self.replicas = t.replicas;
+        self.fabric = t.fabric;
+        self.fast_path = t.fast_path;
+        self
+    }
+
+    /// Set the protocol timing — lease, receive bound and retransmission
+    /// schedule — in one typed call. Replaces the [`Self::lease`] /
+    /// [`Self::no_lease`], [`Self::recv_deadline`], [`Self::max_retries`]
+    /// and [`Self::retry_base`] knobs.
+    pub fn timing(mut self, t: TimingConfig) -> Self {
+        self.lease = t.lease;
+        self.recv_deadline = t.recv_deadline;
+        self.max_retries = t.max_retries;
+        self.retry_base = t.retry_base;
+        self
+    }
+
+    /// Set fault injection in one typed call. Replaces the
+    /// [`Self::fault_plan`] knob.
+    pub fn faults(mut self, f: FaultConfig) -> Self {
+        self.net_config.fault_plan = f.plan;
+        self
     }
 
     /// Select the hot-path implementation for every node in the cluster:
     /// compiled conversion plans, the grouped v2 wire format and the
     /// parallel diff scan (default `true`). `false` forces the original
     /// tag-interpreting slow paths — the differential suite runs both and
-    /// requires byte-identical final state.
+    /// requires byte-identical final state. *Deprecated since 0.6: use
+    /// [`Self::topology`]; this shim will be removed next release.*
     pub fn fast_path(mut self, fast: bool) -> Self {
         self.fast_path = fast;
         self
@@ -412,7 +660,10 @@ impl ClusterBuilder {
         self
     }
 
-    /// Select the execution fabric. [`FabricMode::Threads`] (the
+    /// Select the execution fabric. *Deprecated since 0.6: use
+    /// [`Self::topology`]; this shim will be removed next release.*
+    ///
+    /// [`FabricMode::Threads`] (the
     /// default) runs every node as a free-running OS thread on the wall
     /// clock — byte-identical to every pre-simulation release.
     /// [`FabricMode::Sim`] multiplexes the same node code under a seeded
@@ -440,7 +691,9 @@ impl ClusterBuilder {
     }
 
     /// Bound every worker's blocking protocol receive (defence against a
-    /// wedged home service — mainly for negative tests).
+    /// wedged home service — mainly for negative tests). *Deprecated
+    /// since 0.6: use [`Self::timing`]; this shim will be removed next
+    /// release.*
     pub fn recv_deadline(mut self, d: Duration) -> Self {
         self.recv_deadline = Some(d);
         self
@@ -450,26 +703,32 @@ impl ClusterBuilder {
     /// declared dead by the home — its locks are reclaimed and in-flight
     /// barriers fail with [`ClusterError::WorkerLost`] instead of
     /// hanging. Each worker gets a heartbeat pump beating at `lease / 4`.
+    /// *Deprecated since 0.6: use [`Self::timing`]; this shim will be
+    /// removed next release.*
     pub fn lease(mut self, d: Duration) -> Self {
         self.lease = Some(d);
         self
     }
 
     /// Disable failure detection (and the heartbeat pumps) entirely.
+    /// *Deprecated since 0.6: use [`Self::timing`] with `lease: None`;
+    /// this shim will be removed next release.*
     pub fn no_lease(mut self) -> Self {
         self.lease = None;
         self
     }
 
     /// Retransmissions each client attempts per request before waiting
-    /// out its deadline (default 10).
+    /// out its deadline (default 10). *Deprecated since 0.6: use
+    /// [`Self::timing`]; this shim will be removed next release.*
     pub fn max_retries(mut self, n: u32) -> Self {
         self.max_retries = Some(n);
         self
     }
 
     /// First client retransmission delay, doubling per attempt
-    /// (default 250 ms).
+    /// (default 250 ms). *Deprecated since 0.6: use [`Self::timing`];
+    /// this shim will be removed next release.*
     pub fn retry_base(mut self, d: Duration) -> Self {
         self.retry_base = Some(d);
         self
@@ -477,7 +736,9 @@ impl ClusterBuilder {
 
     /// Inject faults into the simulated fabric (drops, duplicates,
     /// reorders, jitter — see [`FaultPlan`]). The home automatically
-    /// lingers after shutdown to answer retransmissions.
+    /// lingers after shutdown to answer retransmissions. *Deprecated
+    /// since 0.6: use [`Self::faults`]; this shim will be removed next
+    /// release.*
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.net_config.fault_plan = Some(plan);
         self
@@ -519,7 +780,9 @@ impl ClusterBuilder {
         self
     }
 
-    /// Shard the home service `n` ways (default 1). Index-table entries,
+    /// Shard the home service `n` ways (default 1). *Deprecated since
+    /// 0.6: use [`Self::topology`]; this shim will be removed next
+    /// release.* Index-table entries,
     /// mutexes, barriers and condition variables are partitioned across
     /// independent [`HomeShard`]s by the deterministic [`Directory`]
     /// (`id % n`); each shard owns authoritative bytes, update log and
@@ -531,7 +794,8 @@ impl ClusterBuilder {
     }
 
     /// Give every home shard `n` warm standby replicas (0 or 1; default
-    /// 0). A replica shadows its primary through an op-log relay —
+    /// 0). *Deprecated since 0.6: use [`Self::topology`]; this shim will
+    /// be removed next release.* A replica shadows its primary through an op-log relay —
     /// byte-identical tables, update log and dedup state — and promotes
     /// itself when the primary goes silent past the lease, so the run
     /// survives losing any single home shard. `replicas(0)` keeps the
@@ -607,8 +871,19 @@ impl ClusterBuilder {
                 "replicas need a lease: promotion is driven by lease-timed silence".into(),
             ));
         }
+        let adaptive = self.placement.is_adaptive();
+        if adaptive && !self.recorder.is_enabled() {
+            return Err(ClusterError::Config(
+                "adaptive placement needs an enabled recorder: the signals it plans from \
+                 (write heat, release destinations) come from the observability layer"
+                    .into(),
+            ));
+        }
         let n_home_eps = (self.shards * (1 + self.replicas)) as usize;
-        let n_eps = n_home_eps + self.worker_platforms.len() + usize::from(self.control.is_some());
+        let n_eps = n_home_eps
+            + self.worker_platforms.len()
+            + usize::from(self.control.is_some())
+            + usize::from(adaptive);
         if let Some(plan) = &mut self.net_config.fault_plan {
             // The replication relay and the admin control channel assume
             // a FIFO-reliable link (the paper's fabric guarantee); chaos
@@ -626,11 +901,28 @@ impl ClusterBuilder {
                 }
             }
             if self.control.is_some() {
-                let admin = (n_eps - 1) as u32;
+                let admin = (n_home_eps + self.worker_platforms.len()) as u32;
                 for ep in 0..n_home_eps as u32 {
                     *plan = std::mem::take(plan)
                         .link(admin, ep, LinkFaults::default())
                         .link(ep, admin, LinkFaults::default());
+                }
+            }
+            if adaptive {
+                // Same control-plane exemption for the placement engine's
+                // endpoint and the shard↔shard entry-state transfers it
+                // triggers. Gated on an adaptive policy so static faulty
+                // runs keep their exact fault schedules.
+                let placement = (n_eps - 1) as u32;
+                for a in 0..n_home_eps as u32 {
+                    *plan = std::mem::take(plan)
+                        .link(placement, a, LinkFaults::default())
+                        .link(a, placement, LinkFaults::default());
+                    for b in 0..n_home_eps as u32 {
+                        if a != b {
+                            *plan = std::mem::take(plan).link(a, b, LinkFaults::default());
+                        }
+                    }
                 }
             }
         }
@@ -654,7 +946,7 @@ impl ClusterBuilder {
     }
 
     /// Run an SPMD body on every worker. The body gets the worker's DSD
-    /// client and identity; `mth_join` is called automatically when the
+    /// client and identity; `join` is called automatically when the
     /// body returns.
     pub fn run<R, F>(mut self, body: F) -> Result<ClusterOutcome<R>, ClusterError>
     where
@@ -679,8 +971,13 @@ impl ClusterBuilder {
         let (def, net, mut eps) = self.take_parts()?;
         let sim = net.sim().cloned();
         let directory = Directory::with_replicas(self.shards, self.replicas);
-        // Endpoint layout: primaries, then replicas, then workers, with
-        // the admin control endpoint last (when a control script runs).
+        let adaptive = self.placement.is_adaptive();
+        // Endpoint layout: primaries, then replicas, then workers, then
+        // the admin control endpoint (when a control script runs), then
+        // the placement engine's endpoint (when the policy is adaptive)
+        // — appended in that order so static clusters keep their exact
+        // endpoint numbering.
+        let mut placement_ep = adaptive.then(|| eps.pop().expect("placement ep"));
         let mut admin_ep = self.control.is_some().then(|| eps.pop().expect("admin ep"));
         let n_home_eps = (self.shards * (1 + self.replicas)) as usize;
         let home_eps: Vec<Endpoint> = eps.drain(..n_home_eps).collect();
@@ -748,6 +1045,7 @@ impl ClusterBuilder {
                     primary_ep: is_replica.then(|| directory.shard_ep(s)),
                     kill: control.is_some().then(|| kills[i].clone()),
                     sessions: spaces.clone(),
+                    adaptive,
                 },
             );
             if let Some(image) = &init_image {
@@ -781,6 +1079,7 @@ impl ClusterBuilder {
         // worker stops beating so the home's lease detector notices.
         let alive: Vec<AtomicBool> = (0..n_workers).map(|_| AtomicBool::new(true)).collect();
         let pump_done = AtomicBool::new(false);
+        let placement_done = AtomicBool::new(false);
 
         let replicated = self.replicas > 0;
         // Simulation mode: register every node as a scheduler actor, in
@@ -805,6 +1104,11 @@ impl ClusterBuilder {
         };
         let ctl_actor = if control.is_some() {
             sim.as_ref().map(|f| f.add_actor("control"))
+        } else {
+            None
+        };
+        let placement_actor = if adaptive {
+            sim.as_ref().map(|f| f.add_actor("placement"))
         } else {
             None
         };
@@ -891,6 +1195,95 @@ impl ClusterBuilder {
                     f(ctl)
                 })
             });
+            // The adaptive placement engine, on its own endpoint: once
+            // per policy epoch it folds the recorder's cumulative
+            // signals through the pure planner and applies each decision
+            // as a per-entry home handoff over the admin plane. Pacing
+            // rides the fabric clock in small slices, so in simulation
+            // the engine is an ordinary actor and its decisions are a
+            // deterministic function of (signals, seed), while in
+            // threaded mode shutdown is noticed within a slice.
+            let placement_handle = adaptive.then(|| {
+                let net = net.clone();
+                let ep = placement_ep.take().expect("adaptive implies placement ep");
+                let policy = self.placement.clone();
+                let recorder = self.recorder.clone();
+                let sim = sim.clone();
+                let kills = kills.clone();
+                let placement_done = &placement_done;
+                let alive = &alive;
+                let shards = directory.n_shards();
+                s.spawn(move || {
+                    let _guard = placement_actor.map(|a| sim.as_ref().unwrap().enter(a));
+                    let mut ctl = ClusterCtl {
+                        net: net.clone(),
+                        ep,
+                        directory,
+                        kills,
+                        clock: net.clock(),
+                    };
+                    let epoch = policy.epoch();
+                    // The engine's own view of where every moved entry
+                    // lives: entry → (shard, per-entry move count). Fed
+                    // back into the planner so settled moves become
+                    // no-ops instead of oscillation.
+                    let mut owners: std::collections::BTreeMap<u32, (u32, u32)> =
+                        std::collections::BTreeMap::new();
+                    let done = || {
+                        placement_done.load(Ordering::Relaxed)
+                            || !alive.iter().any(|a| a.load(Ordering::Relaxed))
+                    };
+                    'engine: loop {
+                        let mut slept = Duration::ZERO;
+                        while slept < epoch {
+                            if done() {
+                                break 'engine;
+                            }
+                            let slice = Duration::from_millis(5).min(epoch - slept);
+                            ctl.sleep(slice);
+                            slept += slice;
+                        }
+                        let inputs = PlacementInputs {
+                            write_heat: recorder.write_heat(),
+                            release_dests: recorder.release_dests(),
+                            owners: owners.iter().map(|(&e, &(s, _))| (e, s)).collect(),
+                            shards,
+                        };
+                        for d in policy.plan(&inputs) {
+                            if done() {
+                                break 'engine;
+                            }
+                            match ctl.rehome_entry(
+                                d.entry,
+                                ShardId::new(d.from_shard),
+                                ShardId::new(d.to_shard),
+                            ) {
+                                Ok(()) => {
+                                    let moves =
+                                        owners.get(&d.entry).map(|&(_, m)| m).unwrap_or(0) + 1;
+                                    owners.insert(d.entry, (d.to_shard, moves));
+                                    recorder.placement_decision(DecisionRow {
+                                        entry: d.entry,
+                                        from_shard: d.from_shard,
+                                        to_shard: d.to_shard,
+                                        writer: d.writer,
+                                        epoch: moves,
+                                    });
+                                    recorder.count("placement.rehomes", 1);
+                                }
+                                Err(ClusterError::HandoffBusy { .. }) => {
+                                    // The shard is mid-promotion or
+                                    // mid-move: back off to the next
+                                    // epoch rather than hammering it.
+                                    recorder.count("placement.busy_backoffs", 1);
+                                    break;
+                                }
+                                Err(_) => break 'engine, // teardown
+                            }
+                        }
+                    }
+                })
+            });
             let mut handles = Vec::new();
             let recorder = &self.recorder;
             for ((i, plat), ep) in self.worker_platforms.iter().enumerate().zip(eps.drain(..)) {
@@ -964,8 +1357,14 @@ impl ClusterBuilder {
                 }
             }
             pump_done.store(true, Ordering::Relaxed);
+            placement_done.store(true, Ordering::Relaxed);
             if let Some(h) = pump_handle {
                 let _ = h.join();
+            }
+            if let Some(h) = placement_handle {
+                if let Err(p) = h.join() {
+                    first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
+                }
             }
             for (shard, h) in home_handles {
                 match h.join() {
@@ -1039,6 +1438,28 @@ impl ClusterBuilder {
             winners.push(win);
         }
         let residuals: Vec<ResidualReport> = winners.iter().map(|w| w.residual).collect();
+        // Adaptive placement may have re-homed entries away from their
+        // static modulo shard. Merge every winner's ownership overlay
+        // (max per-entry epoch wins, exactly the clients' merge rule) so
+        // the overlay step below attributes each entry to its *effective*
+        // final owner. Static runs have empty overlays and take the
+        // classic modulo path unchanged.
+        let mut overrides: std::collections::HashMap<u32, (u32, u32)> =
+            std::collections::HashMap::new();
+        for w in &winners {
+            for &(entry, shard, epoch) in &w.entry_overrides {
+                let cur = overrides.get(&entry).map(|&(_, e)| e);
+                if cur.is_none_or(|c| epoch > c) {
+                    overrides.insert(entry, (shard, epoch));
+                }
+            }
+        }
+        let effective_shard = |entry: u32| {
+            overrides
+                .get(&entry)
+                .map(|&(s, _)| s)
+                .unwrap_or_else(|| directory.entry_shard(entry))
+        };
         let mut winners = winners.into_iter();
         let first = winners.next().expect("at least one shard");
         let (mut final_gthv, mut home_costs, mut home_conv) = (first.gthv, first.costs, first.conv);
@@ -1047,7 +1468,7 @@ impl ClusterBuilder {
             let g = out.gthv;
             let owned: Vec<_> = full_ranges(&g)
                 .into_iter()
-                .filter(|r| directory.entry_shard(r.entry) == shard)
+                .filter(|r| effective_shard(r.entry) == shard)
                 .collect();
             let updates = extract_updates(&g, &owned)
                 .map_err(|e| ClusterError::Home(HomeError::Update(e)))?;
@@ -1085,6 +1506,15 @@ impl ClusterBuilder {
     /// matching [`MigrationEvent`] is honoured at the worker's next
     /// adaptation point (capture → pack → receiver-makes-right restore →
     /// DSD resync). Returns the final thread states.
+    ///
+    /// With an adaptive [`Self::placement`] policy and an *empty*
+    /// schedule, the thread-migration leg of the adaptive loop engages:
+    /// a schedule is derived deterministically from the configured
+    /// platforms' `cpu_factor`s ([`crate::placement::plan_thread_moves`]
+    /// with a 2× slowness threshold), repacking every worker stuck on a
+    /// badly slow simulated CPU onto the fastest configured platform at
+    /// its first adaptation point. Pass an explicit schedule to keep
+    /// full manual control.
     pub fn run_adaptive(
         self,
         registry: &ProgramRegistry<DsdClient>,
@@ -1105,7 +1535,19 @@ impl ClusterBuilder {
             ));
         }
         let platforms = self.worker_platforms.clone();
-        let schedule = schedule.to_vec();
+        let schedule = if schedule.is_empty() && self.placement.is_adaptive() {
+            let factors: Vec<f64> = platforms.iter().map(|p| p.cpu_factor).collect();
+            crate::placement::plan_thread_moves(&factors, 2.0)
+                .into_iter()
+                .map(|m| MigrationEvent {
+                    worker: m.thread_rank as usize,
+                    after_steps: m.after_sweeps as u64,
+                    to_platform: platforms[m.to_platform].clone(),
+                })
+                .collect()
+        } else {
+            schedule.to_vec()
+        };
         let registry_ref = registry;
         let mig_stats = parking_lot::Mutex::new(MigrationStats::default());
         let mut outcome = {

@@ -97,6 +97,11 @@ pub struct HomeConfig {
     /// their rank and synchronization-id slices. Empty (the default) is
     /// classic single-session mode with byte-identical wire behaviour.
     pub sessions: Vec<TenantSpace>,
+    /// An adaptive placement loop may re-home entries through this shard
+    /// mid-run. Forces the periodic loop tick even without a lease or
+    /// replica, so an in-flight `EntryState` offer is retransmitted
+    /// instead of blocking forever in `recv`.
+    pub adaptive: bool,
 }
 
 impl Default for HomeConfig {
@@ -116,6 +121,7 @@ impl Default for HomeConfig {
             primary_ep: None,
             kill: None,
             sessions: Vec::new(),
+            adaptive: false,
         }
     }
 }
@@ -148,6 +154,11 @@ pub struct HomeRunOutcome {
     /// hygiene; always clean in classic mode, asserted clean by the
     /// churn soak).
     pub residual: ResidualReport,
+    /// Per-entry ownership overrides this shard learned during the run:
+    /// `(entry, owning shard, ownership epoch)` rows, sorted by entry.
+    /// Empty unless the placement engine re-homed entries. The cluster's
+    /// final stitch resolves conflicting rows by highest epoch.
+    pub entry_overrides: Vec<(u32, u32, u32)>,
 }
 
 /// Errors surfaced by the home service loop.
@@ -210,6 +221,30 @@ struct BarrierState {
 struct CondState {
     /// Parked threads with the mutex each must re-acquire on wake.
     waiters: VecDeque<(u32, u32)>,
+}
+
+/// In-flight per-entry re-homing at the *source* shard: ownership has
+/// already flipped in `entry_home` (and the log rows for the entry were
+/// purged), but the target has not yet acknowledged installation — every
+/// client-path message is deferred until it does, closing the window in
+/// which neither shard could serve the entry's pre-move updates.
+#[derive(Debug)]
+struct EntryHandoffState {
+    /// The entry being re-homed.
+    entry: u32,
+    /// Endpoint of the admin that requested the move (gets `EntryDone`).
+    admin_ep: u32,
+    /// The shard gaining ownership.
+    to_shard: u32,
+    /// The new ownership epoch (strictly above any previous epoch for
+    /// this entry, so late/duplicate rows lose max-epoch-wins merges).
+    epoch: u32,
+    /// Packed authoritative contents of the entry, retransmitted until
+    /// the target acknowledges with `EntryInstalled`.
+    state: Bytes,
+    /// The override row (owner, epoch) in force before this move, if any
+    /// — restored (epoch + 1) when the move aborts.
+    prev: Option<(u32, u32)>,
 }
 
 /// One shard of the home service: owns the authoritative bytes, update
@@ -302,6 +337,20 @@ pub struct HomeShard {
     /// survives so a late duplicate is still answered at-most-once —
     /// with an uncached `Shutdown`, never by re-entering the tables.
     closed: HashSet<u32>,
+    /// Per-entry ownership overrides layered over the modulo directory:
+    /// entry → (owning shard, ownership epoch). Written identically at
+    /// the move's source and target (and relayed to replicas), so every
+    /// surviving shard can report a consistent final ownership map.
+    entry_home: HashMap<u32, (u32, u32)>,
+    /// In-flight outbound entry re-homing (source side); at most one at
+    /// a time per shard — the admin serializes moves cluster-wide.
+    entry_handoff: Option<EntryHandoffState>,
+    /// Placement may re-home entries through this shard (forces ticks).
+    adaptive: bool,
+    /// Client-path messages deferred while `entry_handoff` is in flight,
+    /// drained in arrival order once the target installs (or the move
+    /// aborts).
+    entry_pending: VecDeque<Message>,
 }
 
 /// The pre-sharding name of [`HomeShard`], kept for downstream code that
@@ -364,6 +413,10 @@ impl HomeShard {
             clock,
             sessions: config.sessions,
             closed: HashSet::new(),
+            entry_home: HashMap::new(),
+            entry_handoff: None,
+            adaptive: config.adaptive,
+            entry_pending: VecDeque::new(),
         }
     }
 
@@ -392,11 +445,23 @@ impl HomeShard {
         &self.gthv
     }
 
+    /// Does this shard currently own `entry`? The placement overlay wins
+    /// over the modulo directory; the single-shard layout owns everything
+    /// it has no override row for.
+    fn owns_entry(&self, entry: u32) -> bool {
+        match self.entry_home.get(&entry) {
+            Some(&(shard, _)) => shard == self.shard,
+            None => {
+                self.directory.n_shards() <= 1 || self.directory.entry_shard(entry) == self.shard
+            }
+        }
+    }
+
     /// Full-structure ranges restricted to the entries this shard owns.
     fn owned_full_ranges(&self) -> Vec<UpdateRange> {
         let mut ranges = full_ranges(&self.gthv);
-        if self.directory.n_shards() > 1 {
-            ranges.retain(|r| self.directory.entry_shard(r.entry) == self.shard);
+        if self.directory.n_shards() > 1 || !self.entry_home.is_empty() {
+            ranges.retain(|r| self.owns_entry(r.entry));
         }
         ranges
     }
@@ -411,18 +476,20 @@ impl HomeShard {
         if updates.is_empty() {
             return Ok(());
         }
-        if self.directory.n_shards() > 1 {
+        if self.directory.n_shards() > 1 || !self.entry_home.is_empty() {
             // Routing bugs must not silently corrupt another shard's
             // slice: this shard is only authoritative for what it owns.
-            if let Some(u) = updates
-                .iter()
-                .find(|u| self.directory.entry_shard(u.entry) != self.shard)
-            {
+            // (Misroutes caused by a client's stale placement view are
+            // bounced with `EntryMoved` before reaching this check.)
+            if let Some(u) = updates.iter().find(|u| !self.owns_entry(u.entry)) {
                 return Err(HomeError::Violation(format!(
                     "shard {} received update for entry {} owned by shard {}",
                     self.shard,
                     u.entry,
-                    self.directory.entry_shard(u.entry)
+                    self.entry_home
+                        .get(&u.entry)
+                        .map(|&(s, _)| s)
+                        .unwrap_or_else(|| self.directory.entry_shard(u.entry))
                 )));
             }
         }
@@ -711,6 +778,12 @@ impl HomeShard {
                 .filter(|r| self.seen.contains_key(r))
                 .count(),
         };
+        let mut entry_overrides: Vec<(u32, u32, u32)> = self
+            .entry_home
+            .iter()
+            .map(|(&entry, &(shard, epoch))| (entry, shard, epoch))
+            .collect();
+        entry_overrides.sort_unstable();
         HomeRunOutcome {
             gthv: self.gthv,
             costs: self.costs,
@@ -718,6 +791,7 @@ impl HomeShard {
             epoch: self.epoch,
             authoritative,
             residual,
+            entry_overrides,
         }
     }
 
@@ -736,7 +810,8 @@ impl HomeShard {
             .lease
             .map(|l| (l / 4).max(Duration::from_millis(10)))
             .unwrap_or(Duration::from_millis(10));
-        let ticks = self.lease.is_some() || self.replicated() || self.kill.is_some();
+        let ticks =
+            self.lease.is_some() || self.replicated() || self.kill.is_some() || self.adaptive;
         while self.joined.len() + self.dead.len() < self.participants.len() {
             if self.killed() {
                 self.recorder.instant(
@@ -775,6 +850,23 @@ impl HomeShard {
             // The primary drove the run to completion; this shadow's job
             // is done. The primary broadcasts the shutdown.
             return Ok(self.outcome(false));
+        }
+        // An adaptive placement move may still be in flight: conclude it
+        // before shutting down, or the ownership flip would outlive the
+        // state transfer and the stitch would attribute the entry to a
+        // shard that never installed its bytes. Keep offering briefly;
+        // if the target never acknowledges (it may be tearing down too),
+        // revert ownership — the bytes stay authoritative here.
+        if self.entry_handoff.is_some() {
+            let deadline = self.clock.now() + Duration::from_millis(500);
+            while self.entry_handoff.is_some() && self.clock.now() < deadline {
+                match self.ep.recv_timeout(Duration::from_millis(10)) {
+                    Ok(m) => self.process(m)?,
+                    Err(NetError::Timeout) => self.send_entry_state()?,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            self.abort_entry_handoff()?;
         }
         // Every live participant joined: broadcast shutdown. The shutdown
         // is the (deferred) reply to each thread's Join request, so it is
@@ -874,7 +966,50 @@ impl HomeShard {
                 }
                 return Ok(());
             }
+            MsgKind::EntryHandoff => {
+                let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+                if let DsdMsg::EntryHandoff { entry, to_shard } = m {
+                    self.on_entry_handoff(msg.src, entry, to_shard)?;
+                }
+                return Ok(());
+            }
+            MsgKind::EntryState => {
+                let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+                if let DsdMsg::EntryState {
+                    entry,
+                    epoch,
+                    state,
+                } = m
+                {
+                    self.on_entry_state(msg.src, entry, epoch, state)?;
+                }
+                return Ok(());
+            }
+            MsgKind::EntryInstalled => {
+                let (_, m) = DsdMsg::decode_enveloped(msg.kind, msg.payload)?;
+                if let DsdMsg::EntryInstalled { entry, epoch } = m {
+                    self.on_entry_installed(entry, epoch)?;
+                }
+                return Ok(());
+            }
+            MsgKind::EntryDone => return Ok(()),
+            MsgKind::ViewChange => {
+                // Only another home bounces us a `ViewChange` (an
+                // `EntryState` offer that hit a fenced endpoint). The
+                // idle-tick retransmit keeps offering to both endpoints
+                // until the promoted one installs; nothing to do here.
+                return Ok(());
+            }
             _ => {}
+        }
+        if self.entry_handoff.is_some() {
+            // An outbound entry move is in flight: the entry's log rows
+            // are gone here and the target has not installed yet, so
+            // neither shard could serve its pre-move updates. Defer every
+            // client-path message until the target acknowledges — the
+            // window is one round trip.
+            self.entry_pending.push_back(msg);
+            return Ok(());
         }
         // Client path. With replication on, client requests carry an
         // epoch stamp after the request id.
@@ -1025,19 +1160,34 @@ impl HomeShard {
         };
         let inner = DsdMsg::decode(kind, body)?;
         self.mute = true;
-        let res = if req_id == 0 && matches!(inner, DsdMsg::WorkerLost { .. }) {
-            // A relayed lease decision, not a client request.
-            if let DsdMsg::WorkerLost { rank, .. } = inner {
+        let res = match inner {
+            // Relayed home-side decisions (req id 0), not client requests.
+            DsdMsg::WorkerLost { rank, .. } if req_id == 0 => {
                 if self.dead.contains(&rank) {
                     Ok(())
                 } else {
                     self.declare_dead(rank)
                 }
-            } else {
-                unreachable!()
             }
-        } else {
-            self.dispatch(src_ep, req_id, inner, OpCtx::default())
+            DsdMsg::EntryMoved { entries } if req_id == 0 => {
+                // Mirror the primary's placement flips (including any
+                // abort revert), so a promoted shadow reports and serves
+                // the same per-entry ownership map.
+                for (entry, shard, epoch) in entries {
+                    self.apply_entry_move(entry, shard, epoch);
+                }
+                Ok(())
+            }
+            DsdMsg::EntryState {
+                entry,
+                epoch,
+                state,
+            } if req_id == 0 => {
+                // The primary adopted an entry from another shard: replay
+                // the install (muted — the primary sent the ack).
+                self.install_entry(entry, epoch, state)
+            }
+            inner => self.dispatch(src_ep, req_id, inner, OpCtx::default()),
         };
         self.mute = false;
         res
@@ -1081,6 +1231,11 @@ impl HomeShard {
                             other => other?,
                         }
                     }
+                    if self.entry_handoff.is_some() {
+                        // Keep offering the moved entry's state until the
+                        // target shard acknowledges installation.
+                        self.send_entry_state()?;
+                    }
                 }
                 if !self.fenced {
                     self.check_leases()?;
@@ -1122,6 +1277,9 @@ impl HomeShard {
                         }
                     }
                     self.check_leases()?;
+                    if idle && self.entry_handoff.is_some() {
+                        self.send_entry_state()?;
+                    }
                 }
             }
         }
@@ -1155,8 +1313,16 @@ impl HomeShard {
     /// bounce to the replica with zero failed operations), snapshot the
     /// full shard state and start offering it to the replica.
     fn start_handoff(&mut self, admin_ep: u32) -> Result<(), HomeError> {
-        if self.handoff.is_some() || self.fenced {
+        if self.handoff.is_some() {
             return Ok(()); // duplicate request: drain already underway
+        }
+        if self.fenced {
+            // Fenced outside a drain of ours — deposed, self-fenced or
+            // mid-promotion. Bounce the admin with a `ViewChange` instead
+            // of silently swallowing the request, so `ClusterCtl` can
+            // surface a typed busy error and the placement loop can back
+            // off rather than retransmitting into a fenced shard forever.
+            return self.reply_view_change(admin_ep, 0);
         }
         if self.role != Role::Primary || self.replica_ep.is_none() {
             return Err(HomeError::Violation(
@@ -1259,6 +1425,260 @@ impl HomeShard {
             Err(NetError::Disconnected(_)) => Ok(()),
             other => Ok(other?),
         }
+    }
+
+    // ----- per-entry re-homing (placement engine actuator) -----
+
+    /// Admin asked this shard to migrate one entry's home to `to_shard`:
+    /// snapshot the entry's authoritative bytes, flip the ownership
+    /// overlay under a fresh per-entry epoch, purge the entry's log rows
+    /// (the new owner starts a forced-full-refresh epoch instead) and
+    /// start offering the state. Client traffic is deferred until the
+    /// target acknowledges, closing the one-round-trip window in which
+    /// neither shard could serve the entry's history.
+    fn on_entry_handoff(
+        &mut self,
+        admin_ep: u32,
+        entry: u32,
+        to_shard: u32,
+    ) -> Result<(), HomeError> {
+        if self.role == Role::Replica && !self.promoted {
+            return Ok(()); // shadows learn moves from the relay stream
+        }
+        if let Some(h) = &self.entry_handoff {
+            if h.entry == entry && h.to_shard == to_shard {
+                return Ok(()); // duplicate of the in-flight move
+            }
+            // Busy with a different move: tell the admin to back off.
+            return self.reply_view_change(admin_ep, 0);
+        }
+        if self.fenced {
+            return self.reply_view_change(admin_ep, 0);
+        }
+        if to_shard == self.shard || !self.owns_entry(entry) {
+            // Already there (or a duplicate of a completed move): the
+            // idempotent confirmation is all the admin needs.
+            let done = DsdMsg::EntryDone { entry, to_shard }.encode_enveloped(0);
+            return match self.net_send(admin_ep, MsgKind::EntryDone, done, OpCtx::default()) {
+                Err(NetError::Disconnected(_)) => Ok(()),
+                other => Ok(other?),
+            };
+        }
+        let ranges: Vec<UpdateRange> = full_ranges(&self.gthv)
+            .into_iter()
+            .filter(|r| r.entry == entry)
+            .collect();
+        let ups = extract_updates(&self.gthv, &ranges)?;
+        let state = pack_batch(&ups);
+        let prev = self.entry_home.get(&entry).copied();
+        let epoch = prev.map(|(_, e)| e).unwrap_or(0) + 1;
+        // Ship the flip down the replication stream *before* acting on
+        // it, mirroring the relay-before-process discipline.
+        self.relay_decision(DsdMsg::EntryMoved {
+            entries: vec![(entry, to_shard, epoch)],
+        })?;
+        self.entry_home.insert(entry, (to_shard, epoch));
+        self.log.retain(|(_, _, r)| r.entry != entry);
+        self.entry_handoff = Some(EntryHandoffState {
+            entry,
+            admin_ep,
+            to_shard,
+            epoch,
+            state,
+            prev,
+        });
+        self.recorder.count("home.entry_handoffs", 1);
+        self.send_entry_state()
+    }
+
+    /// Offer the in-flight entry snapshot to every endpoint of the
+    /// target shard (a mute shadow drops it, a fenced endpoint bounces,
+    /// the serving one installs and acks). Called once at move start and
+    /// again on idle ticks until `EntryInstalled` arrives.
+    fn send_entry_state(&mut self) -> Result<(), HomeError> {
+        let Some(h) = &self.entry_handoff else {
+            return Ok(());
+        };
+        let frame = DsdMsg::EntryState {
+            entry: h.entry,
+            epoch: h.epoch,
+            state: h.state.clone(),
+        }
+        .encode_enveloped(0);
+        let to_shard = h.to_shard;
+        let mut eps = vec![self.directory.shard_ep(to_shard)];
+        if self.directory.n_replicas() > 0 {
+            eps.push(self.directory.replica_ep(to_shard));
+        }
+        let mut alive = false;
+        for ep in eps {
+            match self.net_send(ep, MsgKind::EntryState, frame.clone(), OpCtx::default()) {
+                Err(NetError::Disconnected(_)) => {}
+                other => {
+                    other?;
+                    alive = true;
+                }
+            }
+        }
+        if !alive {
+            // Every endpoint of the target shard is gone: abort the move
+            // and keep serving the entry here.
+            self.abort_entry_handoff()?;
+        }
+        Ok(())
+    }
+
+    /// The target shard vanished mid-move: take ownership back under a
+    /// strictly higher epoch (so any `EntryMoved` rows clients already
+    /// learned lose the max-epoch merge) and force a full refresh — the
+    /// entry's log rows were purged at move start and cannot come back.
+    fn abort_entry_handoff(&mut self) -> Result<(), HomeError> {
+        let Some(h) = self.entry_handoff.take() else {
+            return Ok(());
+        };
+        let owner = h.prev.map(|(s, _)| s).unwrap_or(self.shard);
+        self.relay_decision(DsdMsg::EntryMoved {
+            entries: vec![(h.entry, owner, h.epoch + 1)],
+        })?;
+        self.entry_home.insert(h.entry, (owner, h.epoch + 1));
+        self.seq += 1;
+        self.log_floor = self.seq;
+        self.recorder.count("home.entry_handoff_aborts", 1);
+        self.drain_entry_pending()
+    }
+
+    /// Target side: another shard is offering an entry it is re-homing
+    /// to us. Install (idempotently — duplicate offers re-ack only) and
+    /// acknowledge so the source can release its deferred traffic.
+    fn on_entry_state(
+        &mut self,
+        src_ep: u32,
+        entry: u32,
+        epoch: u32,
+        state: Bytes,
+    ) -> Result<(), HomeError> {
+        if self.role == Role::Replica && !self.promoted {
+            return Ok(()); // the shadow's copy arrives on the relay stream
+        }
+        if self.fenced {
+            return self.reply_view_change(src_ep, 0);
+        }
+        let cur = self.entry_home.get(&entry).map(|&(_, e)| e).unwrap_or(0);
+        if epoch > cur {
+            // Relay before installing, as with client requests.
+            self.relay_decision(DsdMsg::EntryState {
+                entry,
+                epoch,
+                state: state.clone(),
+            })?;
+            self.install_entry(entry, epoch, state)?;
+        }
+        let ack = DsdMsg::EntryInstalled { entry, epoch }.encode_enveloped(0);
+        match self.net_send(src_ep, MsgKind::EntryInstalled, ack, OpCtx::default()) {
+            Err(NetError::Disconnected(_)) => Ok(()),
+            other => Ok(other?),
+        }
+    }
+
+    /// Apply an adopted entry's packed state and take ownership at
+    /// `epoch`. The entry's history lives at the old owner, so the log
+    /// floor is raised to force every horizon below it through a full
+    /// refresh of the (now larger) owned slice.
+    fn install_entry(&mut self, entry: u32, epoch: u32, state: Bytes) -> Result<(), HomeError> {
+        let cur = self.entry_home.get(&entry).map(|&(_, e)| e).unwrap_or(0);
+        if epoch <= cur {
+            return Ok(());
+        }
+        let ups = unpack_batch(state).map_err(ProtocolError::from)?;
+        apply_batch_mode(&mut self.gthv, &ups, &mut self.conv_stats, self.fast_path)?;
+        self.entry_home.insert(entry, (self.shard, epoch));
+        self.seq += 1;
+        self.log_floor = self.seq;
+        self.recorder.count("home.entries_adopted", 1);
+        Ok(())
+    }
+
+    /// Replica-side mirror of one relayed ownership flip.
+    fn apply_entry_move(&mut self, entry: u32, shard: u32, epoch: u32) {
+        let cur = self.entry_home.get(&entry).map(|&(_, e)| e).unwrap_or(0);
+        if epoch <= cur {
+            return;
+        }
+        self.entry_home.insert(entry, (shard, epoch));
+        self.log.retain(|(_, _, r)| r.entry != entry);
+        if shard == self.shard {
+            // Gaining (or re-gaining, on an abort revert) ownership of an
+            // entry whose history we do not have: force full refreshes.
+            self.seq += 1;
+            self.log_floor = self.seq;
+        }
+    }
+
+    /// Source side: the target acknowledged installation. Confirm to the
+    /// admin and release the deferred client traffic.
+    fn on_entry_installed(&mut self, entry: u32, epoch: u32) -> Result<(), HomeError> {
+        let matches_inflight = self
+            .entry_handoff
+            .as_ref()
+            .map(|h| h.entry == entry && h.epoch == epoch)
+            .unwrap_or(false);
+        if !matches_inflight {
+            return Ok(()); // late ack for a move already concluded
+        }
+        let h = self.entry_handoff.take().expect("checked above");
+        self.recorder.count("home.entries_rehomed", 1);
+        let done = DsdMsg::EntryDone {
+            entry: h.entry,
+            to_shard: h.to_shard,
+        }
+        .encode_enveloped(0);
+        match self.net_send(h.admin_ep, MsgKind::EntryDone, done, OpCtx::default()) {
+            Err(NetError::Disconnected(_)) => {}
+            other => other?,
+        }
+        self.drain_entry_pending()
+    }
+
+    /// Re-process the messages deferred while an entry move was in
+    /// flight, in arrival order. Stops early if one of them starts a new
+    /// move (the rest stay queued behind it).
+    fn drain_entry_pending(&mut self) -> Result<(), HomeError> {
+        while self.entry_handoff.is_none() {
+            let Some(m) = self.entry_pending.pop_front() else {
+                return Ok(());
+            };
+            self.process(m)?;
+        }
+        Ok(())
+    }
+
+    /// If any of `updates` targets an entry this shard re-homed away,
+    /// reply `EntryMoved` with the override rows instead of absorbing —
+    /// the client merges them (max epoch wins), re-buckets the affected
+    /// updates and resends. Misrouted updates with *no* override row
+    /// fall through to `absorb`'s violation check: those are genuine
+    /// routing bugs, not stale placement views.
+    fn bounce_moved(
+        &mut self,
+        rank: u32,
+        updates: &[hdsm_tags::wire::WireUpdate],
+    ) -> Result<bool, HomeError> {
+        if self.entry_home.is_empty() {
+            return Ok(false);
+        }
+        let mut rows: Vec<(u32, u32, u32)> = updates
+            .iter()
+            .filter(|u| !self.owns_entry(u.entry))
+            .filter_map(|u| self.entry_home.get(&u.entry).map(|&(s, e)| (u.entry, s, e)))
+            .collect();
+        if rows.is_empty() {
+            return Ok(false);
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        self.recorder.count("home.entry_bounces", 1);
+        self.send(rank, DsdMsg::EntryMoved { entries: rows })?;
+        Ok(true)
     }
 
     /// After fencing, keep redirecting stragglers (and re-acking deposes)
@@ -1392,6 +1812,12 @@ impl HomeShard {
             out.put_u16(*kind as u16);
             out.put_u32(payload.len() as u32);
             out.put_slice(payload);
+        }
+        out.put_u32(self.entry_home.len() as u32);
+        for (entry, (shard, epoch)) in sorted(&self.entry_home) {
+            out.put_u32(entry);
+            out.put_u32(*shard);
+            out.put_u32(*epoch);
         }
         Ok(out.freeze())
     }
@@ -1530,6 +1956,14 @@ impl HomeShard {
             need(&b, plen)?;
             let payload = b.split_to(plen);
             self.reply_cache.insert(rank, (rid, kind, payload));
+        }
+        need(&b, 4)?;
+        let n = b.get_u32();
+        self.entry_home.clear();
+        for _ in 0..n {
+            need(&b, 12)?;
+            let (entry, shard, epoch) = (b.get_u32(), b.get_u32(), b.get_u32());
+            self.entry_home.insert(entry, (shard, epoch));
         }
         Ok(())
     }
@@ -1829,6 +2263,11 @@ impl HomeShard {
                         self.locks[idx].holder
                     )));
                 }
+                if self.bounce_moved(rank, &updates)? {
+                    // Stale placement view: nothing absorbed, lock still
+                    // held — the client re-routes and retries the release.
+                    return Ok(());
+                }
                 self.absorb(rank, &updates)?;
                 self.locks[idx].holder = None;
                 self.send(rank, DsdMsg::UnlockAck { lock })?;
@@ -1848,6 +2287,9 @@ impl HomeShard {
                 let idx = barrier as usize;
                 if idx >= self.barriers.len() {
                     return Err(HomeError::Violation(format!("no barrier {barrier}")));
+                }
+                if self.bounce_moved(rank, &updates)? {
+                    return Ok(()); // client re-routes and re-enters
                 }
                 self.absorb(rank, &updates)?;
                 if let Some(lost) = self.blocking_dead(rank) {
@@ -1899,6 +2341,9 @@ impl HomeShard {
                     return Err(HomeError::Violation(format!(
                         "thread {rank} cond-waiting without holding mutex {lock}"
                     )));
+                }
+                if self.bounce_moved(rank, &updates)? {
+                    return Ok(()); // client re-routes and retries the wait
                 }
                 // Atomic release + sleep: absorb the waiter's updates,
                 // free the mutex (waking the next contender), park.
@@ -1960,6 +2405,9 @@ impl HomeShard {
                 // its release until the ack arrives, so the next acquirer
                 // of any mutex is guaranteed to fetch these updates.
                 self.routes.insert(rank, src_ep);
+                if self.bounce_moved(rank, &updates)? {
+                    return Ok(()); // client re-routes and re-flushes
+                }
                 self.absorb(rank, &updates)?;
                 self.send(rank, DsdMsg::Ack)
             }

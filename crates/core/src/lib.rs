@@ -47,6 +47,7 @@ pub mod gthv;
 pub mod home;
 pub mod ids;
 pub mod index_table;
+pub mod placement;
 pub mod protocol;
 pub mod runs;
 pub mod tenant;
@@ -54,12 +55,16 @@ pub mod update;
 
 pub use client::{DsdClient, DsdError, LockGuard};
 pub use cluster::{
-    ClusterBuilder, ClusterCtl, ClusterError, ClusterOutcome, MigrationEvent, WorkerInfo,
+    ClusterBuilder, ClusterCtl, ClusterError, ClusterOutcome, FaultConfig, MigrationEvent,
+    TimingConfig, TopologyConfig, WorkerInfo,
 };
 pub use costs::CostBreakdown;
 pub use directory::Directory;
 pub use gthv::{GthvDef, GthvInstance};
 pub use ids::{BarrierId, CondId, LockId, ShardId};
 pub use index_table::{IndexRow, IndexTable};
+pub use placement::{
+    plan_thread_moves, PlacementDecision, PlacementInputs, PlacementPolicy, ThreadMove,
+};
 pub use runs::UpdateRange;
 pub use tenant::{ResidualReport, SessionSpec, TenantSpace};

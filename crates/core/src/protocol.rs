@@ -225,6 +225,50 @@ pub enum DsdMsg {
         /// Shard.
         shard: u32,
     },
+    /// Admin → source shard: migrate the home of `entry` to `to_shard`
+    /// (per-entry-grain handoff; the placement engine's actuator).
+    EntryHandoff {
+        /// Entry whose home moves.
+        entry: u32,
+        /// Shard that takes ownership.
+        to_shard: u32,
+    },
+    /// Source shard → target shard: the entry's current contents (packed
+    /// update batch), stamped with the entry's new ownership epoch so
+    /// duplicated offers dedup at the target.
+    EntryState {
+        /// Entry being re-homed.
+        entry: u32,
+        /// Ownership epoch the target installs under.
+        epoch: u32,
+        /// Opaque snapshot (see `home::pack_entry_state`).
+        state: Bytes,
+    },
+    /// Target shard → source shard: entry state installed; the target now
+    /// owns the entry under `epoch`.
+    EntryInstalled {
+        /// Entry.
+        entry: u32,
+        /// Installed ownership epoch.
+        epoch: u32,
+    },
+    /// Source shard → admin: re-homing of `entry` to `to_shard` complete.
+    EntryDone {
+        /// Entry.
+        entry: u32,
+        /// New owning shard.
+        to_shard: u32,
+    },
+    /// Shard → client, replacing the `Ack` of an [`DsdMsg::UpdateFlush`]
+    /// that named entries no longer homed here: each row is
+    /// `(entry, owning shard, ownership epoch)`. The client re-buckets
+    /// those updates and resends; nothing from the bounced flush was
+    /// absorbed.
+    EntryMoved {
+        /// `(entry, to_shard, ownership_epoch)` rows, epoch-monotonic so
+        /// a late duplicate never rolls a newer mapping back.
+        entries: Vec<(u32, u32, u32)>,
+    },
 }
 
 /// Protocol-level decode errors.
@@ -286,6 +330,11 @@ impl DsdMsg {
             DsdMsg::HandoffInstalled { .. } => MsgKind::HandoffInstalled,
             DsdMsg::HandoffDone { .. } => MsgKind::HandoffDone,
             DsdMsg::ReplicaBeat { .. } => MsgKind::ReplicaBeat,
+            DsdMsg::EntryHandoff { .. } => MsgKind::EntryHandoff,
+            DsdMsg::EntryState { .. } => MsgKind::EntryState,
+            DsdMsg::EntryInstalled { .. } => MsgKind::EntryInstalled,
+            DsdMsg::EntryDone { .. } => MsgKind::EntryDone,
+            DsdMsg::EntryMoved { .. } => MsgKind::EntryMoved,
         }
     }
 
@@ -424,6 +473,31 @@ impl DsdMsg {
                 out.put_u32(*shard);
                 out.put_u32(*epoch);
                 out.put_slice(state);
+            }
+            DsdMsg::EntryHandoff { entry, to_shard } | DsdMsg::EntryDone { entry, to_shard } => {
+                out.put_u32(*entry);
+                out.put_u32(*to_shard);
+            }
+            DsdMsg::EntryState {
+                entry,
+                epoch,
+                state,
+            } => {
+                out.put_u32(*entry);
+                out.put_u32(*epoch);
+                out.put_slice(state);
+            }
+            DsdMsg::EntryInstalled { entry, epoch } => {
+                out.put_u32(*entry);
+                out.put_u32(*epoch);
+            }
+            DsdMsg::EntryMoved { entries } => {
+                out.put_u32(entries.len() as u32);
+                for (entry, to_shard, epoch) in entries {
+                    out.put_u32(*entry);
+                    out.put_u32(*to_shard);
+                    out.put_u32(*epoch);
+                }
             }
             DsdMsg::Ack | DsdMsg::Shutdown => {}
         }
@@ -566,6 +640,35 @@ impl DsdMsg {
             MsgKind::ReplicaBeat => Ok(DsdMsg::ReplicaBeat {
                 shard: u32_of(&mut payload)?,
             }),
+            MsgKind::EntryHandoff => Ok(DsdMsg::EntryHandoff {
+                entry: u32_of(&mut payload)?,
+                to_shard: u32_of(&mut payload)?,
+            }),
+            MsgKind::EntryState => Ok(DsdMsg::EntryState {
+                entry: u32_of(&mut payload)?,
+                epoch: u32_of(&mut payload)?,
+                state: payload,
+            }),
+            MsgKind::EntryInstalled => Ok(DsdMsg::EntryInstalled {
+                entry: u32_of(&mut payload)?,
+                epoch: u32_of(&mut payload)?,
+            }),
+            MsgKind::EntryDone => Ok(DsdMsg::EntryDone {
+                entry: u32_of(&mut payload)?,
+                to_shard: u32_of(&mut payload)?,
+            }),
+            MsgKind::EntryMoved => {
+                let n = u32_of(&mut payload)? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((
+                        u32_of(&mut payload)?,
+                        u32_of(&mut payload)?,
+                        u32_of(&mut payload)?,
+                    ));
+                }
+                Ok(DsdMsg::EntryMoved { entries })
+            }
             _ => Err(ProtocolError::BadMessage("unexpected transport kind")),
         }
     }
@@ -736,6 +839,24 @@ mod tests {
             DsdMsg::HandoffInstalled { shard: 1, epoch: 2 },
             DsdMsg::HandoffDone { shard: 1, epoch: 2 },
             DsdMsg::ReplicaBeat { shard: 1 },
+            DsdMsg::EntryHandoff {
+                entry: 4,
+                to_shard: 2,
+            },
+            DsdMsg::EntryState {
+                entry: 4,
+                epoch: 3,
+                state: Bytes::from_static(b"packed-entry"),
+            },
+            DsdMsg::EntryInstalled { entry: 4, epoch: 3 },
+            DsdMsg::EntryDone {
+                entry: 4,
+                to_shard: 2,
+            },
+            DsdMsg::EntryMoved {
+                entries: vec![(4, 2, 3), (9, 0, 1)],
+            },
+            DsdMsg::EntryMoved { entries: vec![] },
         ];
         for m in msgs {
             let kind = m.kind();
@@ -859,6 +980,9 @@ mod tests {
             MsgKind::ViewChange,
             MsgKind::HandoffState,
             MsgKind::ReplicaBeat,
+            MsgKind::EntryHandoff,
+            MsgKind::EntryState,
+            MsgKind::EntryMoved,
         ] {
             assert!(!DsdMsg::epoch_stamped(k), "{k:?}");
         }

@@ -72,13 +72,26 @@ pub enum MsgKind {
     HandoffDone = 27,
     /// Replica → primary liveness beat on the replication link.
     ReplicaBeat = 28,
+    /// Admin → source shard: migrate one entry's home to another shard
+    /// (per-entry-grain handoff, driven by the placement engine).
+    EntryHandoff = 29,
+    /// Source shard → target shard: the entry's current contents as an
+    /// opaque snapshot, installed before ownership flips.
+    EntryState = 30,
+    /// Target shard → source shard: entry state installed, ownership live.
+    EntryInstalled = 31,
+    /// Source shard → admin: entry re-homing complete.
+    EntryDone = 32,
+    /// Shard → client: some flushed entries are no longer homed here;
+    /// re-route them to their new owner and resend.
+    EntryMoved = 33,
     /// Anything else (tests, applications).
     Other = 255,
 }
 
 impl MsgKind {
     /// All kinds (for stats iteration).
-    pub const ALL: [MsgKind; 29] = [
+    pub const ALL: [MsgKind; 34] = [
         MsgKind::LockRequest,
         MsgKind::LockGrant,
         MsgKind::UnlockRequest,
@@ -107,6 +120,11 @@ impl MsgKind {
         MsgKind::HandoffInstalled,
         MsgKind::HandoffDone,
         MsgKind::ReplicaBeat,
+        MsgKind::EntryHandoff,
+        MsgKind::EntryState,
+        MsgKind::EntryInstalled,
+        MsgKind::EntryDone,
+        MsgKind::EntryMoved,
         MsgKind::Other,
     ];
 
@@ -148,6 +166,11 @@ impl MsgKind {
             MsgKind::HandoffInstalled => "handoff-installed",
             MsgKind::HandoffDone => "handoff-done",
             MsgKind::ReplicaBeat => "replica-beat",
+            MsgKind::EntryHandoff => "entry-handoff",
+            MsgKind::EntryState => "entry-state",
+            MsgKind::EntryInstalled => "entry-installed",
+            MsgKind::EntryDone => "entry-done",
+            MsgKind::EntryMoved => "entry-moved",
             MsgKind::Other => "other",
         }
     }

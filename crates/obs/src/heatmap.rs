@@ -61,11 +61,25 @@ impl Default for EntryStats {
     }
 }
 
-/// The two maps together.
+/// Accumulated update traffic one writer rank generated for one entry —
+/// the placement engine's "dominant writer" signal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriterStats {
+    /// Update frames this writer shipped for the entry.
+    pub updates: u64,
+    /// Payload bytes this writer shipped for the entry.
+    pub bytes: u64,
+}
+
+/// The access maps together: per-page, per-entry, and the two placement
+/// signals (per-(entry, writer) update attribution and per-(writer,
+/// shard) completed release-class sync operations).
 #[derive(Debug, Default)]
 pub struct Heatmap {
     pages: BTreeMap<u64, PageStats>,
     entries: BTreeMap<u32, EntryStats>,
+    writers: BTreeMap<(u32, u32), WriterStats>,
+    releases: BTreeMap<(u32, u32), u64>,
 }
 
 impl Heatmap {
@@ -127,6 +141,30 @@ impl Heatmap {
     /// Statistics for one page.
     pub fn page(&self, page: u64) -> Option<PageStats> {
         self.pages.get(&page).copied()
+    }
+
+    /// Writer `writer` shipped an update frame for `entry` with `bytes`
+    /// payload bytes.
+    pub fn entry_written_by(&mut self, entry: u32, writer: u32, bytes: u64) {
+        let w = self.writers.entry((entry, writer)).or_default();
+        w.updates += 1;
+        w.bytes += bytes;
+    }
+
+    /// Writer `writer` completed a release-class sync operation (unlock,
+    /// barrier enter, cond wait) homed at `shard`.
+    pub fn release_to(&mut self, writer: u32, shard: u32) {
+        *self.releases.entry((writer, shard)).or_default() += 1;
+    }
+
+    /// Per-(entry, writer) update attribution, (entry, writer)-ordered.
+    pub fn writers(&self) -> impl Iterator<Item = ((u32, u32), WriterStats)> + '_ {
+        self.writers.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Per-(writer, shard) completed sync-op counts, key-ordered.
+    pub fn releases(&self) -> impl Iterator<Item = ((u32, u32), u64)> + '_ {
+        self.releases.iter().map(|(k, v)| (*k, *v))
     }
 }
 

@@ -42,11 +42,12 @@ pub use causal::{causal_order, check_happens_before, estimate_skew, SkewRow};
 pub use chrome::chrome_trace;
 pub use critpath::{analyze as critical_paths, LinkRetransmits, OpCritPath, Segment};
 pub use event::{Event, EventKind, OpCtx, OpKind};
-pub use heatmap::{EntryStats, Heatmap, PageStats};
+pub use heatmap::{EntryStats, Heatmap, PageStats, WriterStats};
 pub use hlc::{HlcClock, HlcStamp};
 pub use metrics::{bucket_index, bucket_upper, Histogram, Registry, BUCKETS};
 pub use recorder::{ObsConfig, Recorder, Span};
 pub use ring::EventRing;
 pub use snapshot::{
-    DestRow, EntryRow, HistSummary, KindTraffic, ObsSnapshot, PageRow, RingDropRow,
+    DecisionRow, DestRow, EntryRow, HistSummary, KindTraffic, ObsSnapshot, PageRow, ReleaseRow,
+    RingDropRow, WriterRow,
 };

@@ -13,7 +13,7 @@ use crate::heatmap::Heatmap;
 use crate::hlc::{HlcClock, HlcStamp};
 use crate::metrics::Registry;
 use crate::ring::EventRing;
-use crate::snapshot::{KindTraffic, ObsSnapshot, RingDropRow};
+use crate::snapshot::{DecisionRow, KindTraffic, ObsSnapshot, RingDropRow};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -59,6 +59,10 @@ pub(crate) struct ObsCore {
     /// sharded home (destination ranks `0..S` are shards) this is the raw
     /// material of the report's shard-utilization section.
     net_dest: Mutex<BTreeMap<u32, (u64, u64)>>,
+    /// Placement decisions applied by the adaptive engine, in decision
+    /// order. Part of the snapshot so same-seed simulated runs compare
+    /// decision-for-decision.
+    decisions: Mutex<Vec<DecisionRow>>,
     /// Per-rank hybrid logical clocks, grown on first touch. Ticked on
     /// every recorded event, merged with the remote stamp on receives.
     clocks: Mutex<Vec<HlcClock>>,
@@ -112,6 +116,7 @@ impl Recorder {
             heatmap: Mutex::new(Heatmap::default()),
             net: Mutex::new(BTreeMap::new()),
             net_dest: Mutex::new(BTreeMap::new()),
+            decisions: Mutex::new(Vec::new()),
             clocks: Mutex::new(Vec::new()),
             flow: AtomicU64::new(1),
         })))
@@ -458,6 +463,71 @@ impl Recorder {
         }
     }
 
+    // ----- placement signals & decisions -----
+
+    /// Writer `writer` shipped an update frame for `entry` with `bytes`
+    /// payload bytes (the per-(entry, writer) attribution table).
+    pub fn entry_written_by(&self, entry: u32, writer: u32, bytes: u64) {
+        if let Some(core) = &self.0 {
+            core.heatmap.lock().entry_written_by(entry, writer, bytes);
+        }
+    }
+
+    /// Writer `writer` completed a release-class sync operation homed at
+    /// `shard` (the per-(writer, shard) destination table).
+    pub fn release_to(&self, writer: u32, shard: u32) {
+        if let Some(core) = &self.0 {
+            core.heatmap.lock().release_to(writer, shard);
+        }
+    }
+
+    /// Live read of the per-(entry, writer) update-attribution table:
+    /// `(entry, writer, updates, bytes)` rows, (entry, writer)-ordered.
+    /// Empty when disabled. This is the placement engine's "dominant
+    /// writer" input; reading it never perturbs the recorded state.
+    pub fn write_heat(&self) -> Vec<(u32, u32, u64, u64)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => core
+                .heatmap
+                .lock()
+                .writers()
+                .map(|((entry, writer), w)| (entry, writer, w.updates, w.bytes))
+                .collect(),
+        }
+    }
+
+    /// Live read of the per-(writer, shard) release-destination table:
+    /// `(writer, shard, releases)` rows, key-ordered. Empty when
+    /// disabled. The placement engine's "nearest shard" input.
+    pub fn release_dests(&self) -> Vec<(u32, u32, u64)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => core
+                .heatmap
+                .lock()
+                .releases()
+                .map(|((writer, shard), n)| (writer, shard, n))
+                .collect(),
+        }
+    }
+
+    /// The adaptive placement engine applied a decision: record it for
+    /// the snapshot's `placement` section.
+    pub fn placement_decision(&self, row: DecisionRow) {
+        if let Some(core) = &self.0 {
+            core.decisions.lock().push(row);
+        }
+    }
+
+    /// Decisions recorded so far, in order. Empty when disabled.
+    pub fn placement_decisions(&self) -> Vec<DecisionRow> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => core.decisions.lock().clone(),
+        }
+    }
+
     // ----- export -----
 
     /// Every held event across ranks, time-ordered. Empty when disabled.
@@ -502,6 +572,7 @@ impl Recorder {
         let heatmap = core.heatmap.lock();
         let net = core.net.lock();
         let net_dest = core.net_dest.lock();
+        let decisions = core.decisions.lock();
         let shards = registry.gauge_value("cluster.shards").unwrap_or(1).max(1) as u32;
         let mut snap = ObsSnapshot::build(
             core.now_us(),
@@ -509,6 +580,7 @@ impl Recorder {
             &heatmap,
             &net,
             &net_dest,
+            &decisions,
             recorded,
             dropped,
         );

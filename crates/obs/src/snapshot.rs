@@ -97,6 +97,53 @@ pub struct EntryRow {
     pub max_elem: u64,
 }
 
+/// One row of the per-(entry, writer) update-attribution table: how much
+/// update traffic `writer` generated for `entry`. The placement engine's
+/// "dominant writer" input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriterRow {
+    /// Index-table entry id.
+    pub entry: u32,
+    /// Writer thread rank.
+    pub writer: u32,
+    /// Update frames shipped by the writer for this entry.
+    pub updates: u64,
+    /// Payload bytes shipped.
+    pub bytes: u64,
+}
+
+/// One row of the per-(writer, shard) sync-destination table: how many
+/// release-class operations (unlock, barrier enter, cond wait) `writer`
+/// completed at `shard`. The placement engine's "nearest shard" input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReleaseRow {
+    /// Writer thread rank.
+    pub writer: u32,
+    /// Home shard the operation was homed at.
+    pub shard: u32,
+    /// Completed release-class operations.
+    pub releases: u64,
+}
+
+/// One placement decision the adaptive engine applied: entry `entry` was
+/// re-homed from `from_shard` to `to_shard` under placement epoch
+/// `epoch`, because `writer` dominated its update traffic. Decisions are
+/// part of the snapshot so same-seed simulated runs can be compared
+/// decision-for-decision, not just byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionRow {
+    /// Index-table entry that moved.
+    pub entry: u32,
+    /// Shard that owned the entry before the move.
+    pub from_shard: u32,
+    /// Shard that owns it after.
+    pub to_shard: u32,
+    /// The dominant writer that motivated the move.
+    pub writer: u32,
+    /// The entry's placement epoch after the move (monotonic per entry).
+    pub epoch: u32,
+}
+
 /// Everything an enabled recorder knows, frozen.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ObsSnapshot {
@@ -124,6 +171,12 @@ pub struct ObsSnapshot {
     pub pages: Vec<PageRow>,
     /// Entry heatmap rows.
     pub entries: Vec<EntryRow>,
+    /// Per-(entry, writer) update attribution, (entry, writer)-ordered.
+    pub write_heat: Vec<WriterRow>,
+    /// Per-(writer, shard) release-destination counts, key-ordered.
+    pub release_dests: Vec<ReleaseRow>,
+    /// Placement decisions applied by the adaptive engine, in order.
+    pub placement: Vec<DecisionRow>,
     /// Events ever recorded (incl. those lost to ring wraparound).
     pub events_recorded: u64,
     /// Events lost to ring wraparound.
@@ -150,12 +203,14 @@ pub struct RingDropRow {
 }
 
 impl ObsSnapshot {
+    #[allow(clippy::too_many_arguments)] // mirrors the recorder's tables
     pub(crate) fn build(
         wall_us: u64,
         registry: &Registry,
         heatmap: &Heatmap,
         net: &BTreeMap<&'static str, KindTraffic>,
         net_dest: &BTreeMap<u32, (u64, u64)>,
+        decisions: &[DecisionRow],
         events_recorded: u64,
         events_dropped: u64,
     ) -> ObsSnapshot {
@@ -217,6 +272,23 @@ impl ObsSnapshot {
                 max_elem: e.max_elem,
             })
             .collect();
+        let write_heat = heatmap
+            .writers()
+            .map(|((entry, writer), w)| WriterRow {
+                entry,
+                writer,
+                updates: w.updates,
+                bytes: w.bytes,
+            })
+            .collect();
+        let release_dests = heatmap
+            .releases()
+            .map(|((writer, shard), releases)| ReleaseRow {
+                writer,
+                shard,
+                releases,
+            })
+            .collect();
         ObsSnapshot {
             wall_us,
             counters: registry
@@ -233,6 +305,9 @@ impl ObsSnapshot {
             net_control_bytes: ctl,
             pages,
             entries,
+            write_heat,
+            release_dests,
+            placement: decisions.to_vec(),
             events_recorded,
             events_dropped,
             ring_drops: Vec::new(),
@@ -322,6 +397,39 @@ impl ObsSnapshot {
             w.field_u64("bytes_applied", e.bytes_applied);
             w.field_u64("min_elem", e.min_elem);
             w.field_u64("max_elem", e.max_elem);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("write_heat");
+        w.begin_arr();
+        for r in &self.write_heat {
+            w.begin_obj();
+            w.field_u64("entry", r.entry as u64);
+            w.field_u64("writer", r.writer as u64);
+            w.field_u64("updates", r.updates);
+            w.field_u64("bytes", r.bytes);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("release_dests");
+        w.begin_arr();
+        for r in &self.release_dests {
+            w.begin_obj();
+            w.field_u64("writer", r.writer as u64);
+            w.field_u64("shard", r.shard as u64);
+            w.field_u64("releases", r.releases);
+            w.end_obj();
+        }
+        w.end_arr();
+        w.key("placement");
+        w.begin_arr();
+        for d in &self.placement {
+            w.begin_obj();
+            w.field_u64("entry", d.entry as u64);
+            w.field_u64("from_shard", d.from_shard as u64);
+            w.field_u64("to_shard", d.to_shard as u64);
+            w.field_u64("writer", d.writer as u64);
+            w.field_u64("epoch", d.epoch as u64);
             w.end_obj();
         }
         w.end_arr();
@@ -548,6 +656,26 @@ impl ObsSnapshot {
                 ));
             }
         }
+        if !self.placement.is_empty() {
+            out.push_str("\n-- placement decisions --\n");
+            out.push_str("entry    from  to    writer  epoch\n");
+            for d in &self.placement {
+                out.push_str(&format!(
+                    "{:<8} {:<5} {:<5} {:<7} {}\n",
+                    d.entry, d.from_shard, d.to_shard, d.writer, d.epoch
+                ));
+            }
+        }
+        if !self.write_heat.is_empty() {
+            out.push_str("\n-- write heat by (entry, writer) --\n");
+            out.push_str("entry    writer  updates       bytes\n");
+            for r in &self.write_heat {
+                out.push_str(&format!(
+                    "{:<8} {:<7} {:>7} {:>11}\n",
+                    r.entry, r.writer, r.updates, r.bytes
+                ));
+            }
+        }
         if !self.entries.is_empty() {
             out.push_str("\n-- entry heatmap --\n");
             out.push_str(
@@ -733,7 +861,7 @@ mod tests {
         let mut dest = BTreeMap::new();
         dest.insert(0u32, (4u64, 40u64));
         dest.insert(1u32, (2u64, 2000u64));
-        ObsSnapshot::build(1_500_000, &reg, &hm, &net, &dest, 10, 1)
+        ObsSnapshot::build(1_500_000, &reg, &hm, &net, &dest, &[], 10, 1)
     }
 
     #[test]
@@ -789,7 +917,7 @@ mod tests {
         dest.insert(0u32, (3u64, 300u64));
         dest.insert(1u32, (1u64, 100u64));
         dest.insert(5u32, (9u64, 999u64)); // worker endpoint, not a shard
-        let s = ObsSnapshot::build(1_000, &reg, &hm, &net, &dest, 0, 0);
+        let s = ObsSnapshot::build(1_000, &reg, &hm, &net, &dest, &[], 0, 0);
         let r = s.report();
         assert!(r.contains("-- shard utilization --"));
         // Shares are computed over shard traffic only (ranks < S).

@@ -1,0 +1,353 @@
+//! Adaptive placement: the differential and determinism contracts.
+//!
+//! The adaptive loop moves data while the computation runs, so the one
+//! property everything else rests on is *transparency*: an adaptive run
+//! must converge to byte-identical final state as a static run of the
+//! same workload — placement changes where bytes live mid-run and what
+//! the traffic costs, never what the program computes. The simulated
+//! fabric doubles as the differential oracle:
+//!
+//! 1. **Differential** — `HeatDriven` == `Static` final bytes on all
+//!    four paper kernels, on a clean fabric and under a chaos plan;
+//! 2. **API compatibility** — `placement(PlacementPolicy::Static)` is
+//!    byte-for-byte the no-call builder: same wire traffic, same state;
+//! 3. **Actuation** — a skewed writer makes the engine re-home the hot
+//!    entry toward its dominant writer's sync shard, and the decisions
+//!    land in the observability snapshot;
+//! 4. **Determinism** — same-seed adaptive runs replay exactly,
+//!    decision-for-decision, even under faults (proptest).
+
+use hdsm::apps::workload::{paper_pairs, SyncMode};
+use hdsm::apps::{jacobi, lu, matmul, sor};
+use hdsm::dsd::cluster::{ClusterBuilder, ClusterOutcome};
+use hdsm::dsd::{LockId, PlacementPolicy};
+use hdsm::net::{FabricMode, FaultPlan, NetConfig, NetStats};
+use hdsm::obs::{ObsSnapshot, Recorder};
+use hdsm::platform::ctype::StructBuilder;
+use hdsm::platform::scalar::ScalarKind;
+use hdsm::platform::spec::{Platform, PlatformSpec};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const KERNELS: [&str; 4] = ["jacobi", "sor", "matmul", "lu"];
+
+/// A fast heat-driven policy for virtual-time tests: plan every 2 ms of
+/// fabric time, move on modest dominance so kernel traffic can qualify.
+fn test_policy() -> PlacementPolicy {
+    PlacementPolicy::HeatDriven {
+        epoch: Duration::from_millis(2),
+        hysteresis: 1.5,
+        min_gain: 256,
+    }
+}
+
+/// Light chaos for the faulty differential legs: enough loss to force
+/// retransmission and dedup everywhere, low enough to finish quickly.
+fn chaos(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .drop(0.03)
+        .duplicate(0.03)
+        .reorder(0.03)
+        .jitter(Duration::from_micros(200))
+}
+
+/// Run one paper kernel on the heterogeneous SL pair over two home
+/// shards, simulated, with the given placement policy and optional fault
+/// plan. Returns the outcome and the kernel verifier's verdict.
+fn run_kernel(
+    kernel: &str,
+    policy: PlacementPolicy,
+    faults: Option<FaultPlan>,
+) -> (ClusterOutcome<()>, bool) {
+    let pair = &paper_pairs()[2]; // SL: heterogeneous, exercises conversion.
+    let n = 16usize;
+    let seed = 0xD5D;
+    let sweeps = 3;
+    let workers: Vec<Platform> = vec![
+        pair.home.clone(),
+        pair.remote.clone(),
+        pair.remote.clone(),
+        pair.home.clone(),
+    ];
+    let adaptive = policy.is_adaptive();
+    let mut b = ClusterBuilder::new()
+        .home(pair.home.clone())
+        .locks(1)
+        .barriers(2)
+        .shards(2)
+        .net(NetConfig::default())
+        .placement(policy)
+        .fabric(FabricMode::Sim { seed: 0xADA });
+    if adaptive {
+        b = b.obs(Recorder::enabled());
+    }
+    if let Some(plan) = faults {
+        b = b
+            .fault_plan(plan)
+            .lease(Duration::from_secs(5))
+            .retry_base(Duration::from_millis(10))
+            .recv_deadline(Duration::from_secs(60));
+    }
+    b = match kernel {
+        "jacobi" => b
+            .gthv(jacobi::gthv_def(n))
+            .init(move |g| jacobi::init(g, n, seed)),
+        "sor" => b
+            .gthv(sor::gthv_def(n))
+            .init(move |g| sor::init(g, n, seed)),
+        "matmul" => b
+            .gthv(matmul::gthv_def(n))
+            .init(move |g| matmul::init(g, n, seed)),
+        "lu" => b.gthv(lu::gthv_def(n)).init(move |g| lu::init(g, n, seed)),
+        _ => unreachable!(),
+    };
+    for w in workers {
+        b = b.worker(w);
+    }
+    match kernel {
+        "jacobi" => {
+            let o = b
+                .run(move |c, i| jacobi::run_worker(c, i, n, sweeps))
+                .unwrap();
+            let v = jacobi::verify(&o.final_gthv, n, seed, sweeps);
+            (o, v)
+        }
+        "sor" => {
+            let o = b.run(move |c, i| sor::run_worker(c, i, n, sweeps)).unwrap();
+            let v = sor::verify(&o.final_gthv, n, seed, sweeps);
+            (o, v)
+        }
+        "matmul" => {
+            let o = b
+                .run(move |c, i| matmul::run_worker(c, i, n, SyncMode::Barrier))
+                .unwrap();
+            let v = matmul::verify(&o.final_gthv, n, seed);
+            (o, v)
+        }
+        "lu" => {
+            let o = b.run(move |c, i| lu::run_worker(c, i, n)).unwrap();
+            let v = lu::verify(&o.final_gthv, n, seed);
+            (o, v)
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn adaptive_converges_byte_identically_to_static_on_paper_kernels() {
+    for kernel in KERNELS {
+        let (st, sv) = run_kernel(kernel, PlacementPolicy::Static, None);
+        let (ad, av) = run_kernel(kernel, test_policy(), None);
+        assert!(sv, "{kernel}: static run must verify");
+        assert!(av, "{kernel}: adaptive run must verify");
+        assert_eq!(
+            st.final_gthv.space().raw(),
+            ad.final_gthv.space().raw(),
+            "{kernel}: adaptive placement must not change the computed bytes"
+        );
+    }
+}
+
+#[test]
+fn adaptive_converges_byte_identically_under_faults() {
+    for kernel in KERNELS {
+        let (st, sv) = run_kernel(kernel, PlacementPolicy::Static, Some(chaos(0xFA17)));
+        let (ad, av) = run_kernel(kernel, test_policy(), Some(chaos(0xFA17)));
+        assert!(sv, "{kernel}: faulty static run must verify");
+        assert!(av, "{kernel}: faulty adaptive run must verify");
+        assert_eq!(
+            st.final_gthv.space().raw(),
+            ad.final_gthv.space().raw(),
+            "{kernel}: adaptive + chaos must still converge to the static bytes"
+        );
+    }
+}
+
+/// Two index entries ("cold" entry 0 homed at shard 0, "hot" entry 1
+/// homed at shard 1) so a move has somewhere to go.
+fn two_entry_def() -> hdsm::dsd::GthvDef {
+    hdsm::dsd::GthvDef::new(
+        StructBuilder::new("G")
+            .array("cold", ScalarKind::Int, 16)
+            .array("hot", ScalarKind::Int, 16)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+/// The skewed-writer workload: rank 1 does 90% of the writes, all to the
+/// hot entry — which starts homed on the *other* shard from the lock
+/// that serializes them. Every other rank occasionally pokes the cold
+/// entry. The dominant-writer signal points at rank 1 and its sync
+/// traffic points at shard 0, so a heat-driven engine should re-home
+/// entry 1 from shard 1 to shard 0 mid-run.
+fn skewed_writer_run(
+    policy: PlacementPolicy,
+    sim_seed: u64,
+    faults: Option<FaultPlan>,
+) -> ClusterOutcome<()> {
+    let mut b = ClusterBuilder::new()
+        .gthv(two_entry_def())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::solaris_sparc())
+        .worker(PlatformSpec::linux_x86())
+        .worker(PlatformSpec::linux_x86())
+        .locks(2)
+        .barriers(1)
+        .shards(2)
+        .net(NetConfig::default())
+        .obs(Recorder::enabled())
+        .placement(policy)
+        .fabric(FabricMode::Sim { seed: sim_seed });
+    if let Some(plan) = faults {
+        b = b
+            .fault_plan(plan)
+            .lease(Duration::from_secs(5))
+            .retry_base(Duration::from_millis(10))
+            .recv_deadline(Duration::from_secs(60));
+    }
+    b.run(|c, info| {
+        let hot_rounds = if info.index == 0 { 45 } else { 5 };
+        for r in 0..hot_rounds {
+            // Lock 0 lives on shard 0; the hot entry (1) starts on
+            // shard 1 — every release flushes its updates remotely.
+            c.acquire(LockId::new(0))?;
+            for e in 0..8u64 {
+                c.write_int(1, e, (r as i128 + 1) * (e as i128 + 1))?;
+            }
+            let v = c.read_int(1, 8)?;
+            c.write_int(1, 8, v + 1)?;
+            c.release(LockId::new(0))?;
+        }
+        // The cold entry keeps shard 0 busy with unrelated traffic.
+        c.acquire(LockId::new(1))?;
+        let slot = 1 + info.index as u64;
+        c.write_int(0, slot, info.index as i128 + 10)?;
+        c.release(LockId::new(1))?;
+        c.barrier(hdsm::dsd::BarrierId::new(0))?;
+        Ok(())
+    })
+    .expect("skewed run completes")
+}
+
+#[test]
+fn static_placement_call_is_byte_identical_to_no_call() {
+    // The compatibility contract: `.placement(Static)` must not change a
+    // single wire byte, message count or memory byte vs not calling
+    // `.placement` at all — no placement endpoint, actor or traffic.
+    let base = || {
+        ClusterBuilder::new()
+            .gthv(two_entry_def())
+            .worker(PlatformSpec::linux_x86())
+            .worker(PlatformSpec::solaris_sparc())
+            .locks(1)
+            .barriers(1)
+            .shards(2)
+            .net(NetConfig::default())
+            .fabric(FabricMode::Sim { seed: 0x57A7 })
+    };
+    let body = |c: &mut hdsm::dsd::DsdClient, info: &hdsm::dsd::WorkerInfo| {
+        for r in 0..10 {
+            c.acquire(LockId::new(0))?;
+            let v = c.read_int(1, 0)?;
+            c.write_int(1, 0, v + 1)?;
+            c.write_int(0, 1 + info.index as u64, r as i128)?;
+            c.release(LockId::new(0))?;
+        }
+        Ok(())
+    };
+    let plain = base().run(body).unwrap();
+    let explicit = base().placement(PlacementPolicy::Static).run(body).unwrap();
+    assert_eq!(
+        plain.final_gthv.space().raw(),
+        explicit.final_gthv.space().raw()
+    );
+    assert_eq!(plain.net_stats, explicit.net_stats);
+}
+
+#[test]
+fn heat_driven_rehomes_hot_entry_and_records_decisions() {
+    let st = skewed_writer_run(PlacementPolicy::Static, 0xBEA7, None);
+    let ad = skewed_writer_run(test_policy(), 0xBEA7, None);
+    // Transparency first: the adaptive run computes the same bytes.
+    assert_eq!(
+        st.final_gthv.space().raw(),
+        ad.final_gthv.space().raw(),
+        "re-homing the hot entry must not change the computed state"
+    );
+    // The engine acted, and its decisions are in the snapshot.
+    let snap: ObsSnapshot = ad.obs.expect("recorder enabled");
+    assert!(
+        !snap.placement.is_empty(),
+        "the skewed writer must trigger at least one placement decision"
+    );
+    let d = &snap.placement[0];
+    assert_eq!(d.entry, 1, "the hot entry is the one that moves");
+    assert_eq!(d.from_shard, 1, "it starts at its modulo home");
+    assert_eq!(
+        d.to_shard, 0,
+        "and lands on the dominant writer's sync shard"
+    );
+    assert_eq!(d.writer, 1, "rank 1 is the dominant writer");
+    // The signals the decision was planned from are in the snapshot too.
+    assert!(
+        snap.write_heat
+            .iter()
+            .any(|w| w.entry == 1 && w.writer == 1 && w.bytes > 0),
+        "write heat must attribute the hot entry to rank 1"
+    );
+    assert!(
+        snap.release_dests
+            .iter()
+            .any(|r| r.writer == 1 && r.shard == 0 && r.releases > 0),
+        "release destinations must point rank 1 at shard 0"
+    );
+    // A static snapshot of the same workload records no decisions.
+    let st_snap = st.obs.expect("recorder enabled");
+    assert!(st_snap.placement.is_empty());
+}
+
+/// One seeded adaptive run under chaos, reduced to the values that must
+/// reproduce exactly.
+fn adaptive_fingerprint(sim_seed: u64, fault_seed: u64) -> (Vec<u8>, NetStats, String, usize) {
+    let o = skewed_writer_run(test_policy(), sim_seed, Some(chaos(fault_seed)));
+    let snap = o.obs.expect("recorder enabled");
+    let decisions = snap.placement.len();
+    (
+        o.final_gthv.space().raw().to_vec(),
+        o.net_stats,
+        snap.to_json(),
+        decisions,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The adaptive determinism contract: the whole closed loop — signal
+    /// gathering, planning, per-entry handoffs, bounced-and-replayed
+    /// client traffic, fault injection — replays identically from the
+    /// same seed, down to every decision row and event timestamp in the
+    /// snapshot.
+    #[test]
+    fn same_seed_adaptive_runs_are_identical(sim_seed in 1u64..1 << 48, fault_seed in 1u64..1 << 48) {
+        let (bytes_a, stats_a, obs_a, dec_a) = adaptive_fingerprint(sim_seed, fault_seed);
+        let (bytes_b, stats_b, obs_b, dec_b) = adaptive_fingerprint(sim_seed, fault_seed);
+        prop_assert_eq!(&bytes_a, &bytes_b, "converged memory must be identical");
+        prop_assert_eq!(&stats_a, &stats_b, "traffic statistics must be identical");
+        prop_assert_eq!(dec_a, dec_b, "the decision sequence must replay exactly");
+        prop_assert_eq!(&obs_a, &obs_b, "observability snapshots must be identical");
+    }
+}
+
+#[test]
+fn faulty_adaptive_still_matches_static_bytes() {
+    let st = skewed_writer_run(PlacementPolicy::Static, 0x5EED, Some(chaos(0xC4A05)));
+    let ad = skewed_writer_run(test_policy(), 0x5EED, Some(chaos(0xC4A05)));
+    assert_eq!(
+        st.final_gthv.space().raw(),
+        ad.final_gthv.space().raw(),
+        "chaos + live re-homing must still converge to the static bytes"
+    );
+}
