@@ -10,7 +10,15 @@
 //! * `results/obs_snapshot.json` — the machine-readable [`ObsSnapshot`].
 //! * `results/critpath.txt` — per-sync-op critical paths from the faulty
 //!   SOR run (straggler rank, slowest shard, retransmits per link).
-//! * `results/obs_metrics.prom` — Prometheus text exposition (`--prom`).
+//! * `results/obs_metrics.prom` — Prometheus text exposition (`--prom`),
+//!   including the per-destination link counters and placement decision
+//!   rows, cross-checked against [`NetStats`] before writing.
+//! * `results/obs_timeseries.jsonl` — the faulty SOR run's windowed
+//!   time-series, one delta frame per line.
+//!
+//! `--follow` tails the faulty SOR run live: each time-series frame is
+//! printed as it closes, `tail -f` style. `--bundle <path>` pretty-prints
+//! a flight-recorder bundle (`results/blackbox-*.json`) and exits.
 //!
 //! Also prints the plain-text cluster reports and cross-checks the
 //! snapshot's network totals against the fabric's own [`NetStats`] —
@@ -19,13 +27,22 @@
 
 use hdsm_apps::workload::paper_pairs;
 use hdsm_apps::{jacobi, sor};
-use hdsm_core::cluster::ClusterBuilder;
+use hdsm_core::cluster::{ClusterBuilder, FaultConfig, TimingConfig, TopologyConfig};
 use hdsm_net::fault::FaultPlan;
-use hdsm_obs::{chrome_trace, Recorder};
+use hdsm_obs::{chrome_trace, pretty_bundle, Recorder};
 use std::time::Duration;
 
 fn main() {
-    let prom = std::env::args().any(|a| a == "--prom");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--bundle") {
+        // Offline flight-recorder triage: re-indent a bundle for reading.
+        let path = args.get(i + 1).expect("--bundle takes a file path");
+        let raw = std::fs::read_to_string(path).expect("read bundle");
+        print!("{}", pretty_bundle(&raw));
+        return;
+    }
+    let prom = args.iter().any(|a| a == "--prom");
+    let follow = args.iter().any(|a| a == "--follow");
     let n = 48;
     let sweeps = 6;
     let seed = 0x0B5;
@@ -73,9 +90,27 @@ fn main() {
     std::fs::write(&trace_path, chrome_trace(&recorder.events())).expect("write trace");
     std::fs::write(&snap_path, snapshot.to_json()).expect("write snapshot");
     if prom {
-        let text = recorder
-            .with_registry(|r| r.to_prometheus())
-            .expect("recorder enabled");
+        // The full exposition: gauges/counters plus the per-destination
+        // link counters and any placement decision rows.
+        let text = recorder.prometheus().expect("recorder enabled");
+        // The exported per-dest counters must re-sum to the fabric's own
+        // totals — they are fed from the same send path.
+        let sum = |metric: &str| -> u64 {
+            text.lines()
+                .filter(|l| l.starts_with(metric) && l.contains('{'))
+                .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+                .sum()
+        };
+        assert_eq!(
+            sum("hdsm_net_dest_msgs"),
+            outcome.net_stats.total_messages(),
+            "prometheus per-dest msg counters disagree with NetStats"
+        );
+        assert_eq!(
+            sum("hdsm_net_dest_bytes"),
+            outcome.net_stats.total_bytes(),
+            "prometheus per-dest byte counters disagree with NetStats"
+        );
         std::fs::write(format!("{results}/obs_metrics.prom"), text).expect("write prom");
     }
 
@@ -88,20 +123,60 @@ fn main() {
     let sor_seed = 0x50F;
     let plan = FaultPlan::seeded(0xBEEF).drop(0.05);
     let faulty = Recorder::enabled();
-    let outcome2 = ClusterBuilder::new()
+    let builder2 = ClusterBuilder::new()
         .gthv(sor::gthv_def(sor_n))
         .home(pair.home.clone())
         .worker(pair.home.clone())
         .worker(pair.remote.clone())
         .barriers(1)
-        .shards(2)
-        .fault_plan(plan)
-        .retry_base(Duration::from_millis(10))
-        .recv_deadline(Duration::from_secs(30))
+        .topology(TopologyConfig {
+            shards: 2,
+            ..Default::default()
+        })
+        .faults(FaultConfig { plan: Some(plan) })
+        .timing(TimingConfig {
+            retry_base: Some(Duration::from_millis(10)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        })
+        .telemetry(Duration::from_millis(10), 1024)
         .obs(faulty.clone())
-        .init(move |g| sor::init(g, sor_n, sor_seed))
-        .run(move |c, info| sor::run_worker(c, info, sor_n, sor_sweeps))
-        .expect("faulty sor cluster");
+        .init(move |g| sor::init(g, sor_n, sor_seed));
+    let outcome2 = if follow {
+        // Tail the windowed time-series while the run is still going:
+        // print each frame's one-line brief as it closes.
+        let rec = faulty.clone();
+        let handle = std::thread::spawn(move || {
+            builder2.run(move |c, info| sor::run_worker(c, info, sor_n, sor_sweeps))
+        });
+        let mut last_seq = None;
+        loop {
+            let done = handle.is_finished();
+            for f in rec.timeseries_frames() {
+                if last_seq.is_none_or(|s| f.seq > s) {
+                    println!("{}", f.brief());
+                    last_seq = Some(f.seq);
+                }
+            }
+            if done {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        handle
+            .join()
+            .expect("follow thread")
+            .expect("faulty sor cluster")
+    } else {
+        builder2
+            .run(move |c, info| sor::run_worker(c, info, sor_n, sor_sweeps))
+            .expect("faulty sor cluster")
+    };
+    std::fs::write(
+        format!("{results}/obs_timeseries.jsonl"),
+        faulty.timeseries_jsonl(),
+    )
+    .expect("write timeseries");
     assert!(
         sor::verify(&outcome2.final_gthv, sor_n, sor_seed, sor_sweeps),
         "sor failed to verify under faults"
@@ -129,6 +204,7 @@ fn main() {
     println!("chrome trace  -> results/obs_trace.json");
     println!("obs snapshot  -> results/obs_snapshot.json");
     println!("critical path -> results/critpath.txt");
+    println!("time-series   -> results/obs_timeseries.jsonl");
     if prom {
         println!("prometheus    -> results/obs_metrics.prom");
     }

@@ -289,6 +289,15 @@ impl DsdClient {
             epoch: *epoch,
             origin: self.obs_rank,
         };
+        self.recorder.op_begin(self.obs_rank, self.cur_op);
+    }
+
+    /// Retire the current sync op from the recorder's in-flight table
+    /// (the stall watchdog stops aging it). `cur_op` itself is kept so
+    /// trailing events — the release fan-out after an unlock, say — stay
+    /// attributed to the op that caused them.
+    fn end_op(&mut self) {
+        self.recorder.op_end(self.cur_op);
     }
 
     /// Attach the cluster's home directory. Must match the directory the
@@ -846,6 +855,12 @@ impl DsdClient {
 
     fn lock_impl(&mut self, lock: u32) -> Result<(), DsdError> {
         self.begin_op(OpKind::Lock, lock);
+        let r = self.lock_body(lock);
+        self.end_op();
+        r
+    }
+
+    fn lock_body(&mut self, lock: u32) -> Result<(), DsdError> {
         let owner = self.directory.lock_shard(lock);
         let reply = {
             let mut span = self.recorder.span(self.obs_rank, EventKind::LockWait);
@@ -876,6 +891,12 @@ impl DsdClient {
 
     fn unlock_impl(&mut self, lock: u32) -> Result<(), DsdError> {
         self.begin_op(OpKind::Unlock, lock);
+        let r = self.unlock_body(lock);
+        self.end_op();
+        r
+    }
+
+    fn unlock_body(&mut self, lock: u32) -> Result<(), DsdError> {
         let owner = self.directory.lock_shard(lock);
         let mut release = self.recorder.span(self.obs_rank, EventKind::LockRelease);
         release.args(lock as u64, 0);
@@ -927,6 +948,12 @@ impl DsdClient {
 
     fn cond_wait_impl(&mut self, cond: u32, lock: u32) -> Result<(), DsdError> {
         self.begin_op(OpKind::Cond, cond);
+        let r = self.cond_wait_body(cond, lock);
+        self.end_op();
+        r
+    }
+
+    fn cond_wait_body(&mut self, cond: u32, lock: u32) -> Result<(), DsdError> {
         let owner = self.directory.lock_shard(lock);
         if self.directory.cond_shard(cond) != owner {
             return Err(DsdError::ShardMismatch { cond, lock });
@@ -965,6 +992,12 @@ impl DsdClient {
 
     fn cond_signal_impl(&mut self, cond: u32, broadcast: bool) -> Result<(), DsdError> {
         self.begin_op(OpKind::Cond, cond);
+        let r = self.cond_signal_body(cond, broadcast);
+        self.end_op();
+        r
+    }
+
+    fn cond_signal_body(&mut self, cond: u32, broadcast: bool) -> Result<(), DsdError> {
         let owner = self.directory.cond_shard(cond);
         match self.request(
             owner,
@@ -981,6 +1014,12 @@ impl DsdClient {
 
     fn barrier_impl(&mut self, barrier: u32) -> Result<(), DsdError> {
         self.begin_op(OpKind::Barrier, barrier);
+        let r = self.barrier_body(barrier);
+        self.end_op();
+        r
+    }
+
+    fn barrier_body(&mut self, barrier: u32) -> Result<(), DsdError> {
         let coordinator = self.directory.barrier_shard(barrier);
         let mut span = self.recorder.span(self.obs_rank, EventKind::Barrier);
         span.args(barrier as u64, 0);
@@ -1023,6 +1062,13 @@ impl DsdClient {
 
     fn join_impl(mut self) -> Result<(CostBreakdown, ConversionStats, GthvInstance), DsdError> {
         self.begin_op(OpKind::Join, 0);
+        let r = self.join_body();
+        self.end_op();
+        r?;
+        Ok((self.costs, self.conv_stats, self.gthv))
+    }
+
+    fn join_body(&mut self) -> Result<(), DsdError> {
         // Sign off at every shard; each keeps its own participant table
         // and its Shutdown is the deferred (retransmittable) reply to the
         // Join it received.
@@ -1043,7 +1089,7 @@ impl DsdClient {
                 Err(e) => return Err(e),
             }
         }
-        Ok((self.costs, self.conv_stats, self.gthv))
+        Ok(())
     }
 
     // ----- the typed session API -----

@@ -45,13 +45,13 @@ use hdsm_net::endpoint::{Endpoint, NetError, Network};
 use hdsm_net::fault::LinkFaults;
 use hdsm_net::message::MsgKind;
 use hdsm_net::stats::{NetConfig, NetStats};
-use hdsm_net::{ActorId, FabricClock, FabricMode, FaultPlan, SimFabric};
-use hdsm_obs::{DecisionRow, EventKind, ObsSnapshot, Recorder};
+use hdsm_net::{ActorId, FabricClock, FabricMode, FaultPlan, SimFabric, Ticker};
+use hdsm_obs::{DecisionRow, EventKind, ObsSnapshot, Recorder, WatchdogConfig};
 use hdsm_platform::spec::{Platform, PlatformSpec};
 use hdsm_tags::convert::ConversionStats;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Errors from cluster orchestration.
@@ -250,12 +250,24 @@ pub struct ClusterCtl {
     /// must use [`ClusterCtl::sleep`], not `std::thread::sleep`, so the
     /// pacing rides the virtual clock in simulation mode.
     clock: FabricClock,
+    /// The cluster's recorder, for [`ClusterCtl::dump`].
+    recorder: Recorder,
 }
 
 impl ClusterCtl {
     /// The cluster's shard directory (for endpoint arithmetic).
     pub fn directory(&self) -> Directory {
         self.directory
+    }
+
+    /// Fire the black-box flight recorder by hand: freeze the current
+    /// diagnostic bundle (last events per rank, in-flight sync ops,
+    /// directory epochs, recent time-series frames) and write it to the
+    /// configured directory. Returns the bundle path, or `None` when the
+    /// cluster was built without [`ClusterBuilder::flight_recorder`] or
+    /// without an enabled recorder.
+    pub fn dump(&self) -> Option<String> {
+        self.recorder.blackbox_trigger("dump")
     }
 
     /// Sleep on the fabric timeline: real time in threaded mode, virtual
@@ -461,21 +473,31 @@ impl ClusterCtl {
 
 /// Cluster shape: shard fan-out, replication and execution fabric.
 ///
-/// Set with [`ClusterBuilder::topology`]; the one-knob-per-call builder
-/// methods ([`ClusterBuilder::shards`], [`ClusterBuilder::replicas`],
-/// [`ClusterBuilder::fabric`]) remain as shims for one release.
+/// Set with [`ClusterBuilder::topology`].
 #[derive(Debug, Clone)]
 pub struct TopologyConfig {
-    /// Home shard count (default 1; see [`ClusterBuilder::shards`]).
+    /// Home shard count (default 1). Index-table entries, mutexes,
+    /// barriers and condition variables are partitioned across
+    /// independent [`HomeShard`]s by the deterministic [`Directory`]
+    /// (`id % n`); `shards: 1` is the classic single-home layout and
+    /// produces a byte-identical message sequence.
     pub shards: u32,
-    /// Warm standby replicas per shard, 0 or 1 (default 0; see
-    /// [`ClusterBuilder::replicas`]).
+    /// Warm standby replicas per shard, 0 or 1 (default 0). A replica
+    /// shadows its primary through an op-log relay and promotes itself
+    /// when the primary goes silent past the lease; 0 keeps the wire
+    /// protocol byte-identical to the unreplicated layout.
     pub replicas: u32,
-    /// Execution fabric (default [`FabricMode::Threads`]; see
-    /// [`ClusterBuilder::fabric`]).
+    /// Execution fabric (default [`FabricMode::Threads`] — free-running
+    /// OS threads on the wall clock). [`FabricMode::Sim`] multiplexes the
+    /// same node code under a seeded discrete-event scheduler on a
+    /// virtual clock, making the whole run an exactly reproducible
+    /// function of `(workload, config, seed)`.
     pub fabric: FabricMode,
-    /// Hot-path implementation selection for every node (default `true`;
-    /// see [`ClusterBuilder::fast_path`]).
+    /// Hot-path implementation selection for every node (default `true`:
+    /// compiled conversion plans, the grouped v2 wire format and the
+    /// parallel diff scan). `false` forces the original tag-interpreting
+    /// slow paths — the differential suite runs both and requires
+    /// byte-identical final state.
     pub fast_path: bool,
 }
 
@@ -492,13 +514,10 @@ impl Default for TopologyConfig {
     }
 }
 
-/// Protocol timing: the liveness lease, receive bounds and the client
-/// retransmission schedule.
+/// Protocol timing: the liveness lease, receive bounds, the client
+/// retransmission schedule and the stall-watchdog budget.
 ///
-/// Set with [`ClusterBuilder::timing`]; the one-knob-per-call builder
-/// methods ([`ClusterBuilder::lease`], [`ClusterBuilder::recv_deadline`],
-/// [`ClusterBuilder::max_retries`], [`ClusterBuilder::retry_base`])
-/// remain as shims for one release.
+/// Set with [`ClusterBuilder::timing`].
 #[derive(Debug, Clone)]
 pub struct TimingConfig {
     /// Liveness lease; `None` disables failure detection and the
@@ -513,29 +532,37 @@ pub struct TimingConfig {
     /// First client retransmission delay, doubling per attempt
     /// (`None` = the client default of 250 ms).
     pub retry_base: Option<Duration>,
+    /// Fixed stall-watchdog budget: an in-flight sync op older than this
+    /// fires a [`hdsm_obs::StallReport`] (and the flight recorder, when
+    /// enabled). `None` (the default) derives per-kind budgets from each
+    /// op's rolling p99 latency. Only observed when
+    /// [`ClusterBuilder::telemetry`] is on.
+    pub stall_budget: Option<Duration>,
 }
 
 impl Default for TimingConfig {
-    /// The builder defaults: a 30 s lease, unbounded receives and the
-    /// client's own retransmission schedule.
+    /// The builder defaults: a 30 s lease, unbounded receives, the
+    /// client's own retransmission schedule and p99-derived stall
+    /// budgets.
     fn default() -> TimingConfig {
         TimingConfig {
             lease: Some(Duration::from_secs(30)),
             recv_deadline: None,
             max_retries: None,
             retry_base: None,
+            stall_budget: None,
         }
     }
 }
 
 /// Fault injection for the simulated fabric.
 ///
-/// Set with [`ClusterBuilder::faults`]; the one-knob
-/// [`ClusterBuilder::fault_plan`] method remains as a shim for one
-/// release.
+/// Set with [`ClusterBuilder::faults`]. The home automatically lingers
+/// after shutdown to answer retransmissions.
 #[derive(Debug, Clone, Default)]
 pub struct FaultConfig {
-    /// The fault plan; `None` (the default) runs a clean fabric.
+    /// The fault plan (drops, duplicates, reorders, jitter — see
+    /// [`FaultPlan`]); `None` (the default) runs a clean fabric.
     pub plan: Option<FaultPlan>,
 }
 
@@ -561,6 +588,10 @@ pub struct ClusterBuilder {
     fabric: FabricMode,
     sessions: Vec<SessionSpec>,
     placement: PlacementPolicy,
+    stall_budget: Option<Duration>,
+    telemetry: Option<(Duration, usize)>,
+    obs_ring_capacity: Option<usize>,
+    blackbox_dir: Option<String>,
 }
 
 impl Default for ClusterBuilder {
@@ -593,6 +624,10 @@ impl ClusterBuilder {
             fabric: FabricMode::Threads,
             sessions: Vec::new(),
             placement: PlacementPolicy::Static,
+            stall_budget: None,
+            telemetry: None,
+            obs_ring_capacity: None,
+            blackbox_dir: None,
         }
     }
 
@@ -610,9 +645,7 @@ impl ClusterBuilder {
     }
 
     /// Set the cluster shape — shards, replicas, fabric and hot-path
-    /// selection — in one typed call. Replaces the [`Self::shards`],
-    /// [`Self::replicas`], [`Self::fabric`] and [`Self::fast_path`]
-    /// knobs.
+    /// selection — in one typed call.
     pub fn topology(mut self, t: TopologyConfig) -> Self {
         self.shards = t.shards;
         self.replicas = t.replicas;
@@ -621,33 +654,20 @@ impl ClusterBuilder {
         self
     }
 
-    /// Set the protocol timing — lease, receive bound and retransmission
-    /// schedule — in one typed call. Replaces the [`Self::lease`] /
-    /// [`Self::no_lease`], [`Self::recv_deadline`], [`Self::max_retries`]
-    /// and [`Self::retry_base`] knobs.
+    /// Set the protocol timing — lease, receive bound, retransmission
+    /// schedule and stall budget — in one typed call.
     pub fn timing(mut self, t: TimingConfig) -> Self {
         self.lease = t.lease;
         self.recv_deadline = t.recv_deadline;
         self.max_retries = t.max_retries;
         self.retry_base = t.retry_base;
+        self.stall_budget = t.stall_budget;
         self
     }
 
-    /// Set fault injection in one typed call. Replaces the
-    /// [`Self::fault_plan`] knob.
+    /// Set fault injection in one typed call.
     pub fn faults(mut self, f: FaultConfig) -> Self {
         self.net_config.fault_plan = f.plan;
-        self
-    }
-
-    /// Select the hot-path implementation for every node in the cluster:
-    /// compiled conversion plans, the grouped v2 wire format and the
-    /// parallel diff scan (default `true`). `false` forces the original
-    /// tag-interpreting slow paths — the differential suite runs both and
-    /// requires byte-identical final state. *Deprecated since 0.6: use
-    /// [`Self::topology`]; this shim will be removed next release.*
-    pub fn fast_path(mut self, fast: bool) -> Self {
-        self.fast_path = fast;
         self
     }
 
@@ -660,20 +680,34 @@ impl ClusterBuilder {
         self
     }
 
-    /// Select the execution fabric. *Deprecated since 0.6: use
-    /// [`Self::topology`]; this shim will be removed next release.*
-    ///
-    /// [`FabricMode::Threads`] (the
-    /// default) runs every node as a free-running OS thread on the wall
-    /// clock — byte-identical to every pre-simulation release.
-    /// [`FabricMode::Sim`] multiplexes the same node code under a seeded
-    /// discrete-event scheduler on a virtual clock: sends, receive
-    /// timeouts, retransmit backoff, leases, heartbeats and promotion
-    /// timers all become ordered events, making the whole run — fault
-    /// injection included — an exactly reproducible function of
-    /// `(workload, config, seed)`.
-    pub fn fabric(mut self, mode: FabricMode) -> Self {
-        self.fabric = mode;
+    /// Turn on live telemetry: a cluster "telemetry" actor — registered
+    /// on the fabric like the placement engine, so simulated runs stay
+    /// deterministic — closes one time-series window per `interval` of
+    /// fabric time (keeping the most recent `frames` delta frames) and
+    /// runs the stall watchdog on the same tick. Requires an enabled
+    /// [`Self::obs`] recorder; with a disabled recorder this knob is
+    /// ignored and no actor is spawned.
+    pub fn telemetry(mut self, interval: Duration, frames: usize) -> Self {
+        self.telemetry = Some((interval, frames));
+        self
+    }
+
+    /// Override the per-rank event-ring capacity of the enabled
+    /// [`Self::obs`] recorder (default 65 536 events per rank). Rings
+    /// that wrap surface per-rank drop counts in
+    /// `ObsSnapshot::report()`'s event-rings section.
+    pub fn obs_ring_capacity(mut self, cap: usize) -> Self {
+        self.obs_ring_capacity = Some(cap);
+        self
+    }
+
+    /// Enable the black-box flight recorder: on a watchdog firing, a
+    /// lost worker, a lease expiry, a view change, a sim deadlock or an
+    /// explicit [`ClusterCtl::dump`], a diagnostic bundle is written to
+    /// `<dir>/blackbox-<trigger>-<seq>.json`. Requires an enabled
+    /// [`Self::obs`] recorder.
+    pub fn flight_recorder(mut self, dir: impl Into<String>) -> Self {
+        self.blackbox_dir = Some(dir.into());
         self
     }
 
@@ -687,60 +721,6 @@ impl ClusterBuilder {
     /// other sessions keep running.
     pub fn sessions(mut self, specs: Vec<SessionSpec>) -> Self {
         self.sessions = specs;
-        self
-    }
-
-    /// Bound every worker's blocking protocol receive (defence against a
-    /// wedged home service — mainly for negative tests). *Deprecated
-    /// since 0.6: use [`Self::timing`]; this shim will be removed next
-    /// release.*
-    pub fn recv_deadline(mut self, d: Duration) -> Self {
-        self.recv_deadline = Some(d);
-        self
-    }
-
-    /// Liveness lease (default 30 s): a worker silent for this long is
-    /// declared dead by the home — its locks are reclaimed and in-flight
-    /// barriers fail with [`ClusterError::WorkerLost`] instead of
-    /// hanging. Each worker gets a heartbeat pump beating at `lease / 4`.
-    /// *Deprecated since 0.6: use [`Self::timing`]; this shim will be
-    /// removed next release.*
-    pub fn lease(mut self, d: Duration) -> Self {
-        self.lease = Some(d);
-        self
-    }
-
-    /// Disable failure detection (and the heartbeat pumps) entirely.
-    /// *Deprecated since 0.6: use [`Self::timing`] with `lease: None`;
-    /// this shim will be removed next release.*
-    pub fn no_lease(mut self) -> Self {
-        self.lease = None;
-        self
-    }
-
-    /// Retransmissions each client attempts per request before waiting
-    /// out its deadline (default 10). *Deprecated since 0.6: use
-    /// [`Self::timing`]; this shim will be removed next release.*
-    pub fn max_retries(mut self, n: u32) -> Self {
-        self.max_retries = Some(n);
-        self
-    }
-
-    /// First client retransmission delay, doubling per attempt
-    /// (default 250 ms). *Deprecated since 0.6: use [`Self::timing`];
-    /// this shim will be removed next release.*
-    pub fn retry_base(mut self, d: Duration) -> Self {
-        self.retry_base = Some(d);
-        self
-    }
-
-    /// Inject faults into the simulated fabric (drops, duplicates,
-    /// reorders, jitter — see [`FaultPlan`]). The home automatically
-    /// lingers after shutdown to answer retransmissions. *Deprecated
-    /// since 0.6: use [`Self::faults`]; this shim will be removed next
-    /// release.*
-    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.net_config.fault_plan = Some(plan);
         self
     }
 
@@ -777,33 +757,6 @@ impl ClusterBuilder {
     /// Number of condition variables (default 0).
     pub fn conds(mut self, n: u32) -> Self {
         self.n_conds = n;
-        self
-    }
-
-    /// Shard the home service `n` ways (default 1). *Deprecated since
-    /// 0.6: use [`Self::topology`]; this shim will be removed next
-    /// release.* Index-table entries,
-    /// mutexes, barriers and condition variables are partitioned across
-    /// independent [`HomeShard`]s by the deterministic [`Directory`]
-    /// (`id % n`); each shard owns authoritative bytes, update log and
-    /// sequence horizon for its slice only. `shards(1)` is the classic
-    /// single-home layout and produces a byte-identical message sequence.
-    pub fn shards(mut self, n: u32) -> Self {
-        self.shards = n;
-        self
-    }
-
-    /// Give every home shard `n` warm standby replicas (0 or 1; default
-    /// 0). *Deprecated since 0.6: use [`Self::topology`]; this shim will
-    /// be removed next release.* A replica shadows its primary through an op-log relay —
-    /// byte-identical tables, update log and dedup state — and promotes
-    /// itself when the primary goes silent past the lease, so the run
-    /// survives losing any single home shard. `replicas(0)` keeps the
-    /// wire protocol byte-identical to the unreplicated layout; with
-    /// replicas, client requests additionally carry a directory-epoch
-    /// stamp so a deposed primary can fence and redirect.
-    pub fn replicas(mut self, n: u32) -> Self {
-        self.replicas = n;
         self
     }
 
@@ -941,6 +894,22 @@ impl ClusterBuilder {
             let f = sim.clone();
             self.recorder
                 .set_time_source(std::sync::Arc::new(move || f.now_us()));
+        }
+        // The telemetry knobs are no-ops on a disabled recorder — the
+        // calls below return without touching anything.
+        if let Some(cap) = self.obs_ring_capacity {
+            self.recorder.set_ring_capacity(cap);
+        }
+        if let Some((interval, frames)) = self.telemetry {
+            self.recorder
+                .enable_timeseries(interval.as_micros().max(1) as u64, frames);
+            self.recorder.configure_watchdog(WatchdogConfig {
+                budget_us: self.stall_budget.map(|d| d.as_micros().max(1) as u64),
+                ..WatchdogConfig::default()
+            });
+        }
+        if let Some(dir) = &self.blackbox_dir {
+            self.recorder.enable_blackbox(dir, 256);
         }
         Ok((def, net, eps))
     }
@@ -1080,6 +1049,15 @@ impl ClusterBuilder {
         let alive: Vec<AtomicBool> = (0..n_workers).map(|_| AtomicBool::new(true)).collect();
         let pump_done = AtomicBool::new(false);
         let placement_done = AtomicBool::new(false);
+        let telemetry_done = AtomicBool::new(false);
+        // Threads-mode nap the teardown can cut short, so shutdown never
+        // waits out a telemetry slice (that wait would be pure wall-time
+        // overhead on short runs).
+        let telemetry_stop: (Mutex<bool>, Condvar) = (Mutex::new(false), Condvar::new());
+        let telemetry_cfg = self
+            .telemetry
+            .filter(|_| self.recorder.is_enabled())
+            .map(|(interval, _)| interval.max(Duration::from_micros(1)));
 
         let replicated = self.replicas > 0;
         // Simulation mode: register every node as a scheduler actor, in
@@ -1109,6 +1087,11 @@ impl ClusterBuilder {
         };
         let placement_actor = if adaptive {
             sim.as_ref().map(|f| f.add_actor("placement"))
+        } else {
+            None
+        };
+        let telemetry_actor = if telemetry_cfg.is_some() {
+            sim.as_ref().map(|f| f.add_actor("telemetry"))
         } else {
             None
         };
@@ -1188,6 +1171,7 @@ impl ClusterBuilder {
                     directory,
                     kills: kills.clone(),
                     clock: net.clock(),
+                    recorder: self.recorder.clone(),
                 };
                 let sim = sim.clone();
                 s.spawn(move || {
@@ -1221,6 +1205,7 @@ impl ClusterBuilder {
                         directory,
                         kills,
                         clock: net.clock(),
+                        recorder: recorder.clone(),
                     };
                     let epoch = policy.epoch();
                     // The engine's own view of where every moved entry
@@ -1279,6 +1264,50 @@ impl ClusterBuilder {
                                     break;
                                 }
                                 Err(_) => break 'engine, // teardown
+                            }
+                        }
+                    }
+                })
+            });
+            // The telemetry actor: closes time-series windows and runs
+            // the stall watchdog on exact tick boundaries of the fabric
+            // clock. Registered like the placement engine, so in
+            // simulation mode the ticks are deterministic events and
+            // same-seed runs emit byte-identical frame streams and fire
+            // the watchdog at identical virtual times.
+            let telemetry_handle = telemetry_cfg.map(|interval| {
+                let net = net.clone();
+                let recorder = self.recorder.clone();
+                let sim = sim.clone();
+                let telemetry_done = &telemetry_done;
+                let telemetry_stop = &telemetry_stop;
+                let alive = &alive;
+                s.spawn(move || {
+                    let _guard = telemetry_actor.map(|a| sim.as_ref().unwrap().enter(a));
+                    let clock = net.clock();
+                    let slice = Duration::from_millis(5).min(interval);
+                    let mut ticker = Ticker::new(clock.now(), interval);
+                    while !telemetry_done.load(Ordering::Relaxed)
+                        && alive.iter().any(|a| a.load(Ordering::Relaxed))
+                    {
+                        if sim.is_some() {
+                            // Virtual time is free; the slice bounds how
+                            // late past a boundary a tick event can run.
+                            clock.sleep(slice);
+                        } else {
+                            let (lock, cv) = &*telemetry_stop;
+                            let stop = lock.lock().unwrap_or_else(|e| e.into_inner());
+                            if !*stop {
+                                drop(cv.wait_timeout(stop, slice));
+                            }
+                        }
+                        // Drain every boundary the sleep passed; frames
+                        // are stamped with the boundary, not the wake.
+                        while let Some(t) = ticker.due(clock.now()) {
+                            let t_us = t.as_micros();
+                            recorder.tick_window(t_us);
+                            if !recorder.watchdog_scan(t_us).is_empty() {
+                                recorder.blackbox_trigger_at("stall", t_us);
                             }
                         }
                     }
@@ -1358,10 +1387,21 @@ impl ClusterBuilder {
             }
             pump_done.store(true, Ordering::Relaxed);
             placement_done.store(true, Ordering::Relaxed);
+            telemetry_done.store(true, Ordering::Relaxed);
+            {
+                let (lock, cv) = &telemetry_stop;
+                *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+                cv.notify_all();
+            }
             if let Some(h) = pump_handle {
                 let _ = h.join();
             }
             if let Some(h) = placement_handle {
+                if let Err(p) = h.join() {
+                    first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
+                }
+            }
+            if let Some(h) = telemetry_handle {
                 if let Err(p) = h.join() {
                     first_error.get_or_insert(ClusterError::Panic(panic_msg(p)));
                 }
@@ -1400,6 +1440,8 @@ impl ClusterBuilder {
                     })
                 });
             if let Some((rank, heard_age, lease)) = lost {
+                self.recorder
+                    .blackbox_trigger_once("worker-lost", rank as u64);
                 first_error = Some(ClusterError::WorkerLost {
                     rank,
                     heard_age,

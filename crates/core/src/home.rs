@@ -804,6 +804,9 @@ impl HomeShard {
             self.last_heard.insert(r, now);
         }
         self.peer_last_heard = now;
+        // Seed the telemetry epoch table (monotone max, so a replica's
+        // epoch-0 report can't regress a promoted primary's).
+        self.recorder.dir_epoch(self.shard, self.epoch as u64);
         // Replication, a lease and the kill switch all need periodic
         // wake-ups; without any of them the classic blocking recv stands.
         let tick = self
@@ -1307,6 +1310,11 @@ impl HomeShard {
             "",
         );
         self.recorder.count("home.promotions", 1);
+        self.recorder.dir_epoch(self.shard, self.epoch as u64);
+        self.recorder.blackbox_trigger_once(
+            "view-change",
+            ((self.shard as u64) << 32) | self.epoch as u64,
+        );
     }
 
     /// Admin asked this primary to drain: fence immediately (clients
@@ -1415,6 +1423,11 @@ impl HomeShard {
                 "handoff",
             );
             self.recorder.count("home.promotions", 1);
+            self.recorder.dir_epoch(self.shard, self.epoch as u64);
+            self.recorder.blackbox_trigger_once(
+                "view-change",
+                ((self.shard as u64) << 32) | self.epoch as u64,
+            );
         }
         let ack = DsdMsg::HandoffInstalled {
             shard: self.shard,
@@ -2168,6 +2181,8 @@ impl HomeShard {
             self.op_of(rank),
         );
         self.recorder.count("home.leases_expired", 1);
+        self.recorder
+            .blackbox_trigger_once("lease-expired", rank as u64);
         for idx in 0..self.locks.len() {
             self.locks[idx].waiters.retain(|&w| w != rank);
             if self.locks[idx].holder == Some(rank) {

@@ -119,6 +119,47 @@ impl FabricClock {
     }
 }
 
+/// A fixed-interval tick source over a [`FabricClock`] timeline. The
+/// telemetry actor sleeps in small slices and drains `due(now)` each time
+/// it wakes: every returned boundary is an *exact multiple* of the
+/// interval past the start instant, regardless of how late the actor
+/// actually woke — so windows closed on the virtual clock of two
+/// same-seed simulated runs carry byte-identical timestamps.
+#[derive(Debug, Clone, Copy)]
+pub struct Ticker {
+    next: FabricInstant,
+    interval: Duration,
+}
+
+impl Ticker {
+    /// A ticker whose first boundary is `start + interval`. A zero
+    /// interval is clamped to 1 µs.
+    pub fn new(start: FabricInstant, interval: Duration) -> Ticker {
+        let interval = interval.max(Duration::from_micros(1));
+        Ticker {
+            next: start + interval,
+            interval,
+        }
+    }
+
+    /// The configured interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// If a boundary has been reached, return it and advance to the next
+    /// one. Call in a loop to drain every boundary `now` has passed.
+    pub fn due(&mut self, now: FabricInstant) -> Option<FabricInstant> {
+        if now >= self.next {
+            let t = self.next;
+            self.next = t + self.interval;
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
 impl std::fmt::Debug for FabricClock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.source {
@@ -150,5 +191,34 @@ mod tests {
         assert_eq!(later.as_micros(), 150);
         assert_eq!(later.saturating_since(t), Duration::from_micros(50));
         assert!(later > t);
+    }
+
+    #[test]
+    fn ticker_boundaries_are_exact_multiples() {
+        let mut t = Ticker::new(FabricInstant::from_micros(0), Duration::from_micros(100));
+        // Not yet due.
+        assert_eq!(t.due(FabricInstant::from_micros(99)), None);
+        // A late wake drains every passed boundary, each an exact multiple.
+        let mut drained = Vec::new();
+        let now = FabricInstant::from_micros(350);
+        while let Some(b) = t.due(now) {
+            drained.push(b.as_micros());
+        }
+        assert_eq!(drained, vec![100, 200, 300]);
+        // The next boundary stays on the grid.
+        assert_eq!(
+            t.due(FabricInstant::from_micros(400)),
+            Some(FabricInstant::from_micros(400))
+        );
+    }
+
+    #[test]
+    fn ticker_clamps_zero_interval() {
+        let mut t = Ticker::new(FabricInstant::ZERO, Duration::ZERO);
+        assert_eq!(t.interval(), Duration::from_micros(1));
+        assert_eq!(
+            t.due(FabricInstant::from_micros(1)),
+            Some(FabricInstant::from_micros(1))
+        );
     }
 }

@@ -92,6 +92,16 @@ impl Network {
         recorder: Recorder,
         sim: &SimFabric,
     ) -> (Network, Vec<Endpoint>) {
+        if recorder.is_enabled() {
+            // A sim deadlock is about to panic the scheduler: flush a
+            // flight-recorder bundle first. The hook runs with the sim
+            // state lock held, so the trigger takes the virtual time as an
+            // argument instead of reading the (sim-backed) time source.
+            let rec = recorder.clone();
+            sim.set_deadlock_hook(move |t_us| {
+                rec.blackbox_trigger_at("sim-deadlock", t_us);
+            });
+        }
         Network::build(n, config, recorder, Some(sim.clone()))
     }
 

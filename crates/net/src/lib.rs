@@ -31,7 +31,7 @@ pub mod message;
 pub mod sim;
 pub mod stats;
 
-pub use clock::{FabricClock, FabricInstant};
+pub use clock::{FabricClock, FabricInstant, Ticker};
 pub use endpoint::{Endpoint, NetError, Network};
 pub use fault::{FaultPlan, LinkFaults};
 pub use message::{Message, MsgKind};

@@ -155,8 +155,17 @@ struct SimState {
     failed: bool,
 }
 
+/// Callback fired with the virtual time on deadlock detection.
+type DeadlockHook = Box<dyn Fn(u64) + Send + Sync>;
+
 struct SimCore {
     state: Mutex<SimState>,
+    /// Fired (with the virtual time) when the detector finds a fresh
+    /// deadlock, *before* the diagnostic panic. Runs while the state lock
+    /// is held, so the hook must not read the fabric clock — the
+    /// observability layer uses it to flush a flight-recorder bundle with
+    /// the timestamp passed in.
+    deadlock_hook: Mutex<Option<DeadlockHook>>,
 }
 
 impl SimCore {
@@ -205,8 +214,22 @@ impl SimFabric {
                     dead_eps: HashSet::new(),
                     failed: false,
                 }),
+                deadlock_hook: Mutex::new(None),
             }),
         }
+    }
+
+    /// Install the deadlock hook: called with the virtual time (µs) when
+    /// the detector finds a fresh deadlock, just before the diagnostic
+    /// panic. The hook runs with the scheduler's state lock held — it
+    /// must not call back into the fabric (in particular not
+    /// [`SimFabric::now_us`]).
+    pub fn set_deadlock_hook(&self, hook: impl Fn(u64) + Send + Sync + 'static) {
+        *self
+            .core
+            .deadlock_hook
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Box::new(hook));
     }
 
     /// Current virtual time in microseconds.
@@ -438,6 +461,19 @@ impl SimFabric {
                     self.wake(st, a, Wake::Closed);
                 }
                 if fresh_deadlock {
+                    // Give the observability layer its last chance to
+                    // flush a flight-recorder bundle before we panic. The
+                    // state lock is held, so the timestamp is passed in
+                    // rather than read back through the fabric.
+                    let hook = self
+                        .core
+                        .deadlock_hook
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if let Some(h) = hook.as_ref() {
+                        h(st.now_us);
+                    }
+                    drop(hook);
                     panic!(
                         "sim fabric deadlock at t={}µs: every actor is blocked \
                          with no pending event\n{}",

@@ -154,6 +154,9 @@ pub enum EventKind {
     MigrationPack,
     /// Thread state restored receiver-makes-right (`arg0` = image bytes).
     MigrationRestore,
+    /// The stall watchdog found a sync op over budget (`arg0` = age µs,
+    /// `arg1` = budget µs; `op` = the stuck operation).
+    Stall,
     /// Anything else (tests, applications).
     Other,
 }
@@ -185,6 +188,7 @@ impl EventKind {
             EventKind::FirstGrant => "first-grant",
             EventKind::MigrationPack => "migration-pack",
             EventKind::MigrationRestore => "migration-restore",
+            EventKind::Stall => "stall",
             EventKind::Other => "other",
         }
     }
@@ -206,7 +210,8 @@ impl EventKind {
             | EventKind::FaultDrop
             | EventKind::FaultDup
             | EventKind::FaultReorder
-            | EventKind::LeaseExpired => "fault",
+            | EventKind::LeaseExpired
+            | EventKind::Stall => "fault",
             EventKind::ShardKill
             | EventKind::Promote
             | EventKind::Fence
@@ -281,7 +286,7 @@ impl fmt::Display for Event {
 mod tests {
     use super::*;
 
-    const ALL: [EventKind; 24] = [
+    const ALL: [EventKind; 25] = [
         EventKind::LockWait,
         EventKind::LockHold,
         EventKind::LockRelease,
@@ -305,6 +310,7 @@ mod tests {
         EventKind::FirstGrant,
         EventKind::MigrationPack,
         EventKind::MigrationRestore,
+        EventKind::Stall,
         EventKind::Other,
     ];
 

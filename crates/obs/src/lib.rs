@@ -20,6 +20,10 @@
 //! - **Exporters** — Chrome tracing JSON ([`chrome_trace`], one track per
 //!   rank, with flow arrows linking send→receive across tracks), a
 //!   plain-text cluster report and the machine-readable [`ObsSnapshot`].
+//! - **Live telemetry** — a windowed [`timeseries`] emitting one delta
+//!   [`Frame`] per fabric-clock interval, a stall [`watchdog`] aging
+//!   in-flight sync ops against latency budgets ([`StallReport`]), and a
+//!   [`blackbox`] flight recorder dumping triggered diagnostic bundles.
 //!
 //! The crate sits below the rest of the stack and speaks message kinds as
 //! `&'static str` labels, so every other crate can depend on it without
@@ -27,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blackbox;
 pub mod causal;
 pub mod chrome;
 pub mod critpath;
@@ -37,7 +42,10 @@ pub mod metrics;
 pub mod recorder;
 pub mod ring;
 pub mod snapshot;
+pub mod timeseries;
+pub mod watchdog;
 
+pub use blackbox::{pretty as pretty_bundle, TriggerRow};
 pub use causal::{causal_order, check_happens_before, estimate_skew, SkewRow};
 pub use chrome::chrome_trace;
 pub use critpath::{analyze as critical_paths, LinkRetransmits, OpCritPath, Segment};
@@ -45,9 +53,11 @@ pub use event::{Event, EventKind, OpCtx, OpKind};
 pub use heatmap::{EntryStats, Heatmap, PageStats, WriterStats};
 pub use hlc::{HlcClock, HlcStamp};
 pub use metrics::{bucket_index, bucket_upper, Histogram, Registry, BUCKETS};
-pub use recorder::{ObsConfig, Recorder, Span};
+pub use recorder::{InflightOp, ObsConfig, Recorder, Span};
 pub use ring::EventRing;
 pub use snapshot::{
     DecisionRow, DestRow, EntryRow, HistSummary, KindTraffic, ObsSnapshot, PageRow, ReleaseRow,
     RingDropRow, WriterRow,
 };
+pub use timeseries::{Frame, Sample, TimeSeries};
+pub use watchdog::{StallReport, WatchdogConfig};

@@ -212,6 +212,46 @@ impl Registry {
         }
         out
     }
+
+    /// [`Registry::to_prometheus`] plus the labelled series the flat
+    /// registry doesn't hold: per-destination-endpoint traffic counters
+    /// (`hdsm_net_dest_msgs{dst=".."}` / `hdsm_net_dest_bytes{dst=".."}`)
+    /// and one `hdsm_placement_rehome{...} 1` row per placement decision.
+    /// With no placement rows and no destination rows the output equals
+    /// `to_prometheus()` exactly.
+    pub fn to_prometheus_with(
+        &self,
+        placement: &[crate::snapshot::DecisionRow],
+        dests: &[crate::snapshot::DestRow],
+    ) -> String {
+        let mut out = self.to_prometheus();
+        if !dests.is_empty() {
+            out.push_str("# TYPE hdsm_net_dest_msgs counter\n");
+            for d in dests {
+                out.push_str(&format!(
+                    "hdsm_net_dest_msgs{{dst=\"{}\"}} {}\n",
+                    d.dst, d.msgs
+                ));
+            }
+            out.push_str("# TYPE hdsm_net_dest_bytes counter\n");
+            for d in dests {
+                out.push_str(&format!(
+                    "hdsm_net_dest_bytes{{dst=\"{}\"}} {}\n",
+                    d.dst, d.bytes
+                ));
+            }
+        }
+        if !placement.is_empty() {
+            out.push_str("# TYPE hdsm_placement_rehome counter\n");
+            for p in placement {
+                out.push_str(&format!(
+                    "hdsm_placement_rehome{{entry=\"{}\",from=\"{}\",to=\"{}\",writer=\"{}\",epoch=\"{}\"}} 1\n",
+                    p.entry, p.from_shard, p.to_shard, p.writer, p.epoch
+                ));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +350,43 @@ mod tests {
                 "bad line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn prometheus_with_placement_and_dests() {
+        use crate::snapshot::{DecisionRow, DestRow};
+        let mut r = Registry::default();
+        r.count("net.msgs-sent", 7);
+        let plain = r.to_prometheus();
+        // Empty extras: byte-identical to the plain exposition.
+        assert_eq!(r.to_prometheus_with(&[], &[]), plain);
+        let dests = [
+            DestRow {
+                dst: 0,
+                msgs: 5,
+                bytes: 500,
+            },
+            DestRow {
+                dst: 2,
+                msgs: 1,
+                bytes: 64,
+            },
+        ];
+        let placement = [DecisionRow {
+            entry: 3,
+            from_shard: 1,
+            to_shard: 0,
+            writer: 2,
+            epoch: 4,
+        }];
+        let text = r.to_prometheus_with(&placement, &dests);
+        assert!(text.starts_with(&plain));
+        assert!(text.contains("# TYPE hdsm_net_dest_msgs counter\n"));
+        assert!(text.contains("hdsm_net_dest_msgs{dst=\"0\"} 5\n"));
+        assert!(text.contains("hdsm_net_dest_bytes{dst=\"2\"} 64\n"));
+        assert!(text.contains(
+            "hdsm_placement_rehome{entry=\"3\",from=\"1\",to=\"0\",writer=\"2\",epoch=\"4\"} 1\n"
+        ));
     }
 
     #[test]

@@ -8,16 +8,19 @@
 //! every clone feeds the same core, so one recorder wired through
 //! `ClusterBuilder::obs` observes the whole cluster.
 
+use crate::blackbox::{self, TriggerRow};
 use crate::event::{Event, EventKind, OpCtx};
 use crate::heatmap::Heatmap;
 use crate::hlc::{HlcClock, HlcStamp};
 use crate::metrics::Registry;
 use crate::ring::EventRing;
-use crate::snapshot::{DecisionRow, KindTraffic, ObsSnapshot, RingDropRow};
+use crate::snapshot::{DecisionRow, DestRow, KindTraffic, ObsSnapshot, RingDropRow};
+use crate::timeseries::{Frame, Sample, TimeSeries};
+use crate::watchdog::{self, StallReport, WatchdogConfig};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -42,12 +45,48 @@ impl Default for ObsConfig {
     }
 }
 
+/// One in-flight sync operation: begun by the client, not yet returned.
+/// The stall watchdog ages these; the flight recorder dumps them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InflightOp {
+    /// The operation.
+    pub op: OpCtx,
+    /// Endpoint rank blocked in it.
+    pub rank: u32,
+    /// When it began, µs on the fabric timeline.
+    pub start_us: u64,
+    /// The rank's HLC stamp when it began.
+    pub hlc: HlcStamp,
+}
+
+#[derive(Default)]
+struct WatchdogState {
+    /// `None` until `configure_watchdog` arms the scans.
+    cfg: Option<WatchdogConfig>,
+    /// Op instances that already fired (one report per instance).
+    fired: BTreeSet<OpCtx>,
+    /// Every report fired so far, in firing order.
+    stalls: Vec<StallReport>,
+}
+
+struct BlackboxState {
+    dir: String,
+    last_n: usize,
+    seq: u64,
+    /// (trigger, key) pairs `blackbox_trigger_once` already fired for.
+    fired_keys: BTreeSet<(&'static str, u64)>,
+    triggers: Vec<TriggerRow>,
+}
+
 pub(crate) struct ObsCore {
     epoch: Instant,
     /// Overrides `epoch.elapsed()` when set (see [`TimeSource`]). Set at
     /// most once, before the cluster starts recording.
     time: OnceLock<TimeSource>,
-    config: ObsConfig,
+    /// Capacity for rings created from here on (existing rings keep
+    /// theirs) — a builder knob, so it lives behind an atomic rather
+    /// than the construction-time config.
+    ring_capacity: AtomicUsize,
     /// Per-rank event rings, grown on first touch.
     rings: Mutex<Vec<EventRing>>,
     registry: Mutex<Registry>,
@@ -69,6 +108,16 @@ pub(crate) struct ObsCore {
     /// Flow-id allocator binding each `MsgSend` to its `MsgRecv`s
     /// (0 is reserved for "no flow").
     flow: AtomicU64,
+    /// In-flight sync ops keyed by (kind, id, origin) — one live op per
+    /// key, the value carries the concrete epoch.
+    inflight: Mutex<BTreeMap<(crate::event::OpKind, u32, u32), InflightOp>>,
+    /// Directory epoch per shard, monotone max.
+    dir_epochs: Mutex<BTreeMap<u32, u64>>,
+    /// The windowed time-series, `None` until enabled.
+    timeseries: Mutex<Option<TimeSeries>>,
+    watchdog: Mutex<WatchdogState>,
+    /// The flight recorder, `None` until enabled.
+    blackbox: Mutex<Option<BlackboxState>>,
 }
 
 impl ObsCore {
@@ -110,7 +159,7 @@ impl Recorder {
         Recorder(Some(Arc::new(ObsCore {
             epoch: Instant::now(),
             time: OnceLock::new(),
-            config,
+            ring_capacity: AtomicUsize::new(config.ring_capacity.max(1)),
             rings: Mutex::new(Vec::new()),
             registry: Mutex::new(Registry::default()),
             heatmap: Mutex::new(Heatmap::default()),
@@ -119,6 +168,11 @@ impl Recorder {
             decisions: Mutex::new(Vec::new()),
             clocks: Mutex::new(Vec::new()),
             flow: AtomicU64::new(1),
+            inflight: Mutex::new(BTreeMap::new()),
+            dir_epochs: Mutex::new(BTreeMap::new()),
+            timeseries: Mutex::new(None),
+            watchdog: Mutex::new(WatchdogState::default()),
+            blackbox: Mutex::new(None),
         })))
     }
 
@@ -149,10 +203,19 @@ impl Recorder {
         let mut rings = core.rings.lock();
         let idx = e.rank as usize;
         while rings.len() <= idx {
-            let cap = core.config.ring_capacity;
+            let cap = core.ring_capacity.load(Ordering::Relaxed);
             rings.push(EventRing::new(cap));
         }
         rings[idx].push(e);
+    }
+
+    /// Change the per-rank event ring capacity for rings created from
+    /// here on (rings already grown keep their capacity — call before
+    /// the cluster starts recording). No-op when disabled.
+    pub fn set_ring_capacity(&self, cap: usize) {
+        if let Some(core) = &self.0 {
+            core.ring_capacity.store(cap.max(1), Ordering::Relaxed);
+        }
     }
 
     /// Tick `rank`'s HLC for a local event and return the new stamp.
@@ -528,7 +591,422 @@ impl Recorder {
         }
     }
 
+    // ----- in-flight sync operations (fed by the client) -----
+
+    /// Sync op `op` began on endpoint rank `rank`: enter it into the
+    /// in-flight table the stall watchdog ages and the flight recorder
+    /// dumps. No-op when disabled or unattributed.
+    pub fn op_begin(&self, rank: u32, op: OpCtx) {
+        if let Some(core) = &self.0 {
+            if !op.is_some() {
+                return;
+            }
+            let start_us = core.now_us();
+            // The rank's current stamp, read without ticking — beginning
+            // an op must not perturb the HLC stream the wire carries.
+            let hlc = {
+                let clocks = core.clocks.lock();
+                clocks
+                    .get(rank as usize)
+                    .map(|c| c.last())
+                    .unwrap_or(HlcStamp::ZERO)
+            };
+            core.inflight.lock().insert(
+                (op.kind, op.id, op.origin),
+                InflightOp {
+                    op,
+                    rank,
+                    start_us,
+                    hlc,
+                },
+            );
+        }
+    }
+
+    /// Sync op `op` returned (successfully or not): retire it from the
+    /// in-flight table. No-op when disabled or unattributed.
+    pub fn op_end(&self, op: OpCtx) {
+        if let Some(core) = &self.0 {
+            if !op.is_some() {
+                return;
+            }
+            core.inflight.lock().remove(&(op.kind, op.id, op.origin));
+        }
+    }
+
+    /// The in-flight table, key-ordered. Empty when disabled.
+    pub fn in_flight_ops(&self) -> Vec<InflightOp> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => core.inflight.lock().values().copied().collect(),
+        }
+    }
+
+    // ----- directory epochs (fed by the home shards) -----
+
+    /// Shard `shard`'s directory epoch reached `epoch`. Monotone max, so
+    /// a replica reporting its pre-promotion epoch can't regress the
+    /// table. No-op when disabled.
+    pub fn dir_epoch(&self, shard: u32, epoch: u64) {
+        if let Some(core) = &self.0 {
+            let mut t = core.dir_epochs.lock();
+            let e = t.entry(shard).or_insert(0);
+            *e = (*e).max(epoch);
+        }
+    }
+
+    /// The directory epoch table, shard-ordered. Empty when disabled.
+    pub fn dir_epochs(&self) -> Vec<(u32, u64)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => core
+                .dir_epochs
+                .lock()
+                .iter()
+                .map(|(&s, &e)| (s, e))
+                .collect(),
+        }
+    }
+
+    // ----- windowed time-series -----
+
+    /// Turn on the windowed time-series: one delta [`Frame`] per
+    /// `interval_us` of fabric time, at most `cap` frames retained
+    /// (oldest lost first). No-op when disabled.
+    pub fn enable_timeseries(&self, interval_us: u64, cap: usize) {
+        if let Some(core) = &self.0 {
+            *core.timeseries.lock() = Some(TimeSeries::new(interval_us, cap));
+        }
+    }
+
+    /// The configured window interval, `None` when the time-series is
+    /// off (or the recorder disabled).
+    pub fn timeseries_interval_us(&self) -> Option<u64> {
+        let core = self.0.as_ref()?;
+        let ts = core.timeseries.lock();
+        ts.as_ref().map(|t| t.interval_us())
+    }
+
+    /// One cumulative sample of every windowed table, taken lock by lock
+    /// (never nested) so any feed path can run concurrently.
+    fn sample(core: &ObsCore) -> Sample {
+        let mut s = Sample::default();
+        {
+            let reg = core.registry.lock();
+            for (k, v) in reg.counters() {
+                s.counters.insert(k.to_string(), v);
+            }
+        }
+        {
+            let rings = core.rings.lock();
+            for (rank, r) in rings.iter().enumerate() {
+                if r.total_pushed() > 0 {
+                    s.rank_events.insert(rank as u32, r.total_pushed());
+                }
+            }
+        }
+        {
+            let hm = core.heatmap.lock();
+            for (entry, e) in hm.entries() {
+                if e.bytes_sent > 0 {
+                    s.entry_bytes.insert(entry, e.bytes_sent);
+                }
+            }
+        }
+        s.dests = core.net_dest.lock().clone();
+        s.dir_epochs = core.dir_epochs.lock().clone();
+        s.decisions = core.decisions.lock().clone();
+        s.in_flight = core.inflight.lock().len() as u32;
+        s
+    }
+
+    /// Close the telemetry window ending at `t_us` (an exact tick
+    /// boundary on the fabric clock, supplied by the cluster's telemetry
+    /// actor) and return the emitted frame. `None` when the time-series
+    /// is off or the recorder disabled.
+    pub fn tick_window(&self, t_us: u64) -> Option<Frame> {
+        let core = self.0.as_ref()?;
+        if core.timeseries.lock().is_none() {
+            return None;
+        }
+        let cur = Self::sample(core);
+        let mut ts = core.timeseries.lock();
+        ts.as_mut().map(|t| t.push(t_us, cur))
+    }
+
+    /// The retained frames, oldest first. Empty when off or disabled.
+    pub fn timeseries_frames(&self) -> Vec<Frame> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => {
+                let ts = core.timeseries.lock();
+                ts.as_ref()
+                    .map(|t| t.frames().cloned().collect())
+                    .unwrap_or_default()
+            }
+        }
+    }
+
+    /// The retained frames as JSONL, one frame per line. Empty when off
+    /// or disabled.
+    pub fn timeseries_jsonl(&self) -> String {
+        match &self.0 {
+            None => String::new(),
+            Some(core) => {
+                let ts = core.timeseries.lock();
+                ts.as_ref().map(|t| t.to_jsonl()).unwrap_or_default()
+            }
+        }
+    }
+
+    // ----- stall watchdog -----
+
+    /// Arm the stall watchdog: subsequent [`Recorder::watchdog_scan`]
+    /// calls age in-flight ops against `cfg`'s budgets. No-op when
+    /// disabled.
+    pub fn configure_watchdog(&self, cfg: WatchdogConfig) {
+        if let Some(core) = &self.0 {
+            core.watchdog.lock().cfg = Some(cfg);
+        }
+    }
+
+    /// Age every in-flight op against its budget as of `now_us` (a tick
+    /// boundary, so same-seed sim runs fire at identical virtual times).
+    /// Each op instance fires at most once; a firing records a `Stall`
+    /// event and produces a [`StallReport`] with the critical-path
+    /// attribution of the time spent so far. Returns the reports *new in
+    /// this scan*; the full history stays in
+    /// [`Recorder::stall_reports`]. Empty when unarmed or disabled.
+    pub fn watchdog_scan(&self, now_us: u64) -> Vec<StallReport> {
+        let Some(core) = self.0.as_ref() else {
+            return Vec::new();
+        };
+        let Some(cfg) = core.watchdog.lock().cfg else {
+            return Vec::new();
+        };
+        let inflight: Vec<InflightOp> = core.inflight.lock().values().copied().collect();
+        let mut new_reports = Vec::new();
+        // Event stream + shard count are gathered once, and only if some
+        // op actually breaches.
+        let mut lazy: Option<(Vec<Event>, u32)> = None;
+        for f in inflight {
+            let age = now_us.saturating_sub(f.start_us);
+            let history = {
+                let reg = core.registry.lock();
+                watchdog::histogram_for(f.op.kind)
+                    .and_then(|name| reg.histogram(name))
+                    .map(|h| (h.count(), h.quantile(0.99)))
+            };
+            let Some(budget) = watchdog::budget_for(&cfg, history) else {
+                continue;
+            };
+            if age <= budget || !core.watchdog.lock().fired.insert(f.op) {
+                continue;
+            }
+            let hlc = Self::hlc_tick(core, f.rank, now_us);
+            Self::push(
+                core,
+                Event {
+                    rank: f.rank,
+                    kind: EventKind::Stall,
+                    t_us: now_us,
+                    arg0: age,
+                    arg1: budget,
+                    hlc,
+                    op: f.op,
+                    ..Default::default()
+                },
+            );
+            let (events, shards) = lazy.get_or_insert_with(|| {
+                let rings = core.rings.lock();
+                let mut events: Vec<Event> = rings
+                    .iter()
+                    .flat_map(|r| r.iter_in_order().copied())
+                    .collect();
+                drop(rings);
+                events.sort_by_key(|e| (e.t_us, e.rank));
+                let shards = core
+                    .registry
+                    .lock()
+                    .gauge_value("cluster.shards")
+                    .unwrap_or(1)
+                    .max(1) as u32;
+                (events, shards)
+            });
+            let critpath = watchdog::attribute(events, f.op, f.rank, f.start_us, age, *shards);
+            let report = StallReport {
+                op: f.op,
+                rank: f.rank,
+                start_us: f.start_us,
+                age_us: age,
+                budget_us: budget,
+                fired_at_us: now_us,
+                critpath,
+            };
+            core.watchdog.lock().stalls.push(report.clone());
+            new_reports.push(report);
+        }
+        new_reports
+    }
+
+    /// Every stall the watchdog has fired so far, in firing order.
+    /// Empty when disabled.
+    pub fn stall_reports(&self) -> Vec<StallReport> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => core.watchdog.lock().stalls.clone(),
+        }
+    }
+
+    // ----- black-box flight recorder -----
+
+    /// Enable the flight recorder: triggered bundles go to `dir`,
+    /// carrying the last `last_n` events per rank. No-op when disabled.
+    pub fn enable_blackbox(&self, dir: &str, last_n: usize) {
+        if let Some(core) = &self.0 {
+            *core.blackbox.lock() = Some(BlackboxState {
+                dir: dir.to_string(),
+                last_n: last_n.max(1),
+                seq: 0,
+                fired_keys: BTreeSet::new(),
+                triggers: Vec::new(),
+            });
+        }
+    }
+
+    /// Fire the flight recorder now. Returns the bundle path, `None`
+    /// when disabled, not enabled for blackbox, or the write failed.
+    pub fn blackbox_trigger(&self, trigger: &'static str) -> Option<String> {
+        let t_us = self.0.as_ref()?.now_us();
+        self.blackbox_trigger_at(trigger, t_us)
+    }
+
+    /// Fire at most once per `(trigger, key)` pair — for hook sites that
+    /// can fire repeatedly for one underlying incident (every stale
+    /// client bouncing off the same view change, say).
+    pub fn blackbox_trigger_once(&self, trigger: &'static str, key: u64) -> Option<String> {
+        let core = self.0.as_ref()?;
+        {
+            let mut bb = core.blackbox.lock();
+            if !bb.as_mut()?.fired_keys.insert((trigger, key)) {
+                return None;
+            }
+        }
+        let t_us = core.now_us();
+        self.blackbox_trigger_at(trigger, t_us)
+    }
+
+    /// Fire the flight recorder with an explicit timestamp. This variant
+    /// never reads the recorder's time source, so the sim scheduler can
+    /// call it from its deadlock detector while holding the state lock
+    /// the sim time source would need.
+    pub fn blackbox_trigger_at(&self, trigger: &'static str, t_us: u64) -> Option<String> {
+        let core = self.0.as_ref()?;
+        let (dir, last_n, seq) = {
+            let mut bb = core.blackbox.lock();
+            let st = bb.as_mut()?;
+            let seq = st.seq;
+            st.seq += 1;
+            st.triggers.push(TriggerRow {
+                trigger,
+                seq,
+                t_us,
+                path: String::new(),
+            });
+            (st.dir.clone(), st.last_n, seq)
+        };
+        // Gather one table at a time — no lock is held across another's
+        // acquisition, and nothing here reads a clock.
+        let ranks: Vec<(u32, Vec<Event>)> = {
+            let rings = core.rings.lock();
+            rings
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.is_empty())
+                .map(|(rank, r)| {
+                    let evs: Vec<Event> = r.iter_in_order().copied().collect();
+                    let skip = evs.len().saturating_sub(last_n);
+                    (rank as u32, evs[skip..].to_vec())
+                })
+                .collect()
+        };
+        let in_flight: Vec<InflightOp> = core.inflight.lock().values().copied().collect();
+        let dir_epochs: Vec<(u32, u64)> = core
+            .dir_epochs
+            .lock()
+            .iter()
+            .map(|(&s, &e)| (s, e))
+            .collect();
+        let frames: Vec<Frame> = {
+            let ts = core.timeseries.lock();
+            ts.as_ref()
+                .map(|t| t.frames().cloned().collect())
+                .unwrap_or_default()
+        };
+        let placement = core.decisions.lock().clone();
+        let stalls = core.watchdog.lock().stalls.clone();
+        let triggers = {
+            let bb = core.blackbox.lock();
+            bb.as_ref()
+                .map(|st| st.triggers.clone())
+                .unwrap_or_default()
+        };
+        let json = blackbox::render(&blackbox::BundleData {
+            trigger,
+            seq,
+            t_us,
+            ranks,
+            in_flight: &in_flight,
+            dir_epochs,
+            frames,
+            placement,
+            stalls: &stalls,
+            triggers: &triggers,
+        });
+        let path = blackbox::write(&dir, trigger, seq, &json);
+        if let Some(p) = &path {
+            let mut bb = core.blackbox.lock();
+            if let Some(row) = bb
+                .as_mut()
+                .and_then(|st| st.triggers.iter_mut().find(|r| r.seq == seq))
+            {
+                row.path = p.clone();
+            }
+        }
+        path
+    }
+
+    /// The trigger log, in firing order. Empty when disabled or the
+    /// flight recorder is off.
+    pub fn blackbox_triggers(&self) -> Vec<TriggerRow> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => {
+                let bb = core.blackbox.lock();
+                bb.as_ref()
+                    .map(|st| st.triggers.clone())
+                    .unwrap_or_default()
+            }
+        }
+    }
+
     // ----- export -----
+
+    /// The full Prometheus exposition: the registry's metrics plus the
+    /// placement decisions and per-destination link counters the flat
+    /// registry doesn't hold. `None` when disabled.
+    pub fn prometheus(&self) -> Option<String> {
+        let core = self.0.as_ref()?;
+        let decisions = core.decisions.lock().clone();
+        let dests: Vec<DestRow> = core
+            .net_dest
+            .lock()
+            .iter()
+            .map(|(&dst, &(msgs, bytes))| DestRow { dst, msgs, bytes })
+            .collect();
+        let reg = core.registry.lock();
+        Some(reg.to_prometheus_with(&decisions, &dests))
+    }
 
     /// Every held event across ranks, time-ordered. Empty when disabled.
     pub fn events(&self) -> Vec<Event> {
@@ -587,6 +1065,7 @@ impl Recorder {
         snap.ring_drops = ring_drops;
         snap.clock_skew = crate::causal::estimate_skew(&events);
         snap.critpaths = crate::critpath::analyze(&events, shards);
+        snap.stalls = core.watchdog.lock().stalls.clone();
         Some(snap)
     }
 

@@ -10,6 +10,7 @@ use crate::causal::SkewRow;
 use crate::critpath::OpCritPath;
 use crate::heatmap::Heatmap;
 use crate::metrics::Registry;
+use crate::watchdog::StallReport;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -189,6 +190,9 @@ pub struct ObsSnapshot {
     pub clock_skew: Vec<SkewRow>,
     /// Per-sync-op critical paths. Filled by `Recorder::snapshot`.
     pub critpaths: Vec<OpCritPath>,
+    /// Stall-watchdog firings so far, in firing order. Filled by
+    /// `Recorder::snapshot`.
+    pub stalls: Vec<StallReport>,
 }
 
 /// Ring statistics of one rank.
@@ -313,6 +317,7 @@ impl ObsSnapshot {
             ring_drops: Vec::new(),
             clock_skew: Vec::new(),
             critpaths: Vec::new(),
+            stalls: Vec::new(),
         }
     }
 
@@ -504,6 +509,12 @@ impl ObsSnapshot {
             w.end_obj();
         }
         w.end_arr();
+        w.key("stalls");
+        w.begin_arr();
+        for s in &self.stalls {
+            s.write_json(&mut w);
+        }
+        w.end_arr();
         w.end_obj();
         w.finish()
     }
@@ -530,6 +541,29 @@ impl ObsSnapshot {
                     "!!!   rank {}: dropped {} of {} recorded\n",
                     r.rank, r.dropped, r.recorded
                 ));
+            }
+        }
+        if !self.ring_drops.is_empty() {
+            out.push_str("\n-- event rings (per rank) --\n");
+            out.push_str("rank   recorded   dropped\n");
+            for r in &self.ring_drops {
+                out.push_str(&format!(
+                    "{:>4} {:>10} {:>9}\n",
+                    r.rank, r.recorded, r.dropped
+                ));
+            }
+        }
+        if !self.stalls.is_empty() {
+            let shards = self
+                .gauges
+                .iter()
+                .find(|(k, _)| k == "cluster.shards")
+                .map(|&(_, v)| v.max(1) as u32)
+                .unwrap_or(1);
+            out.push_str("\n-- stall watchdog firings --\n");
+            for s in &self.stalls {
+                out.push_str(&s.describe(shards));
+                out.push('\n');
             }
         }
         if !self.clock_skew.is_empty() {

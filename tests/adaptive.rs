@@ -19,7 +19,9 @@
 
 use hdsm::apps::workload::{paper_pairs, SyncMode};
 use hdsm::apps::{jacobi, lu, matmul, sor};
-use hdsm::dsd::cluster::{ClusterBuilder, ClusterOutcome};
+use hdsm::dsd::cluster::{
+    ClusterBuilder, ClusterOutcome, FaultConfig, TimingConfig, TopologyConfig,
+};
 use hdsm::dsd::{LockId, PlacementPolicy};
 use hdsm::net::{FabricMode, FaultPlan, NetConfig, NetStats};
 use hdsm::obs::{ObsSnapshot, Recorder};
@@ -74,19 +76,25 @@ fn run_kernel(
         .home(pair.home.clone())
         .locks(1)
         .barriers(2)
-        .shards(2)
+        .topology(TopologyConfig {
+            shards: 2,
+            fabric: FabricMode::Sim { seed: 0xADA },
+            ..Default::default()
+        })
         .net(NetConfig::default())
-        .placement(policy)
-        .fabric(FabricMode::Sim { seed: 0xADA });
+        .placement(policy);
     if adaptive {
         b = b.obs(Recorder::enabled());
     }
     if let Some(plan) = faults {
         b = b
-            .fault_plan(plan)
-            .lease(Duration::from_secs(5))
-            .retry_base(Duration::from_millis(10))
-            .recv_deadline(Duration::from_secs(60));
+            .timing(TimingConfig {
+                lease: Some(Duration::from_secs(5)),
+                retry_base: Some(Duration::from_millis(10)),
+                recv_deadline: Some(Duration::from_secs(60)),
+                ..Default::default()
+            })
+            .faults(FaultConfig { plan: Some(plan) });
     }
     b = match kernel {
         "jacobi" => b
@@ -195,17 +203,23 @@ fn skewed_writer_run(
         .worker(PlatformSpec::linux_x86())
         .locks(2)
         .barriers(1)
-        .shards(2)
+        .topology(TopologyConfig {
+            shards: 2,
+            fabric: FabricMode::Sim { seed: sim_seed },
+            ..Default::default()
+        })
         .net(NetConfig::default())
         .obs(Recorder::enabled())
-        .placement(policy)
-        .fabric(FabricMode::Sim { seed: sim_seed });
+        .placement(policy);
     if let Some(plan) = faults {
         b = b
-            .fault_plan(plan)
-            .lease(Duration::from_secs(5))
-            .retry_base(Duration::from_millis(10))
-            .recv_deadline(Duration::from_secs(60));
+            .timing(TimingConfig {
+                lease: Some(Duration::from_secs(5)),
+                retry_base: Some(Duration::from_millis(10)),
+                recv_deadline: Some(Duration::from_secs(60)),
+                ..Default::default()
+            })
+            .faults(FaultConfig { plan: Some(plan) });
     }
     b.run(|c, info| {
         let hot_rounds = if info.index == 0 { 45 } else { 5 };
@@ -243,9 +257,12 @@ fn static_placement_call_is_byte_identical_to_no_call() {
             .worker(PlatformSpec::solaris_sparc())
             .locks(1)
             .barriers(1)
-            .shards(2)
+            .topology(TopologyConfig {
+                shards: 2,
+                fabric: FabricMode::Sim { seed: 0x57A7 },
+                ..Default::default()
+            })
             .net(NetConfig::default())
-            .fabric(FabricMode::Sim { seed: 0x57A7 })
     };
     let body = |c: &mut hdsm::dsd::DsdClient, info: &hdsm::dsd::WorkerInfo| {
         for r in 0..10 {

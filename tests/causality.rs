@@ -5,7 +5,7 @@
 
 use bytes::Bytes;
 use hdsm::apps::sor;
-use hdsm::dsd::cluster::ClusterBuilder;
+use hdsm::dsd::cluster::{ClusterBuilder, FaultConfig, TimingConfig, TopologyConfig};
 use hdsm::net::endpoint::Network;
 use hdsm::net::message::MsgKind;
 use hdsm::net::stats::NetConfig;
@@ -172,10 +172,16 @@ fn faulty_sor_critical_paths_attribute_latency() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::solaris_sparc())
         .barriers(1)
-        .shards(2)
-        .fault_plan(plan)
-        .retry_base(Duration::from_millis(10))
-        .recv_deadline(Duration::from_secs(30))
+        .topology(TopologyConfig {
+            shards: 2,
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            retry_base: Some(Duration::from_millis(10)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        })
+        .faults(FaultConfig { plan: Some(plan) })
         .obs(recorder.clone())
         .init(move |g| sor::init(g, n, seed))
         .run(move |c, info| sor::run_worker(c, info, n, sweeps))

@@ -11,7 +11,7 @@
 
 use hdsm::apps::workload::{paper_pairs, PlatformPair, SyncMode};
 use hdsm::apps::{jacobi, lu, matmul, sor};
-use hdsm::dsd::cluster::ClusterBuilder;
+use hdsm::dsd::cluster::{ClusterBuilder, FaultConfig, TimingConfig, TopologyConfig};
 use hdsm::net::FaultPlan;
 use std::time::Duration;
 
@@ -49,14 +49,22 @@ fn build(pair: &PlatformPair, plan: &Option<FaultPlan>, fast: bool) -> ClusterBu
         .worker(pair.remote.clone())
         .locks(1)
         .barriers(2)
-        .shards(shards_from_env())
-        .fast_path(fast);
+        .topology(TopologyConfig {
+            shards: shards_from_env(),
+            fast_path: fast,
+            ..Default::default()
+        });
     if let Some(plan) = plan {
         b = b
-            .fault_plan(plan.clone())
-            .retry_base(Duration::from_millis(10))
-            .lease(Duration::from_secs(5))
-            .recv_deadline(Duration::from_secs(30));
+            .timing(TimingConfig {
+                retry_base: Some(Duration::from_millis(10)),
+                lease: Some(Duration::from_secs(5)),
+                recv_deadline: Some(Duration::from_secs(30)),
+                ..Default::default()
+            })
+            .faults(FaultConfig {
+                plan: Some(plan.clone()),
+            });
     }
     b
 }
@@ -170,13 +178,21 @@ fn run_workload_sharded(
         .worker(pair.remote.clone())
         .locks(1)
         .barriers(2)
-        .shards(shards);
+        .topology(TopologyConfig {
+            shards,
+            ..Default::default()
+        });
     if let Some(plan) = plan {
         b = b
-            .fault_plan(plan.clone())
-            .retry_base(Duration::from_millis(10))
-            .lease(Duration::from_secs(5))
-            .recv_deadline(Duration::from_secs(30));
+            .timing(TimingConfig {
+                retry_base: Some(Duration::from_millis(10)),
+                lease: Some(Duration::from_secs(5)),
+                recv_deadline: Some(Duration::from_secs(30)),
+                ..Default::default()
+            })
+            .faults(FaultConfig {
+                plan: Some(plan.clone()),
+            });
     }
     match name {
         "jacobi" => {
@@ -264,7 +280,10 @@ fn sharded_run_reports_per_shard_traffic() {
         .worker(pair.remote.clone())
         .locks(1)
         .barriers(2)
-        .shards(3)
+        .topology(TopologyConfig {
+            shards: 3,
+            ..Default::default()
+        })
         .obs(recorder.clone())
         .gthv(matmul::gthv_def(n))
         .init(move |g| matmul::init(g, n, seed))

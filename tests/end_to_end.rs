@@ -3,7 +3,7 @@
 
 use hdsm::apps::workload::{paper_pairs, SyncMode};
 use hdsm::apps::{jacobi, lu, matmul, sor};
-use hdsm::dsd::cluster::{ClusterBuilder, MigrationEvent};
+use hdsm::dsd::cluster::{ClusterBuilder, MigrationEvent, TimingConfig, TopologyConfig};
 use hdsm::dsd::{BarrierId, LockId};
 use hdsm::platform::spec::PlatformSpec;
 
@@ -292,7 +292,10 @@ fn worker_protocol_violation_surfaces_as_error() {
         .gthv(matmul::gthv_def(4))
         .worker(PlatformSpec::linux_x86())
         .locks(1)
-        .recv_deadline(std::time::Duration::from_millis(500))
+        .timing(TimingConfig {
+            recv_deadline: Some(std::time::Duration::from_millis(500)),
+            ..Default::default()
+        })
         .run(|c, _i| {
             c.release(LockId::new(0))?;
             Ok(())
@@ -317,7 +320,10 @@ fn typed_session_api_three_shards_three_workers() {
         .worker(PlatformSpec::linux_x86_64())
         .locks(2)
         .barriers(1)
-        .shards(3);
+        .topology(TopologyConfig {
+            shards: 3,
+            ..Default::default()
+        });
     let locks = builder.lock_ids();
     let barriers = builder.barrier_ids();
     assert_eq!(locks.len(), 2);

@@ -5,7 +5,7 @@
 
 use bytes::Bytes;
 use hdsm::dsd::client::DsdError;
-use hdsm::dsd::cluster::{ClusterBuilder, ClusterError};
+use hdsm::dsd::cluster::{ClusterBuilder, ClusterError, FaultConfig, TimingConfig, TopologyConfig};
 use hdsm::dsd::gthv::GthvDef;
 use hdsm::dsd::protocol::{DsdMsg, ProtocolError};
 use hdsm::dsd::{BarrierId, CondId, LockId};
@@ -80,7 +80,10 @@ fn home_rejects_double_lock_release() {
         .gthv(tiny_def())
         .worker(PlatformSpec::linux_x86())
         .locks(1)
-        .recv_deadline(Duration::from_millis(500))
+        .timing(TimingConfig {
+            recv_deadline: Some(Duration::from_millis(500)),
+            ..Default::default()
+        })
         .run(|c, _| {
             c.acquire(LockId::new(0))?;
             c.release(LockId::new(0))?;
@@ -100,7 +103,10 @@ fn home_rejects_unknown_lock_index() {
         .gthv(tiny_def())
         .worker(PlatformSpec::linux_x86())
         .locks(1)
-        .recv_deadline(Duration::from_millis(500))
+        .timing(TimingConfig {
+            recv_deadline: Some(Duration::from_millis(500)),
+            ..Default::default()
+        })
         .run(|c, _| {
             c.acquire(LockId::new(7))?; // only lock 0 exists
             Ok(())
@@ -120,7 +126,10 @@ fn worker_body_error_does_not_hang_the_cluster() {
         .worker(PlatformSpec::solaris_sparc())
         .locks(1)
         .barriers(1)
-        .recv_deadline(Duration::from_secs(2))
+        .timing(TimingConfig {
+            recv_deadline: Some(Duration::from_secs(2)),
+            ..Default::default()
+        })
         .run(|c, info| {
             if info.index == 0 {
                 // This worker fails early with an app-level error …
@@ -184,12 +193,18 @@ fn run_convergence_workload(plan: Option<FaultPlan>) -> (Vec<u8>, i128, NetStats
         .worker(PlatformSpec::solaris_sparc())
         .locks(1)
         .barriers(1)
-        .shards(shards_from_env())
-        .lease(Duration::from_secs(5))
-        .retry_base(Duration::from_millis(10))
-        .recv_deadline(Duration::from_secs(30));
+        .topology(TopologyConfig {
+            shards: shards_from_env(),
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_secs(5)),
+            retry_base: Some(Duration::from_millis(10)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        });
     if let Some(p) = plan {
-        b = b.fault_plan(p);
+        b = b.faults(FaultConfig { plan: Some(p) });
     }
     let outcome = b
         .run(|c, info| {
@@ -260,11 +275,17 @@ fn chaos_run_is_fully_observable() {
         .worker(PlatformSpec::solaris_sparc())
         .locks(1)
         .barriers(1)
-        .shards(shards_from_env())
-        .lease(Duration::from_secs(5))
-        .retry_base(Duration::from_millis(10))
-        .recv_deadline(Duration::from_secs(30))
-        .fault_plan(plan)
+        .topology(TopologyConfig {
+            shards: shards_from_env(),
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_secs(5)),
+            retry_base: Some(Duration::from_millis(10)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        })
+        .faults(FaultConfig { plan: Some(plan) })
         .obs(recorder.clone())
         .run(|c, _info| {
             for _ in 0..20 {
@@ -337,9 +358,12 @@ fn chaos_lease_expiry_is_observable() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::linux_x86_64())
         .barriers(1)
-        .lease(Duration::from_millis(400))
-        .retry_base(Duration::from_millis(25))
-        .recv_deadline(Duration::from_secs(10))
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(400)),
+            retry_base: Some(Duration::from_millis(25)),
+            recv_deadline: Some(Duration::from_secs(10)),
+            ..Default::default()
+        })
         .obs(recorder.clone())
         .run(|c, info| {
             if info.index == 1 {
@@ -375,9 +399,12 @@ fn chaos_worker_crash_mid_barrier_returns_worker_lost_not_hang() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::linux_x86_64())
         .barriers(1)
-        .lease(Duration::from_millis(400))
-        .retry_base(Duration::from_millis(25))
-        .recv_deadline(Duration::from_secs(10))
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(400)),
+            retry_base: Some(Duration::from_millis(25)),
+            recv_deadline: Some(Duration::from_secs(10)),
+            ..Default::default()
+        })
         .run(|c, info| {
             if info.index == 1 {
                 // Crash without signing off: heartbeats stop, the home's
@@ -409,10 +436,16 @@ fn chaos_crashed_worker_lock_is_reclaimed() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::linux_x86())
         .locks(1)
-        .shards(shards_from_env())
-        .lease(Duration::from_millis(400))
-        .retry_base(Duration::from_millis(25))
-        .recv_deadline(Duration::from_secs(10))
+        .topology(TopologyConfig {
+            shards: shards_from_env(),
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(400)),
+            retry_base: Some(Duration::from_millis(25)),
+            recv_deadline: Some(Duration::from_secs(10)),
+            ..Default::default()
+        })
         .run(|c, info| {
             if info.index == 1 {
                 c.acquire(LockId::new(0))?;
@@ -441,9 +474,12 @@ fn chaos_partitioned_worker_declared_dead_after_heal() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::linux_x86())
         .locks(1)
-        .lease(Duration::from_millis(300))
-        .retry_base(Duration::from_millis(50))
-        .recv_deadline(Duration::from_secs(10))
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(300)),
+            retry_base: Some(Duration::from_millis(50)),
+            recv_deadline: Some(Duration::from_secs(10)),
+            ..Default::default()
+        })
         .run(|c, info| {
             if info.index == 0 {
                 // Cut this worker (endpoint rank 1) off from the home
@@ -493,11 +529,9 @@ proptest! {
             .worker(PlatformSpec::linux_x86_64())
             .locks(1)
             .barriers(1)
-            .shards(shards_from_env())
-            .fault_plan(plan)
-            .lease(Duration::from_secs(5))
-            .retry_base(Duration::from_millis(10))
-            .recv_deadline(Duration::from_secs(20))
+            .topology(TopologyConfig { shards: shards_from_env(), ..Default::default() })
+        .timing(TimingConfig { lease: Some(Duration::from_secs(5)), retry_base: Some(Duration::from_millis(10)), recv_deadline: Some(Duration::from_secs(20)), ..Default::default() })
+        .faults(FaultConfig { plan: Some(plan) })
             .run(|c, _| {
                 for _ in 0..5 {
                     c.acquire(LockId::new(0))?;
@@ -560,10 +594,16 @@ fn chaos_shard_worker_loss_reclaims_only_that_shards_locks() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::linux_x86())
         .locks(2)
-        .shards(2)
-        .lease(Duration::from_millis(400))
-        .retry_base(Duration::from_millis(25))
-        .recv_deadline(Duration::from_secs(10))
+        .topology(TopologyConfig {
+            shards: 2,
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(400)),
+            retry_base: Some(Duration::from_millis(25)),
+            recv_deadline: Some(Duration::from_secs(10)),
+            ..Default::default()
+        })
         .run(|c, info| {
             if info.index == 1 {
                 c.acquire(LockId::new(0))?;
@@ -600,8 +640,14 @@ fn cond_paired_with_a_lock_on_another_shard_is_rejected() {
         .worker(PlatformSpec::linux_x86())
         .locks(2)
         .conds(2)
-        .shards(2)
-        .recv_deadline(Duration::from_secs(5))
+        .topology(TopologyConfig {
+            shards: 2,
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            recv_deadline: Some(Duration::from_secs(5)),
+            ..Default::default()
+        })
         .run(|c, _| {
             c.acquire(LockId::new(0))?;
             // cond 1 homes on shard 1, lock 0 on shard 0.
@@ -702,13 +748,25 @@ fn run_failover_convergence(
         .worker(PlatformSpec::solaris_sparc())
         .locks(2)
         .barriers(2)
-        .shards(2)
-        .replicas(replicas)
-        .lease(Duration::from_millis(400))
-        .retry_base(Duration::from_millis(25))
-        .recv_deadline(Duration::from_secs(30));
+        .topology(TopologyConfig {
+            shards: 2,
+            replicas,
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(400)),
+            retry_base: Some(Duration::from_millis(25)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        });
     if let Some(p) = plan {
-        b = b.fault_plan(p);
+        b = b.faults(FaultConfig { plan: Some(p) });
+    }
+    // CI soak runs set this so a failing seed also leaves black-box
+    // bundles (worker-lost, lease-expired, view-change) next to the
+    // seed reproducer.
+    if let Ok(dir) = std::env::var("HDSM_SOAK_BLACKBOX") {
+        b = b.obs(hdsm::obs::Recorder::enabled()).flight_recorder(dir);
     }
     if let Some((shard, after_ms)) = kill {
         b = b.control(move |ctl| {
@@ -774,11 +832,17 @@ fn failover_kill_mid_barrier_releases_from_promoted_replica() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::linux_x86())
         .barriers(1)
-        .shards(1)
-        .replicas(1)
-        .lease(Duration::from_millis(400))
-        .retry_base(Duration::from_millis(25))
-        .recv_deadline(Duration::from_secs(30))
+        .topology(TopologyConfig {
+            shards: 1,
+            replicas: 1,
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(400)),
+            retry_base: Some(Duration::from_millis(25)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        })
         .obs(recorder.clone())
         .control(|ctl| {
             std::thread::sleep(Duration::from_millis(150));
@@ -822,11 +886,17 @@ fn failover_kill_mid_lock_hold_preserves_mutual_exclusion() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::linux_x86())
         .locks(1)
-        .shards(1)
-        .replicas(1)
-        .lease(Duration::from_millis(400))
-        .retry_base(Duration::from_millis(25))
-        .recv_deadline(Duration::from_secs(30))
+        .topology(TopologyConfig {
+            shards: 1,
+            replicas: 1,
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(400)),
+            retry_base: Some(Duration::from_millis(25)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        })
         .control(|ctl| {
             std::thread::sleep(Duration::from_millis(150));
             ctl.kill_shard(ShardId::new(0));
@@ -871,11 +941,17 @@ fn failover_partition_promotes_replica_and_fences_deposed_primary() {
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::linux_x86())
         .locks(1)
-        .shards(1)
-        .replicas(1)
-        .lease(Duration::from_millis(400))
-        .retry_base(Duration::from_millis(25))
-        .recv_deadline(Duration::from_secs(30))
+        .topology(TopologyConfig {
+            shards: 1,
+            replicas: 1,
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(400)),
+            retry_base: Some(Duration::from_millis(25)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        })
         .obs(recorder.clone())
         .control(|ctl| {
             std::thread::sleep(Duration::from_millis(200));
@@ -953,11 +1029,17 @@ fn handoff_drains_live_shard_with_zero_failed_ops() {
         .worker(PlatformSpec::linux_x86())
         .locks(2)
         .barriers(2)
-        .shards(2)
-        .replicas(1)
-        .lease(Duration::from_millis(400))
-        .retry_base(Duration::from_millis(25))
-        .recv_deadline(Duration::from_secs(30))
+        .topology(TopologyConfig {
+            shards: 2,
+            replicas: 1,
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_millis(400)),
+            retry_base: Some(Duration::from_millis(25)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        })
         .obs(recorder.clone())
         .control(|mut ctl| {
             std::thread::sleep(Duration::from_millis(100));
@@ -1006,13 +1088,21 @@ fn failover_paper_kernels_survive_any_single_shard_kill() {
             .worker(PlatformSpec::linux_x86_64())
             .locks(1)
             .barriers(2)
-            .shards(2)
-            .replicas(1)
-            .lease(Duration::from_millis(300))
-            .retry_base(Duration::from_millis(25))
-            .recv_deadline(Duration::from_secs(30));
+            .topology(TopologyConfig {
+                shards: 2,
+                replicas: 1,
+                ..Default::default()
+            })
+            .timing(TimingConfig {
+                lease: Some(Duration::from_millis(300)),
+                retry_base: Some(Duration::from_millis(25)),
+                recv_deadline: Some(Duration::from_secs(30)),
+                ..Default::default()
+            });
         if let Some(p) = plan {
-            b = b.fault_plan(p.clone());
+            b = b.faults(FaultConfig {
+                plan: Some(p.clone()),
+            });
         }
         if let Some(shard) = kill {
             b = b.control(move |ctl| {
@@ -1174,17 +1264,25 @@ fn run_sim_convergence(sim_seed: u64, fault_seed: u64) -> (Vec<u8>, i128, NetSta
         .worker(PlatformSpec::solaris_sparc())
         .locks(1)
         .barriers(1)
-        .shards(shards_from_env())
-        .lease(Duration::from_secs(5))
-        .retry_base(Duration::from_millis(10))
-        .recv_deadline(Duration::from_secs(30))
-        .fault_plan(
-            FaultPlan::seeded(fault_seed)
-                .drop(0.05)
-                .duplicate(0.05)
-                .reorder(0.05),
-        )
-        .fabric(FabricMode::Sim { seed: sim_seed })
+        .topology(TopologyConfig {
+            shards: shards_from_env(),
+            fabric: FabricMode::Sim { seed: sim_seed },
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_secs(5)),
+            retry_base: Some(Duration::from_millis(10)),
+            recv_deadline: Some(Duration::from_secs(30)),
+            ..Default::default()
+        })
+        .faults(FaultConfig {
+            plan: Some(
+                FaultPlan::seeded(fault_seed)
+                    .drop(0.05)
+                    .duplicate(0.05)
+                    .reorder(0.05),
+            ),
+        })
         .run(|c, info| {
             for _ in 0..20 {
                 c.acquire(LockId::new(0))?;
@@ -1262,17 +1360,25 @@ fn fifty_tenant_churn_soak_leaks_nothing() {
     }
     let outcome = b
         .sessions(specs)
-        .shards(3)
-        .lease(Duration::from_secs(5))
-        .retry_base(Duration::from_millis(10))
-        .recv_deadline(Duration::from_secs(120))
-        .fault_plan(
-            FaultPlan::seeded(0x50AC)
-                .drop(0.02)
-                .duplicate(0.02)
-                .reorder(0.02),
-        )
-        .fabric(FabricMode::Sim { seed: 0x7E4A47 })
+        .topology(TopologyConfig {
+            shards: 3,
+            fabric: FabricMode::Sim { seed: 0x7E4A47 },
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_secs(5)),
+            retry_base: Some(Duration::from_millis(10)),
+            recv_deadline: Some(Duration::from_secs(120)),
+            ..Default::default()
+        })
+        .faults(FaultConfig {
+            plan: Some(
+                FaultPlan::seeded(0x50AC)
+                    .drop(0.02)
+                    .duplicate(0.02)
+                    .reorder(0.02),
+            ),
+        })
         .run(|c, info| {
             let t = info.session.expect("tenancy configured");
             // Staggered load: tenant k does 3 + k % 7 lock-guarded

@@ -17,7 +17,9 @@
 
 use hdsm::apps::workload::{paper_pairs, SyncMode};
 use hdsm::apps::{jacobi, lu, matmul, sor};
-use hdsm::dsd::cluster::{ClusterBuilder, ClusterOutcome};
+use hdsm::dsd::cluster::{
+    ClusterBuilder, ClusterOutcome, FaultConfig, TimingConfig, TopologyConfig,
+};
 use hdsm::dsd::{BarrierId, LockId, SessionSpec};
 use hdsm::net::{FabricMode, FaultPlan, NetStats};
 use hdsm::obs::Recorder;
@@ -58,7 +60,10 @@ fn run_kernel(kernel: &str, n: usize, fabric: FabricMode) -> (ClusterOutcome<()>
         .home(pair.home.clone())
         .locks(1)
         .barriers(2)
-        .fabric(fabric);
+        .topology(TopologyConfig {
+            fabric,
+            ..Default::default()
+        });
     b = match kernel {
         "jacobi" => b
             .gthv(jacobi::gthv_def(n))
@@ -130,20 +135,34 @@ fn faulty_instrumented_run(sim_seed: u64, fault_seed: u64) -> (Vec<u8>, i128, Ne
         .duplicate(0.05)
         .reorder(0.05)
         .jitter(Duration::from_micros(300));
-    let outcome = ClusterBuilder::new()
+    let mut b = ClusterBuilder::new();
+    // CI sets this so a failing seed leaves black-box bundles (e.g. a
+    // sim-deadlock post-mortem) as workflow artifacts. Bundle paths are
+    // deterministic for a fixed dir, so arming cannot perturb the
+    // reproducibility comparison.
+    if let Ok(dir) = std::env::var("HDSM_SIM_BLACKBOX") {
+        b = b.flight_recorder(dir);
+    }
+    let outcome = b
         .gthv(counters_def())
         .worker(PlatformSpec::linux_x86())
         .worker(PlatformSpec::solaris_sparc())
         .worker(PlatformSpec::linux_x86())
         .locks(1)
         .barriers(1)
-        .shards(2)
-        .lease(Duration::from_secs(5))
-        .retry_base(Duration::from_millis(10))
-        .recv_deadline(Duration::from_secs(60))
-        .fault_plan(plan)
+        .topology(TopologyConfig {
+            shards: 2,
+            fabric: FabricMode::Sim { seed: sim_seed },
+            ..Default::default()
+        })
+        .timing(TimingConfig {
+            lease: Some(Duration::from_secs(5)),
+            retry_base: Some(Duration::from_millis(10)),
+            recv_deadline: Some(Duration::from_secs(60)),
+            ..Default::default()
+        })
+        .faults(FaultConfig { plan: Some(plan) })
         .obs(recorder)
-        .fabric(FabricMode::Sim { seed: sim_seed })
         .run(|c, info| {
             for _ in 0..10 {
                 c.acquire(LockId::new(0))?;
@@ -216,7 +235,10 @@ fn thousand_rank_jacobi_completes_in_sim() {
     let outcome = b
         .barriers(1)
         .init(move |g| jacobi::init(g, n, seed))
-        .fabric(FabricMode::Sim { seed: 9 })
+        .topology(TopologyConfig {
+            fabric: FabricMode::Sim { seed: 9 },
+            ..Default::default()
+        })
         .run(move |c, i| jacobi::run_worker(c, i, n, 2))
         .unwrap();
     assert!(jacobi::verify(&outcome.final_gthv, n, seed, 2));
@@ -242,8 +264,11 @@ fn multi_session_sim_runs_are_reproducible() {
                 SessionSpec::new(2, 1, 1),
                 SessionSpec::new(1, 1, 0),
             ])
-            .shards(2)
-            .fabric(FabricMode::Sim { seed: 0x7E4A47 })
+            .topology(TopologyConfig {
+                shards: 2,
+                fabric: FabricMode::Sim { seed: 0x7E4A47 },
+                ..Default::default()
+            })
             .run(|c, i| {
                 let t = i.session.expect("tenancy configured");
                 // Each tenant pounds its own lock-guarded counter slot;
